@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the mlkit primitives on realistic sizes
+//! (22 features, 44-benchmark data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlkit::knn::KnnClassifier;
+use mlkit::pca::Pca;
+use mlkit::regression::{self, CurveFamily};
+use simkit::SimRng;
+use std::hint::black_box;
+use workloads::{signatures, Catalog};
+
+fn bench_mlkit(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let mut rng = SimRng::seed_from(4);
+    let rows: Vec<Vec<f64>> = catalog
+        .all()
+        .iter()
+        .map(|b| signatures::observe_default(b, &mut rng).into_vec())
+        .collect();
+    let labels: Vec<usize> = catalog
+        .all()
+        .iter()
+        .map(|b| b.family() as usize % 3)
+        .collect();
+
+    c.bench_function("pca_fit_44x22", |b| {
+        b.iter(|| black_box(Pca::fit(black_box(&rows), 5).unwrap()))
+    });
+
+    let knn = KnnClassifier::fit(&rows, &labels, 1).unwrap();
+    let probe = rows[7].clone();
+    c.bench_function("knn_predict_44x22", |b| {
+        b.iter(|| black_box(knn.predict_with_evidence(black_box(&probe)).unwrap()))
+    });
+
+    let xs: Vec<f64> = (1..=40).map(|i| i as f64 * 0.5).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| regression::evaluate(CurveFamily::Exponential, 5.768, 4.479, x))
+        .collect();
+    c.bench_function("fit_exponential_40pts", |b| {
+        b.iter(|| black_box(regression::fit_exponential(black_box(&xs), black_box(&ys)).unwrap()))
+    });
+
+    c.bench_function("two_point_calibration", |b| {
+        b.iter(|| {
+            black_box(
+                regression::solve_two_point(
+                    CurveFamily::NapierianLog,
+                    black_box((1.25, 16.7)),
+                    black_box((2.5, 17.9)),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_mlkit);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the runtime-critical prediction path:
+//! feature projection + expert selection + two-point calibration — the
+//! per-application work the dispatcher does before it can co-locate.
+
+use colocate::predictors::{MemoryPredictor, MoePolicy};
+use colocate::profiling::{profile_app, ProfilingConfig};
+use colocate::training::{train_system, TrainingConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::SimRng;
+use std::hint::black_box;
+use workloads::Catalog;
+
+fn bench_prediction(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let mut rng = SimRng::seed_from(1);
+    let system = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
+    let moe = MoePolicy::new(system);
+    let bench = catalog.by_name("SB.TriangleCount").unwrap();
+    let (profile, _) = profile_app(bench, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+
+    c.bench_function("moe_select_and_calibrate", |b| {
+        b.iter(|| {
+            let prediction = moe.predict(black_box(&profile)).unwrap();
+            black_box(prediction.model.footprint_gb(8.0))
+        })
+    });
+
+    c.bench_function("offline_training_16_benchmarks", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from(2);
+            black_box(train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

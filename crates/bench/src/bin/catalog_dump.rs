@@ -1,0 +1,31 @@
+//! Dumps the 44-benchmark catalog: suite, memory-function family and
+//! coefficients, CPU utilisation and nominal rate — the ground truth every
+//! experiment measures predictors against.
+
+use workloads::Catalog;
+
+fn main() {
+    let catalog = Catalog::paper();
+    println!(
+        "{:<24} {:<34} {:>8} {:>8} {:>8} {:>10}",
+        "benchmark", "memory function", "m", "b", "cpu %", "GB/s"
+    );
+    bench_suite::rule(98);
+    for bench in catalog.all() {
+        println!(
+            "{:<24} {:<34} {:>8.3} {:>8.3} {:>8.0} {:>10.4}",
+            bench.name(),
+            bench.family().name(),
+            bench.curve().m,
+            bench.curve().b,
+            bench.cpu_util() * 100.0,
+            bench.rate_gb_per_s()
+        );
+    }
+    bench_suite::rule(98);
+    let training = catalog.training_set().len();
+    println!(
+        "{} benchmarks; {training} in the training suites (HiBench + BigDataBench)",
+        catalog.len()
+    );
+}

@@ -1,0 +1,62 @@
+//! Validates the §5.2 replay protocol: the paper replays each scenario
+//! until the 95 % confidence half-width falls below 5 % of the mean. This
+//! binary shows how the normalized-STP confidence interval tightens with
+//! the number of random mixes, and where the stopping rule triggers.
+
+use colocate::harness::{run_policy, RunConfig};
+use colocate::scheduler::PolicyKind;
+use simkit::stats::Welford;
+use simkit::SimRng;
+use workloads::{Catalog, MixScenario};
+
+fn main() {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let scenario = MixScenario::TABLE3[4]; // L5: 11 applications
+    let max_mixes = bench_suite::mixes_per_scenario().max(12);
+
+    println!(
+        "Convergence of normalized STP (ours, scenario {}) over random mixes",
+        scenario.name()
+    );
+    println!(
+        "{:>6} {:>10} {:>14} {:>12}",
+        "mixes", "mean", "95% half-width", "rel. width"
+    );
+    bench_suite::rule(46);
+
+    let mut stats = Welford::new();
+    let mut mix_rng = SimRng::seed_from(52);
+    let mut stopped_at = None;
+    for m in 0..max_mixes {
+        let mix = scenario.random_mix(&catalog, &mut mix_rng);
+        let outcome =
+            run_policy(PolicyKind::Moe, &catalog, &mix, &config, 52 + m as u64).expect("run");
+        stats.push(outcome.normalized.normalized_stp);
+        let hw = stats.ci95_half_width();
+        let rel = if stats.mean() > 0.0 {
+            hw / stats.mean()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:>6} {:>10.3} {:>14.3} {:>11.1}%",
+            m + 1,
+            stats.mean(),
+            if hw.is_finite() { hw } else { f64::NAN },
+            rel * 100.0
+        );
+        if stopped_at.is_none() && stats.ci_converged(0.05) {
+            stopped_at = Some(m + 1);
+        }
+    }
+    bench_suite::rule(46);
+    match stopped_at {
+        Some(n) => println!(
+            "§5.2 stopping rule (half-width < 5 % of mean) triggers after {n} mixes"
+        ),
+        None => println!(
+            "stopping rule not reached within {max_mixes} mixes — raise SPARK_MOE_MIXES"
+        ),
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 3: observed vs predicted memory footprints for Sort and PageRank.
+//!
+//! The paper shows that Sort follows the saturating exponential
+//! `y = 5.768·(1 − e^(−4.479·x))` and PageRank the Napierian logarithm
+//! `y = 16.333 + 1.79·ln x`. This binary calibrates each curve from two
+//! profiling points (the §4.1 procedure) and prints observed vs predicted
+//! footprints over five decades of input size.
+
+use colocate::predictors::robust_calibrate;
+use moe_core::expert::CurveExpert;
+use simkit::SimRng;
+use workloads::Catalog;
+
+fn main() {
+    let catalog = Catalog::paper();
+    let mut rng = SimRng::seed_from(0xF163);
+
+    for name in ["HB.Sort", "HB.PageRank"] {
+        let bench = catalog.by_name(name).expect("catalog benchmark");
+        println!(
+            "\nFig. 3 — {name}: ground truth is {} (m = {}, b = {})",
+            bench.family().name(),
+            bench.curve().m,
+            bench.curve().b
+        );
+
+        // Two-point calibration at 5 % and 10 % of a 25 GB slice.
+        let (x1, x2) = (1.25, 2.5);
+        let noise = 0.01;
+        let p1 = (x1, bench.true_footprint_gb(x1) * rng.relative_noise(noise));
+        let p2 = (x2, bench.true_footprint_gb(x2) * rng.relative_noise(noise));
+        let expert = CurveExpert::new(bench.family());
+        let model = robust_calibrate(&expert, p1, p2).expect("calibration");
+
+        println!("{:>12} {:>12} {:>12} {:>8}", "input (GB)", "observed", "predicted", "err %");
+        bench_suite::rule(50);
+        for exp10 in -3..=3 {
+            for &mant in &[1.0, 3.0] {
+                let x = mant * 10f64.powi(exp10);
+                if x > 1100.0 {
+                    continue;
+                }
+                let observed = bench.true_footprint_gb(x);
+                let predicted = colocate::predictors::FootprintModel::footprint_gb(&model, x);
+                let err = if observed > 1e-9 {
+                    (predicted - observed).abs() / observed * 100.0
+                } else {
+                    0.0
+                };
+                println!("{x:>12.3} {observed:>12.3} {predicted:>12.3} {err:>8.2}");
+            }
+        }
+    }
+    println!("\n(The paper's Fig. 3 plots these curves; prediction should track observation.)");
+}

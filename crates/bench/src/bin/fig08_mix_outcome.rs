@@ -1,0 +1,50 @@
+//! Fig. 8: STP (a) and wall-clock turnaround time (b) for the Table 4
+//! 30-application mix under Pairwise, Quasar and our approach. The paper
+//! measures 1.81×/1.39× higher STP and 1.46×/1.28× faster turnaround for
+//! our approach over Pairwise/Quasar.
+
+use colocate::harness::{isolated_times, trained_system_for, RunConfig};
+use colocate::metrics::normalize;
+use colocate::scheduler::{run_schedule, PolicyKind};
+use workloads::mixes::table4_mix;
+use workloads::Catalog;
+
+fn main() {
+    let catalog = Catalog::paper();
+    let config: RunConfig = bench_suite::paper_run_config();
+    let mix = table4_mix(&catalog);
+    let iso = isolated_times(&catalog, &mix, &config.scheduler, 7).expect("isolated baselines");
+
+    println!("Fig. 8: Table 4 mix — STP and turnaround time");
+    println!(
+        "{:<14} {:>8} {:>22}",
+        "scheduler", "STP", "turnaround (min)"
+    );
+    bench_suite::rule(48);
+    let mut rows = Vec::new();
+    for policy in [PolicyKind::Pairwise, PolicyKind::Quasar, PolicyKind::Moe] {
+        let system = trained_system_for(policy, &catalog, &config, 7).expect("training");
+        let outcome = run_schedule(policy, &catalog, &mix, system.as_ref(), &config.scheduler, 7)
+            .expect("schedule");
+        let turnarounds: Vec<f64> = outcome.per_app.iter().map(|a| a.finished_at).collect();
+        let metrics = normalize(&iso, &turnarounds);
+        println!(
+            "{:<14} {:>8.2} {:>22.1}",
+            outcome.policy,
+            metrics.normalized_stp,
+            outcome.makespan_secs / 60.0
+        );
+        rows.push((metrics.normalized_stp, outcome.makespan_secs));
+    }
+    bench_suite::rule(48);
+    println!(
+        "ours vs Pairwise: STP {:.2}x (paper 1.81x), turnaround {:.2}x faster (paper 1.46x)",
+        rows[2].0 / rows[0].0,
+        rows[0].1 / rows[2].1
+    );
+    println!(
+        "ours vs Quasar:   STP {:.2}x (paper 1.39x), turnaround {:.2}x faster (paper 1.28x)",
+        rows[2].0 / rows[1].0,
+        rows[1].1 / rows[2].1
+    );
+}

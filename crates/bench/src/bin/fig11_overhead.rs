@@ -1,0 +1,82 @@
+//! Fig. 11: average time spent on feature extraction and model calibration
+//! relative to total task execution time, per runtime scenario L1..L10.
+//! The paper measures ~5 % (feature extraction) + ~8 % (calibration), and
+//! stresses that profiling runs contribute to the final output.
+
+use colocate::harness::{isolated_times, trained_system_for, RunConfig};
+use colocate::scheduler::{run_schedule, PolicyKind};
+use simkit::SimRng;
+use workloads::{Catalog, MixScenario};
+
+fn main() {
+    let catalog = Catalog::paper();
+    let config: RunConfig = bench_suite::paper_run_config();
+    let mixes = bench_suite::mixes_per_scenario().min(5);
+    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 11)
+        .expect("training")
+        .expect("moe needs a system");
+
+    println!("Fig. 11: profiling overhead per scenario (fractions of execution time)");
+    println!(
+        "{:<5} {:>14} {:>14} {:>16}",
+        "", "feature (%)", "calibration (%)", "avg runtime (min)"
+    );
+    bench_suite::rule(56);
+    let mut feat_all = 0.0;
+    let mut calib_all = 0.0;
+    for scenario in MixScenario::TABLE3 {
+        let mut rng = SimRng::seed_from(1100 + scenario.label as u64);
+        let mut feature = 0.0;
+        let mut calibration = 0.0;
+        let mut runtime = 0.0;
+        for m in 0..mixes {
+            let mix = scenario.random_mix(&catalog, &mut rng);
+            let outcome = run_schedule(
+                PolicyKind::Moe,
+                &catalog,
+                &mix,
+                Some(&system),
+                &config.scheduler,
+                1100 + m as u64,
+            )
+            .expect("schedule");
+            // Fractions of *execution* time (the per-app isolated work),
+            // which is what Fig. 11 stacks — turnaround would double-count
+            // queueing delay.
+            let iso = isolated_times(&catalog, &mix, &config.scheduler, 1100 + m as u64)
+                .expect("isolated baselines");
+            let total_exec: f64 = iso.iter().sum();
+            let f: f64 = outcome.per_app.iter().map(|a| a.profiling.feature_secs).sum();
+            let c: f64 = outcome
+                .per_app
+                .iter()
+                .map(|a| a.profiling.calibration_secs)
+                .sum();
+            feature += f / total_exec;
+            calibration += c / total_exec;
+            runtime += outcome
+                .per_app
+                .iter()
+                .map(|a| a.finished_at)
+                .sum::<f64>()
+                / outcome.per_app.len() as f64;
+        }
+        let n = mixes as f64;
+        println!(
+            "{:<5} {:>14.1} {:>14.1} {:>16.1}",
+            scenario.name(),
+            feature / n * 100.0,
+            calibration / n * 100.0,
+            runtime / n / 60.0
+        );
+        feat_all += feature / n;
+        calib_all += calibration / n;
+    }
+    bench_suite::rule(56);
+    println!(
+        "mean: feature {:.1} % (paper ~5 %), calibration {:.1} % (paper ~8 %)",
+        feat_all / 10.0 * 100.0,
+        calib_all / 10.0 * 100.0
+    );
+    println!("(profiled data contributes to the job's output: cycles are not wasted)");
+}

@@ -1,0 +1,46 @@
+//! Fig. 12: per-benchmark profiling overhead for the 16 HiBench and
+//! BigDataBench programs at ~280 GB input: feature-extraction time,
+//! calibration time and total execution time.
+
+use colocate::harness::{trained_system_for, RunConfig};
+use colocate::scheduler::{run_schedule_custom, PolicyKind};
+use workloads::Catalog;
+
+const INPUT_GB: f64 = 280.0;
+
+fn main() {
+    let catalog = Catalog::paper();
+    let config: RunConfig = bench_suite::paper_run_config();
+    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 12)
+        .expect("training")
+        .expect("moe needs a system");
+
+    println!("Fig. 12: profiling vs total runtime per benchmark (~280 GB input)");
+    println!(
+        "{:<20} {:>12} {:>12} {:>12} {:>10}",
+        "benchmark", "feature (m)", "calib (m)", "total (m)", "overhead %"
+    );
+    bench_suite::rule(72);
+    for bench in catalog.training_set() {
+        let outcome = run_schedule_custom(
+            PolicyKind::Moe,
+            &catalog,
+            &[(bench.index(), INPUT_GB)],
+            Some(&system),
+            &config.scheduler,
+            1200 + bench.index() as u64,
+        )
+        .expect("solo schedule");
+        let app = &outcome.per_app[0];
+        let total_min = app.finished_at / 60.0;
+        let feat_min = app.profiling.feature_secs / 60.0;
+        let calib_min = app.profiling.calibration_secs / 60.0;
+        println!(
+            "{:<20} {feat_min:>12.1} {calib_min:>12.1} {total_min:>12.1} {:>10.1}",
+            bench.name(),
+            (feat_min + calib_min) / total_min * 100.0
+        );
+    }
+    bench_suite::rule(72);
+    println!("(paper: total runtimes 10-45 min; profiling a small stacked sliver)");
+}

@@ -1,0 +1,60 @@
+//! Fig. 14: slowdown distribution of each HiBench/BigDataBench benchmark
+//! when co-located with every other benchmark on a single host under our
+//! scheme (~280 GB target input). The paper's violins stay below 25 %
+//! slowdown with medians under 10 %.
+
+use colocate::harness::{trained_system_for, RunConfig};
+use colocate::interference::spark_pair_slowdown;
+use colocate::scheduler::PolicyKind;
+use simkit::stats::summary::{median, percentile};
+use workloads::Catalog;
+
+fn main() {
+    let catalog = Catalog::paper();
+    let config: RunConfig = bench_suite::paper_run_config();
+    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 14)
+        .expect("training")
+        .expect("moe needs a system");
+
+    println!("Fig. 14: target slowdown (%) under co-location, one competitor at a time");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>8}",
+        "target", "median", "p75", "max", "min"
+    );
+    bench_suite::rule(56);
+    let mut worst: f64 = 0.0;
+    let mut medians = Vec::new();
+    for target in catalog.training_set() {
+        let mut slowdowns = Vec::new();
+        for other in catalog.all() {
+            if other.index() == target.index() {
+                continue;
+            }
+            let s = spark_pair_slowdown(
+                &catalog,
+                target.index(),
+                other.index(),
+                &system,
+                &config.scheduler,
+                1400 + other.index() as u64,
+            )
+            .expect("pair run");
+            slowdowns.push(s);
+        }
+        let med = median(&slowdowns);
+        medians.push(med);
+        let max = slowdowns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = slowdowns.iter().cloned().fold(f64::INFINITY, f64::min);
+        worst = worst.max(max);
+        println!(
+            "{:<20} {med:>8.1} {:>8.1} {max:>8.1} {min:>8.1}",
+            target.name(),
+            percentile(&slowdowns, 75.0)
+        );
+    }
+    bench_suite::rule(56);
+    let overall_median = median(&medians);
+    println!(
+        "max slowdown {worst:.1} % (paper < 25 %), median of medians {overall_median:.1} % (paper < 10 %)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 15: slowdown distribution of the 12 PARSEC benchmarks when a Spark
+//! task is co-located on their host under our scheme. The paper measures
+//! less than 30 % slowdown, mostly under 20 %.
+
+use colocate::harness::{trained_system_for, RunConfig};
+use colocate::interference::parsec_slowdown;
+use colocate::scheduler::PolicyKind;
+use simkit::stats::summary::{median, percentile};
+use workloads::parsec::parsec_suite;
+use workloads::Catalog;
+
+fn main() {
+    let catalog = Catalog::paper();
+    let config: RunConfig = bench_suite::paper_run_config();
+    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 15)
+        .expect("training")
+        .expect("moe needs a system");
+
+    println!("Fig. 15: PARSEC slowdown (%) with one co-located Spark task");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8}",
+        "benchmark", "median", "p75", "max"
+    );
+    bench_suite::rule(44);
+    let mut worst: f64 = 0.0;
+    for parsec in &parsec_suite() {
+        let mut slowdowns = Vec::new();
+        for spark in catalog.all() {
+            let s = parsec_slowdown(
+                &catalog,
+                parsec,
+                spark.index(),
+                &system,
+                &config.scheduler,
+                1500 + spark.index() as u64,
+            )
+            .expect("parsec pair");
+            slowdowns.push(s);
+        }
+        let max = slowdowns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        worst = worst.max(max);
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {max:>8.1}",
+            parsec.name(),
+            median(&slowdowns),
+            percentile(&slowdowns, 75.0)
+        );
+    }
+    bench_suite::rule(44);
+    println!("worst PARSEC slowdown {worst:.1} % (paper < 30 %, mostly < 20 %)");
+}

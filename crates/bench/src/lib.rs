@@ -1,0 +1,82 @@
+//! # bench-suite — regenerating every table and figure of the paper
+//!
+//! Each binary in `src/bin/` reproduces one table or figure of the
+//! Middleware '17 evaluation and prints the same rows/series the paper
+//! reports (see `DESIGN.md` §5 for the full index and `EXPERIMENTS.md` for
+//! paper-vs-measured numbers):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `tab02_features` | Table 2 + Fig. 4b — feature importance ranking |
+//! | `tab05_classifiers` | Table 5 — expert-selector accuracy per classifier |
+//! | `fig03_memfuncs` | Fig. 3 — observed vs predicted curves (Sort, PageRank) |
+//! | `fig04_pca` | Fig. 4a — explained variance per principal component |
+//! | `fig06_overall` | Fig. 6 — STP & ANTT vs Pairwise/Quasar/Oracle, L1..L10 |
+//! | `fig07_utilization` | Fig. 7 — per-node utilisation over time (Table 4 mix) |
+//! | `fig08_mix_outcome` | Fig. 8 — STP & turnaround for the Table 4 mix |
+//! | `fig09_unified` | Fig. 9 — unified single-model baselines |
+//! | `fig10_online` | Fig. 10 — online-search baseline |
+//! | `fig11_overhead` | Fig. 11 — profiling overhead per scenario |
+//! | `fig12_overhead_apps` | Fig. 12 — profiling overhead per benchmark |
+//! | `fig13_cpuload` | Fig. 13 — CPU-load histogram in isolation |
+//! | `fig14_interference` | Fig. 14 — Spark-vs-Spark co-location slowdowns |
+//! | `fig15_parsec` | Fig. 15 — PARSEC co-location slowdowns |
+//! | `fig16_clusters` | Fig. 16 — benchmark clusters in PCA space |
+//! | `fig17_accuracy` | Fig. 17 — predicted vs measured footprints |
+//! | `fig18_curves` | Fig. 18 — predicted vs measured curves, all training apps |
+//! | `ablation_sweep` | design-choice ablations (KNN k, PCs, calibration sizes, margins, CPU guard, monitor window, cluster scaling) |
+//! | `paper_headlines` | the §6.1 highlights block, measured in one run |
+//! | `catalog_dump` | the 44-benchmark ground-truth catalog |
+//! | `convergence_check` | the §5.2 CI stopping rule in action |
+//!
+//! The campaign sizes honour the `SPARK_MOE_MIXES` environment variable
+//! (mixes per scenario, default 8) so CI can run quickly while a full
+//! reproduction can push toward the paper's ~100 mixes.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+
+use colocate::harness::RunConfig;
+
+/// Number of random mixes per scenario, from `SPARK_MOE_MIXES` (default 8).
+#[must_use]
+pub fn mixes_per_scenario() -> usize {
+    std::env::var("SPARK_MOE_MIXES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8)
+}
+
+/// The shared experiment configuration (paper cluster, default training).
+#[must_use]
+pub fn paper_run_config() -> RunConfig {
+    RunConfig::default()
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Formats a `(min, max)` whisker pair.
+#[must_use]
+pub fn whisker(min_max: (f64, f64)) -> String {
+    format!("[{:5.2}, {:5.2}]", min_max.0, min_max.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_default_is_positive() {
+        assert!(mixes_per_scenario() > 0);
+    }
+
+    #[test]
+    fn whisker_formats() {
+        assert_eq!(whisker((1.0, 2.5)), "[ 1.00,  2.50]");
+    }
+}

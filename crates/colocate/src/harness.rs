@@ -1,0 +1,486 @@
+//! Campaign runners: everything the figure/table binaries need.
+//!
+//! * [`isolated_times`] — per-task `C_iso`: each application alone on the
+//!   cluster with all memory (the denominator of every metric, §5.3);
+//! * [`run_policy`] — one mix under one policy, with normalised metrics;
+//! * [`evaluate_scenario`] — many random mixes of a Table 3 scenario,
+//!   replayed until the 95 % confidence half-width drops below 5 % of the
+//!   mean (§5.2), reporting mean and min–max bars (Fig. 6);
+//! * [`bin_trace`] — converts event-sampled utilisation traces into the
+//!   time-binned per-node matrix of Fig. 7;
+//! * [`overhead_fractions`] — feature-extraction and calibration shares of
+//!   total execution time (Figs. 11/12).
+
+use crate::metrics::{normalize, NormalizedMetrics};
+use crate::scheduler::{
+    run_schedule, run_schedule_custom, PolicyKind, ScheduleOutcome, SchedulerConfig,
+};
+use crate::training::{train_system, TrainedSystem, TrainingConfig};
+use crate::ColocateError;
+use simkit::stats::Welford;
+use simkit::SimRng;
+use workloads::catalog::Catalog;
+use workloads::mixes::{MixEntry, MixScenario};
+
+/// Configuration for harness runs: scheduler + offline training settings.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Scheduler configuration.
+    pub scheduler: SchedulerConfig,
+    /// Offline training configuration.
+    pub training: TrainingConfig,
+}
+
+/// Outcome of one policy on one mix, with normalised metrics attached.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The raw schedule.
+    pub makespan_secs: f64,
+    /// Per-app turnarounds (s), submission order.
+    pub turnarounds: Vec<f64>,
+    /// Per-app isolated times (s), submission order.
+    pub iso_secs: Vec<f64>,
+    /// Normalised STP / ANTT-reduction against the isolated baseline.
+    pub normalized: NormalizedMetrics,
+    /// The full schedule outcome (trace, overheads, OOM count).
+    pub schedule: ScheduleOutcome,
+}
+
+/// Isolated execution time of every job in `jobs`, each run alone on the
+/// cluster with all memory.
+///
+/// # Errors
+///
+/// Propagates scheduler failures.
+pub fn isolated_times_custom(
+    catalog: &Catalog,
+    jobs: &[(usize, f64)],
+    config: &SchedulerConfig,
+    seed: u64,
+) -> Result<Vec<f64>, ColocateError> {
+    jobs.iter()
+        .map(|&job| {
+            let solo =
+                run_schedule_custom(PolicyKind::Isolated, catalog, &[job], None, config, seed)?;
+            Ok(solo.makespan_secs)
+        })
+        .collect()
+}
+
+/// [`isolated_times_custom`] over a Table 3-style mix.
+///
+/// # Errors
+///
+/// Propagates scheduler failures.
+pub fn isolated_times(
+    catalog: &Catalog,
+    mix: &[MixEntry],
+    config: &SchedulerConfig,
+    seed: u64,
+) -> Result<Vec<f64>, ColocateError> {
+    let jobs: Vec<(usize, f64)> = mix.iter().map(|e| (e.benchmark, e.size.gb())).collect();
+    isolated_times_custom(catalog, &jobs, config, seed)
+}
+
+/// Runs one mix under one policy and normalises against the isolated
+/// baseline. Training (when the policy needs it) is derived from `seed`.
+///
+/// # Errors
+///
+/// Propagates training and scheduler failures.
+pub fn run_policy(
+    policy: PolicyKind,
+    catalog: &Catalog,
+    mix: &[MixEntry],
+    config: &RunConfig,
+    seed: u64,
+) -> Result<PolicyOutcome, ColocateError> {
+    let system = trained_system_for(policy, catalog, config, seed)?;
+    let schedule = run_schedule(
+        policy,
+        catalog,
+        mix,
+        system.as_ref(),
+        &config.scheduler,
+        seed,
+    )?;
+    let iso_secs = isolated_times(catalog, mix, &config.scheduler, seed)?;
+    let turnarounds: Vec<f64> = schedule.per_app.iter().map(|a| a.finished_at).collect();
+    let normalized = normalize(&iso_secs, &turnarounds);
+    Ok(PolicyOutcome {
+        makespan_secs: schedule.makespan_secs,
+        turnarounds,
+        iso_secs,
+        normalized,
+        schedule,
+    })
+}
+
+/// Trains the offline system if `policy` needs one.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn trained_system_for(
+    policy: PolicyKind,
+    catalog: &Catalog,
+    config: &RunConfig,
+    seed: u64,
+) -> Result<Option<TrainedSystem>, ColocateError> {
+    match policy {
+        PolicyKind::Moe | PolicyKind::Quasar | PolicyKind::UnifiedAnn => {
+            let mut rng = SimRng::seed_from(seed ^ 0x7EA1);
+            Ok(Some(train_system(catalog, &config.training, &mut rng)?))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Aggregated results of a scenario campaign.
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Scenario evaluated.
+    pub scenario: MixScenario,
+    /// Mean normalised STP across mixes.
+    pub stp_mean: f64,
+    /// Min/max normalised STP across mixes (the Fig. 6 whiskers).
+    pub stp_min_max: (f64, f64),
+    /// Mean ANTT reduction (%).
+    pub antt_mean: f64,
+    /// Min/max ANTT reduction across mixes.
+    pub antt_min_max: (f64, f64),
+    /// Number of mixes evaluated.
+    pub mixes: usize,
+}
+
+/// Evaluates one policy on one Table 3 scenario: draws random mixes and
+/// replays until the 95 % CI half-width of the normalised STP falls below
+/// 5 % of its mean (§5.2), bounded by `min_mixes`/`max_mixes`.
+///
+/// # Errors
+///
+/// Propagates per-mix failures.
+pub fn evaluate_scenario(
+    policy: PolicyKind,
+    scenario: MixScenario,
+    catalog: &Catalog,
+    config: &RunConfig,
+    min_mixes: usize,
+    max_mixes: usize,
+    base_seed: u64,
+) -> Result<ScenarioStats, ColocateError> {
+    let mut stp = Welford::new();
+    let mut antt = Welford::new();
+    let mut mix_rng = SimRng::seed_from(base_seed);
+    let mut count = 0;
+    while count < max_mixes {
+        let mix = scenario.random_mix(catalog, &mut mix_rng);
+        let outcome = run_policy(policy, catalog, &mix, config, base_seed + count as u64)?;
+        stp.push(outcome.normalized.normalized_stp);
+        antt.push(outcome.normalized.antt_reduction_pct);
+        count += 1;
+        if count >= min_mixes && stp.ci_converged(0.05) {
+            break;
+        }
+    }
+    Ok(ScenarioStats {
+        scenario,
+        stp_mean: stp.mean(),
+        stp_min_max: (stp.min(), stp.max()),
+        antt_mean: antt.mean(),
+        antt_min_max: (antt.min(), antt.max()),
+        mixes: count,
+    })
+}
+
+/// Per-policy aggregates from a shared-mix campaign
+/// (see [`evaluate_scenario_multi`]).
+#[derive(Debug, Clone)]
+pub struct MultiPolicyStats {
+    /// Scenario evaluated.
+    pub scenario: MixScenario,
+    /// Per-policy stats, parallel to the `policies` argument.
+    pub per_policy: Vec<ScenarioStats>,
+}
+
+/// Evaluates several policies on the *same* random mixes of one scenario,
+/// sharing the per-mix isolated baselines (each app's solo run) across
+/// policies — the apples-to-apples comparison of Figs. 6, 9 and 10.
+///
+/// # Errors
+///
+/// Propagates per-mix failures.
+pub fn evaluate_scenario_multi(
+    policies: &[PolicyKind],
+    scenario: MixScenario,
+    catalog: &Catalog,
+    config: &RunConfig,
+    mixes: usize,
+    base_seed: u64,
+) -> Result<MultiPolicyStats, ColocateError> {
+    let mut stp = vec![Welford::new(); policies.len()];
+    let mut antt = vec![Welford::new(); policies.len()];
+    let mut mix_rng = SimRng::seed_from(base_seed);
+
+    // Train once per campaign; predictive policies share the system.
+    let mut systems: Vec<Option<TrainedSystem>> = Vec::with_capacity(policies.len());
+    for &p in policies {
+        systems.push(trained_system_for(p, catalog, config, base_seed)?);
+    }
+
+    for m in 0..mixes {
+        let mix = scenario.random_mix(catalog, &mut mix_rng);
+        let seed = base_seed + m as u64;
+        let iso = isolated_times(catalog, &mix, &config.scheduler, seed)?;
+        for (pi, &policy) in policies.iter().enumerate() {
+            let schedule = run_schedule(
+                policy,
+                catalog,
+                &mix,
+                systems[pi].as_ref(),
+                &config.scheduler,
+                seed,
+            )?;
+            let turnarounds: Vec<f64> =
+                schedule.per_app.iter().map(|a| a.finished_at).collect();
+            let n = normalize(&iso, &turnarounds);
+            stp[pi].push(n.normalized_stp);
+            antt[pi].push(n.antt_reduction_pct);
+        }
+    }
+
+    Ok(MultiPolicyStats {
+        scenario,
+        per_policy: policies
+            .iter()
+            .enumerate()
+            .map(|(pi, _)| ScenarioStats {
+                scenario,
+                stp_mean: stp[pi].mean(),
+                stp_min_max: (stp[pi].min(), stp[pi].max()),
+                antt_mean: antt[pi].mean(),
+                antt_min_max: (antt[pi].min(), antt[pi].max()),
+                mixes,
+            })
+            .collect(),
+    })
+}
+
+/// Converts an event-sampled trace (`(time, per-node load)`) into a
+/// time-binned matrix: `bins × nodes`, each cell the time-weighted average
+/// CPU load of that node within the bin (the Fig. 7 heat map).
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or the trace is empty.
+#[must_use]
+pub fn bin_trace(trace: &[(f64, Vec<f64>)], makespan_secs: f64, bins: usize) -> Vec<Vec<f64>> {
+    assert!(bins > 0, "need at least one bin");
+    assert!(!trace.is_empty(), "empty trace");
+    let nodes = trace[0].1.len();
+    let bin_width = makespan_secs / bins as f64;
+    let mut sums = vec![vec![0.0f64; nodes]; bins];
+    let mut weights = vec![0.0f64; bins];
+
+    for (i, (t0, loads)) in trace.iter().enumerate() {
+        let t1 = trace
+            .get(i + 1)
+            .map_or(makespan_secs, |(t, _)| *t)
+            .min(makespan_secs);
+        if t1 <= *t0 {
+            continue;
+        }
+        // Spread this piecewise-constant segment across bins. Guard the
+        // advance against floating-point boundary collisions: when t sits
+        // exactly on a bin edge, `(bin + 1) * width` can round to t and
+        // stall the loop.
+        let mut t = *t0;
+        while t < t1 {
+            let bin = ((t / bin_width) as usize).min(bins - 1);
+            let mut bin_end = ((bin + 1) as f64 * bin_width).min(t1);
+            if bin_end <= t {
+                bin_end = (t + bin_width).min(t1);
+                if bin_end <= t {
+                    break;
+                }
+            }
+            let dt = bin_end - t;
+            for (n, &load) in loads.iter().enumerate() {
+                sums[bin][n] += load * dt;
+            }
+            weights[bin] += dt;
+            t = bin_end;
+        }
+    }
+    for (bin, w) in weights.iter().enumerate() {
+        if *w > 0.0 {
+            for v in &mut sums[bin] {
+                *v /= w;
+            }
+        }
+    }
+    sums
+}
+
+/// Mean feature-extraction and calibration fractions of total execution
+/// time across a schedule's applications (the Fig. 11 stack).
+#[must_use]
+pub fn overhead_fractions(outcome: &ScheduleOutcome) -> (f64, f64) {
+    let mut feature = 0.0;
+    let mut calib = 0.0;
+    let mut total = 0.0;
+    for app in &outcome.per_app {
+        feature += app.profiling.feature_secs;
+        calib += app.profiling.calibration_secs;
+        total += app.finished_at;
+    }
+    let total = total.max(1e-9);
+    (feature / total, calib / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklite::cluster::ClusterSpec;
+    use workloads::mixes::InputSize;
+
+    fn small_run_config() -> RunConfig {
+        RunConfig {
+            scheduler: SchedulerConfig {
+                cluster: ClusterSpec::small(4),
+                ..Default::default()
+            },
+            training: TrainingConfig::default(),
+        }
+    }
+
+    fn mix(catalog: &Catalog, names: &[(&str, InputSize)]) -> Vec<MixEntry> {
+        names
+            .iter()
+            .map(|(n, s)| MixEntry {
+                benchmark: catalog.by_name(n).unwrap().index(),
+                size: *s,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn isolated_times_are_positive_and_size_monotone() {
+        let catalog = Catalog::paper();
+        let cfg = small_run_config();
+        let m = mix(
+            &catalog,
+            &[("HB.Sort", InputSize::Small), ("HB.Sort", InputSize::Medium)],
+        );
+        let iso = isolated_times(&catalog, &m, &cfg.scheduler, 1).unwrap();
+        assert!(iso[0] > 0.0);
+        assert!(iso[1] > iso[0], "bigger input takes longer: {iso:?}");
+    }
+
+    #[test]
+    fn oracle_normalized_stp_beats_baseline() {
+        let catalog = Catalog::paper();
+        let cfg = small_run_config();
+        let m = mix(
+            &catalog,
+            &[
+                ("HB.Sort", InputSize::Medium),
+                ("SP.glm-regression", InputSize::Medium),
+                ("BDB.Grep", InputSize::Medium),
+                ("HB.PageRank", InputSize::Medium),
+            ],
+        );
+        let out = run_policy(PolicyKind::Oracle, &catalog, &m, &cfg, 3).unwrap();
+        assert!(
+            out.normalized.normalized_stp > 1.5,
+            "normalized STP {:.2}",
+            out.normalized.normalized_stp
+        );
+        assert!(out.normalized.antt_reduction_pct > 0.0);
+    }
+
+    #[test]
+    fn moe_close_to_oracle_on_small_mix() {
+        let catalog = Catalog::paper();
+        let cfg = small_run_config();
+        let m = mix(
+            &catalog,
+            &[
+                ("SB.Hive", InputSize::Medium),
+                ("SP.Kmeans", InputSize::Medium),
+                ("HB.WordCount", InputSize::Medium),
+            ],
+        );
+        let oracle = run_policy(PolicyKind::Oracle, &catalog, &m, &cfg, 7).unwrap();
+        let moe = run_policy(PolicyKind::Moe, &catalog, &m, &cfg, 7).unwrap();
+        let ratio = moe.normalized.normalized_stp / oracle.normalized.normalized_stp;
+        assert!(ratio > 0.6, "MoE only reaches {ratio:.2} of Oracle");
+        assert!(ratio <= 1.05, "MoE cannot beat Oracle by much: {ratio:.2}");
+    }
+
+    #[test]
+    fn scenario_evaluation_aggregates_mixes() {
+        let catalog = Catalog::paper();
+        let cfg = small_run_config();
+        let stats = evaluate_scenario(
+            PolicyKind::Oracle,
+            MixScenario { label: 1, apps: 2 },
+            &catalog,
+            &cfg,
+            2,
+            4,
+            11,
+        )
+        .unwrap();
+        assert!(stats.mixes >= 2);
+        assert!(stats.stp_min_max.0 <= stats.stp_mean);
+        assert!(stats.stp_mean <= stats.stp_min_max.1);
+    }
+
+    #[test]
+    fn trace_binning_is_time_weighted() {
+        // One node: load 1.0 for 10 s then 0.0 for 10 s.
+        let trace = vec![(0.0, vec![1.0]), (10.0, vec![0.0])];
+        let bins = bin_trace(&trace, 20.0, 2);
+        assert!((bins[0][0] - 1.0).abs() < 1e-9);
+        assert!(bins[1][0].abs() < 1e-9);
+        let single = bin_trace(&trace, 20.0, 1);
+        assert!((single[0][0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_binning_survives_boundary_aligned_events() {
+        // Events exactly on bin boundaries must not stall the binning
+        // loop (a floating-point edge found by Fig. 7's Pairwise trace).
+        let trace = vec![
+            (0.0, vec![1.0]),
+            (10.0, vec![0.5]),
+            (20.0, vec![0.25]),
+        ];
+        let bins = bin_trace(&trace, 30.0, 3);
+        assert!((bins[0][0] - 1.0).abs() < 1e-9);
+        assert!((bins[1][0] - 0.5).abs() < 1e-9);
+        assert!((bins[2][0] - 0.25).abs() < 1e-9);
+        // Irrational-ish makespan: boundaries don't divide evenly.
+        let bins = bin_trace(&trace, 29.973, 7);
+        let avg: f64 = bins.iter().map(|b| b[0]).sum::<f64>() / 7.0;
+        assert!(avg > 0.2 && avg < 1.0);
+    }
+
+    #[test]
+    fn overheads_are_small_fractions() {
+        let catalog = Catalog::paper();
+        let cfg = small_run_config();
+        let m = mix(
+            &catalog,
+            &[
+                ("HB.Sort", InputSize::Medium),
+                ("HB.Kmeans", InputSize::Medium),
+            ],
+        );
+        let out = run_policy(PolicyKind::Moe, &catalog, &m, &cfg, 5).unwrap();
+        let (feature, calib) = overhead_fractions(&out.schedule);
+        assert!(feature > 0.0 && feature < 0.5, "feature {feature}");
+        assert!(calib > 0.0 && calib < 0.5, "calib {calib}");
+    }
+}

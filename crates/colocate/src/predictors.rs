@@ -1,0 +1,711 @@
+//! Memory predictors: the paper's mixture-of-experts scheme and every
+//! comparative estimator of the evaluation.
+//!
+//! A predictor turns an [`AppProfile`] (features + two calibration points)
+//! into a [`FootprintModel`] the job dispatcher queries in both directions:
+//! *footprint of a slice* and *largest slice under a budget*.
+//!
+//! | Predictor | Paper role |
+//! |---|---|
+//! | [`MoePolicy`] | our approach (§3–4) |
+//! | [`Oracle`] | ideal predictor (§5.4) |
+//! | [`UnifiedFamily`] | single-family baselines of Fig. 9 |
+//! | [`AnnPredictor`] | the unified 3-layer ANN of Fig. 9 |
+//! | [`QuasarPredictor`] | Quasar-style classification against historical workloads (§5.4) |
+
+use crate::profiling::AppProfile;
+use crate::training::TrainedSystem;
+use crate::ColocateError;
+use mlkit::mlp::{Mlp, MlpParams};
+use mlkit::regression::{CurveFamily, FittedCurve};
+use mlkit::scaling::MinMaxScaler;
+use moe_core::calibration::CalibratedModel;
+use moe_core::expert::{CurveExpert, MemoryExpert};
+use simkit::SimRng;
+use std::fmt;
+use workloads::catalog::Catalog;
+use workloads::signatures;
+
+/// A calibrated, queryable memory model for one application.
+pub trait FootprintModel: fmt::Debug {
+    /// Predicted footprint (GB) of an executor holding `slice_gb`.
+    fn footprint_gb(&self, slice_gb: f64) -> f64;
+
+    /// Largest slice (GB) whose predicted footprint fits `budget_gb`;
+    /// `None` when nothing fits, `f64::INFINITY` when everything does.
+    fn max_input_for_budget(&self, budget_gb: f64) -> Option<f64>;
+}
+
+impl FootprintModel for CalibratedModel {
+    fn footprint_gb(&self, slice_gb: f64) -> f64 {
+        CalibratedModel::footprint_gb(self, slice_gb)
+    }
+
+    fn max_input_for_budget(&self, budget_gb: f64) -> Option<f64> {
+        CalibratedModel::max_input_for_budget(self, budget_gb)
+    }
+}
+
+/// A predictor's verdict for one application.
+#[derive(Debug)]
+pub struct Prediction {
+    /// The calibrated model.
+    pub model: Box<dyn FootprintModel>,
+    /// Whether the predictor itself flags the prediction as
+    /// low-confidence (KNN distance beyond threshold, §6.9); the
+    /// dispatcher then over-provisions conservatively.
+    pub low_confidence: bool,
+    /// Predictor-supplied CPU-demand estimate overriding the measured
+    /// value. Only the Quasar baseline sets this: it classifies *all*
+    /// resource demands from the nearest historical workload instead of
+    /// per-application measurement.
+    pub cpu_estimate: Option<f64>,
+}
+
+/// A memory predictor: profile in, model out.
+pub trait MemoryPredictor: fmt::Debug {
+    /// Short name used in reports ("Our Approach", "Quasar", ...).
+    fn name(&self) -> &str;
+
+    /// Whether the dispatcher must run the profiling pipeline before
+    /// calling [`MemoryPredictor::predict`] (the Oracle needs nothing).
+    fn needs_profiling(&self) -> bool {
+        true
+    }
+
+    /// Produces a model for the profiled application.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for internal inconsistencies; predictors are
+    /// expected to fall back to robust fits on degenerate calibration
+    /// points rather than fail.
+    fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError>;
+}
+
+/// Calibrates `expert` on two points, falling back to a least-squares fit
+/// through the same two points when the exact solve is infeasible (e.g. a
+/// saturating exponential whose measured ratio is pushed out of range by
+/// noise), and to a two-point linear solve as a last resort.
+///
+/// # Errors
+///
+/// Returns [`ColocateError::Predictor`] only if even the linear fallback
+/// fails (coincident calibration points).
+pub fn robust_calibrate(
+    expert: &dyn MemoryExpert,
+    p1: (f64, f64),
+    p2: (f64, f64),
+) -> Result<CalibratedModel, ColocateError> {
+    if let Ok(model) = expert.calibrate(p1, p2) {
+        return Ok(model);
+    }
+    if let Ok(model) = expert.fit(&[p1.0, p2.0], &[p1.1, p2.1]) {
+        return Ok(model);
+    }
+    let linear = CurveExpert::new(CurveFamily::Linear);
+    linear.calibrate(p1, p2).map_err(ColocateError::from)
+}
+
+// ---------------------------------------------------------------------------
+// Our approach.
+// ---------------------------------------------------------------------------
+
+/// The paper's mixture-of-experts predictor.
+#[derive(Debug)]
+pub struct MoePolicy {
+    system: TrainedSystem,
+}
+
+impl MoePolicy {
+    /// Wraps a trained system.
+    #[must_use]
+    pub fn new(system: TrainedSystem) -> Self {
+        MoePolicy { system }
+    }
+
+    /// The underlying trained system.
+    #[must_use]
+    pub fn system(&self) -> &TrainedSystem {
+        &self.system
+    }
+}
+
+impl MemoryPredictor for MoePolicy {
+    fn name(&self) -> &str {
+        "Our Approach"
+    }
+
+    fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
+        let selection = self.system.predictor.select(&profile.features)?;
+        let expert = self.system.predictor.registry().get(selection.expert)?;
+        let model = robust_calibrate(expert, profile.calibration[0], profile.calibration[1])?;
+        Ok(Prediction {
+            model: Box::new(model),
+            low_confidence: selection.low_confidence,
+            cpu_estimate: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle.
+// ---------------------------------------------------------------------------
+
+/// The ideal predictor: returns each application's ground-truth curve with
+/// no profiling cost (§5.4).
+#[derive(Debug)]
+pub struct Oracle {
+    curves: Vec<FittedCurve>,
+}
+
+impl Oracle {
+    /// Builds the oracle from the catalog's ground truth.
+    #[must_use]
+    pub fn new(catalog: &Catalog) -> Self {
+        Oracle {
+            curves: catalog.all().iter().map(|b| b.curve()).collect(),
+        }
+    }
+}
+
+impl MemoryPredictor for Oracle {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn needs_profiling(&self) -> bool {
+        false
+    }
+
+    fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
+        let curve = self.curves.get(profile.benchmark).ok_or_else(|| {
+            ColocateError::Config(format!("oracle knows no benchmark #{}", profile.benchmark))
+        })?;
+        Ok(Prediction {
+            model: Box::new(CalibratedModel::from_curve(*curve)),
+            low_confidence: false,
+            cpu_estimate: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified single-family baselines (Fig. 9).
+// ---------------------------------------------------------------------------
+
+/// A unified model that fits *every* application with one fixed family.
+#[derive(Debug)]
+pub struct UnifiedFamily {
+    family: CurveFamily,
+    expert: CurveExpert,
+}
+
+impl UnifiedFamily {
+    /// Creates the baseline for one Table 1 family.
+    #[must_use]
+    pub fn new(family: CurveFamily) -> Self {
+        UnifiedFamily {
+            family,
+            expert: CurveExpert::new(family),
+        }
+    }
+}
+
+impl MemoryPredictor for UnifiedFamily {
+    fn name(&self) -> &str {
+        self.family.name()
+    }
+
+    fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
+        let model = robust_calibrate(
+            &self.expert,
+            profile.calibration[0],
+            profile.calibration[1],
+        )?;
+        Ok(Prediction {
+            model: Box::new(model),
+            low_confidence: false,
+            cpu_estimate: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unified ANN baseline (Fig. 9).
+// ---------------------------------------------------------------------------
+
+/// A single 3-layer neural network trained to predict footprints from
+/// runtime features plus input size (Fig. 9 "ANN").
+#[derive(Debug)]
+pub struct AnnPredictor {
+    scaler: MinMaxScaler,
+    net: Mlp,
+    /// Footprints were scaled to [0, 1] over this range for training.
+    y_max: f64,
+}
+
+/// Model wrapper for the ANN (inverse via logarithmic grid search since a
+/// neural net has no closed-form inverse and no monotonicity guarantee).
+#[derive(Debug)]
+struct AnnModel {
+    scaler: MinMaxScaler,
+    net: Mlp,
+    features: Vec<f64>,
+    y_max: f64,
+}
+
+impl AnnPredictor {
+    /// Trains the unified ANN on the same training benchmarks and profile
+    /// sizes as the mixture-of-experts system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mlkit training failures.
+    pub fn train(
+        catalog: &Catalog,
+        training: &[usize],
+        profile_sizes_gb: &[f64],
+        noise_sd: f64,
+        rng: &mut SimRng,
+    ) -> Result<Self, ColocateError> {
+        let mut raw_inputs = Vec::new();
+        let mut targets = Vec::new();
+        let mut y_max: f64 = 1e-9;
+        for &idx in training {
+            let bench = &catalog.all()[idx];
+            let features = signatures::observe_default(bench, rng);
+            for &x in profile_sizes_gb {
+                let mut row = features.as_slice().to_vec();
+                row.push((1.0 + x).ln());
+                let y = bench.true_footprint_gb(x) * rng.relative_noise(noise_sd);
+                y_max = y_max.max(y);
+                raw_inputs.push(row);
+                targets.push(y);
+            }
+        }
+        let scaler = MinMaxScaler::fit(&raw_inputs)?;
+        let scaled = scaler.transform_batch(&raw_inputs)?;
+        let scaled_targets: Vec<f64> = targets.iter().map(|y| y / y_max).collect();
+        let net = Mlp::fit_regressor(
+            &scaled,
+            &scaled_targets,
+            MlpParams {
+                hidden: 24,
+                learning_rate: 0.02,
+                epochs: 400,
+                seed: 0xA44,
+            },
+        )?;
+        Ok(AnnPredictor { scaler, net, y_max })
+    }
+}
+
+impl MemoryPredictor for AnnPredictor {
+    fn name(&self) -> &str {
+        "ANN"
+    }
+
+    fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
+        Ok(Prediction {
+            model: Box::new(AnnModel {
+                scaler: self.scaler.clone(),
+                net: self.net.clone(),
+                features: profile.features.as_slice().to_vec(),
+                y_max: self.y_max,
+            }),
+            low_confidence: false,
+            cpu_estimate: None,
+        })
+    }
+}
+
+impl FootprintModel for AnnModel {
+    fn footprint_gb(&self, slice_gb: f64) -> f64 {
+        let mut row = self.features.clone();
+        row.push((1.0 + slice_gb.max(0.0)).ln());
+        let scaled = self.scaler.transform(&row).expect("fixed arity");
+        let y = self.net.predict_value(&scaled).expect("fixed arity");
+        (y * self.y_max).max(0.0)
+    }
+
+    fn max_input_for_budget(&self, budget_gb: f64) -> Option<f64> {
+        if budget_gb <= 0.0 {
+            return None;
+        }
+        // Largest grid slice whose prediction fits; log grid 10 MB–1 TB.
+        let mut best: Option<f64> = None;
+        for i in 0..=120 {
+            let x = 0.01 * (1000.0 / 0.01_f64).powf(i as f64 / 120.0);
+            if self.footprint_gb(x) <= budget_gb {
+                best = Some(x);
+            }
+        }
+        best
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quasar-style baseline (§5.4).
+// ---------------------------------------------------------------------------
+
+/// A Quasar-style estimator built the way Quasar actually works:
+/// **collaborative filtering**. Historical workloads form a dense
+/// `programs × input-sizes` footprint matrix; a truncated SVD learns how
+/// profiles co-vary; an incoming application's two quick profiling
+/// measurements select its position in that low-rank space and the full
+/// profile is reconstructed ([`mlkit::svd::TruncatedSvd::complete_row`]).
+/// CPU demand is classified from the nearest historical workload. Unlike
+/// the mixture-of-experts approach there is no per-application selection
+/// of a *memory-function family* — one shared low-rank model covers
+/// everything, which is exactly the "single monolithic model" limitation
+/// §7.1 attributes to it.
+#[derive(Debug)]
+pub struct QuasarPredictor {
+    scaler: MinMaxScaler,
+    exemplars: Vec<Vec<f64>>,
+    cpus: Vec<f64>,
+    svd: mlkit::svd::TruncatedSvd,
+    grid: Vec<f64>,
+}
+
+
+impl QuasarPredictor {
+    /// Builds the estimator from the trained system's historical profiles:
+    /// the footprint matrix is sampled from each program's offline-fitted
+    /// curve over a log-spaced size grid, then decomposed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler-fitting and SVD failures.
+    pub fn new(system: &TrainedSystem) -> Result<Self, ColocateError> {
+        let raw: Vec<Vec<f64>> = system
+            .programs
+            .iter()
+            .map(|p| p.features.as_slice().to_vec())
+            .collect();
+        let scaler = MinMaxScaler::fit(&raw)?;
+        let exemplars = scaler.transform_batch(&raw)?;
+
+        // The historical profile matrix: programs × grid sizes.
+        let grid: Vec<f64> = crate::training::TrainingConfig::default().profile_sizes_gb;
+        let rows: Vec<Vec<f64>> = system
+            .fitted_curves
+            .iter()
+            .map(|curve| grid.iter().map(|&x| curve.eval(x).max(0.0)).collect())
+            .collect();
+        let matrix = mlkit::linalg::Matrix::from_rows(rows);
+        let svd = mlkit::svd::truncated_svd(&matrix, 2, 300)?;
+        Ok(QuasarPredictor {
+            scaler,
+            exemplars,
+            cpus: system.program_cpus.clone(),
+            svd,
+            grid,
+        })
+    }
+}
+
+/// The reconstructed profile as a footprint model: monotone piecewise
+/// linear over the size grid, extrapolating the last segment's slope.
+#[derive(Debug)]
+struct GridModel {
+    grid: Vec<f64>,
+    footprints: Vec<f64>,
+}
+
+impl GridModel {
+    fn new(grid: Vec<f64>, mut footprints: Vec<f64>) -> Self {
+        // Enforce monotone non-decreasing, non-negative profiles: the
+        // reconstruction can wiggle where the basis is weak.
+        let mut run_max = 0.0f64;
+        for f in &mut footprints {
+            run_max = run_max.max(f.max(0.0));
+            *f = run_max;
+        }
+        GridModel { grid, footprints }
+    }
+}
+
+impl FootprintModel for GridModel {
+    fn footprint_gb(&self, slice_gb: f64) -> f64 {
+        let n = self.grid.len();
+        if slice_gb <= self.grid[0] {
+            // Scale toward zero below the grid.
+            return self.footprints[0] * (slice_gb / self.grid[0]).clamp(0.0, 1.0);
+        }
+        for w in 0..n - 1 {
+            if slice_gb <= self.grid[w + 1] {
+                let t = (slice_gb - self.grid[w]) / (self.grid[w + 1] - self.grid[w]);
+                return self.footprints[w] + t * (self.footprints[w + 1] - self.footprints[w]);
+            }
+        }
+        // Extrapolate the last segment's slope.
+        let slope = (self.footprints[n - 1] - self.footprints[n - 2])
+            / (self.grid[n - 1] - self.grid[n - 2]).max(1e-12);
+        (self.footprints[n - 1] + slope * (slice_gb - self.grid[n - 1])).max(0.0)
+    }
+
+    fn max_input_for_budget(&self, budget_gb: f64) -> Option<f64> {
+        if budget_gb <= 0.0 {
+            return None;
+        }
+        // Walk the monotone profile; binary precision is unnecessary at
+        // scheduling granularity.
+        let mut best = None;
+        let mut x = self.grid[0] * 0.1;
+        let hi = self.grid.last().copied().unwrap_or(1.0) * 16.0;
+        while x <= hi {
+            if self.footprint_gb(x) <= budget_gb {
+                best = Some(x);
+            } else {
+                break;
+            }
+            x *= 1.05;
+        }
+        best
+    }
+}
+
+impl MemoryPredictor for QuasarPredictor {
+    fn name(&self) -> &str {
+        "Quasar"
+    }
+
+    fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
+        // CPU demand: classified from the nearest historical workload.
+        let scaled = self.scaler.transform(profile.features.as_slice())?;
+        let nearest = self
+            .exemplars
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                mlkit::linalg::euclidean(a, &scaled)
+                    .partial_cmp(&mlkit::linalg::euclidean(b, &scaled))
+                    .expect("finite distances")
+            })
+            .map(|(i, _)| i)
+            .ok_or_else(|| ColocateError::Config("Quasar has no historical workloads".into()))?;
+
+        // Memory profile: collaborative filtering. Map the two calibration
+        // measurements onto the nearest grid columns and complete the row
+        // in the historical low-rank space.
+        let nearest_col = |x: f64| {
+            self.grid
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (a.ln() - x.max(1e-9).ln())
+                        .abs()
+                        .partial_cmp(&(b.ln() - x.max(1e-9).ln()).abs())
+                        .expect("finite grid")
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty grid")
+        };
+        let mut observed: Vec<(usize, f64)> = Vec::new();
+        for &(x, y) in &profile.calibration {
+            let col = nearest_col(x);
+            if !observed.iter().any(|&(c, _)| c == col) {
+                observed.push((col, y));
+            }
+        }
+        let footprints = self
+            .svd
+            .complete_row(&observed)
+            .map_err(ColocateError::from)?;
+        Ok(Prediction {
+            model: Box::new(GridModel::new(self.grid.clone(), footprints)),
+            low_confidence: false,
+            cpu_estimate: Some(self.cpus[nearest]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiling::{profile_app, ProfilingConfig};
+    use crate::training::{train_system, TrainingConfig};
+
+    fn setup() -> (Catalog, TrainedSystem, SimRng) {
+        let catalog = Catalog::paper();
+        let mut rng = SimRng::seed_from(42);
+        let system = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
+        (catalog, system, rng)
+    }
+
+    fn profile_of(
+        catalog: &Catalog,
+        name: &str,
+        input: f64,
+        rng: &mut SimRng,
+    ) -> AppProfile {
+        let bench = catalog.by_name(name).unwrap();
+        profile_app(bench, input, 40, 64.0, &ProfilingConfig::default(), rng).0
+    }
+
+    #[test]
+    fn moe_predicts_accurate_footprints() {
+        let (catalog, system, mut rng) = setup();
+        let moe = MoePolicy::new(system);
+        for name in ["SB.TriangleCount", "SP.glm-regression", "SB.Hive"] {
+            let bench = catalog.by_name(name).unwrap();
+            let profile = profile_of(&catalog, name, 30.0, &mut rng);
+            let pred = moe.predict(&profile).unwrap();
+            let slice = profile.expected_slice_gb;
+            let truth = bench.true_footprint_gb(slice);
+            let got = pred.model.footprint_gb(slice);
+            let err = (got - truth).abs() / truth;
+            assert!(err < 0.15, "{name}: predicted {got:.2}, truth {truth:.2}");
+        }
+    }
+
+    #[test]
+    fn oracle_is_exact_and_free() {
+        let (catalog, _, mut rng) = setup();
+        let oracle = Oracle::new(&catalog);
+        assert!(!oracle.needs_profiling());
+        let bench = catalog.by_name("HB.PageRank").unwrap();
+        let profile = profile_of(&catalog, "HB.PageRank", 30.0, &mut rng);
+        let pred = oracle.predict(&profile).unwrap();
+        for x in [0.5, 5.0, 30.0] {
+            assert_eq!(pred.model.footprint_gb(x), bench.true_footprint_gb(x));
+        }
+    }
+
+    #[test]
+    fn unified_wrong_family_is_less_accurate_than_moe() {
+        let (catalog, system, mut rng) = setup();
+        let moe = MoePolicy::new(system);
+        let linear_only = UnifiedFamily::new(CurveFamily::Linear);
+        // HB.PageRank is logarithmic; a linear unified model extrapolates
+        // badly beyond the calibration points.
+        let bench = catalog.by_name("HB.PageRank").unwrap();
+        let profile = profile_of(&catalog, "HB.PageRank", 1000.0, &mut rng);
+        let slice = profile.expected_slice_gb;
+        let truth = bench.true_footprint_gb(slice);
+        let moe_err = (moe.predict(&profile).unwrap().model.footprint_gb(slice) - truth).abs();
+        let lin_err =
+            (linear_only.predict(&profile).unwrap().model.footprint_gb(slice) - truth).abs();
+        assert!(
+            moe_err < lin_err,
+            "moe {moe_err:.2} GB vs linear {lin_err:.2} GB"
+        );
+    }
+
+    #[test]
+    fn ann_learns_rough_footprints() {
+        let (catalog, system, mut rng) = setup();
+        let sizes = TrainingConfig::default().profile_sizes_gb;
+        let ann = AnnPredictor::train(
+            &catalog,
+            &system.program_benchmarks,
+            &sizes,
+            0.01,
+            &mut rng,
+        )
+        .unwrap();
+        let bench = catalog.by_name("HB.Sort").unwrap();
+        let profile = profile_of(&catalog, "HB.Sort", 30.0, &mut rng);
+        let pred = ann.predict(&profile).unwrap();
+        let truth = bench.true_footprint_gb(10.0);
+        let got = pred.model.footprint_gb(10.0);
+        assert!(
+            (got - truth).abs() / truth < 0.6,
+            "ANN wildly off: {got:.2} vs {truth:.2}"
+        );
+    }
+
+    #[test]
+    fn quasar_uses_nearest_historical_curve() {
+        let (catalog, system, mut rng) = setup();
+        let quasar = QuasarPredictor::new(&system).unwrap();
+        let profile = profile_of(&catalog, "SP.Kmeans", 30.0, &mut rng);
+        let pred = quasar.predict(&profile).unwrap();
+        // SP.Kmeans is logarithmic; its nearest training programs are the
+        // log-family cluster, so predictions are in a sane range.
+        let bench = catalog.by_name("SP.Kmeans").unwrap();
+        let slice = profile.expected_slice_gb;
+        let truth = bench.true_footprint_gb(slice);
+        let got = pred.model.footprint_gb(slice);
+        assert!(got > 0.3 * truth && got < 3.0 * truth, "{got} vs {truth}");
+    }
+
+    #[test]
+    fn quasar_grid_model_is_monotone_and_inverse_feasible() {
+        let (catalog, system, mut rng) = setup();
+        let quasar = QuasarPredictor::new(&system).unwrap();
+        for name in ["SP.Kmeans", "HB.Sort", "SB.TriangleCount", "SP.Pearson"] {
+            let profile = profile_of(&catalog, name, 30.0, &mut rng);
+            let model = quasar.predict(&profile).unwrap().model;
+            // Monotone non-decreasing over a wide sweep.
+            let mut last = 0.0;
+            for i in 0..60 {
+                let x = 0.01 * 1.25f64.powi(i);
+                let fp = model.footprint_gb(x);
+                assert!(fp >= last - 1e-9, "{name}: non-monotone at {x}");
+                assert!(fp >= 0.0);
+                last = fp;
+            }
+            // The budget inversion respects the budget.
+            for budget in [4.0, 16.0, 48.0] {
+                if let Some(x) = model.max_input_for_budget(budget) {
+                    assert!(
+                        model.footprint_gb(x) <= budget * 1.01 + 1e-9,
+                        "{name}: inverse violates budget {budget}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quasar_reconstruction_is_order_of_magnitude_not_exact() {
+        // Collaborative filtering from two low-end observations lands in
+        // the right order of magnitude but misses the per-application
+        // curvature — the §6.2 "over- or under-provisions" behaviour that
+        // separates Quasar from per-application calibration.
+        let (catalog, system, mut rng) = setup();
+        let quasar = QuasarPredictor::new(&system).unwrap();
+        let moe = MoePolicy::new(system.clone());
+        let bench = catalog.by_name("SB.ShortestPaths").unwrap();
+        let profile = profile_of(&catalog, "SB.ShortestPaths", 30.0, &mut rng);
+        let slice = profile.expected_slice_gb;
+        let truth = bench.true_footprint_gb(slice);
+        let q = quasar.predict(&profile).unwrap().model.footprint_gb(slice);
+        let m = moe.predict(&profile).unwrap().model.footprint_gb(slice);
+        assert!(
+            q > truth * 0.2 && q < truth * 5.0,
+            "reconstructed {q:.1} vs truth {truth:.1}"
+        );
+        // Our per-application calibration is strictly closer.
+        assert!(
+            (m - truth).abs() < (q - truth).abs(),
+            "moe {m:.1} should beat quasar {q:.1} against truth {truth:.1}"
+        );
+    }
+
+    #[test]
+    fn robust_calibrate_survives_degenerate_exponential_points() {
+        let expert = CurveExpert::new(CurveFamily::Exponential);
+        // Deep saturation: both measurements at the asymptote; the exact
+        // two-point solve is infeasible, the robust path must succeed.
+        let model = robust_calibrate(&expert, (10.0, 5.0), (20.0, 5.0)).unwrap();
+        let predicted = FootprintModel::footprint_gb(&model, 60.0);
+        assert!((predicted - 5.0).abs() < 0.5, "predicted {predicted}");
+    }
+
+    #[test]
+    fn model_inversion_respects_budget() {
+        let (catalog, system, mut rng) = setup();
+        let moe = MoePolicy::new(system);
+        let profile = profile_of(&catalog, "BDB.PageRank", 30.0, &mut rng);
+        let pred = moe.predict(&profile).unwrap();
+        if let Some(x) = pred.model.max_input_for_budget(24.0) {
+            if x.is_finite() {
+                assert!(pred.model.footprint_gb(x) <= 24.0 * 1.01);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The offline training phase (Fig. 2).
+//!
+//! For each training benchmark (the 16 HiBench + BigDataBench programs,
+//! §3.3) the pipeline:
+//!
+//! 1. extracts its feature vector from a profiling run,
+//! 2. profiles its memory footprint over a range of input sizes
+//!    (~300 MB to ~1 TB in the paper; slice-scale sizes here),
+//! 3. fits every expert family by least squares and labels the benchmark
+//!    with the family that fits best,
+//! 4. trains the KNN expert selector over `(features, label)` exemplars.
+//!
+//! [`train_system`] runs the full pipeline; [`train_loocv`] excludes a
+//! target benchmark *and its cross-suite equivalents* from the training
+//! set, implementing the evaluation protocol of §5.2.
+
+use crate::profiling::ProfilingConfig;
+use crate::ColocateError;
+use mlkit::regression::{self, CurveFamily};
+use moe_core::expert::ExpertId;
+use moe_core::predictor::{MoePredictor, PredictorConfig, TrainingProgram};
+use moe_core::registry::ExpertRegistry;
+use simkit::SimRng;
+use workloads::catalog::{Benchmark, Catalog};
+use workloads::signatures;
+
+/// Configuration of offline training.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Input slice sizes (GB) profiled per benchmark for curve fitting.
+    pub profile_sizes_gb: Vec<f64>,
+    /// Measurement noise on profiled footprints.
+    pub footprint_noise_sd: f64,
+    /// Profiling (feature observation) noise settings.
+    pub profiling: ProfilingConfig,
+    /// Selector/calibration settings.
+    pub predictor: PredictorConfig,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            // Log-spaced from 50 MB to 64 GB: the slice scales executors
+            // actually see, covering the curvature of all three families.
+            profile_sizes_gb: vec![
+                0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6, 51.2, 64.0,
+            ],
+            footprint_noise_sd: 0.005,
+            profiling: ProfilingConfig::default(),
+            predictor: PredictorConfig::default(),
+        }
+    }
+}
+
+/// A trained runtime: registry, selector and the labeled training programs.
+#[derive(Debug, Clone)]
+pub struct TrainedSystem {
+    /// The end-to-end predictor (registry + selector).
+    pub predictor: MoePredictor,
+    /// The labeled training programs (for analyses like Fig. 16).
+    pub programs: Vec<TrainingProgram>,
+    /// Per-program fitted curves from the offline profiling, parallel to
+    /// `programs` (used by the Quasar-style baseline).
+    pub fitted_curves: Vec<mlkit::regression::FittedCurve>,
+    /// Catalog indices of the programs, parallel to `programs`.
+    pub program_benchmarks: Vec<usize>,
+    /// Measured average CPU utilisation of each program during offline
+    /// profiling, parallel to `programs`.
+    pub program_cpus: Vec<f64>,
+}
+
+/// Offline-fits one benchmark's memory curve and returns the winning
+/// family and curve.
+///
+/// # Errors
+///
+/// Returns [`ColocateError::Ml`] if no family fits the profile data.
+pub fn fit_benchmark(
+    bench: &Benchmark,
+    config: &TrainingConfig,
+    rng: &mut SimRng,
+) -> Result<(CurveFamily, mlkit::regression::FittedCurve), ColocateError> {
+    let xs: Vec<f64> = config.profile_sizes_gb.clone();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| bench.true_footprint_gb(x) * rng.relative_noise(config.footprint_noise_sd))
+        .collect();
+    let (curve, _rmse) = regression::best_fit(&xs, &ys)?;
+    Ok((curve.family, curve))
+}
+
+/// Maps a family to its [`ExpertId`] in the builtin registry
+/// (Table 1 order).
+#[must_use]
+pub fn family_expert_id(family: CurveFamily) -> ExpertId {
+    let idx = CurveFamily::ALL
+        .iter()
+        .position(|&f| f == family)
+        .expect("family in ALL");
+    ExpertId::from_usize(idx)
+}
+
+/// Trains the full system on the given benchmarks.
+///
+/// # Errors
+///
+/// Propagates fitting and selector-training failures.
+pub fn train_on(
+    benchmarks: &[&Benchmark],
+    config: &TrainingConfig,
+    rng: &mut SimRng,
+) -> Result<TrainedSystem, ColocateError> {
+    let mut programs = Vec::with_capacity(benchmarks.len());
+    let mut fitted_curves = Vec::with_capacity(benchmarks.len());
+    let mut program_benchmarks = Vec::with_capacity(benchmarks.len());
+    let mut program_cpus = Vec::with_capacity(benchmarks.len());
+    for bench in benchmarks {
+        let (family, curve) = fit_benchmark(bench, config, rng)?;
+        let features = signatures::observe(
+            bench,
+            rng,
+            config.profiling.signature_jitter_sd,
+            config.profiling.feature_noise_sd,
+        );
+        programs.push(TrainingProgram::new(
+            bench.name(),
+            features,
+            family_expert_id(family),
+        ));
+        fitted_curves.push(curve);
+        program_benchmarks.push(bench.index());
+        program_cpus.push((bench.cpu_util() * rng.relative_noise(0.03)).clamp(0.01, 1.0));
+    }
+    let predictor = MoePredictor::train(ExpertRegistry::builtin(), &programs, config.predictor)?;
+    Ok(TrainedSystem {
+        predictor,
+        programs,
+        fitted_curves,
+        program_benchmarks,
+        program_cpus,
+    })
+}
+
+/// Trains on the paper's 16 HiBench + BigDataBench benchmarks.
+///
+/// # Errors
+///
+/// Propagates [`train_on`] failures.
+pub fn train_system(
+    catalog: &Catalog,
+    config: &TrainingConfig,
+    rng: &mut SimRng,
+) -> Result<TrainedSystem, ColocateError> {
+    train_on(&catalog.training_set(), config, rng)
+}
+
+/// Leave-one-out training for evaluating `target`: the target and its
+/// cross-suite equivalents are excluded from the training set (§5.2).
+///
+/// # Errors
+///
+/// Propagates [`train_on`] failures.
+pub fn train_loocv(
+    catalog: &Catalog,
+    target: &Benchmark,
+    config: &TrainingConfig,
+    rng: &mut SimRng,
+) -> Result<TrainedSystem, ColocateError> {
+    let excluded: std::collections::HashSet<usize> = catalog
+        .equivalents_of(target)
+        .iter()
+        .map(|b| b.index())
+        .chain([target.index()])
+        .collect();
+    let training: Vec<&Benchmark> = catalog
+        .training_set()
+        .into_iter()
+        .filter(|b| !excluded.contains(&b.index()))
+        .collect();
+    if training.is_empty() {
+        return Err(ColocateError::Config(
+            "leave-one-out excluded every training benchmark".into(),
+        ));
+    }
+    train_on(&training, config, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_fit_recovers_the_generating_family() {
+        let catalog = Catalog::paper();
+        let config = TrainingConfig::default();
+        let mut rng = SimRng::seed_from(1);
+        let mut correct = 0;
+        let all = catalog.all();
+        for bench in all {
+            let (family, _) = fit_benchmark(bench, &config, &mut rng).unwrap();
+            if family == bench.family() {
+                correct += 1;
+            }
+        }
+        // Noise can flip a borderline case, but nearly all must be right.
+        assert!(correct >= all.len() - 2, "only {correct}/{} correct", all.len());
+    }
+
+    #[test]
+    fn trained_system_has_sixteen_programs() {
+        let catalog = Catalog::paper();
+        let mut rng = SimRng::seed_from(2);
+        let sys = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
+        assert_eq!(sys.programs.len(), 16);
+        assert_eq!(sys.fitted_curves.len(), 16);
+        assert_eq!(sys.predictor.registry().len(), 3);
+    }
+
+    #[test]
+    fn selector_classifies_unseen_suites_well() {
+        let catalog = Catalog::paper();
+        let mut rng = SimRng::seed_from(3);
+        let sys = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
+        // Apply to the 28 Spark-Perf/Spark-Bench benchmarks (never trained
+        // on), checking the selected expert matches the true family.
+        let mut hits = 0;
+        let mut total = 0;
+        for bench in catalog.all() {
+            if matches!(
+                bench.suite(),
+                workloads::Suite::SparkPerf | workloads::Suite::SparkBench
+            ) {
+                let features = signatures::observe_default(bench, &mut rng);
+                let sel = sys.predictor.select(&features).unwrap();
+                total += 1;
+                if sel.expert == family_expert_id(bench.family()) {
+                    hits += 1;
+                }
+            }
+        }
+        assert_eq!(total, 28);
+        assert!(hits as f64 / total as f64 > 0.85, "{hits}/{total}");
+    }
+
+    #[test]
+    fn loocv_excludes_target_and_equivalents() {
+        let catalog = Catalog::paper();
+        let mut rng = SimRng::seed_from(4);
+        let target = catalog.by_name("HB.Sort").unwrap();
+        let sys = train_loocv(&catalog, target, &TrainingConfig::default(), &mut rng).unwrap();
+        // HB.Sort and BDB.Sort excluded (SP.Sort is not a training-suite
+        // member anyway): 16 − 2 = 14 programs.
+        assert_eq!(sys.programs.len(), 14);
+        assert!(sys.programs.iter().all(|p| p.name != "HB.Sort"));
+        assert!(sys.programs.iter().all(|p| p.name != "BDB.Sort"));
+    }
+
+    #[test]
+    fn family_expert_ids_follow_table1_order() {
+        assert_eq!(family_expert_id(CurveFamily::Linear).as_usize(), 0);
+        assert_eq!(family_expert_id(CurveFamily::Exponential).as_usize(), 1);
+        assert_eq!(family_expert_id(CurveFamily::NapierianLog).as_usize(), 2);
+    }
+}

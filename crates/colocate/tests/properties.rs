@@ -1,0 +1,87 @@
+//! Property-based tests for the co-location runtime's metrics and
+//! scheduling invariants.
+
+use colocate::metrics::{
+    isolated_baseline_turnarounds, normalize, schedule_metrics,
+};
+use colocate::scheduler::{run_schedule_custom, PolicyKind, SchedulerConfig};
+use proptest::prelude::*;
+use sparklite::cluster::ClusterSpec;
+use workloads::Catalog;
+
+proptest! {
+    /// STP is positive and bounded by the task count when no task finishes
+    /// faster than its isolated run; ANTT is at least 1 in that case.
+    #[test]
+    fn stp_antt_bounds(
+        iso in proptest::collection::vec(1.0f64..1e4, 1..40),
+        slowdowns in proptest::collection::vec(1.0f64..20.0, 40),
+    ) {
+        let turnarounds: Vec<f64> = iso
+            .iter()
+            .zip(slowdowns.iter())
+            .map(|(c, s)| c * s)
+            .collect();
+        let m = schedule_metrics(&iso, &turnarounds);
+        prop_assert!(m.stp > 0.0);
+        prop_assert!(m.stp <= iso.len() as f64 + 1e-9);
+        prop_assert!(m.antt >= 1.0 - 1e-12);
+    }
+
+    /// The isolated baseline normalises to zero ANTT reduction, and its
+    /// formula-(1) STP lies in [1, n].
+    #[test]
+    fn baseline_normalisation_fixed_point(
+        iso in proptest::collection::vec(1.0f64..1e4, 1..40),
+    ) {
+        let base = isolated_baseline_turnarounds(&iso);
+        let n = normalize(&iso, &base);
+        prop_assert!(n.antt_reduction_pct.abs() < 1e-9);
+        prop_assert!(n.normalized_stp >= 1.0 - 1e-9);
+        prop_assert!(n.normalized_stp <= iso.len() as f64 + 1e-9);
+    }
+
+    /// Scaling every turnaround by a constant factor scales STP inversely
+    /// and moves the ANTT reduction monotonically.
+    #[test]
+    fn stp_scales_inversely(
+        iso in proptest::collection::vec(10.0f64..1e3, 2..20),
+        factor in 1.1f64..5.0,
+    ) {
+        let base: Vec<f64> = iso.iter().map(|c| c * 2.0).collect();
+        let slower: Vec<f64> = base.iter().map(|c| c * factor).collect();
+        let fast = schedule_metrics(&iso, &base);
+        let slow = schedule_metrics(&iso, &slower);
+        prop_assert!((fast.stp / slow.stp - factor).abs() < 1e-9);
+        prop_assert!(slow.antt > fast.antt);
+    }
+
+    /// Any subset of catalog jobs scheduled under the Oracle terminates
+    /// with every turnaround positive and no OOM kills (its predictions
+    /// are exact), regardless of the seed.
+    #[test]
+    fn oracle_schedules_cleanly(
+        picks in proptest::collection::vec(0usize..44, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let catalog = Catalog::paper();
+        let config = SchedulerConfig {
+            cluster: ClusterSpec::small(4),
+            ..Default::default()
+        };
+        let jobs: Vec<(usize, f64)> = picks.iter().map(|&b| (b, 5.0)).collect();
+        let outcome = run_schedule_custom(
+            PolicyKind::Oracle,
+            &catalog,
+            &jobs,
+            None,
+            &config,
+            seed,
+        )
+        .unwrap();
+        prop_assert_eq!(outcome.per_app.len(), jobs.len());
+        prop_assert!(outcome.per_app.iter().all(|a| a.finished_at > 0.0));
+        prop_assert_eq!(outcome.oom_kills, 0);
+        prop_assert!(outcome.makespan_secs > 0.0);
+    }
+}

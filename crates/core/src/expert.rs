@@ -1,0 +1,179 @@
+//! The expert abstraction: a memory-function family that can be fitted
+//! offline and calibrated online from two profiling points.
+//!
+//! The paper's three built-in experts are the Table 1 curve families; the
+//! trait exists so that *new* families can be plugged in over time — the
+//! extensibility the paper emphasises ("new functions can easily be added
+//! and are selected only when appropriate", §1).
+
+use crate::calibration::CalibratedModel;
+use crate::MoeError;
+use mlkit::regression::{self, CurveFamily, FittedCurve};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of an expert within an [`crate::registry::ExpertRegistry`].
+///
+/// Also serves as the class label the expert selector predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExpertId(pub(crate) usize);
+
+impl ExpertId {
+    /// The numeric label (index into the registry).
+    #[must_use]
+    pub fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// Builds an id from a raw registry index. Prefer obtaining ids from
+    /// [`crate::registry::ExpertRegistry`]; this exists for deserialisation
+    /// and test fixtures.
+    #[must_use]
+    pub fn from_usize(i: usize) -> Self {
+        ExpertId(i)
+    }
+}
+
+impl fmt::Display for ExpertId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expert#{}", self.0)
+    }
+}
+
+/// A memory-function family ("expert").
+///
+/// Implementations must be pure: fitting and calibration may not keep
+/// mutable state, so one expert instance can serve many applications
+/// concurrently.
+pub trait MemoryExpert: fmt::Debug + Send + Sync {
+    /// Unique human-readable name (also used for registry lookup).
+    fn name(&self) -> &str;
+
+    /// The formula in `y = f(x; m, b)` form, for reports.
+    fn formula(&self) -> &str;
+
+    /// Least-squares fit over many `(input_size, footprint_gb)` profiles —
+    /// the offline training path (Fig. 2 step 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::InvalidTraining`] when the observations cannot
+    /// be fitted by this family.
+    fn fit(&self, xs: &[f64], ys: &[f64]) -> Result<CalibratedModel, MoeError>;
+
+    /// Exact two-point solve — the online calibration path (§4.1). The
+    /// points are `(input_size, footprint_gb)` from the 5 % and 10 %
+    /// profiling runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::Calibration`] when the points are incompatible
+    /// with this family.
+    fn calibrate(&self, p1: (f64, f64), p2: (f64, f64)) -> Result<CalibratedModel, MoeError>;
+}
+
+/// An expert backed by one of the Table 1 curve families.
+#[derive(Debug, Clone)]
+pub struct CurveExpert {
+    family: CurveFamily,
+}
+
+impl CurveExpert {
+    /// Wraps a Table 1 family as an expert.
+    #[must_use]
+    pub fn new(family: CurveFamily) -> Self {
+        CurveExpert { family }
+    }
+
+    /// The wrapped family.
+    #[must_use]
+    pub fn family(&self) -> CurveFamily {
+        self.family
+    }
+
+    fn model_from(curve: FittedCurve) -> CalibratedModel {
+        CalibratedModel::from_curve(curve)
+    }
+}
+
+impl MemoryExpert for CurveExpert {
+    fn name(&self) -> &str {
+        self.family.name()
+    }
+
+    fn formula(&self) -> &str {
+        self.family.formula()
+    }
+
+    fn fit(&self, xs: &[f64], ys: &[f64]) -> Result<CalibratedModel, MoeError> {
+        let curve = regression::fit_family(self.family, xs, ys)
+            .map_err(|e| MoeError::InvalidTraining(e.to_string()))?;
+        Ok(Self::model_from(curve))
+    }
+
+    fn calibrate(&self, p1: (f64, f64), p2: (f64, f64)) -> Result<CalibratedModel, MoeError> {
+        let curve = regression::solve_two_point(self.family, p1, p2)
+            .map_err(|e| MoeError::Calibration(e.to_string()))?;
+        Ok(Self::model_from(curve))
+    }
+}
+
+/// Convenience alias: experts are shared immutably.
+pub type SharedExpert = Arc<dyn MemoryExpert>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expert_id_display_and_round_trip() {
+        let id = ExpertId::from_usize(2);
+        assert_eq!(id.as_usize(), 2);
+        assert_eq!(id.to_string(), "expert#2");
+    }
+
+    #[test]
+    fn curve_expert_names_match_family() {
+        for family in CurveFamily::ALL {
+            let e = CurveExpert::new(family);
+            assert_eq!(e.name(), family.name());
+            assert_eq!(e.formula(), family.formula());
+            assert_eq!(e.family(), family);
+        }
+    }
+
+    #[test]
+    fn curve_expert_fit_and_calibrate_agree_on_clean_data() {
+        let expert = CurveExpert::new(CurveFamily::NapierianLog);
+        let truth = FittedCurve {
+            family: CurveFamily::NapierianLog,
+            m: 16.333,
+            b: 1.79,
+        };
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let fitted = expert.fit(&xs, &ys).unwrap();
+        let calibrated = expert
+            .calibrate((xs[0], ys[0]), (xs[10], ys[10]))
+            .unwrap();
+        for &x in &[0.5, 5.0, 50.0] {
+            assert!((fitted.footprint_gb(x) - truth.eval(x)).abs() < 1e-6);
+            assert!((calibrated.footprint_gb(x) - truth.eval(x)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn calibrate_propagates_family_errors() {
+        let expert = CurveExpert::new(CurveFamily::Exponential);
+        let err = expert.calibrate((1.0, 5.0), (2.0, 4.0)).unwrap_err();
+        assert!(matches!(err, MoeError::Calibration(_)));
+    }
+
+    #[test]
+    fn fit_propagates_family_errors() {
+        let expert = CurveExpert::new(CurveFamily::NapierianLog);
+        let err = expert.fit(&[-1.0, 2.0], &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, MoeError::InvalidTraining(_)));
+    }
+}

@@ -1,0 +1,267 @@
+//! Program-phase modeling — the §3.4 extension.
+//!
+//! The paper notes that "our approach can model changing program phases by
+//! e.g. treating a long-running phase as an individual application". This
+//! module implements that composition: each phase of an application is
+//! profiled, selected and calibrated *as if it were its own application*,
+//! and the per-phase models compose into a [`PhasedModel`] whose answers
+//! are safe for the whole run:
+//!
+//! * the **footprint** of a slice is the *peak* across phases (the
+//!   executor must survive its hungriest phase);
+//! * the **budget inversion** is the *most conservative* per-phase answer
+//!   (a slice fits only if every phase fits).
+
+use crate::calibration::CalibratedModel;
+use crate::expert::ExpertId;
+use crate::features::FeatureVector;
+use crate::predictor::MoePredictor;
+use crate::selector::Selection;
+use crate::MoeError;
+
+/// One profiled phase: its runtime features and two calibration points.
+#[derive(Debug, Clone)]
+pub struct PhaseProfile {
+    /// Phase label (e.g. "shuffle", "iterate").
+    pub name: String,
+    /// Features observed while the phase executed.
+    pub features: FeatureVector,
+    /// Two `(input, footprint_gb)` calibration measurements for the phase.
+    pub calibration: [(f64, f64); 2],
+}
+
+/// A per-phase selection + calibrated model.
+#[derive(Debug)]
+pub struct PhaseModel {
+    /// Phase label.
+    pub name: String,
+    /// Expert chosen for the phase.
+    pub expert: ExpertId,
+    /// Selection evidence.
+    pub selection: Selection,
+    /// The phase's calibrated memory model.
+    pub model: CalibratedModel,
+}
+
+/// The composed multi-phase memory model.
+#[derive(Debug)]
+pub struct PhasedModel {
+    phases: Vec<PhaseModel>,
+}
+
+impl PhasedModel {
+    /// Builds the composite by running the §4.1 pipeline per phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::InvalidTraining`] for an empty phase list and
+    /// propagates selection/calibration failures (annotated with the
+    /// failing phase's name).
+    pub fn from_profiles(
+        predictor: &MoePredictor,
+        profiles: &[PhaseProfile],
+    ) -> Result<Self, MoeError> {
+        if profiles.is_empty() {
+            return Err(MoeError::InvalidTraining(
+                "an application needs at least one phase".into(),
+            ));
+        }
+        let mut phases = Vec::with_capacity(profiles.len());
+        for profile in profiles {
+            let selection = predictor.select(&profile.features).map_err(|e| {
+                MoeError::InvalidTraining(format!("phase '{}': {e}", profile.name))
+            })?;
+            let model = predictor
+                .calibrate(selection.expert, profile.calibration[0], profile.calibration[1])
+                .map_err(|e| {
+                    MoeError::Calibration(format!("phase '{}': {e}", profile.name))
+                })?;
+            phases.push(PhaseModel {
+                name: profile.name.clone(),
+                expert: selection.expert,
+                selection,
+                model,
+            });
+        }
+        Ok(PhasedModel { phases })
+    }
+
+    /// The per-phase models, in profile order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseModel] {
+        &self.phases
+    }
+
+    /// Peak predicted footprint across phases for a slice of `input`.
+    #[must_use]
+    pub fn peak_footprint_gb(&self, input: f64) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.model.footprint_gb(input))
+            .fold(0.0, f64::max)
+    }
+
+    /// The phase that dominates the footprint at `input`.
+    #[must_use]
+    pub fn dominant_phase(&self, input: f64) -> &PhaseModel {
+        self.phases
+            .iter()
+            .max_by(|a, b| {
+                a.model
+                    .footprint_gb(input)
+                    .partial_cmp(&b.model.footprint_gb(input))
+                    .expect("finite footprints")
+            })
+            .expect("at least one phase")
+    }
+
+    /// Largest slice whose *peak* footprint fits `budget_gb`: the minimum
+    /// of the per-phase inversions. `None` if any phase fits nothing.
+    #[must_use]
+    pub fn max_input_for_budget(&self, budget_gb: f64) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for p in &self.phases {
+            match p.model.max_input_for_budget(budget_gb) {
+                Some(x) => best = best.min(x),
+                None => return None,
+            }
+        }
+        Some(best)
+    }
+
+    /// Whether any phase's selection was flagged low-confidence.
+    #[must_use]
+    pub fn any_low_confidence(&self) -> bool {
+        self.phases.iter().any(|p| p.selection.low_confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{MoePredictor, PredictorConfig, TrainingProgram};
+    use crate::registry::ExpertRegistry;
+    use mlkit::regression::{CurveFamily, FittedCurve};
+
+    fn cluster_features(cluster: usize) -> FeatureVector {
+        FeatureVector::from_fn(|i| if i / 8 == cluster.min(2) { 0.9 } else { 0.1 })
+    }
+
+    fn predictor() -> MoePredictor {
+        let registry = ExpertRegistry::builtin();
+        let mut programs = Vec::new();
+        for c in 0..3 {
+            for j in 0..3 {
+                let mut f = cluster_features(c);
+                f.set(crate::features::RawFeature::Sy, 0.1 + j as f64 * 0.01);
+                programs.push(TrainingProgram::new(
+                    format!("p{c}{j}"),
+                    f,
+                    ExpertId::from_usize(c),
+                ));
+            }
+        }
+        MoePredictor::train(registry, &programs, PredictorConfig::default()).unwrap()
+    }
+
+    fn profile(name: &str, cluster: usize, truth: &FittedCurve) -> PhaseProfile {
+        PhaseProfile {
+            name: name.into(),
+            features: cluster_features(cluster),
+            calibration: [(1.0, truth.eval(1.0)), (2.0, truth.eval(2.0))],
+        }
+    }
+
+    #[test]
+    fn composes_two_phases_with_peak_semantics() {
+        let predictor = predictor();
+        // Phase A: linear, hungry at large inputs. Phase B: logarithmic,
+        // hungry at small inputs (big intercept).
+        let lin = FittedCurve {
+            family: CurveFamily::Linear,
+            m: 1.0,
+            b: 0.0,
+        };
+        let log = FittedCurve {
+            family: CurveFamily::NapierianLog,
+            m: 10.0,
+            b: 1.0,
+        };
+        let model = PhasedModel::from_profiles(
+            &predictor,
+            &[profile("map", 0, &lin), profile("iterate", 2, &log)],
+        )
+        .unwrap();
+        assert_eq!(model.phases().len(), 2);
+        // At x = 4: lin = 4, log ≈ 11.4 → log dominates.
+        assert!((model.peak_footprint_gb(4.0) - log.eval(4.0)).abs() < 1e-6);
+        assert_eq!(model.dominant_phase(4.0).name, "iterate");
+        // At x = 40: lin = 40, log ≈ 13.7 → lin dominates.
+        assert!((model.peak_footprint_gb(40.0) - 40.0).abs() < 1e-6);
+        assert_eq!(model.dominant_phase(40.0).name, "map");
+    }
+
+    #[test]
+    fn budget_inversion_respects_every_phase() {
+        let predictor = predictor();
+        let lin = FittedCurve {
+            family: CurveFamily::Linear,
+            m: 1.0,
+            b: 0.0,
+        };
+        let log = FittedCurve {
+            family: CurveFamily::NapierianLog,
+            m: 10.0,
+            b: 1.0,
+        };
+        let model = PhasedModel::from_profiles(
+            &predictor,
+            &[profile("map", 0, &lin), profile("iterate", 2, &log)],
+        )
+        .unwrap();
+        let budget = 12.0;
+        let x = model.max_input_for_budget(budget).unwrap();
+        assert!(model.peak_footprint_gb(x) <= budget * 1.01);
+        // Slightly more input must violate the budget in some phase.
+        assert!(model.peak_footprint_gb(x * 1.05) > budget);
+    }
+
+    #[test]
+    fn budget_below_any_phase_floor_fits_nothing() {
+        let predictor = predictor();
+        let log = FittedCurve {
+            family: CurveFamily::NapierianLog,
+            m: 30.0,
+            b: 1.0,
+        };
+        let model =
+            PhasedModel::from_profiles(&predictor, &[profile("iterate", 2, &log)]).unwrap();
+        // A budget so far below the phase's floor that even the smallest
+        // representable slice would not fit.
+        assert_eq!(model.max_input_for_budget(1.0), None);
+    }
+
+    #[test]
+    fn empty_phase_list_rejected() {
+        let predictor = predictor();
+        assert!(matches!(
+            PhasedModel::from_profiles(&predictor, &[]),
+            Err(MoeError::InvalidTraining(_))
+        ));
+    }
+
+    #[test]
+    fn phase_errors_name_the_phase() {
+        let predictor = predictor();
+        // Exponential phase with decreasing calibration points: the exact
+        // solve fails (phases use plain calibrate, no robust fallback).
+        let bad = PhaseProfile {
+            name: "shuffle".into(),
+            features: cluster_features(1),
+            calibration: [(1.0, 5.0), (2.0, 4.0)],
+        };
+        let err = PhasedModel::from_profiles(&predictor, &[bad]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("shuffle"), "message was: {msg}");
+    }
+}

@@ -1,0 +1,185 @@
+//! The extensible expert registry.
+//!
+//! A registry maps [`ExpertId`]s (the class labels of the selector) to
+//! [`MemoryExpert`] implementations. New experts can be registered at any
+//! time — the KNN selector needs no retraining, only new exemplars — which
+//! is the paper's mechanism for evolving the system to cover new kinds of
+//! applications.
+
+use crate::expert::{CurveExpert, ExpertId, MemoryExpert, SharedExpert};
+use crate::MoeError;
+use mlkit::regression::CurveFamily;
+use std::sync::Arc;
+
+/// An ordered collection of memory-function experts.
+///
+/// # Examples
+///
+/// ```
+/// use moe_core::registry::ExpertRegistry;
+/// let registry = ExpertRegistry::builtin();
+/// assert_eq!(registry.len(), 3); // the Table 1 families
+/// assert!(registry.id_of("Linear Regression").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExpertRegistry {
+    experts: Vec<SharedExpert>,
+}
+
+impl ExpertRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ExpertRegistry {
+            experts: Vec::new(),
+        }
+    }
+
+    /// The registry holding the three Table 1 experts, in Table 1 order.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut r = ExpertRegistry::new();
+        for family in CurveFamily::ALL {
+            r.register(Arc::new(CurveExpert::new(family)));
+        }
+        r
+    }
+
+    /// Registers an expert and returns its id. Names should be unique;
+    /// lookup by name returns the first match.
+    pub fn register(&mut self, expert: SharedExpert) -> ExpertId {
+        self.experts.push(expert);
+        ExpertId(self.experts.len() - 1)
+    }
+
+    /// Number of registered experts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Whether no experts are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.experts.is_empty()
+    }
+
+    /// Looks up an expert by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::UnknownExpert`] for ids not in this registry.
+    pub fn get(&self, id: ExpertId) -> Result<&dyn MemoryExpert, MoeError> {
+        self.experts
+            .get(id.0)
+            .map(|e| e.as_ref())
+            .ok_or_else(|| MoeError::UnknownExpert(id.to_string()))
+    }
+
+    /// Finds the id of the expert with the given name.
+    #[must_use]
+    pub fn id_of(&self, name: &str) -> Option<ExpertId> {
+        self.experts
+            .iter()
+            .position(|e| e.name() == name)
+            .map(ExpertId)
+    }
+
+    /// Iterates over `(id, expert)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ExpertId, &dyn MemoryExpert)> {
+        self.experts
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ExpertId(i), e.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibratedModel;
+    use mlkit::regression::FittedCurve;
+
+    #[test]
+    fn builtin_has_table1_families_in_order() {
+        let r = ExpertRegistry::builtin();
+        let names: Vec<&str> = r.iter().map(|(_, e)| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Linear Regression",
+                "Exponential Regression",
+                "Napierian Logarithmic Regression"
+            ]
+        );
+    }
+
+    #[test]
+    fn get_and_id_of_round_trip() {
+        let r = ExpertRegistry::builtin();
+        let id = r.id_of("Exponential Regression").unwrap();
+        assert_eq!(r.get(id).unwrap().name(), "Exponential Regression");
+    }
+
+    #[test]
+    fn unknown_id_is_an_error() {
+        let r = ExpertRegistry::builtin();
+        let err = r.get(ExpertId(99)).unwrap_err();
+        assert!(matches!(err, MoeError::UnknownExpert(_)));
+        assert!(r.id_of("No Such Expert").is_none());
+    }
+
+    /// A custom expert: constant memory independent of input size — the
+    /// kind of extension §3.4 anticipates.
+    #[derive(Debug)]
+    struct ConstantExpert;
+
+    impl MemoryExpert for ConstantExpert {
+        fn name(&self) -> &str {
+            "Constant"
+        }
+        fn formula(&self) -> &str {
+            "y = m"
+        }
+        fn fit(&self, _xs: &[f64], ys: &[f64]) -> Result<CalibratedModel, MoeError> {
+            let m = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
+            Ok(CalibratedModel::from_curve(FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.0,
+                b: m,
+            }))
+        }
+        fn calibrate(
+            &self,
+            p1: (f64, f64),
+            p2: (f64, f64),
+        ) -> Result<CalibratedModel, MoeError> {
+            Ok(CalibratedModel::from_curve(FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.0,
+                b: (p1.1 + p2.1) / 2.0,
+            }))
+        }
+    }
+
+    #[test]
+    fn custom_experts_extend_the_registry() {
+        let mut r = ExpertRegistry::builtin();
+        let id = r.register(Arc::new(ConstantExpert));
+        assert_eq!(r.len(), 4);
+        assert_eq!(id.as_usize(), 3);
+        let model = r
+            .get(id)
+            .unwrap()
+            .calibrate((1.0, 4.0), (2.0, 4.0))
+            .unwrap();
+        assert_eq!(model.footprint_gb(1e9), 4.0);
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let r = ExpertRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

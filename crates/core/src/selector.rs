@@ -1,0 +1,307 @@
+//! The expert selector: min-max scaling → PCA → KNN (paper §3.2, §4.1).
+//!
+//! Feature vectors collected from a ~100 MB profiling run are scaled with
+//! the bounds recorded at training time, projected onto the principal
+//! components that cover 95 % of training variance, and classified by a
+//! K-nearest-neighbour model whose labels are [`ExpertId`]s. The Euclidean
+//! distance to the nearest training program is exposed as a confidence
+//! measure: beyond a threshold the runtime falls back to a conservative
+//! policy instead of trusting the prediction (§6.9).
+
+use crate::expert::ExpertId;
+use crate::features::FeatureVector;
+use crate::MoeError;
+use mlkit::knn::KnnClassifier;
+use mlkit::pca::Pca;
+use mlkit::scaling::MinMaxScaler;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the selector pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SelectorConfig {
+    /// `k` of the KNN vote. The paper's classifier is nearest-neighbour
+    /// with distance-based confidence; `k = 1` reproduces it exactly.
+    pub k: usize,
+    /// Cumulative explained-variance target for PCA (paper: 0.95).
+    pub variance_target: f64,
+    /// Explicit number of principal components, overriding
+    /// `variance_target` when set (the paper's deployment keeps the top
+    /// five). Clamped to the feature dimensionality.
+    pub components: Option<usize>,
+    /// Nearest-neighbour distance (in PC space) beyond which the
+    /// prediction is flagged low-confidence.
+    pub confidence_threshold: f64,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig {
+            k: 1,
+            variance_target: 0.95,
+            components: None,
+            confidence_threshold: 2.5,
+        }
+    }
+}
+
+/// The outcome of expert selection for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The chosen expert.
+    pub expert: ExpertId,
+    /// Euclidean distance to the nearest training program in PC space.
+    pub distance: f64,
+    /// `true` when `distance` exceeds the configured threshold and the
+    /// caller should use its conservative fallback policy.
+    pub low_confidence: bool,
+}
+
+/// A fitted selector pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use moe_core::features::FeatureVector;
+/// use moe_core::selector::{ExpertSelector, SelectorConfig};
+/// use moe_core::expert::ExpertId;
+///
+/// let a = FeatureVector::from_fn(|i| i as f64);
+/// let b = FeatureVector::from_fn(|i| 30.0 - i as f64);
+/// let selector = ExpertSelector::train(
+///     &[(a.clone(), ExpertId::from_usize(0)), (b, ExpertId::from_usize(1))],
+///     SelectorConfig::default(),
+/// )?;
+/// let sel = selector.select(&a)?;
+/// assert_eq!(sel.expert, ExpertId::from_usize(0));
+/// # Ok::<(), moe_core::MoeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExpertSelector {
+    scaler: MinMaxScaler,
+    pca: Pca,
+    knn: KnnClassifier,
+    config: SelectorConfig,
+}
+
+impl ExpertSelector {
+    /// Trains the pipeline on `(features, expert)` exemplars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::InvalidTraining`] for an empty training set and
+    /// propagates mlkit fitting errors.
+    pub fn train(
+        exemplars: &[(FeatureVector, ExpertId)],
+        config: SelectorConfig,
+    ) -> Result<Self, MoeError> {
+        if exemplars.is_empty() {
+            return Err(MoeError::InvalidTraining(
+                "selector needs at least one exemplar".into(),
+            ));
+        }
+        let raw: Vec<Vec<f64>> = exemplars
+            .iter()
+            .map(|(f, _)| f.as_slice().to_vec())
+            .collect();
+        let labels: Vec<usize> = exemplars.iter().map(|(_, id)| id.as_usize()).collect();
+
+        let scaler = MinMaxScaler::fit(&raw)?;
+        let scaled = scaler.transform_batch(&raw)?;
+        let pca = match config.components {
+            Some(k) => Pca::fit(&scaled, k.clamp(1, scaled[0].len()))?,
+            None => Pca::fit_for_variance(&scaled, config.variance_target)?,
+        };
+        let projected = pca.transform_batch(&scaled)?;
+        let knn = KnnClassifier::fit(&projected, &labels, config.k)?;
+        Ok(ExpertSelector {
+            scaler,
+            pca,
+            knn,
+            config,
+        })
+    }
+
+    /// Number of principal components retained.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.pca.components()
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> SelectorConfig {
+        self.config
+    }
+
+    /// Projects raw features through the fitted scaler + PCA (exposed so
+    /// analyses like Fig. 16 can plot the learned space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dimension mismatches from the pipeline.
+    pub fn project(&self, features: &FeatureVector) -> Result<Vec<f64>, MoeError> {
+        // Unclamped: an application far outside the training range must
+        // project far from every exemplar, so the nearest-neighbour
+        // distance can flag it (clamping would fold it onto the range
+        // corners and defeat the §6.9 confidence check).
+        let scaled = self.scaler.transform_unclamped(features.as_slice())?;
+        Ok(self.pca.transform(&scaled)?)
+    }
+
+    /// Selects the expert for an unseen application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors (these indicate internal inconsistency,
+    /// not bad user input, since `FeatureVector` has fixed arity).
+    pub fn select(&self, features: &FeatureVector) -> Result<Selection, MoeError> {
+        let projected = self.project(features)?;
+        let pred = self.knn.predict_with_evidence(&projected)?;
+        Ok(Selection {
+            expert: ExpertId::from_usize(pred.label),
+            distance: pred.nearest_distance,
+            low_confidence: pred.nearest_distance > self.config.confidence_threshold,
+        })
+    }
+
+    /// Adds a new exemplar **without retraining** the scaler or PCA — the
+    /// incremental-extension property the paper attributes to KNN
+    /// (Table 5 discussion).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn insert_exemplar(
+        &mut self,
+        features: &FeatureVector,
+        expert: ExpertId,
+    ) -> Result<(), MoeError> {
+        let projected = self.project(features)?;
+        self.knn.insert(projected, expert.as_usize())?;
+        Ok(())
+    }
+
+    /// Number of stored exemplars.
+    #[must_use]
+    pub fn exemplars(&self) -> usize {
+        self.knn.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three feature "clusters" mimicking the paper's Fig. 16 structure.
+    fn clustered_exemplars() -> Vec<(FeatureVector, ExpertId)> {
+        let mut out = Vec::new();
+        for j in 0..6 {
+            let jf = j as f64 * 0.01;
+            out.push((
+                FeatureVector::from_fn(|i| if i < 8 { 0.9 + jf } else { 0.1 }),
+                ExpertId::from_usize(0),
+            ));
+            out.push((
+                FeatureVector::from_fn(|i| if (8..16).contains(&i) { 0.9 + jf } else { 0.1 }),
+                ExpertId::from_usize(1),
+            ));
+            out.push((
+                FeatureVector::from_fn(|i| if i >= 16 { 0.9 + jf } else { 0.1 }),
+                ExpertId::from_usize(2),
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn selects_correct_cluster() {
+        let ex = clustered_exemplars();
+        let sel = ExpertSelector::train(&ex, SelectorConfig::default()).unwrap();
+        for (f, id) in &ex {
+            let s = sel.select(f).unwrap();
+            assert_eq!(s.expert, *id);
+            assert!(!s.low_confidence);
+        }
+    }
+
+    #[test]
+    fn distance_flags_outliers() {
+        let ex = clustered_exemplars();
+        let sel = ExpertSelector::train(
+            &ex,
+            SelectorConfig {
+                confidence_threshold: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // A feature vector far outside the training range: after clamped
+        // scaling it still lands away from every cluster.
+        let outlier = FeatureVector::from_fn(|i| if i % 2 == 0 { 50.0 } else { -50.0 });
+        let s = sel.select(&outlier).unwrap();
+        assert!(s.low_confidence, "distance = {}", s.distance);
+    }
+
+    #[test]
+    fn pca_reduces_dimensionality() {
+        let ex = clustered_exemplars();
+        let sel = ExpertSelector::train(&ex, SelectorConfig::default()).unwrap();
+        assert!(sel.components() < 22, "kept {} PCs", sel.components());
+    }
+
+    #[test]
+    fn insert_exemplar_changes_predictions() {
+        let ex = clustered_exemplars();
+        let mut sel = ExpertSelector::train(&ex, SelectorConfig::default()).unwrap();
+        let novel = FeatureVector::from_fn(|i| if i % 2 == 0 { 0.9 } else { 0.05 });
+        let before = sel.select(&novel).unwrap();
+        sel.insert_exemplar(&novel, ExpertId::from_usize(2)).unwrap();
+        let after = sel.select(&novel).unwrap();
+        assert_eq!(after.expert, ExpertId::from_usize(2));
+        assert!(after.distance <= before.distance);
+        assert_eq!(sel.exemplars(), ex.len() + 1);
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        assert!(matches!(
+            ExpertSelector::train(&[], SelectorConfig::default()),
+            Err(MoeError::InvalidTraining(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_component_count_is_honoured() {
+        let ex = clustered_exemplars();
+        for k in [2, 5, 30] {
+            let sel = ExpertSelector::train(
+                &ex,
+                SelectorConfig {
+                    components: Some(k),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(sel.components(), k.min(22));
+            // Still classifies its exemplars.
+            for (f, id) in &ex {
+                assert_eq!(sel.select(f).unwrap().expert, *id);
+            }
+        }
+    }
+
+    #[test]
+    fn k3_vote_still_selects_cluster() {
+        let ex = clustered_exemplars();
+        let sel = ExpertSelector::train(
+            &ex,
+            SelectorConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let probe = FeatureVector::from_fn(|i| if i < 8 { 0.88 } else { 0.12 });
+        assert_eq!(sel.select(&probe).unwrap().expert, ExpertId::from_usize(0));
+    }
+}

@@ -1,0 +1,235 @@
+//! Labeled datasets and cross-validation splits.
+//!
+//! The paper validates its expert selector with leave-one-out
+//! cross-validation over the training benchmarks (§5.2), additionally
+//! excluding equivalent implementations of the held-out benchmark from
+//! other suites. [`Dataset`] provides the plumbing: index-based splits so
+//! callers can implement arbitrary exclusion rules.
+
+use crate::MlError;
+
+/// A labeled dataset: dense feature rows plus integer class labels.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::dataset::Dataset;
+/// let ds = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![0, 1, 0])?;
+/// assert_eq!(ds.len(), 3);
+/// assert_eq!(ds.classes(), 2);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    dims: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from parallel feature and label vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] if the inputs are empty,
+    /// lengths differ, or rows are ragged.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Result<Self, MlError> {
+        if features.is_empty() {
+            return Err(MlError::InvalidTrainingData("empty dataset".into()));
+        }
+        if features.len() != labels.len() {
+            return Err(MlError::InvalidTrainingData(format!(
+                "{} feature rows but {} labels",
+                features.len(),
+                labels.len()
+            )));
+        }
+        let dims = features[0].len();
+        if dims == 0 || features.iter().any(|r| r.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            dims,
+        })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset holds no samples (never true for a
+    /// constructed `Dataset`, but part of the conventional pair with
+    /// [`Dataset::len`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of distinct classes (`max label + 1`).
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// The feature rows.
+    #[must_use]
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The labels.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Returns `(features, labels)` for the given sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let xs = indices.iter().map(|&i| self.features[i].clone()).collect();
+        let ys = indices.iter().map(|&i| self.labels[i]).collect();
+        (xs, ys)
+    }
+
+    /// Yields `(train_indices, test_index)` pairs for leave-one-out
+    /// cross-validation, optionally excluding extra indices from each
+    /// training fold via `also_exclude(test_index)` (the paper removes
+    /// equivalent benchmarks from other suites, §5.2).
+    pub fn leave_one_out<F>(&self, mut also_exclude: F) -> Vec<(Vec<usize>, usize)>
+    where
+        F: FnMut(usize) -> Vec<usize>,
+    {
+        (0..self.len())
+            .map(|test| {
+                let excluded: std::collections::HashSet<usize> =
+                    also_exclude(test).into_iter().chain([test]).collect();
+                let train: Vec<usize> =
+                    (0..self.len()).filter(|i| !excluded.contains(i)).collect();
+                (train, test)
+            })
+            .collect()
+    }
+
+    /// Yields `(train_indices, test_indices)` pairs for k-fold
+    /// cross-validation with contiguous folds (callers shuffle first if
+    /// they need randomised folds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or greater than the number of samples.
+    #[must_use]
+    pub fn k_fold(&self, k: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(
+            k > 0 && k <= self.len(),
+            "k must be in 1..={}, got {k}",
+            self.len()
+        );
+        let n = self.len();
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut start = 0;
+        for f in 0..k {
+            let size = base + usize::from(f < extra);
+            let test: Vec<usize> = (start..start + size).collect();
+            let train: Vec<usize> = (0..n).filter(|i| !test.contains(i)).collect();
+            folds.push((train, test));
+            start += size;
+        }
+        folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]],
+            vec![0, 0, 1, 1, 2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 5);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.dims(), 1);
+        assert_eq!(ds.classes(), 3);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![vec![1.0]], vec![0, 1]).is_err());
+        assert!(Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]).is_err());
+        assert!(Dataset::new(vec![vec![]], vec![0]).is_err());
+    }
+
+    #[test]
+    fn subset_extracts_rows() {
+        let ds = toy();
+        let (xs, ys) = ds.subset(&[4, 0]);
+        assert_eq!(xs, vec![vec![4.0], vec![0.0]]);
+        assert_eq!(ys, vec![2, 0]);
+    }
+
+    #[test]
+    fn loocv_excludes_test_sample() {
+        let ds = toy();
+        let folds = ds.leave_one_out(|_| vec![]);
+        assert_eq!(folds.len(), 5);
+        for (train, test) in &folds {
+            assert_eq!(train.len(), 4);
+            assert!(!train.contains(test));
+        }
+    }
+
+    #[test]
+    fn loocv_honours_extra_exclusions() {
+        let ds = toy();
+        // Pretend sample 0 and 1 are equivalent implementations.
+        let folds = ds.leave_one_out(|t| if t == 0 { vec![1] } else { vec![] });
+        let (train0, _) = &folds[0];
+        assert!(!train0.contains(&1), "equivalent benchmark excluded");
+        assert_eq!(train0.len(), 3);
+    }
+
+    #[test]
+    fn k_fold_partitions_all_samples() {
+        let ds = toy();
+        let folds = ds.k_fold(2);
+        assert_eq!(folds.len(), 2);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn k_fold_rejects_oversized_k() {
+        toy().k_fold(6);
+    }
+}

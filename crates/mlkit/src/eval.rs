@@ -1,0 +1,285 @@
+//! Classifier and regressor evaluation: accuracy, confusion matrices and
+//! error metrics used throughout the reproduction (Table 5, Fig. 17).
+
+use serde::{Deserialize, Serialize};
+
+/// Classification accuracy in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "accuracy of empty predictions");
+    let hits = predicted
+        .iter()
+        .zip(actual.iter())
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// Mean absolute percentage error of predictions against observations,
+/// in percent. Observations of zero are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn mape(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "MAPE of empty predictions");
+    let mut total = 0.0;
+    let mut n = 0;
+    for (&p, &a) in predicted.iter().zip(actual.iter()) {
+        if a != 0.0 {
+            total += ((p - a) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64 * 100.0
+    }
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "RMSE of empty predictions");
+    let mse = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    mse.sqrt()
+}
+
+/// Coefficient of determination R². Returns 1 for a perfect fit, and can be
+/// negative for fits worse than the mean. When the observations have zero
+/// variance, returns 1 if the predictions are exact and 0 otherwise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+#[must_use]
+pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "R² of empty predictions");
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean) * (a - mean)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(p, a)| (a - p) * (a - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Per-class F1 score: the harmonic mean of precision and recall, zero
+/// when both are zero.
+///
+/// # Panics
+///
+/// Panics if lengths differ or labels exceed `classes`.
+#[must_use]
+pub fn f1_score(predicted: &[usize], actual: &[usize], classes: usize, class: usize) -> f64 {
+    let cm = ConfusionMatrix::from_predictions(predicted, actual, classes);
+    let p = cm.precision(class);
+    let r = cm.recall(class);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Macro-averaged F1 over all classes (unweighted mean of per-class F1).
+///
+/// # Panics
+///
+/// Panics if lengths differ, inputs are empty, or labels exceed `classes`.
+#[must_use]
+pub fn macro_f1(predicted: &[usize], actual: &[usize], classes: usize) -> f64 {
+    assert!(classes > 0, "need at least one class");
+    (0..classes)
+        .map(|c| f1_score(predicted, actual, classes, c))
+        .sum::<f64>()
+        / classes as f64
+}
+
+/// A square confusion matrix for multi-class classification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix over `classes` classes from parallel
+    /// prediction/actual slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any label is `>= classes`.
+    #[must_use]
+    pub fn from_predictions(predicted: &[usize], actual: &[usize], classes: usize) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut counts = vec![0u64; classes * classes];
+        for (&p, &a) in predicted.iter().zip(actual.iter()) {
+            assert!(p < classes && a < classes, "label out of range");
+            counts[a * classes + p] += 1;
+        }
+        ConfusionMatrix { classes, counts }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range labels.
+    #[must_use]
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        assert!(actual < self.classes && predicted < self.classes);
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Overall accuracy (trace over total). Zero for an empty matrix.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let trace: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        trace as f64 / total as f64
+    }
+
+    /// Recall of a single class; zero when the class has no samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn recall(&self, class: usize) -> f64 {
+        assert!(class < self.classes);
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / row as f64
+        }
+    }
+
+    /// Precision of a single class; zero when nothing was predicted as it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn precision(&self, class: usize) -> f64 {
+        assert!(class < self.classes);
+        let col: u64 = (0..self.classes).map(|a| self.count(a, class)).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / col as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[0, 1, 2, 0], &[0, 1, 1, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        // |10-8|/8 = 25 %, |20-25|/25 = 20 % -> mean 22.5 %.
+        let m = mape(&[10.0, 20.0], &[8.0, 25.0]);
+        assert!((m - 22.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        assert_eq!(mape(&[1.0, 5.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let e = rmse(&[1.0, 2.0], &[1.0, 4.0]);
+        assert!((e - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_fit() {
+        let actual = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&actual, &actual), 1.0);
+        assert_eq!(r_squared(&[2.0, 2.0, 2.0], &actual), 0.0);
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_metrics() {
+        let predicted = [0, 0, 1, 1, 2, 1];
+        let actual = [0, 1, 1, 1, 2, 2];
+        let cm = ConfusionMatrix::from_predictions(&predicted, &actual, 3);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(2, 1), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(0), 1.0);
+    }
+
+    #[test]
+    fn f1_harmonic_mean_of_precision_recall() {
+        // Class 1: precision 2/3, recall 2/3 → F1 = 2/3.
+        let predicted = [0, 0, 1, 1, 2, 1];
+        let actual = [0, 1, 1, 1, 2, 2];
+        let f1 = f1_score(&predicted, &actual, 3, 1);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+        // Perfect prediction → macro F1 = 1.
+        assert_eq!(macro_f1(&actual, &actual, 3), 1.0);
+    }
+
+    #[test]
+    fn f1_of_never_predicted_class_is_zero() {
+        let predicted = [0, 0, 0];
+        let actual = [0, 1, 1];
+        assert_eq!(f1_score(&predicted, &actual, 2, 1), 0.0);
+        assert!(macro_f1(&predicted, &actual, 2) < 0.5);
+    }
+
+    #[test]
+    fn empty_confusion_matrix_accuracy_zero() {
+        let cm = ConfusionMatrix::from_predictions(&[], &[], 3);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.precision(2), 0.0);
+    }
+}

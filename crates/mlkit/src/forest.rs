@@ -1,0 +1,240 @@
+//! Random forest: bootstrap-aggregated decision trees with per-split
+//! feature subsampling — a Table 5 alternative expert selector.
+
+use crate::tree::{simkit_compat::RngAdapter, DecisionTree, TreeParams};
+use crate::{Classifier, MlError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for forest construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub trees: usize,
+    /// Per-tree growth parameters.
+    pub tree: TreeParams,
+    /// Features considered per split; `None` means `ceil(sqrt(dims))`.
+    pub features_per_split: Option<usize>,
+    /// Seed for bootstrap sampling and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            trees: 32,
+            tree: TreeParams::default(),
+            features_per_split: None,
+            seed: 0xF0E57,
+        }
+    }
+}
+
+/// A fitted random-forest classifier (majority vote over trees).
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::forest::{RandomForest, ForestParams};
+/// use mlkit::Classifier;
+/// let xs = vec![vec![0.0, 1.0], vec![0.2, 0.9], vec![5.0, -1.0], vec![5.3, -0.8]];
+/// let ys = vec![0, 0, 1, 1];
+/// let rf = RandomForest::fit(&xs, &ys, ForestParams { trees: 8, ..Default::default() })?;
+/// assert_eq!(rf.predict(&[0.1, 1.0]), 0);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    dims: usize,
+}
+
+impl RandomForest {
+    /// Trains `params.trees` trees on bootstrap resamples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs, a
+    /// label mismatch, or zero trees.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], params: ForestParams) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(
+                "empty training set or label mismatch".into(),
+            ));
+        }
+        if params.trees == 0 {
+            return Err(MlError::InvalidTrainingData(
+                "forest needs at least one tree".into(),
+            ));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        let features = params
+            .features_per_split
+            .unwrap_or_else(|| (dims as f64).sqrt().ceil() as usize)
+            .clamp(1, dims);
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut trees = Vec::with_capacity(params.trees);
+        for _ in 0..params.trees {
+            // Bootstrap resample.
+            let (mut bx, mut by) = (Vec::with_capacity(xs.len()), Vec::with_capacity(ys.len()));
+            for _ in 0..xs.len() {
+                let i = rng.gen_range(0..xs.len());
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            let tree = DecisionTree::fit_with_features(
+                &bx,
+                &by,
+                params.tree,
+                Some(features),
+                &mut RngAdapter(&mut rng),
+            )?;
+            trees.push(tree);
+        }
+        Ok(RandomForest { trees, dims })
+    }
+
+    /// Number of trees in the ensemble.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest holds no trees (never true once fitted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Vote counts per class for a query.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wrong dimensionality.
+    #[must_use]
+    pub fn votes(&self, x: &[f64]) -> std::collections::HashMap<usize, usize> {
+        let mut votes = std::collections::HashMap::new();
+        for tree in &self.trees {
+            *votes.entry(tree.predict(x)).or_insert(0) += 1;
+        }
+        votes
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, x: &[f64]) -> usize {
+        self.votes(x)
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(label, _)| label)
+            .expect("forest has at least one tree")
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        "Random Forests"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let j = (i % 7) as f64 * 0.05;
+            xs.push(vec![j, 1.0 - j]);
+            ys.push(0);
+            xs.push(vec![4.0 + j, -2.0 + j]);
+            ys.push(1);
+            xs.push(vec![-3.0 - j, -3.0 + j]);
+            ys.push(2);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifies_three_blobs() {
+        let (xs, ys) = blobs(15);
+        let rf = RandomForest::fit(
+            &xs,
+            &ys,
+            ForestParams {
+                trees: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rf.predict(&[0.1, 0.9]), 0);
+        assert_eq!(rf.predict(&[4.1, -1.9]), 1);
+        assert_eq!(rf.predict(&[-3.1, -2.9]), 2);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (xs, ys) = blobs(10);
+        let p = ForestParams {
+            trees: 8,
+            seed: 42,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&xs, &ys, p).unwrap();
+        let b = RandomForest::fit(&xs, &ys, p).unwrap();
+        for x in xs.iter() {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+
+    #[test]
+    fn votes_sum_to_tree_count() {
+        let (xs, ys) = blobs(10);
+        let rf = RandomForest::fit(
+            &xs,
+            &ys,
+            ForestParams {
+                trees: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let votes = rf.votes(&[0.0, 1.0]);
+        assert_eq!(votes.values().sum::<usize>(), 9);
+        assert_eq!(rf.len(), 9);
+        assert!(!rf.is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(RandomForest::fit(&[], &[], ForestParams::default()).is_err());
+        let (xs, ys) = blobs(3);
+        assert!(RandomForest::fit(
+            &xs,
+            &ys,
+            ForestParams {
+                trees: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let (xs, ys) = blobs(5);
+        let rf = RandomForest::fit(&xs, &ys, ForestParams::default()).unwrap();
+        assert_eq!(rf.dims(), 2);
+        assert_eq!(rf.name(), "Random Forests");
+    }
+}

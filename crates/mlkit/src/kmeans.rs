@@ -1,0 +1,355 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Used to validate the Fig. 16 claim *unsupervised*: clustering the 44
+//! benchmarks' feature vectors into three groups should recover the three
+//! memory-function families without ever seeing the labels.
+
+use crate::linalg::euclidean;
+use crate::MlError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for k-means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+    /// Seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams {
+            k: 3,
+            max_iter: 100,
+            tol: 1e-9,
+            seed: 0xC1A55,
+        }
+    }
+}
+
+/// A fitted k-means model.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::kmeans::{KMeans, KMeansParams};
+/// let data = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0],
+///     vec![5.0, 5.0], vec![5.1, 5.0],
+/// ];
+/// let km = KMeans::fit(&data, KMeansParams { k: 2, ..Default::default() })?;
+/// assert_eq!(km.assign(&[0.05, 0.0]), km.assign(&[0.12, 0.1]));
+/// assert_ne!(km.assign(&[0.05, 0.0]), km.assign(&[5.05, 5.0]));
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+    /// Final cluster assignment of each training point.
+    assignments: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Clusters `data` into `params.k` groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] when the data is empty,
+    /// ragged, or has fewer points than clusters.
+    pub fn fit(data: &[Vec<f64>], params: KMeansParams) -> Result<Self, MlError> {
+        if data.is_empty() {
+            return Err(MlError::InvalidTrainingData("empty data".into()));
+        }
+        let dims = data[0].len();
+        if dims == 0 || data.iter().any(|r| r.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        if params.k == 0 || params.k > data.len() {
+            return Err(MlError::InvalidTrainingData(format!(
+                "k must be in 1..={}, got {}",
+                data.len(),
+                params.k
+            )));
+        }
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut centroids = kmeans_plus_plus(data, params.k, &mut rng);
+        let mut assignments = vec![0usize; data.len()];
+        let mut iterations = 0;
+
+        for _ in 0..params.max_iter {
+            iterations += 1;
+            // Assignment step.
+            for (i, point) in data.iter().enumerate() {
+                assignments[i] = nearest(&centroids, point).0;
+            }
+            // Update step.
+            let mut movement = 0.0;
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<&Vec<f64>> = data
+                    .iter()
+                    .zip(assignments.iter())
+                    .filter(|(_, &a)| a == c)
+                    .map(|(p, _)| p)
+                    .collect();
+                if members.is_empty() {
+                    continue; // keep the old centroid for empty clusters
+                }
+                let mut new_centroid = vec![0.0; dims];
+                for m in &members {
+                    for (d, v) in m.iter().enumerate() {
+                        new_centroid[d] += v;
+                    }
+                }
+                for v in &mut new_centroid {
+                    *v /= members.len() as f64;
+                }
+                movement += euclidean(centroid, &new_centroid);
+                *centroid = new_centroid;
+            }
+            if movement <= params.tol {
+                break;
+            }
+        }
+        for (i, point) in data.iter().enumerate() {
+            assignments[i] = nearest(&centroids, point).0;
+        }
+        let inertia = data
+            .iter()
+            .zip(assignments.iter())
+            .map(|(p, &a)| euclidean(p, &centroids[a]).powi(2))
+            .sum();
+        Ok(KMeans {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
+    }
+
+    /// Cluster centroids (length `k`).
+    #[must_use]
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Final assignment of each training point.
+    #[must_use]
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances of points to their centroids.
+    #[must_use]
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations performed.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns a new point to its nearest centroid.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wrong dimensionality.
+    #[must_use]
+    pub fn assign(&self, point: &[f64]) -> usize {
+        nearest(&self.centroids, point).0
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], point: &[f64]) -> (usize, f64) {
+    centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, euclidean(c, point)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+        .expect("at least one centroid")
+}
+
+/// k-means++ seeding: subsequent centroids drawn proportionally to squared
+/// distance from the chosen set.
+fn kmeans_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|p| nearest(&centroids, p).1.powi(2))
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            // All points coincide with centroids; duplicate one.
+            centroids.push(data[rng.gen_range(0..data.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        let mut chosen = data.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if target < w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(data[chosen].clone());
+    }
+    centroids
+}
+
+/// Agreement between a clustering and reference labels: the best-matching
+/// permutation of cluster ids is found greedily and the fraction of points
+/// whose mapped cluster equals the reference label is returned.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn cluster_label_agreement(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len(), "length mismatch");
+    assert!(!assignments.is_empty(), "empty clustering");
+    let k = assignments.iter().copied().max().unwrap_or(0) + 1;
+    let l = labels.iter().copied().max().unwrap_or(0) + 1;
+    // Count co-occurrences.
+    let mut counts = vec![vec![0usize; l]; k];
+    for (&a, &y) in assignments.iter().zip(labels.iter()) {
+        counts[a][y] += 1;
+    }
+    // Greedy matching (k and l are tiny here).
+    let mut used = vec![false; l];
+    let mut matched = 0usize;
+    for _ in 0..k.min(l) {
+        let mut best = (0usize, 0usize, 0usize);
+        for (c, row) in counts.iter().enumerate() {
+            for (y, &n) in row.iter().enumerate() {
+                if !used[y] && n >= best.2 {
+                    best = (c, y, n);
+                }
+            }
+        }
+        used[best.1] = true;
+        matched += best.2;
+        for row in &mut counts {
+            row[best.1] = 0;
+        }
+        counts[best.0] = vec![0; l];
+    }
+    matched as f64 / assignments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..12 {
+            let j = (i % 4) as f64 * 0.05;
+            data.push(vec![j, j]);
+            labels.push(0);
+            data.push(vec![5.0 + j, -j]);
+            labels.push(1);
+            data.push(vec![-4.0 - j, 6.0 + j]);
+            labels.push(2);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (data, labels) = three_blobs();
+        let km = KMeans::fit(&data, KMeansParams::default()).unwrap();
+        let agreement = cluster_label_agreement(km.assignments(), &labels);
+        assert!(agreement > 0.99, "agreement {agreement}");
+        assert_eq!(km.centroids().len(), 3);
+        assert!(km.inertia() < 1.0);
+    }
+
+    #[test]
+    fn assign_routes_new_points() {
+        let (data, _) = three_blobs();
+        let km = KMeans::fit(&data, KMeansParams::default()).unwrap();
+        let a = km.assign(&[0.1, 0.1]);
+        let b = km.assign(&[5.1, -0.1]);
+        let c = km.assign(&[-4.1, 6.1]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (data, _) = three_blobs();
+        let a = KMeans::fit(&data, KMeansParams::default()).unwrap();
+        let b = KMeans::fit(&data, KMeansParams::default()).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let km = KMeans::fit(
+            &data,
+            KMeansParams {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(km.inertia() < 1e-18);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(KMeans::fit(&[], KMeansParams::default()).is_err());
+        let data = vec![vec![0.0], vec![1.0]];
+        assert!(KMeans::fit(
+            &data,
+            KMeansParams {
+                k: 3,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(KMeans::fit(
+            &data,
+            KMeansParams {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn agreement_handles_permuted_ids() {
+        // Same partition, different ids.
+        let assignments = [1, 1, 0, 0, 2, 2];
+        let labels = [0, 0, 2, 2, 1, 1];
+        assert_eq!(cluster_label_agreement(&assignments, &labels), 1.0);
+    }
+
+    #[test]
+    fn agreement_of_random_assignment_is_partial() {
+        let assignments = [0, 1, 2, 0, 1, 2];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let a = cluster_label_agreement(&assignments, &labels);
+        assert!(a < 0.75, "agreement {a}");
+    }
+}

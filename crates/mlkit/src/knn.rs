@@ -1,0 +1,254 @@
+//! K-nearest-neighbour classification — the paper's expert selector (§3, §4.1).
+//!
+//! The paper picks KNN because (a) its accuracy matches the alternatives
+//! (Table 5) and (b) it needs **no retraining when a new memory function is
+//! added** — new exemplars are simply inserted. The Euclidean distance to
+//! the nearest neighbour doubles as a *confidence* measure: if an incoming
+//! application is far from every training program, the runtime falls back
+//! to a conservative policy (§6.9).
+
+use crate::linalg::euclidean;
+use crate::{Classifier, MlError};
+use serde::{Deserialize, Serialize};
+
+/// A prediction together with its distance-based confidence evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnPrediction {
+    /// The winning class label.
+    pub label: usize,
+    /// Distance to the single nearest neighbour.
+    pub nearest_distance: f64,
+    /// Index (into the training set) of the nearest neighbour.
+    pub nearest_index: usize,
+}
+
+/// A fitted K-nearest-neighbour classifier.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::knn::KnnClassifier;
+/// use mlkit::Classifier;
+/// let xs = vec![vec![0.0], vec![1.0], vec![10.0]];
+/// let ys = vec![0, 0, 1];
+/// let knn = KnnClassifier::fit(&xs, &ys, 3)?;
+/// assert_eq!(knn.predict(&[0.4]), 0);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    exemplars: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    k: usize,
+    dims: usize,
+}
+
+impl KnnClassifier {
+    /// Stores the training set for lazy classification with parameter `k`.
+    /// `k` is clipped to the training-set size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] if the training set is
+    /// empty, ragged, mismatched with labels, or `k == 0`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], k: usize) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(
+                "empty training set or label mismatch".into(),
+            ));
+        }
+        if k == 0 {
+            return Err(MlError::InvalidTrainingData("k must be positive".into()));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        Ok(KnnClassifier {
+            exemplars: xs.to_vec(),
+            labels: ys.to_vec(),
+            k: k.min(xs.len()),
+            dims,
+        })
+    }
+
+    /// Adds a new exemplar without retraining — the property the paper
+    /// highlights for extending the expert set over time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong dimensionality.
+    pub fn insert(&mut self, x: Vec<f64>, y: usize) -> Result<(), MlError> {
+        if x.len() != self.dims {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims,
+                actual: x.len(),
+            });
+        }
+        self.exemplars.push(x);
+        self.labels.push(y);
+        Ok(())
+    }
+
+    /// Number of stored exemplars.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.exemplars.len()
+    }
+
+    /// Whether the classifier holds no exemplars (never true once fitted).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.exemplars.is_empty()
+    }
+
+    /// The `k` in use.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predicts with full evidence: majority vote over the `k` nearest
+    /// exemplars (ties broken toward the closer class), plus the nearest
+    /// distance for confidence thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong dimensionality.
+    pub fn predict_with_evidence(&self, x: &[f64]) -> Result<KnnPrediction, MlError> {
+        if x.len() != self.dims {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims,
+                actual: x.len(),
+            });
+        }
+        let mut dists: Vec<(f64, usize)> = self
+            .exemplars
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (euclidean(e, x), i))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let neighbours = &dists[..self.k];
+
+        // Majority vote, ties resolved by smallest cumulative distance.
+        let mut votes: std::collections::HashMap<usize, (usize, f64)> =
+            std::collections::HashMap::new();
+        for &(d, idx) in neighbours {
+            let entry = votes.entry(self.labels[idx]).or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 += d;
+        }
+        let (&label, _) = votes
+            .iter()
+            .max_by(|(_, (ca, da)), (_, (cb, db))| {
+                ca.cmp(cb)
+                    .then_with(|| db.partial_cmp(da).expect("finite distances"))
+            })
+            .expect("at least one neighbour");
+
+        Ok(KnnPrediction {
+            label,
+            nearest_distance: neighbours[0].0,
+            nearest_index: neighbours[0].1,
+        })
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn predict(&self, x: &[f64]) -> usize {
+        self.predict_with_evidence(x)
+            .expect("dimension mismatch in KNN predict")
+            .label
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            xs.push(vec![i as f64 * 0.01, 0.0]);
+            ys.push(0);
+            xs.push(vec![5.0 + i as f64 * 0.01, 5.0]);
+            ys.push(1);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let (xs, ys) = two_blobs();
+        let knn = KnnClassifier::fit(&xs, &ys, 3).unwrap();
+        assert_eq!(knn.predict(&[0.0, 0.1]), 0);
+        assert_eq!(knn.predict(&[5.0, 4.9]), 1);
+    }
+
+    #[test]
+    fn nearest_distance_reflects_confidence() {
+        let (xs, ys) = two_blobs();
+        let knn = KnnClassifier::fit(&xs, &ys, 1).unwrap();
+        let near = knn.predict_with_evidence(&[0.0, 0.0]).unwrap();
+        let far = knn.predict_with_evidence(&[100.0, 100.0]).unwrap();
+        assert!(near.nearest_distance < 0.1);
+        assert!(far.nearest_distance > 50.0);
+    }
+
+    #[test]
+    fn insert_extends_without_refit() {
+        let (xs, ys) = two_blobs();
+        let mut knn = KnnClassifier::fit(&xs, &ys, 1).unwrap();
+        assert_eq!(knn.predict(&[-20.0, -20.0]), 0);
+        knn.insert(vec![-20.0, -20.0], 7).unwrap();
+        assert_eq!(knn.predict(&[-20.0, -20.0]), 7);
+        assert_eq!(knn.len(), 21);
+    }
+
+    #[test]
+    fn k_is_clipped_to_training_size() {
+        let knn = KnnClassifier::fit(&[vec![0.0]], &[0], 10).unwrap();
+        assert_eq!(knn.k(), 1);
+        assert_eq!(knn.predict(&[3.0]), 0);
+    }
+
+    #[test]
+    fn majority_vote_with_k3() {
+        let xs = vec![vec![0.0], vec![0.2], vec![0.3], vec![10.0]];
+        let ys = vec![1, 1, 0, 0];
+        let knn = KnnClassifier::fit(&xs, &ys, 3).unwrap();
+        // Neighbours of 0.1: labels {1, 1, 0} -> majority 1.
+        assert_eq!(knn.predict(&[0.1]), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(KnnClassifier::fit(&[], &[], 1).is_err());
+        assert!(KnnClassifier::fit(&[vec![1.0]], &[0], 0).is_err());
+        assert!(KnnClassifier::fit(&[vec![1.0]], &[0, 1], 1).is_err());
+        let knn = KnnClassifier::fit(&[vec![1.0, 2.0]], &[0], 1).unwrap();
+        assert!(knn.predict_with_evidence(&[1.0]).is_err());
+        let mut knn = knn;
+        assert!(knn.insert(vec![1.0], 0).is_err());
+    }
+
+    #[test]
+    fn classifier_trait_metadata() {
+        let (xs, ys) = two_blobs();
+        let knn = KnnClassifier::fit(&xs, &ys, 3).unwrap();
+        assert_eq!(knn.dims(), 2);
+        assert_eq!(knn.name(), "KNN");
+    }
+}

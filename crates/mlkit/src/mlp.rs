@@ -1,0 +1,387 @@
+//! A 3-layer perceptron trained with backpropagation.
+//!
+//! Serves two roles in the reproduction:
+//! * as the Table 5 "MLP"/"ANN" alternative expert **selector**
+//!   (classification head), and
+//! * as the Fig. 9 unified "ANN" memory-footprint **regressor** — the paper
+//!   trains a 3-layer backprop network on the same features to predict the
+//!   footprint directly with a single model.
+
+use crate::{Classifier, MlError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for MLP training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Learning rate for plain SGD.
+    pub learning_rate: f64,
+    /// Training epochs (full passes).
+    pub epochs: usize,
+    /// Seed for weight initialisation and sample order.
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: 16,
+            learning_rate: 0.05,
+            epochs: 500,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+/// A 3-layer (input → tanh hidden → linear output) neural network.
+///
+/// For classification use [`Mlp::fit_classifier`], which one-hot encodes the
+/// labels; for regression use [`Mlp::fit_regressor`] with a single output.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::mlp::{Mlp, MlpParams};
+/// // Learn y = 2x on [0, 1].
+/// let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0]).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0]).collect();
+/// let net = Mlp::fit_regressor(&xs, &ys, MlpParams::default())?;
+/// let pred = net.predict_value(&[0.5])?;
+/// assert!((pred - 1.0).abs() < 0.1);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    // Layer 1: hidden × input, plus hidden biases.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    // Layer 2: output × hidden, plus output biases.
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+    dims: usize,
+    outputs: usize,
+    classifier_name: &'static str,
+}
+
+impl Mlp {
+    /// Trains a classifier head: one output per class, softmax cross-entropy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs,
+    /// label mismatch, or degenerate hyper-parameters.
+    pub fn fit_classifier(xs: &[Vec<f64>], ys: &[usize], params: MlpParams) -> Result<Self, MlError> {
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        let targets: Vec<Vec<f64>> = ys
+            .iter()
+            .map(|&y| {
+                let mut t = vec![0.0; n_classes];
+                t[y] = 1.0;
+                t
+            })
+            .collect();
+        let mut net = Self::fit_multi(xs, &targets, params, true)?;
+        net.classifier_name = "ANN";
+        Ok(net)
+    }
+
+    /// Trains a single-output regressor with squared loss.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mlp::fit_classifier`].
+    pub fn fit_regressor(xs: &[Vec<f64>], ys: &[f64], params: MlpParams) -> Result<Self, MlError> {
+        let targets: Vec<Vec<f64>> = ys.iter().map(|&y| vec![y]).collect();
+        Self::fit_multi(xs, &targets, params, false)
+    }
+
+    fn fit_multi(
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        params: MlpParams,
+        softmax: bool,
+    ) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != targets.len() {
+            return Err(MlError::InvalidTrainingData(
+                "empty training set or target mismatch".into(),
+            ));
+        }
+        if params.hidden == 0 || params.epochs == 0 || params.learning_rate <= 0.0 {
+            return Err(MlError::InvalidTrainingData(
+                "hidden, epochs and learning_rate must be positive".into(),
+            ));
+        }
+        let dims = xs[0].len();
+        let outputs = targets[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        if outputs == 0 || targets.iter().any(|t| t.len() != outputs) {
+            return Err(MlError::InvalidTrainingData(
+                "targets must be non-empty and rectangular".into(),
+            ));
+        }
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let scale1 = (1.0 / dims as f64).sqrt();
+        let scale2 = (1.0 / params.hidden as f64).sqrt();
+        let mut net = Mlp {
+            w1: (0..params.hidden)
+                .map(|_| (0..dims).map(|_| rng.gen_range(-scale1..scale1)).collect())
+                .collect(),
+            b1: vec![0.0; params.hidden],
+            w2: (0..outputs)
+                .map(|_| {
+                    (0..params.hidden)
+                        .map(|_| rng.gen_range(-scale2..scale2))
+                        .collect()
+                })
+                .collect(),
+            b2: vec![0.0; outputs],
+            dims,
+            outputs,
+            classifier_name: "MLP",
+        };
+
+        let n = xs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..params.epochs {
+            // Shuffle the visiting order each epoch (Fisher–Yates).
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for &i in &order {
+                net.backprop_step(&xs[i], &targets[i], params.learning_rate, softmax);
+            }
+        }
+        Ok(net)
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let hidden: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(self.b1.iter())
+            .map(|(w, b)| {
+                (w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>() + b).tanh()
+            })
+            .collect();
+        let out: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(self.b2.iter())
+            .map(|(w, b)| w.iter().zip(hidden.iter()).map(|(wi, hi)| wi * hi).sum::<f64>() + b)
+            .collect();
+        (hidden, out)
+    }
+
+    fn backprop_step(&mut self, x: &[f64], target: &[f64], lr: f64, softmax: bool) {
+        let (hidden, out) = self.forward(x);
+
+        // Output deltas: softmax+cross-entropy and linear+MSE share the
+        // same convenient (prediction − target) form.
+        let predictions = if softmax { softmax_vec(&out) } else { out };
+        let delta_out: Vec<f64> = predictions
+            .iter()
+            .zip(target.iter())
+            .map(|(p, t)| p - t)
+            .collect();
+
+        // Hidden deltas through tanh'.
+        let mut delta_hidden = vec![0.0; hidden.len()];
+        for (h, dh) in delta_hidden.iter_mut().enumerate() {
+            let upstream: f64 = self
+                .w2
+                .iter()
+                .zip(delta_out.iter())
+                .map(|(w, d)| w[h] * d)
+                .sum();
+            *dh = upstream * (1.0 - hidden[h] * hidden[h]);
+        }
+
+        // Gradient descent.
+        for (o, d) in delta_out.iter().enumerate() {
+            for (h, hv) in hidden.iter().enumerate() {
+                self.w2[o][h] -= lr * d * hv;
+            }
+            self.b2[o] -= lr * d;
+        }
+        for (h, d) in delta_hidden.iter().enumerate() {
+            for (i, xv) in x.iter().enumerate() {
+                self.w1[h][i] -= lr * d * xv;
+            }
+            self.b1[h] -= lr * d;
+        }
+    }
+
+    /// Raw output vector for `x` (post-softmax for classifiers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn predict_vector(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if x.len() != self.dims {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims,
+                actual: x.len(),
+            });
+        }
+        Ok(self.forward(x).1)
+    }
+
+    /// Scalar prediction (regression). Uses the first output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn predict_value(&self, x: &[f64]) -> Result<f64, MlError> {
+        Ok(self.predict_vector(x)?[0])
+    }
+
+    /// Number of outputs.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Renames the classifier for reporting (Table 5 distinguishes "MLP"
+    /// and "ANN" configurations).
+    #[must_use]
+    pub fn with_name(mut self, name: &'static str) -> Self {
+        self.classifier_name = name;
+        self
+    }
+}
+
+fn softmax_vec(v: &[f64]) -> Vec<f64> {
+    let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = v.iter().map(|x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Classifier for Mlp {
+    fn predict(&self, x: &[f64]) -> usize {
+        let out = self
+            .predict_vector(x)
+            .expect("dimension mismatch in MLP predict");
+        out.iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .expect("at least one output")
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        self.classifier_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_regression() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + 1.0).collect();
+        let net = Mlp::fit_regressor(&xs, &ys, MlpParams::default()).unwrap();
+        for x in [0.1, 0.5, 0.9] {
+            let p = net.predict_value(&[x]).unwrap();
+            assert!((p - (3.0 * x + 1.0)).abs() < 0.2, "x={x} p={p}");
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_regression() {
+        // A saturating curve like the paper's exponential memory function.
+        let xs: Vec<Vec<f64>> = (1..=40).map(|i| vec![i as f64 / 40.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - (-3.0 * x[0]).exp()).collect();
+        let net = Mlp::fit_regressor(
+            &xs,
+            &ys,
+            MlpParams {
+                epochs: 2000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let p = net.predict_value(&[0.5]).unwrap();
+        let truth = 1.0 - (-1.5f64).exp();
+        assert!((p - truth).abs() < 0.05, "p={p} truth={truth}");
+    }
+
+    #[test]
+    fn classifies_xor() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![0, 1, 1, 0];
+        let net = Mlp::fit_classifier(
+            &xs,
+            &ys,
+            MlpParams {
+                hidden: 8,
+                epochs: 3000,
+                learning_rate: 0.1,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(net.predict(x), y, "x={x:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let a = Mlp::fit_regressor(&xs, &ys, MlpParams::default()).unwrap();
+        let b = Mlp::fit_regressor(&xs, &ys, MlpParams::default()).unwrap();
+        assert_eq!(
+            a.predict_value(&[5.0]).unwrap(),
+            b.predict_value(&[5.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(Mlp::fit_regressor(&[], &[], MlpParams::default()).is_err());
+        let xs = vec![vec![0.0]];
+        assert!(Mlp::fit_regressor(
+            &xs,
+            &[1.0],
+            MlpParams {
+                hidden: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let net = Mlp::fit_regressor(&xs, &[1.0], MlpParams::default()).unwrap();
+        assert!(net.predict_value(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn naming_and_outputs() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let clf = Mlp::fit_classifier(&xs, &[0, 1], MlpParams::default()).unwrap();
+        assert_eq!(clf.name(), "ANN");
+        assert_eq!(clf.outputs(), 2);
+        let renamed = clf.with_name("MLP");
+        assert_eq!(renamed.name(), "MLP");
+    }
+}

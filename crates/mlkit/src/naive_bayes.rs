@@ -1,0 +1,219 @@
+//! Gaussian naive Bayes — one of the Table 5 alternative expert selectors.
+
+use crate::{Classifier, MlError};
+use serde::{Deserialize, Serialize};
+
+/// Per-class Gaussian parameters for each feature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ClassModel {
+    prior_ln: f64,
+    means: Vec<f64>,
+    variances: Vec<f64>,
+}
+
+/// A fitted Gaussian naive Bayes classifier.
+///
+/// Features are modelled as independent normals per class; variances are
+/// floored at a small epsilon so constant features do not produce
+/// degenerate likelihoods.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::naive_bayes::GaussianNb;
+/// use mlkit::Classifier;
+/// let xs = vec![vec![0.0], vec![0.2], vec![4.0], vec![4.1]];
+/// let ys = vec![0, 0, 1, 1];
+/// let nb = GaussianNb::fit(&xs, &ys)?;
+/// assert_eq!(nb.predict(&[0.1]), 0);
+/// assert_eq!(nb.predict(&[4.3]), 1);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianNb {
+    classes: Vec<ClassModel>,
+    dims: usize,
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl GaussianNb {
+    /// Fits class priors and per-feature Gaussians.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs or
+    /// a label/feature length mismatch.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize]) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(
+                "empty training set or label mismatch".into(),
+            ));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        let n = xs.len() as f64;
+
+        let mut classes = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let members: Vec<&Vec<f64>> = xs
+                .iter()
+                .zip(ys.iter())
+                .filter(|(_, &y)| y == c)
+                .map(|(x, _)| x)
+                .collect();
+            if members.is_empty() {
+                // A class index with no samples: give it a vanishing prior
+                // so it can never win, but keep indices aligned.
+                classes.push(ClassModel {
+                    prior_ln: f64::NEG_INFINITY,
+                    means: vec![0.0; dims],
+                    variances: vec![1.0; dims],
+                });
+                continue;
+            }
+            let m = members.len() as f64;
+            let mut means = vec![0.0; dims];
+            for x in &members {
+                for (d, v) in x.iter().enumerate() {
+                    means[d] += v;
+                }
+            }
+            for mu in &mut means {
+                *mu /= m;
+            }
+            let mut variances = vec![0.0; dims];
+            for x in &members {
+                for (d, v) in x.iter().enumerate() {
+                    variances[d] += (v - means[d]) * (v - means[d]);
+                }
+            }
+            for var in &mut variances {
+                *var = (*var / m).max(VAR_FLOOR);
+            }
+            classes.push(ClassModel {
+                prior_ln: (m / n).ln(),
+                means,
+                variances,
+            });
+        }
+        Ok(GaussianNb { classes, dims })
+    }
+
+    /// Log joint likelihood of `x` under class `c` (up to a constant).
+    fn log_likelihood(&self, c: usize, x: &[f64]) -> f64 {
+        let model = &self.classes[c];
+        let mut ll = model.prior_ln;
+        for d in 0..self.dims {
+            let var = model.variances[d];
+            let diff = x[d] - model.means[d];
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        ll
+    }
+
+    /// Predicts a label, returning an error rather than panicking on bad
+    /// dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn try_predict(&self, x: &[f64]) -> Result<usize, MlError> {
+        if x.len() != self.dims {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims,
+                actual: x.len(),
+            });
+        }
+        Ok((0..self.classes.len())
+            .max_by(|&a, &b| {
+                self.log_likelihood(a, x)
+                    .partial_cmp(&self.log_likelihood(b, x))
+                    .expect("finite log-likelihoods")
+            })
+            .expect("at least one class"))
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict(&self, x: &[f64]) -> usize {
+        self.try_predict(x)
+            .expect("dimension mismatch in GaussianNb predict")
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive Bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_blobs_classified() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.05;
+            xs.push(vec![jitter, -jitter]);
+            ys.push(0);
+            xs.push(vec![3.0 + jitter, 3.0 - jitter]);
+            ys.push(1);
+        }
+        let nb = GaussianNb::fit(&xs, &ys).unwrap();
+        assert_eq!(nb.predict(&[0.1, 0.0]), 0);
+        assert_eq!(nb.predict(&[3.1, 2.9]), 1);
+    }
+
+    #[test]
+    fn priors_break_ties_in_overlap() {
+        // Class 1 has 3x the samples at the same location.
+        let xs = vec![vec![0.0], vec![0.0], vec![0.0], vec![0.0]];
+        let ys = vec![0, 1, 1, 1];
+        let nb = GaussianNb::fit(&xs, &ys).unwrap();
+        assert_eq!(nb.predict(&[0.0]), 1);
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let xs = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 10.0], vec![1.0, 11.0]];
+        let ys = vec![0, 0, 1, 1];
+        let nb = GaussianNb::fit(&xs, &ys).unwrap();
+        assert_eq!(nb.predict(&[1.0, 0.5]), 0);
+        assert_eq!(nb.predict(&[1.0, 10.5]), 1);
+    }
+
+    #[test]
+    fn missing_class_index_never_wins() {
+        // Labels 0 and 2 only; class 1 has no samples.
+        let xs = vec![vec![0.0], vec![5.0]];
+        let ys = vec![0, 2];
+        let nb = GaussianNb::fit(&xs, &ys).unwrap();
+        assert_ne!(nb.predict(&[2.5]), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(GaussianNb::fit(&[], &[]).is_err());
+        assert!(GaussianNb::fit(&[vec![1.0]], &[0, 1]).is_err());
+        let nb = GaussianNb::fit(&[vec![1.0, 2.0]], &[0]).unwrap();
+        assert!(nb.try_predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let nb = GaussianNb::fit(&[vec![0.0], vec![1.0]], &[0, 1]).unwrap();
+        assert_eq!(nb.dims(), 1);
+        assert_eq!(nb.name(), "Naive Bayes");
+    }
+}

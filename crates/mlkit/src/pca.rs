@@ -1,0 +1,297 @@
+//! Principal Component Analysis (paper §3.2, "Feature Reduction").
+//!
+//! The paper reduces 22 scaled raw features with PCA and keeps the top
+//! principal components that explain 95 % of the variance (five, in their
+//! setting — Fig. 4a). The fitted transformation matrix is stored and used
+//! to project features of unseen applications at runtime.
+
+use crate::linalg::Matrix;
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA transform.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::pca::Pca;
+/// // Data that varies almost entirely along the (1, 1) direction.
+/// let data: Vec<Vec<f64>> = (0..32)
+///     .map(|i| {
+///         let t = i as f64 / 4.0;
+///         vec![t + 0.01 * (i % 3) as f64, t]
+///     })
+///     .collect();
+/// let pca = Pca::fit(&data, 1)?;
+/// assert_eq!(pca.components(), 1);
+/// assert!(pca.explained_variance_ratio()[0] > 0.99);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// Row `i` is the i-th principal axis (unit vector in feature space).
+    axes: Matrix,
+    eigenvalues: Vec<f64>,
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits a PCA keeping `components` principal axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] if `data` is empty, ragged,
+    /// or `components` is zero or exceeds the feature count, and
+    /// [`MlError::Numerical`] if the eigensolver fails.
+    pub fn fit(data: &[Vec<f64>], components: usize) -> Result<Self, MlError> {
+        let first = data
+            .first()
+            .ok_or_else(|| MlError::InvalidTrainingData("empty training set".into()))?;
+        let dims = first.len();
+        if components == 0 || components > dims {
+            return Err(MlError::InvalidTrainingData(format!(
+                "components must be in 1..={dims}, got {components}"
+            )));
+        }
+        if data.iter().any(|r| r.len() != dims) {
+            return Err(MlError::InvalidTrainingData("ragged rows".into()));
+        }
+        let m = Matrix::from_rows(data.to_vec());
+        let means = m.column_means();
+        let cov = m.covariance();
+        let (eigenvalues, vectors) = cov.symmetric_eigen()?;
+        let total_variance: f64 = eigenvalues.iter().map(|&v| v.max(0.0)).sum();
+
+        // Keep the top `components` eigenvectors as rows of the projection.
+        let mut axes = Matrix::zeros(components, dims);
+        for pc in 0..components {
+            for d in 0..dims {
+                axes.set(pc, d, vectors.get(d, pc));
+            }
+        }
+        Ok(Pca {
+            means,
+            axes,
+            eigenvalues: eigenvalues.into_iter().take(components).collect(),
+            total_variance,
+        })
+    }
+
+    /// Fits a PCA keeping the smallest number of components whose
+    /// cumulative explained variance reaches `target` (e.g. `0.95`), the
+    /// paper's selection rule.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pca::fit`]; additionally rejects targets
+    /// outside `(0, 1]`.
+    pub fn fit_for_variance(data: &[Vec<f64>], target: f64) -> Result<Self, MlError> {
+        if !(0.0..=1.0).contains(&target) || target == 0.0 {
+            return Err(MlError::InvalidTrainingData(format!(
+                "variance target must be in (0, 1], got {target}"
+            )));
+        }
+        let dims = data
+            .first()
+            .ok_or_else(|| MlError::InvalidTrainingData("empty training set".into()))?
+            .len();
+        let full = Pca::fit(data, dims)?;
+        let ratios = full.explained_variance_ratio();
+        let mut cumulative = 0.0;
+        let mut k = dims;
+        for (i, r) in ratios.iter().enumerate() {
+            cumulative += r;
+            if cumulative >= target {
+                k = i + 1;
+                break;
+            }
+        }
+        Pca::fit(data, k)
+    }
+
+    /// Number of principal components kept.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.axes.rows()
+    }
+
+    /// Dimensionality of the original feature space.
+    #[must_use]
+    pub fn input_dims(&self) -> usize {
+        self.axes.cols()
+    }
+
+    /// Eigenvalues (variances) of the kept components, descending.
+    #[must_use]
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by each kept component.
+    #[must_use]
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.components()];
+        }
+        self.eigenvalues
+            .iter()
+            .map(|&v| v.max(0.0) / self.total_variance)
+            .collect()
+    }
+
+    /// The loading of raw feature `feature` on component `pc`
+    /// (the entry of the principal axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn loading(&self, pc: usize, feature: usize) -> f64 {
+        self.axes.get(pc, feature)
+    }
+
+    /// The loading matrix: `components × input_dims`, each row a unit
+    /// principal axis.
+    #[must_use]
+    pub fn loadings(&self) -> &Matrix {
+        &self.axes
+    }
+
+    /// Projects one sample into PC space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if x.len() != self.input_dims() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.input_dims(),
+                actual: x.len(),
+            });
+        }
+        let centered: Vec<f64> = x
+            .iter()
+            .zip(self.means.iter())
+            .map(|(v, m)| v - m)
+            .collect();
+        self.axes.matvec(&centered)
+    }
+
+    /// Projects a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-row error encountered.
+    pub fn transform_batch(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        data.iter().map(|row| self.transform(row)).collect()
+    }
+
+    /// Maps a PC-space vector back into (approximate) feature space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn inverse_transform(&self, z: &[f64]) -> Result<Vec<f64>, MlError> {
+        if z.len() != self.components() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.components(),
+                actual: z.len(),
+            });
+        }
+        let back = self.axes.transpose().matvec(z)?;
+        Ok(back
+            .iter()
+            .zip(self.means.iter())
+            .map(|(v, m)| v + m)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic 3-feature data where feature 0 dominates variance,
+    /// feature 1 is correlated with it and feature 2 is nearly constant.
+    fn sample_data() -> Vec<Vec<f64>> {
+        (0..40)
+            .map(|i| {
+                let t = i as f64;
+                vec![
+                    t,
+                    0.5 * t + ((i * 7) % 5) as f64 * 0.1,
+                    0.01 * ((i * 3) % 4) as f64,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn components_ordered_by_variance() {
+        let pca = Pca::fit(&sample_data(), 3).unwrap();
+        let e = pca.eigenvalues();
+        assert!(e[0] >= e[1] && e[1] >= e[2]);
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one_when_full_rank() {
+        let pca = Pca::fit(&sample_data(), 3).unwrap();
+        let sum: f64 = pca.explained_variance_ratio().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_target_selects_few_components() {
+        let pca = Pca::fit_for_variance(&sample_data(), 0.95).unwrap();
+        assert!(pca.components() <= 2, "strongly correlated data compresses");
+    }
+
+    #[test]
+    fn transform_then_inverse_approximates_input() {
+        let data = sample_data();
+        let pca = Pca::fit(&data, 3).unwrap();
+        for row in data.iter().take(5) {
+            let z = pca.transform(row).unwrap();
+            let back = pca.inverse_transform(&z).unwrap();
+            for (a, b) in row.iter().zip(back.iter()) {
+                assert!((a - b).abs() < 1e-9, "full-rank PCA is lossless");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_centers_training_mean_to_origin() {
+        let data = sample_data();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let n = data.len() as f64;
+        let dims = data[0].len();
+        let mean: Vec<f64> = (0..dims)
+            .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n)
+            .collect();
+        let z = pca.transform(&mean).unwrap();
+        assert!(z.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(Pca::fit(&[], 1).is_err());
+        assert!(Pca::fit(&sample_data(), 0).is_err());
+        assert!(Pca::fit(&sample_data(), 4).is_err());
+        assert!(Pca::fit_for_variance(&sample_data(), 0.0).is_err());
+        assert!(Pca::fit_for_variance(&sample_data(), 1.5).is_err());
+    }
+
+    #[test]
+    fn transform_rejects_wrong_dims() {
+        let pca = Pca::fit(&sample_data(), 2).unwrap();
+        assert!(matches!(
+            pca.transform(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            pca.inverse_transform(&[1.0, 2.0, 3.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+}

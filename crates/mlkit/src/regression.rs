@@ -1,0 +1,531 @@
+//! Least-squares fitting and two-point solving for the paper's three
+//! memory-function families (Table 1):
+//!
+//! | family | formula |
+//! |---|---|
+//! | linear | `y = m·x + b` |
+//! | exponential (saturating) | `y = m·(1 − e^(−b·x))` |
+//! | Napierian logarithmic | `y = m + b·ln(x)` |
+//!
+//! Each family has two coefficients `(m, b)`. Offline training fits them by
+//! least squares over many profiled inputs; online calibration (paper §4.1)
+//! solves them exactly from the two profiling runs on 5 % and 10 % of the
+//! input.
+
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// The three curve families of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CurveFamily {
+    /// `y = m·x + b` — "(piecewise) linear regression".
+    Linear,
+    /// `y = m·(1 − e^(−b·x))` — saturating exponential.
+    Exponential,
+    /// `y = m + b·ln(x)` — Napierian logarithmic.
+    NapierianLog,
+}
+
+impl CurveFamily {
+    /// All families, in Table 1 order.
+    pub const ALL: [CurveFamily; 3] = [
+        CurveFamily::Linear,
+        CurveFamily::Exponential,
+        CurveFamily::NapierianLog,
+    ];
+
+    /// Human-readable name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CurveFamily::Linear => "Linear Regression",
+            CurveFamily::Exponential => "Exponential Regression",
+            CurveFamily::NapierianLog => "Napierian Logarithmic Regression",
+        }
+    }
+
+    /// The formula as printed in Table 1.
+    #[must_use]
+    pub fn formula(self) -> &'static str {
+        match self {
+            CurveFamily::Linear => "y = m*x + b",
+            CurveFamily::Exponential => "y = m*(1 - e^(-b*x))",
+            CurveFamily::NapierianLog => "y = m + ln(x)*b",
+        }
+    }
+}
+
+impl std::fmt::Display for CurveFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fitted curve: family plus instantiated coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedCurve {
+    /// Which formula the coefficients instantiate.
+    pub family: CurveFamily,
+    /// Coefficient `m`.
+    pub m: f64,
+    /// Coefficient `b`.
+    pub b: f64,
+}
+
+impl FittedCurve {
+    /// Evaluates the curve at `x`.
+    ///
+    /// For the logarithmic family, `x` is floored at a tiny positive value
+    /// to keep `ln` defined.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        evaluate(self.family, self.m, self.b, x)
+    }
+}
+
+/// Evaluates `family` with coefficients `(m, b)` at `x`.
+#[must_use]
+pub fn evaluate(family: CurveFamily, m: f64, b: f64, x: f64) -> f64 {
+    match family {
+        CurveFamily::Linear => m * x + b,
+        CurveFamily::Exponential => m * (1.0 - (-b * x).exp()),
+        CurveFamily::NapierianLog => m + b * x.max(1e-12).ln(),
+    }
+}
+
+/// Root-mean-square error of a fitted curve over observations.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn fit_rmse(curve: &FittedCurve, xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty());
+    let mse = xs
+        .iter()
+        .zip(ys.iter())
+        .map(|(&x, &y)| (curve.eval(x) - y).powi(2))
+        .sum::<f64>()
+        / xs.len() as f64;
+    mse.sqrt()
+}
+
+fn validate_observations(xs: &[f64], ys: &[f64]) -> Result<(), MlError> {
+    if xs.len() != ys.len() {
+        return Err(MlError::InvalidTrainingData(format!(
+            "{} xs but {} ys",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(MlError::InvalidTrainingData(
+            "need at least two observations".into(),
+        ));
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(MlError::InvalidTrainingData(
+            "observations must be finite".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Ordinary-least-squares fit of `y = m·x + b`.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidTrainingData`] for fewer than two points or
+/// non-finite values, and [`MlError::Numerical`] when all `x` coincide.
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Result<FittedCurve, MlError> {
+    validate_observations(xs, ys)?;
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys.iter()).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return Err(MlError::Numerical("degenerate x values".into()));
+    }
+    let m = (n * sxy - sx * sy) / denom;
+    let b = (sy - m * sx) / n;
+    Ok(FittedCurve {
+        family: CurveFamily::Linear,
+        m,
+        b,
+    })
+}
+
+/// OLS fit of `y = m + b·ln(x)` (linear in `ln x`).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidTrainingData`] if any `x ≤ 0`, plus the
+/// [`fit_linear`] error conditions on the transformed data.
+pub fn fit_napierian_log(xs: &[f64], ys: &[f64]) -> Result<FittedCurve, MlError> {
+    validate_observations(xs, ys)?;
+    if xs.iter().any(|&x| x <= 0.0) {
+        return Err(MlError::InvalidTrainingData(
+            "logarithmic family needs positive x".into(),
+        ));
+    }
+    let ln_xs: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let lin = fit_linear(&ln_xs, ys)?;
+    Ok(FittedCurve {
+        family: CurveFamily::NapierianLog,
+        m: lin.b, // intercept of the transformed fit
+        b: lin.m, // slope of the transformed fit
+    })
+}
+
+/// Nonlinear least-squares fit of `y = m·(1 − e^(−b·x))`.
+///
+/// For a fixed rate `b` the optimal amplitude `m` has a closed form, so the
+/// search is one-dimensional: a coarse logarithmic grid over `b` followed
+/// by golden-section refinement.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidTrainingData`] for degenerate inputs (fewer
+/// than two points, non-finite values, all-zero x).
+pub fn fit_exponential(xs: &[f64], ys: &[f64]) -> Result<FittedCurve, MlError> {
+    validate_observations(xs, ys)?;
+    let x_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if x_max <= 0.0 {
+        return Err(MlError::InvalidTrainingData(
+            "exponential family needs positive x".into(),
+        ));
+    }
+
+    // Given b, m* = Σ y·g / Σ g² with g = 1 − e^(−b·x).
+    let sse_for = |b: f64| -> (f64, f64) {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            let g = 1.0 - (-b * x).exp();
+            num += y * g;
+            den += g * g;
+        }
+        let m = if den > 0.0 { num / den } else { 0.0 };
+        let sse: f64 = xs
+            .iter()
+            .zip(ys.iter())
+            .map(|(&x, &y)| (m * (1.0 - (-b * x).exp()) - y).powi(2))
+            .sum();
+        (sse, m)
+    };
+
+    // Coarse log grid centred on scales implied by the data.
+    let lo = 1e-6 / x_max.max(1e-12);
+    let hi = 1e4 / x_max.min(1e12).max(1e-12);
+    let mut best_b = lo;
+    let mut best_sse = f64::INFINITY;
+    let grid_points = 200;
+    for i in 0..=grid_points {
+        let t = i as f64 / grid_points as f64;
+        let b = lo * (hi / lo).powf(t);
+        let (sse, _) = sse_for(b);
+        if sse < best_sse {
+            best_sse = sse;
+            best_b = b;
+        }
+    }
+
+    // Golden-section refinement around the best grid cell (in log space).
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let step = (hi / lo).powf(1.0 / grid_points as f64);
+    let mut a = (best_b / step).ln();
+    let mut c = (best_b * step).ln();
+    for _ in 0..80 {
+        let d = c - phi * (c - a);
+        let e = a + phi * (c - a);
+        if sse_for(d.exp()).0 < sse_for(e.exp()).0 {
+            c = e;
+        } else {
+            a = d;
+        }
+    }
+    let b = ((a + c) / 2.0).exp();
+    let (_, m) = sse_for(b);
+    Ok(FittedCurve {
+        family: CurveFamily::Exponential,
+        m,
+        b,
+    })
+}
+
+/// Fits one specific family.
+///
+/// # Errors
+///
+/// Propagates the family fitter's error conditions.
+pub fn fit_family(family: CurveFamily, xs: &[f64], ys: &[f64]) -> Result<FittedCurve, MlError> {
+    match family {
+        CurveFamily::Linear => fit_linear(xs, ys),
+        CurveFamily::Exponential => fit_exponential(xs, ys),
+        CurveFamily::NapierianLog => fit_napierian_log(xs, ys),
+    }
+}
+
+/// Fits every family and returns the one with the lowest RMSE — the
+/// offline model-fitting step of the training pipeline (Fig. 2, step 2).
+///
+/// # Errors
+///
+/// Returns [`MlError::Numerical`] if no family could be fitted at all.
+pub fn best_fit(xs: &[f64], ys: &[f64]) -> Result<(FittedCurve, f64), MlError> {
+    let mut best: Option<(FittedCurve, f64)> = None;
+    for family in CurveFamily::ALL {
+        if let Ok(curve) = fit_family(family, xs, ys) {
+            let rmse = fit_rmse(&curve, xs, ys);
+            if best.as_ref().is_none_or(|(_, b)| rmse < *b) {
+                best = Some((curve, rmse));
+            }
+        }
+    }
+    best.ok_or_else(|| MlError::Numerical("no family could be fitted".into()))
+}
+
+/// Solves `(m, b)` exactly from two calibration points — the paper's
+/// runtime model calibration (§4.1): profile on 5 % and 10 % of the input,
+/// then solve the memory-function equation.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidTrainingData`] for coincident or non-finite
+/// points, non-positive `x` for log/exponential, or observations
+/// incompatible with the family (e.g. a ratio outside the feasible range of
+/// the saturating exponential), and [`MlError::Numerical`] if the 1-D root
+/// search fails to bracket.
+pub fn solve_two_point(
+    family: CurveFamily,
+    p1: (f64, f64),
+    p2: (f64, f64),
+) -> Result<FittedCurve, MlError> {
+    let ((x1, y1), (x2, y2)) = if p1.0 <= p2.0 { (p1, p2) } else { (p2, p1) };
+    if ![x1, y1, x2, y2].iter().all(|v| v.is_finite()) {
+        return Err(MlError::InvalidTrainingData(
+            "calibration points must be finite".into(),
+        ));
+    }
+    if (x2 - x1).abs() < 1e-15 {
+        return Err(MlError::InvalidTrainingData(
+            "calibration points must have distinct x".into(),
+        ));
+    }
+    match family {
+        CurveFamily::Linear => {
+            let m = (y2 - y1) / (x2 - x1);
+            let b = y1 - m * x1;
+            Ok(FittedCurve {
+                family,
+                m,
+                b,
+            })
+        }
+        CurveFamily::NapierianLog => {
+            if x1 <= 0.0 {
+                return Err(MlError::InvalidTrainingData(
+                    "logarithmic family needs positive x".into(),
+                ));
+            }
+            let b = (y2 - y1) / (x2.ln() - x1.ln());
+            let m = y1 - b * x1.ln();
+            Ok(FittedCurve { family, m, b })
+        }
+        CurveFamily::Exponential => {
+            if x1 <= 0.0 {
+                return Err(MlError::InvalidTrainingData(
+                    "exponential family needs positive x".into(),
+                ));
+            }
+            if y1 <= 0.0 || y2 <= 0.0 {
+                return Err(MlError::InvalidTrainingData(
+                    "exponential family needs positive y".into(),
+                ));
+            }
+            // ratio(b) = (1 − e^(−b·x1)) / (1 − e^(−b·x2)) rises
+            // monotonically from x1/x2 (b → 0) to 1 (b → ∞).
+            let target = y1 / y2;
+            let floor = x1 / x2;
+            if target <= floor || target >= 1.0 {
+                return Err(MlError::InvalidTrainingData(format!(
+                    "observed ratio {target:.4} outside feasible range ({floor:.4}, 1) \
+                     for the saturating exponential"
+                )));
+            }
+            let ratio = |b: f64| (1.0 - (-b * x1).exp()) / (1.0 - (-b * x2).exp());
+            let mut lo = 1e-12 / x2;
+            let mut hi = 1e3 / x1;
+            // Expand upward if necessary (ratio(hi) must exceed target).
+            let mut guard = 0;
+            while ratio(hi) < target {
+                hi *= 10.0;
+                guard += 1;
+                if guard > 60 {
+                    return Err(MlError::Numerical(
+                        "failed to bracket the exponential rate".into(),
+                    ));
+                }
+            }
+            for _ in 0..200 {
+                let mid = (lo + hi) / 2.0;
+                if ratio(mid) < target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let b = (lo + hi) / 2.0;
+            let m = y1 / (1.0 - (-b * x1).exp());
+            Ok(FittedCurve { family, m, b })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(family: CurveFamily, m: f64, b: f64, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| evaluate(family, m, b, x)).collect()
+    }
+
+    #[test]
+    fn linear_fit_recovers_coefficients() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys = sample(CurveFamily::Linear, 2.5, -3.0, &xs);
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.m - 2.5).abs() < 1e-9);
+        assert!((fit.b + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_fit_recovers_coefficients() {
+        // PageRank's published curve: m = 16.333, b = 1.79 (paper §3.1).
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64 * 0.7).collect();
+        let ys = sample(CurveFamily::NapierianLog, 16.333, 1.79, &xs);
+        let fit = fit_napierian_log(&xs, &ys).unwrap();
+        assert!((fit.m - 16.333).abs() < 1e-6);
+        assert!((fit.b - 1.79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_fit_recovers_coefficients() {
+        // Sort's published curve: m = 5.768, b = 4.479 (paper §3.1).
+        let xs: Vec<f64> = (1..=40).map(|i| i as f64 * 0.05).collect();
+        let ys = sample(CurveFamily::Exponential, 5.768, 4.479, &xs);
+        let fit = fit_exponential(&xs, &ys).unwrap();
+        assert!((fit.m - 5.768).abs() < 0.05, "m = {}", fit.m);
+        assert!((fit.b - 4.479).abs() < 0.1, "b = {}", fit.b);
+    }
+
+    #[test]
+    fn best_fit_picks_the_generating_family() {
+        let xs: Vec<f64> = (1..=25).map(|i| i as f64 * 0.4).collect();
+        for family in CurveFamily::ALL {
+            let ys = sample(family, 8.0, 1.2, &xs);
+            let (fit, rmse) = best_fit(&xs, &ys).unwrap();
+            assert_eq!(fit.family, family, "family mis-identified");
+            assert!(rmse < 1e-3, "rmse = {rmse}");
+        }
+    }
+
+    #[test]
+    fn two_point_solve_linear() {
+        let fit = solve_two_point(CurveFamily::Linear, (1.0, 5.0), (3.0, 9.0)).unwrap();
+        assert!((fit.m - 2.0).abs() < 1e-12);
+        assert!((fit.b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_point_solve_log() {
+        let truth = FittedCurve {
+            family: CurveFamily::NapierianLog,
+            m: 16.333,
+            b: 1.79,
+        };
+        let p1 = (0.05, truth.eval(0.05));
+        let p2 = (0.10, truth.eval(0.10));
+        let fit = solve_two_point(CurveFamily::NapierianLog, p1, p2).unwrap();
+        assert!((fit.m - truth.m).abs() < 1e-9);
+        assert!((fit.b - truth.b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_point_solve_exponential() {
+        let truth = FittedCurve {
+            family: CurveFamily::Exponential,
+            m: 5.768,
+            b: 4.479,
+        };
+        let p1 = (0.05, truth.eval(0.05));
+        let p2 = (0.10, truth.eval(0.10));
+        let fit = solve_two_point(CurveFamily::Exponential, p1, p2).unwrap();
+        assert!((fit.m - truth.m).abs() < 1e-6, "m = {}", fit.m);
+        assert!((fit.b - truth.b).abs() < 1e-6, "b = {}", fit.b);
+    }
+
+    #[test]
+    fn two_point_solve_argument_order_is_irrelevant() {
+        let a = solve_two_point(CurveFamily::Linear, (3.0, 9.0), (1.0, 5.0)).unwrap();
+        let b = solve_two_point(CurveFamily::Linear, (1.0, 5.0), (3.0, 9.0)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_point_exponential_rejects_infeasible_ratio() {
+        // y1/y2 == x1/x2 is the linear limit — not representable.
+        let err = solve_two_point(CurveFamily::Exponential, (1.0, 1.0), (2.0, 2.0));
+        assert!(err.is_err());
+        // Decreasing data can't be a saturating exponential either.
+        assert!(solve_two_point(CurveFamily::Exponential, (1.0, 5.0), (2.0, 4.0)).is_err());
+    }
+
+    #[test]
+    fn two_point_rejects_coincident_points() {
+        assert!(solve_two_point(CurveFamily::Linear, (1.0, 2.0), (1.0, 3.0)).is_err());
+    }
+
+    #[test]
+    fn fitters_reject_bad_data() {
+        assert!(fit_linear(&[1.0], &[1.0]).is_err());
+        assert!(fit_linear(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(fit_linear(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+        assert!(fit_napierian_log(&[-1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(fit_exponential(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn evaluate_log_floors_x() {
+        // ln of a floored tiny value, not -inf or NaN.
+        let y = evaluate(CurveFamily::NapierianLog, 1.0, 1.0, 0.0);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn names_and_formulas_are_stable() {
+        assert_eq!(CurveFamily::Linear.name(), "Linear Regression");
+        assert_eq!(
+            CurveFamily::Exponential.formula(),
+            "y = m*(1 - e^(-b*x))"
+        );
+        assert_eq!(
+            CurveFamily::NapierianLog.to_string(),
+            "Napierian Logarithmic Regression"
+        );
+    }
+
+    #[test]
+    fn rmse_of_exact_fit_is_zero() {
+        let xs = [1.0, 2.0, 3.0];
+        let curve = FittedCurve {
+            family: CurveFamily::Linear,
+            m: 1.0,
+            b: 0.0,
+        };
+        assert_eq!(fit_rmse(&curve, &xs, &xs), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Min-max feature scaling (paper §3.2, "Feature Scaling").
+//!
+//! The paper scales every raw feature into `[0, 1]` using the minimum and
+//! maximum observed during training, and reuses those bounds to scale
+//! features of unseen applications at deployment time. Values outside the
+//! training range are clamped.
+
+use crate::MlError;
+use serde::{Deserialize, Serialize};
+
+/// A fitted min-max scaler.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::scaling::MinMaxScaler;
+/// let data = vec![vec![0.0, 100.0], vec![10.0, 200.0]];
+/// let scaler = MinMaxScaler::fit(&data)?;
+/// assert_eq!(scaler.transform(&[5.0, 150.0])?, vec![0.5, 0.5]);
+/// // Unseen values are clamped into [0, 1]:
+/// assert_eq!(scaler.transform(&[-5.0, 500.0])?, vec![0.0, 1.0]);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Learns per-feature minima and maxima from `data` (rows = samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] if `data` is empty or rows
+    /// have inconsistent lengths.
+    pub fn fit(data: &[Vec<f64>]) -> Result<Self, MlError> {
+        let first = data
+            .first()
+            .ok_or_else(|| MlError::InvalidTrainingData("empty training set".into()))?;
+        let dims = first.len();
+        if dims == 0 {
+            return Err(MlError::InvalidTrainingData("zero-dimensional data".into()));
+        }
+        let mut mins = vec![f64::INFINITY; dims];
+        let mut maxs = vec![f64::NEG_INFINITY; dims];
+        for row in data {
+            if row.len() != dims {
+                return Err(MlError::DimensionMismatch {
+                    expected: dims,
+                    actual: row.len(),
+                });
+            }
+            for (d, &x) in row.iter().enumerate() {
+                mins[d] = mins[d].min(x);
+                maxs[d] = maxs[d].max(x);
+            }
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
+
+    /// Number of features the scaler was fitted on.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales one sample into `[0, 1]` per feature, clamping out-of-range
+    /// values. Constant features (min == max) map to 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if x.len() != self.dims() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims(),
+                actual: x.len(),
+            });
+        }
+        Ok(x.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let (lo, hi) = (self.mins[d], self.maxs[d]);
+                if hi == lo {
+                    0.5
+                } else {
+                    ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+                }
+            })
+            .collect())
+    }
+
+    /// Scales a batch of samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-row error encountered.
+    pub fn transform_batch(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
+        data.iter().map(|row| self.transform(row)).collect()
+    }
+
+    /// Scales one sample **without clamping**: training-range values land
+    /// in `[0, 1]`, but out-of-range values keep going. Use this when the
+    /// scaled distance itself is a signal — e.g. novelty detection, where
+    /// clamping would collapse an alien input onto the range corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn transform_unclamped(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if x.len() != self.dims() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims(),
+                actual: x.len(),
+            });
+        }
+        Ok(x.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let (lo, hi) = (self.mins[d], self.maxs[d]);
+                if hi == lo {
+                    0.5
+                } else {
+                    (v - lo) / (hi - lo)
+                }
+            })
+            .collect())
+    }
+
+    /// Maps a scaled value back to the original feature range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] on wrong input length.
+    pub fn inverse_transform(&self, x: &[f64]) -> Result<Vec<f64>, MlError> {
+        if x.len() != self.dims() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims(),
+                actual: x.len(),
+            });
+        }
+        Ok(x.iter()
+            .enumerate()
+            .map(|(d, &v)| self.mins[d] + v * (self.maxs[d] - self.mins[d]))
+            .collect())
+    }
+
+    /// The per-feature minima observed at fit time.
+    #[must_use]
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// The per-feature maxima observed at fit time.
+    #[must_use]
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_training_extremes_to_unit_interval() {
+        let data = vec![vec![2.0, -1.0], vec![4.0, 3.0], vec![3.0, 1.0]];
+        let s = MinMaxScaler::fit(&data).unwrap();
+        assert_eq!(s.transform(&[2.0, -1.0]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(s.transform(&[4.0, 3.0]).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(s.transform(&[3.0, 1.0]).unwrap(), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn clamps_out_of_range_at_deployment() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![10.0]]).unwrap();
+        assert_eq!(s.transform(&[-100.0]).unwrap(), vec![0.0]);
+        assert_eq!(s.transform(&[100.0]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_half() {
+        let s = MinMaxScaler::fit(&[vec![7.0], vec![7.0]]).unwrap();
+        assert_eq!(s.transform(&[7.0]).unwrap(), vec![0.5]);
+        assert_eq!(s.transform(&[123.0]).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn inverse_round_trips_in_range() {
+        let s = MinMaxScaler::fit(&[vec![10.0, 0.0], vec![20.0, 5.0]]).unwrap();
+        let x = [14.0, 2.5];
+        let scaled = s.transform(&x).unwrap();
+        let back = s.inverse_transform(&scaled).unwrap();
+        assert!((back[0] - x[0]).abs() < 1e-12);
+        assert!((back[1] - x[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_training_set_rejected() {
+        assert!(matches!(
+            MinMaxScaler::fit(&[]),
+            Err(MlError::InvalidTrainingData(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let s = MinMaxScaler::fit(&[vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(
+            s.transform(&[1.0]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            MinMaxScaler::fit(&[vec![0.0], vec![0.0, 1.0]]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unclamped_transform_extends_beyond_unit_interval() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![10.0]]).unwrap();
+        assert_eq!(s.transform_unclamped(&[5.0]).unwrap(), vec![0.5]);
+        assert_eq!(s.transform_unclamped(&[20.0]).unwrap(), vec![2.0]);
+        assert_eq!(s.transform_unclamped(&[-10.0]).unwrap(), vec![-1.0]);
+    }
+
+    #[test]
+    fn batch_transform_matches_single() {
+        let data = vec![vec![0.0], vec![4.0]];
+        let s = MinMaxScaler::fit(&data).unwrap();
+        let batch = s.transform_batch(&data).unwrap();
+        assert_eq!(batch, vec![vec![0.0], vec![1.0]]);
+    }
+}

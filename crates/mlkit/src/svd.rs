@@ -1,0 +1,329 @@
+//! Truncated singular value decomposition via power iteration with
+//! deflation — the machinery behind Quasar-style collaborative filtering:
+//! reconstruct an application's full resource profile from a few observed
+//! entries using a low-rank basis learned from historical workloads.
+
+use crate::linalg::Matrix;
+use crate::MlError;
+
+/// A truncated SVD: `A ≈ U · diag(S) · Vᵀ` with `k` components.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `rows × k` (one row per data row).
+    pub u: Matrix,
+    /// Singular values, descending, length `k`.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `cols × k` (one row per data column).
+    pub v: Matrix,
+}
+
+/// Computes the top-`k` singular triplets of `a` (power iteration on
+/// `AᵀA` with Gram–Schmidt deflation; suitable for the small dense
+/// matrices of this crate).
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidTrainingData`] when `k` is zero or exceeds
+/// `min(rows, cols)`, and [`MlError::Numerical`] if iteration collapses
+/// (e.g. a zero matrix).
+pub fn truncated_svd(a: &Matrix, k: usize, iterations: usize) -> Result<TruncatedSvd, MlError> {
+    let (n, m) = (a.rows(), a.cols());
+    if k == 0 || k > n.min(m) {
+        return Err(MlError::InvalidTrainingData(format!(
+            "k must be in 1..={}, got {k}",
+            n.min(m)
+        )));
+    }
+
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut sigmas = Vec::with_capacity(k);
+    let mut us: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for comp in 0..k {
+        // Deterministic start vector, decorrelated per component.
+        let mut v: Vec<f64> = (0..m)
+            .map(|j| 1.0 + ((j * 31 + comp * 17) % 7) as f64 * 0.1)
+            .collect();
+        orthogonalize(&mut v, &vs);
+        if normalize(&mut v) < 1e-300 {
+            return Err(MlError::Numerical("degenerate start vector".into()));
+        }
+
+        for _ in 0..iterations {
+            // w = Aᵀ (A v)
+            let av = a.matvec(&v)?;
+            let mut w = vec![0.0; m];
+            for i in 0..n {
+                let avi = av[i];
+                if avi == 0.0 {
+                    continue;
+                }
+                for (j, wj) in w.iter_mut().enumerate() {
+                    *wj += a.get(i, j) * avi;
+                }
+            }
+            orthogonalize(&mut w, &vs);
+            if normalize(&mut w) < 1e-300 {
+                break;
+            }
+            v = w;
+        }
+
+        let av = a.matvec(&v)?;
+        let sigma = av.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if sigma < 1e-12 {
+            // Remaining spectrum is numerically zero; truncate here.
+            break;
+        }
+        let u: Vec<f64> = av.iter().map(|x| x / sigma).collect();
+        vs.push(v.clone());
+        sigmas.push(sigma);
+        us.push(u);
+    }
+
+    if sigmas.is_empty() {
+        return Err(MlError::Numerical(
+            "matrix has no numerically nonzero singular values".into(),
+        ));
+    }
+    let kept = sigmas.len();
+    let mut u = Matrix::zeros(n, kept);
+    let mut v = Matrix::zeros(m, kept);
+    for c in 0..kept {
+        for i in 0..n {
+            u.set(i, c, us[c][i]);
+        }
+        for j in 0..m {
+            v.set(j, c, vs[c][j]);
+        }
+    }
+    Ok(TruncatedSvd { u, s: sigmas, v })
+}
+
+impl TruncatedSvd {
+    /// Number of components kept.
+    #[must_use]
+    pub fn components(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstructs a full row from a few observed entries: finds the
+    /// least-squares coefficients over the observed columns of the
+    /// `V·diag(S)` basis, then expands to every column. This is the
+    /// collaborative-filtering step: the basis encodes how historical
+    /// rows co-vary, so a handful of measurements pins down the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] when no observations are
+    /// given or a column index is out of range, and [`MlError::Numerical`]
+    /// when the observed columns cannot determine the coefficients.
+    pub fn complete_row(&self, observed: &[(usize, f64)]) -> Result<Vec<f64>, MlError> {
+        if observed.is_empty() {
+            return Err(MlError::InvalidTrainingData(
+                "need at least one observed entry".into(),
+            ));
+        }
+        let m = self.v.rows();
+        if observed.iter().any(|&(j, _)| j >= m) {
+            return Err(MlError::InvalidTrainingData(
+                "observed column out of range".into(),
+            ));
+        }
+        // Use at most as many components as observations so the system is
+        // determined.
+        let k = self.components().min(observed.len());
+
+        // Normal equations over the observed rows of B = V·diag(S).
+        let mut ata = Matrix::zeros(k, k);
+        let mut aty = vec![0.0; k];
+        for &(j, y) in observed {
+            let row: Vec<f64> = (0..k).map(|c| self.v.get(j, c) * self.s[c]).collect();
+            for p in 0..k {
+                for q in 0..k {
+                    ata.set(p, q, ata.get(p, q) + row[p] * row[q]);
+                }
+                aty[p] += row[p] * y;
+            }
+        }
+        // Ridge for stability.
+        for p in 0..k {
+            ata.set(p, p, ata.get(p, p) + 1e-9);
+        }
+        let coeffs = solve_small(&ata, &aty)?;
+
+        Ok((0..m)
+            .map(|j| {
+                (0..k)
+                    .map(|c| self.v.get(j, c) * self.s[c] * coeffs[c])
+                    .sum()
+            })
+            .collect())
+    }
+}
+
+fn orthogonalize(v: &mut [f64], basis: &[Vec<f64>]) {
+    for b in basis {
+        let dot: f64 = v.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        for (vi, bi) in v.iter_mut().zip(b.iter()) {
+            *vi -= dot * bi;
+        }
+    }
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// Gaussian elimination with partial pivoting for tiny systems.
+fn solve_small(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| {
+                m.get(r1, col)
+                    .abs()
+                    .partial_cmp(&m.get(r2, col).abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        if m.get(pivot, col).abs() < 1e-300 {
+            return Err(MlError::Numerical("singular system".into()));
+        }
+        if pivot != col {
+            for j in 0..n {
+                let tmp = m.get(col, j);
+                m.set(col, j, m.get(pivot, j));
+                m.set(pivot, j, tmp);
+            }
+            rhs.swap(col, pivot);
+        }
+        for row in (col + 1)..n {
+            let factor = m.get(row, col) / m.get(col, col);
+            for j in col..n {
+                m.set(row, j, m.get(row, j) - factor * m.get(col, j));
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for j in (row + 1)..n {
+            acc -= m.get(row, j) * x[j];
+        }
+        x[row] = acc / m.get(row, row);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_rank_one_structure() {
+        // A = u vᵀ exactly.
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
+        let a = Matrix::from_rows(
+            u.iter()
+                .map(|&ui| v.iter().map(|&vj| ui * vj).collect())
+                .collect(),
+        );
+        let svd = truncated_svd(&a, 1, 100).unwrap();
+        assert_eq!(svd.components(), 1);
+        // σ = |u| · |v|
+        let expected = (14.0f64).sqrt() * (41.0f64).sqrt();
+        assert!((svd.s[0] - expected).abs() < 1e-9, "sigma {}", svd.s[0]);
+    }
+
+    #[test]
+    fn singular_values_are_descending() {
+        let a = Matrix::from_rows(vec![
+            vec![3.0, 1.0, 0.5],
+            vec![1.0, 2.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+            vec![2.0, 0.1, 0.9],
+        ]);
+        let svd = truncated_svd(&a, 3, 200).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn low_rank_reconstruction_is_accurate() {
+        // Rank-2 matrix: rows are combinations of two patterns.
+        let p1 = [1.0, 2.0, 3.0, 4.0];
+        let p2 = [1.0, 0.5, 0.25, 0.125];
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                let (a, b) = (1.0 + i as f64 * 0.5, 2.0 - i as f64 * 0.25);
+                p1.iter().zip(p2.iter()).map(|(x, y)| a * x + b * y).collect()
+            })
+            .collect();
+        let a = Matrix::from_rows(rows.clone());
+        let svd = truncated_svd(&a, 2, 300).unwrap();
+        // Reconstruct A from the decomposition and compare.
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &val) in row.iter().enumerate() {
+                let approx: f64 = (0..2)
+                    .map(|c| svd.u.get(i, c) * svd.s[c] * svd.v.get(j, c))
+                    .sum();
+                assert!((approx - val).abs() < 1e-6, "({i},{j}): {approx} vs {val}");
+            }
+        }
+    }
+
+    #[test]
+    fn completes_rows_from_two_observations() {
+        // Same rank-2 family; a new row with only 2 observed entries.
+        let p1 = [1.0, 2.0, 3.0, 4.0];
+        let p2 = [1.0, 0.5, 0.25, 0.125];
+        let rows: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                let (a, b) = (1.0 + i as f64 * 0.5, 2.0 - i as f64 * 0.25);
+                p1.iter().zip(p2.iter()).map(|(x, y)| a * x + b * y).collect()
+            })
+            .collect();
+        let svd = truncated_svd(&Matrix::from_rows(rows), 2, 300).unwrap();
+        // The unseen row uses (a, b) = (2.2, 0.7).
+        let truth: Vec<f64> = p1
+            .iter()
+            .zip(p2.iter())
+            .map(|(x, y)| 2.2 * x + 0.7 * y)
+            .collect();
+        let completed = svd
+            .complete_row(&[(0, truth[0]), (3, truth[3])])
+            .unwrap();
+        for (got, want) in completed.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(truncated_svd(&a, 0, 10).is_err());
+        assert!(truncated_svd(&a, 3, 10).is_err());
+        let svd = truncated_svd(&a, 1, 50).unwrap();
+        assert!(svd.complete_row(&[]).is_err());
+        assert!(svd.complete_row(&[(9, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn zero_matrix_is_an_error() {
+        let a = Matrix::zeros(3, 3);
+        assert!(truncated_svd(&a, 1, 20).is_err());
+    }
+}

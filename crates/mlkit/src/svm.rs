@@ -1,0 +1,250 @@
+//! Linear support vector machine trained with the Pegasos sub-gradient
+//! method, extended to multi-class via one-vs-rest — a Table 5 alternative
+//! expert selector.
+
+use crate::linalg::dot;
+use crate::{Classifier, MlError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for SVM training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmParams {
+    /// Regularisation strength λ of the Pegasos objective.
+    pub lambda: f64,
+    /// Number of stochastic epochs over the training set.
+    pub epochs: usize,
+    /// Seed for sample ordering.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            lambda: 1e-3,
+            epochs: 200,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A fitted one-vs-rest linear SVM.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::svm::{LinearSvm, SvmParams};
+/// use mlkit::Classifier;
+/// let xs = vec![vec![0.0, 0.0], vec![0.3, 0.1], vec![4.0, 4.0], vec![4.2, 3.9]];
+/// let ys = vec![0, 0, 1, 1];
+/// let svm = LinearSvm::fit(&xs, &ys, SvmParams::default())?;
+/// assert_eq!(svm.predict(&[0.1, 0.1]), 0);
+/// assert_eq!(svm.predict(&[4.1, 4.1]), 1);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearSvm {
+    /// One `(weights, bias)` per class.
+    hyperplanes: Vec<(Vec<f64>, f64)>,
+    dims: usize,
+}
+
+impl LinearSvm {
+    /// Trains one binary Pegasos SVM per class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs, a
+    /// label mismatch, non-positive λ, or zero epochs.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], params: SvmParams) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(
+                "empty training set or label mismatch".into(),
+            ));
+        }
+        if params.lambda <= 0.0 || params.epochs == 0 {
+            return Err(MlError::InvalidTrainingData(
+                "lambda must be positive and epochs nonzero".into(),
+            ));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let mut hyperplanes = Vec::with_capacity(n_classes);
+        for class in 0..n_classes {
+            let targets: Vec<f64> = ys
+                .iter()
+                .map(|&y| if y == class { 1.0 } else { -1.0 })
+                .collect();
+            hyperplanes.push(train_binary(xs, &targets, params, &mut rng));
+        }
+        Ok(LinearSvm { hyperplanes, dims })
+    }
+
+    /// The signed decision value of `x` for `class` (margin distance scaled
+    /// by the weight norm).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range class or wrong dimensionality.
+    #[must_use]
+    pub fn decision_value(&self, class: usize, x: &[f64]) -> f64 {
+        let (w, b) = &self.hyperplanes[class];
+        dot(w, x) + b
+    }
+}
+
+fn train_binary(
+    xs: &[Vec<f64>],
+    targets: &[f64],
+    params: SvmParams,
+    rng: &mut StdRng,
+) -> (Vec<f64>, f64) {
+    let dims = xs[0].len();
+    let n = xs.len();
+    let mut w = vec![0.0; dims];
+    let mut b = 0.0;
+    let mut t: u64 = 0;
+    // Warm-start the step counter so the first learning rates are bounded
+    // by 1 — the textbook 1/(λt) schedule takes an enormous unregularised
+    // first step on the bias, which never shrinks back.
+    let t0 = 1.0 / params.lambda;
+    for _ in 0..params.epochs {
+        for _ in 0..n {
+            t += 1;
+            let i = rng.gen_range(0..n);
+            let eta = 1.0 / (params.lambda * (t as f64 + t0));
+            let margin = targets[i] * (dot(&w, &xs[i]) + b);
+            // Sub-gradient step on the hinge loss + L2 regulariser.
+            for wj in w.iter_mut() {
+                *wj *= 1.0 - eta * params.lambda;
+            }
+            if margin < 1.0 {
+                for (wj, &xj) in w.iter_mut().zip(xs[i].iter()) {
+                    *wj += eta * targets[i] * xj;
+                }
+                b += eta * targets[i];
+            }
+        }
+    }
+    (w, b)
+}
+
+impl Classifier for LinearSvm {
+    fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.dims, "dimension mismatch in SVM predict");
+        (0..self.hyperplanes.len())
+            .max_by(|&a, &b| {
+                self.decision_value(a, x)
+                    .partial_cmp(&self.decision_value(b, x))
+                    .expect("finite decision values")
+            })
+            .expect("at least one class")
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            xs.push(vec![j, j]);
+            ys.push(0);
+            xs.push(vec![5.0 + j, 5.0 - j]);
+            ys.push(1);
+            xs.push(vec![-5.0 + j, 5.0 + j]);
+            ys.push(2);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separates_three_classes() {
+        let (xs, ys) = blobs();
+        let svm = LinearSvm::fit(&xs, &ys, SvmParams::default()).unwrap();
+        assert_eq!(svm.predict(&[0.2, 0.2]), 0);
+        assert_eq!(svm.predict(&[5.2, 4.8]), 1);
+        assert_eq!(svm.predict(&[-4.8, 5.2]), 2);
+    }
+
+    #[test]
+    fn training_accuracy_is_high_on_separable_data() {
+        let (xs, ys) = blobs();
+        let svm = LinearSvm::fit(&xs, &ys, SvmParams::default()).unwrap();
+        let hits = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, &y)| svm.predict(x) == y)
+            .count();
+        assert!(hits as f64 / xs.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn decision_values_order_correctly() {
+        let (xs, ys) = blobs();
+        let svm = LinearSvm::fit(&xs, &ys, SvmParams::default()).unwrap();
+        let x = [5.0, 5.0];
+        assert!(svm.decision_value(1, &x) > svm.decision_value(0, &x));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let (xs, ys) = blobs();
+        let a = LinearSvm::fit(&xs, &ys, SvmParams::default()).unwrap();
+        let b = LinearSvm::fit(&xs, &ys, SvmParams::default()).unwrap();
+        for x in &xs {
+            assert_eq!(a.predict(x), b.predict(x));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(LinearSvm::fit(&[], &[], SvmParams::default()).is_err());
+        let (xs, ys) = blobs();
+        assert!(LinearSvm::fit(
+            &xs,
+            &ys,
+            SvmParams {
+                lambda: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LinearSvm::fit(
+            &xs,
+            &ys,
+            SvmParams {
+                epochs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let (xs, ys) = blobs();
+        let svm = LinearSvm::fit(&xs, &ys, SvmParams::default()).unwrap();
+        assert_eq!(svm.dims(), 2);
+        assert_eq!(svm.name(), "SVM");
+    }
+}

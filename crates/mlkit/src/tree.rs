@@ -1,0 +1,400 @@
+//! CART-style decision tree with Gini impurity — a Table 5 alternative
+//! expert selector and the base learner of [`crate::forest::RandomForest`].
+
+use crate::{Classifier, MlError};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters controlling tree growth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0). `usize::MAX` for unlimited.
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 16,
+            min_samples_split: 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted decision tree classifier.
+///
+/// # Examples
+///
+/// ```
+/// use mlkit::tree::{DecisionTree, TreeParams};
+/// use mlkit::Classifier;
+/// let xs = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// let ys = vec![0, 0, 1, 1];
+/// let tree = DecisionTree::fit(&xs, &ys, TreeParams::default())?;
+/// assert_eq!(tree.predict(&[0.5]), 0);
+/// assert_eq!(tree.predict(&[10.5]), 1);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    dims: usize,
+}
+
+impl DecisionTree {
+    /// Grows a tree on the full feature set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs or
+    /// a label/feature length mismatch.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], params: TreeParams) -> Result<Self, MlError> {
+        Self::fit_with_features(xs, ys, params, None, &mut NoRng)
+    }
+
+    /// Grows a tree considering only a random subset of `feature_subset`
+    /// features at each split (used by random forests). Pass `None` to use
+    /// every feature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs or
+    /// a label/feature length mismatch.
+    pub fn fit_with_features<R: FeatureSampler>(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        params: TreeParams,
+        feature_subset: Option<usize>,
+        rng: &mut R,
+    ) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::InvalidTrainingData(
+                "empty training set or label mismatch".into(),
+            ));
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.iter().any(|x| x.len() != dims) {
+            return Err(MlError::InvalidTrainingData(
+                "rows must be non-empty and rectangular".into(),
+            ));
+        }
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let root = grow(xs, ys, &indices, params, 0, dims, feature_subset, rng);
+        Ok(DecisionTree { root, dims })
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn d(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+/// Supplies random feature subsets for split search; abstracted so the
+/// plain `fit` path stays deterministic without a generator.
+pub trait FeatureSampler {
+    /// Chooses `k` distinct feature indices out of `dims`.
+    fn sample(&mut self, dims: usize, k: usize) -> Vec<usize>;
+}
+
+/// Trivial sampler that always returns every feature (used by plain trees).
+#[derive(Debug)]
+pub struct NoRng;
+
+impl FeatureSampler for NoRng {
+    fn sample(&mut self, dims: usize, _k: usize) -> Vec<usize> {
+        (0..dims).collect()
+    }
+}
+
+impl FeatureSampler for simkit_compat::RngAdapter<'_> {
+    fn sample(&mut self, dims: usize, k: usize) -> Vec<usize> {
+        self.sample_indices(dims, k.min(dims))
+    }
+}
+
+/// Adapter so callers with a `rand`-based generator can drive feature
+/// sampling (kept in a private-ish module to avoid a hard simkit
+/// dependency).
+pub mod simkit_compat {
+    use rand::Rng;
+
+    /// Wraps any `rand::Rng` as a [`super::FeatureSampler`].
+    #[derive(Debug)]
+    pub struct RngAdapter<'a>(pub &'a mut dyn RngBox);
+
+    /// Object-safe subset of `rand::Rng` needed here.
+    pub trait RngBox {
+        /// Uniform integer in `[0, hi)`.
+        fn below(&mut self, hi: usize) -> usize;
+    }
+
+    impl<T: Rng> RngBox for T {
+        fn below(&mut self, hi: usize) -> usize {
+            self.gen_range(0..hi)
+        }
+    }
+
+    impl std::fmt::Debug for dyn RngBox + '_ {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "RngBox")
+        }
+    }
+
+    impl RngAdapter<'_> {
+        pub(crate) fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in (1..idx.len()).rev() {
+                let j = self.0.below(i + 1);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        }
+    }
+}
+
+fn majority_label(ys: &[usize], indices: &[usize]) -> usize {
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &i in indices {
+        *counts.entry(ys[i]).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(label, _)| label)
+        .unwrap_or(0)
+}
+
+fn gini(ys: &[usize], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &i in indices {
+        *counts.entry(ys[i]).or_insert(0) += 1;
+    }
+    let n = indices.len() as f64;
+    1.0 - counts
+        .values()
+        .map(|&c| (c as f64 / n).powi(2))
+        .sum::<f64>()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow<R: FeatureSampler>(
+    xs: &[Vec<f64>],
+    ys: &[usize],
+    indices: &[usize],
+    params: TreeParams,
+    depth: usize,
+    dims: usize,
+    feature_subset: Option<usize>,
+    rng: &mut R,
+) -> Node {
+    let first_label = ys[indices[0]];
+    let pure = indices.iter().all(|&i| ys[i] == first_label);
+    if pure || depth >= params.max_depth || indices.len() < params.min_samples_split {
+        return Node::Leaf {
+            label: majority_label(ys, indices),
+        };
+    }
+
+    let candidate_features = match feature_subset {
+        Some(k) => rng.sample(dims, k),
+        None => (0..dims).collect(),
+    };
+
+    let parent_gini = gini(ys, indices);
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+
+    for &f in &candidate_features {
+        // Candidate thresholds: midpoints between consecutive sorted values.
+        let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][f]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        for w in values.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if xs[i][f] <= threshold {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let n = indices.len() as f64;
+            let weighted = gini(ys, &left) * left.len() as f64 / n
+                + gini(ys, &right) * right.len() as f64 / n;
+            if best.is_none_or(|(b, _, _)| weighted < b) {
+                best = Some((weighted, f, threshold));
+            }
+        }
+    }
+
+    // Accept the best valid split whenever the node is impure, even at zero
+    // Gini gain: XOR-like labelings need a gainless first cut before any
+    // informative one exists, and recursion still terminates because both
+    // children are strictly smaller.
+    match best {
+        Some((_, feature, threshold)) if parent_gini > 0.0 => {
+            let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+            for &i in indices {
+                if xs[i][feature] <= threshold {
+                    left_idx.push(i);
+                } else {
+                    right_idx.push(i);
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(
+                    xs,
+                    ys,
+                    &left_idx,
+                    params,
+                    depth + 1,
+                    dims,
+                    feature_subset,
+                    rng,
+                )),
+                right: Box::new(grow(
+                    xs,
+                    ys,
+                    &right_idx,
+                    params,
+                    depth + 1,
+                    dims,
+                    feature_subset,
+                    rng,
+                )),
+            }
+        }
+        _ => Node::Leaf {
+            label: majority_label(ys, indices),
+        },
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.dims, "dimension mismatch in tree predict");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_fits_training_data() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![0, 1, 1, 0]; // XOR — needs depth 2.
+        let tree = DecisionTree::fit(&xs, &ys, TreeParams::default()).unwrap();
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            assert_eq!(tree.predict(x), y);
+        }
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_limit_collapses_to_leaf() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![0, 1, 2];
+        let tree = DecisionTree::fit(
+            &xs,
+            &ys,
+            TreeParams {
+                max_depth: 0,
+                min_samples_split: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![5, 5, 5];
+        let tree = DecisionTree::fit(&xs, &ys, TreeParams::default()).unwrap();
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[99.0]), 5);
+    }
+
+    #[test]
+    fn three_way_split_on_one_feature() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let tree = DecisionTree::fit(&xs, &ys, TreeParams::default()).unwrap();
+        assert_eq!(tree.predict(&[5.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+        assert_eq!(tree.predict(&[25.0]), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(DecisionTree::fit(&[], &[], TreeParams::default()).is_err());
+        assert!(DecisionTree::fit(&[vec![1.0]], &[0, 1], TreeParams::default()).is_err());
+        assert!(DecisionTree::fit(&[vec![]], &[0], TreeParams::default()).is_err());
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let tree = DecisionTree::fit(&[vec![0.0], vec![1.0]], &[0, 1], TreeParams::default())
+            .unwrap();
+        assert_eq!(tree.dims(), 1);
+        assert_eq!(tree.name(), "Decision Tree");
+    }
+}

@@ -1,0 +1,239 @@
+//! Varimax rotation for factor/feature-importance analysis (paper §3.2,
+//! "Feature Analysis", Fig. 4b).
+//!
+//! The paper applies a Varimax rotation to the PCA space to quantify each
+//! raw feature's contribution to the principal components, then ranks the
+//! 22 raw features by importance (Table 2's ordering).
+
+use crate::linalg::Matrix;
+use crate::MlError;
+
+/// Result of a Varimax rotation.
+#[derive(Debug, Clone)]
+pub struct VarimaxResult {
+    /// Rotated loading matrix, `features × components`.
+    pub rotated: Matrix,
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+/// Rotates a `features × components` loading matrix with the Varimax
+/// criterion (Kaiser, 1958): iteratively applies planar rotations that
+/// maximise the variance of squared loadings within each component.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidTrainingData`] if `loadings` has fewer than
+/// one column.
+pub fn varimax(loadings: &Matrix, max_iter: usize, tol: f64) -> Result<VarimaxResult, MlError> {
+    let p = loadings.rows(); // features
+    let k = loadings.cols(); // components
+    if k == 0 {
+        return Err(MlError::InvalidTrainingData(
+            "varimax needs at least one component".into(),
+        ));
+    }
+    let mut a = loadings.clone();
+    if k == 1 {
+        return Ok(VarimaxResult {
+            rotated: a,
+            iterations: 0,
+        });
+    }
+
+    let criterion = |m: &Matrix| -> f64 {
+        // Sum over components of the variance of squared loadings.
+        let mut total = 0.0;
+        for c in 0..k {
+            let sq: Vec<f64> = (0..p).map(|r| m.get(r, c).powi(2)).collect();
+            let mean = sq.iter().sum::<f64>() / p as f64;
+            total += sq.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / p as f64;
+        }
+        total
+    };
+
+    let mut last = criterion(&a);
+    let mut iterations = 0;
+    for _ in 0..max_iter {
+        iterations += 1;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                // Optimal planar rotation angle for columns i, j (Kaiser).
+                let (mut u_sum, mut v_sum, mut uv_sum, mut u2v2_sum) = (0.0, 0.0, 0.0, 0.0);
+                for r in 0..p {
+                    let x = a.get(r, i);
+                    let y = a.get(r, j);
+                    let u = x * x - y * y;
+                    let v = 2.0 * x * y;
+                    u_sum += u;
+                    v_sum += v;
+                    uv_sum += u * v;
+                    u2v2_sum += u * u - v * v;
+                }
+                let num = 2.0 * (uv_sum - u_sum * v_sum / p as f64);
+                let den = u2v2_sum - (u_sum * u_sum - v_sum * v_sum) / p as f64;
+                if num.abs() < 1e-15 && den.abs() < 1e-15 {
+                    continue;
+                }
+                let phi = 0.25 * num.atan2(den);
+                if phi.abs() < 1e-12 {
+                    continue;
+                }
+                let (s, c) = phi.sin_cos();
+                for r in 0..p {
+                    let x = a.get(r, i);
+                    let y = a.get(r, j);
+                    a.set(r, i, c * x + s * y);
+                    a.set(r, j, -s * x + c * y);
+                }
+            }
+        }
+        let now = criterion(&a);
+        if (now - last).abs() <= tol * last.max(1e-300) {
+            break;
+        }
+        last = now;
+    }
+    Ok(VarimaxResult {
+        rotated: a,
+        iterations,
+    })
+}
+
+/// Computes each raw feature's contribution to overall variance in the
+/// rotated space: the sum over components of squared rotated loadings,
+/// weighted by `component_weights` (typically the explained-variance
+/// ratios), normalised to percentages that sum to 100.
+///
+/// # Errors
+///
+/// Returns [`MlError::DimensionMismatch`] if `component_weights` does not
+/// match the number of columns of `rotated`.
+pub fn feature_contributions(
+    rotated: &Matrix,
+    component_weights: &[f64],
+) -> Result<Vec<f64>, MlError> {
+    if component_weights.len() != rotated.cols() {
+        return Err(MlError::DimensionMismatch {
+            expected: rotated.cols(),
+            actual: component_weights.len(),
+        });
+    }
+    let mut raw: Vec<f64> = (0..rotated.rows())
+        .map(|r| {
+            (0..rotated.cols())
+                .map(|c| rotated.get(r, c).powi(2) * component_weights[c])
+                .sum()
+        })
+        .collect();
+    let total: f64 = raw.iter().sum();
+    if total > 0.0 {
+        for v in &mut raw {
+            *v = *v / total * 100.0;
+        }
+    }
+    Ok(raw)
+}
+
+/// Returns feature indices sorted by descending contribution.
+#[must_use]
+pub fn rank_features(contributions: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..contributions.len()).collect();
+    idx.sort_by(|&a, &b| {
+        contributions[b]
+            .partial_cmp(&contributions[a])
+            .expect("finite contributions")
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_preserves_row_norms() {
+        // Rotations act within rows of the loading matrix, so each
+        // feature's communality (row norm) is invariant.
+        let loadings = Matrix::from_rows(vec![
+            vec![0.8, 0.3],
+            vec![0.7, 0.4],
+            vec![0.2, 0.9],
+            vec![0.1, 0.85],
+        ]);
+        let out = varimax(&loadings, 100, 1e-10).unwrap();
+        for r in 0..loadings.rows() {
+            let before: f64 = (0..2).map(|c| loadings.get(r, c).powi(2)).sum();
+            let after: f64 = (0..2).map(|c| out.rotated.get(r, c).powi(2)).sum();
+            assert!((before - after).abs() < 1e-9, "row {r} norm changed");
+        }
+    }
+
+    #[test]
+    fn rotation_improves_or_keeps_simplicity() {
+        let loadings = Matrix::from_rows(vec![
+            vec![0.7, 0.7],
+            vec![0.7, -0.7],
+            vec![0.6, 0.6],
+            vec![0.6, -0.6],
+        ]);
+        let crit = |m: &Matrix| -> f64 {
+            let p = m.rows();
+            (0..m.cols())
+                .map(|c| {
+                    let sq: Vec<f64> = (0..p).map(|r| m.get(r, c).powi(2)).collect();
+                    let mean = sq.iter().sum::<f64>() / p as f64;
+                    sq.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / p as f64
+                })
+                .sum()
+        };
+        let before = crit(&loadings);
+        let out = varimax(&loadings, 200, 1e-12).unwrap();
+        assert!(crit(&out.rotated) >= before - 1e-12);
+    }
+
+    #[test]
+    fn single_component_is_identity() {
+        let loadings = Matrix::from_rows(vec![vec![0.5], vec![0.7]]);
+        let out = varimax(&loadings, 10, 1e-8).unwrap();
+        assert_eq!(out.rotated, loadings);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn contributions_sum_to_100() {
+        let loadings = Matrix::from_rows(vec![
+            vec![0.9, 0.1],
+            vec![0.1, 0.9],
+            vec![0.5, 0.5],
+        ]);
+        let c = feature_contributions(&loadings, &[0.7, 0.3]).unwrap();
+        assert!((c.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn contributions_reject_wrong_weight_count() {
+        let loadings = Matrix::from_rows(vec![vec![1.0, 0.0]]);
+        assert!(feature_contributions(&loadings, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let ranks = rank_features(&[5.0, 50.0, 20.0]);
+        assert_eq!(ranks, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dominant_feature_ranks_first() {
+        // Feature 0 loads heavily on the dominant component.
+        let loadings = Matrix::from_rows(vec![
+            vec![0.95, 0.05],
+            vec![0.3, 0.4],
+            vec![0.1, 0.2],
+        ]);
+        let out = varimax(&loadings, 100, 1e-10).unwrap();
+        let contrib = feature_contributions(&out.rotated, &[0.8, 0.2]).unwrap();
+        assert_eq!(rank_features(&contrib)[0], 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The simulation driver: a clock plus an event queue plus a handler loop.
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine over events of type `E`.
+///
+/// The engine owns the virtual clock and the pending-event set. Client code
+/// schedules events, then calls [`Engine::run`] with a handler; the handler
+/// may schedule further events (including at the current instant) and they
+/// are processed in deterministic `(time, insertion)` order.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::{Engine, SimTime, SimDuration};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule(SimTime::from_secs(1.0), "tick");
+/// let mut log = Vec::new();
+/// engine.run(|eng, ev| {
+///     log.push((eng.now().as_secs(), ev));
+/// });
+/// assert_eq!(log, vec![(1.0, "tick")]);
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Returns the current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules `event` to fire at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock — time travel would
+    /// silently corrupt causality, so it is rejected loudly.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        self.queue.push(self.now + delay, event)
+    }
+
+    /// Schedules `event` to fire at the current instant, after all events
+    /// already queued for this instant.
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.queue.push(self.now, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not fired yet.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Returns the number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the event queue is empty, advancing the clock to each
+    /// event's timestamp and invoking `handler`.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        while self.step(&mut handler) {}
+    }
+
+    /// Runs until the queue is empty or the clock passes `deadline`.
+    /// Events scheduled exactly at `deadline` are processed.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step(&mut handler);
+        }
+        // Advance the clock to the deadline even if no event landed on it,
+        // so consecutive run_until calls observe monotonic time.
+        self.now = self.now.max(deadline);
+    }
+
+    /// Processes a single event, if one is pending. Returns whether an event
+    /// was processed.
+    pub fn step<F>(&mut self, handler: &mut F) -> bool
+    where
+        F: FnMut(&mut Engine<E>, E),
+    {
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                debug_assert!(at >= self.now, "event queue emitted a past event");
+                self.now = at;
+                self.processed += 1;
+                handler(self, ev);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Stop,
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(5.0), Ev::Tick(1));
+        e.schedule(SimTime::from_secs(2.0), Ev::Tick(0));
+        let mut times = Vec::new();
+        e.run(|eng, _| times.push(eng.now().as_secs()));
+        assert_eq!(times, vec![2.0, 5.0]);
+        assert_eq!(e.events_processed(), 2);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::ZERO, Ev::Tick(0));
+        let mut count = 0u32;
+        e.run(|eng, ev| {
+            if let Ev::Tick(n) = ev {
+                count += 1;
+                if n < 9 {
+                    eng.schedule_after(SimDuration::from_secs(1.0), Ev::Tick(n + 1));
+                }
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(e.now(), SimTime::from_secs(9.0));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut e = Engine::new();
+        for i in 0..10 {
+            e.schedule(SimTime::from_secs(i as f64), Ev::Tick(i));
+        }
+        let mut count = 0;
+        e.run_until(SimTime::from_secs(4.0), |_, _| count += 1);
+        assert_eq!(count, 5, "events at t=0..=4 fire");
+        assert_eq!(e.pending(), 5);
+    }
+
+    #[test]
+    fn schedule_now_runs_after_current_instant_peers() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::ZERO, Ev::Tick(0));
+        e.schedule(SimTime::ZERO, Ev::Stop);
+        let mut log = Vec::new();
+        e.run(|eng, ev| {
+            if ev == Ev::Tick(0) {
+                eng.schedule_now(Ev::Tick(99));
+            }
+            log.push(format!("{ev:?}"));
+        });
+        assert_eq!(log, vec!["Tick(0)", "Stop", "Tick(99)"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut e = Engine::new();
+        e.schedule(SimTime::from_secs(10.0), Ev::Stop);
+        e.run(|eng, _| {
+            eng.schedule(SimTime::from_secs(1.0), Ev::Stop);
+        });
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut e = Engine::new();
+        let id = e.schedule(SimTime::from_secs(1.0), Ev::Tick(0));
+        e.schedule(SimTime::from_secs(2.0), Ev::Stop);
+        assert!(e.cancel(id));
+        let mut fired = Vec::new();
+        e.run(|_, ev| fired.push(format!("{ev:?}")));
+        assert_eq!(fired, vec!["Stop"]);
+    }
+}

@@ -1,0 +1,58 @@
+//! # simkit — deterministic discrete-event simulation engine
+//!
+//! `simkit` is the substrate beneath the Spark-co-location reproduction: a
+//! small, allocation-light discrete-event simulation (DES) core with
+//!
+//! * a virtual clock measured in seconds ([`SimTime`] / [`SimDuration`]),
+//! * a stable, deterministic [`event::EventQueue`] (ties broken by insertion
+//!   order, so replaying a seed replays the schedule exactly),
+//! * a seedable random-number layer ([`rng::SimRng`]) with the distributions
+//!   the workload models need (uniform, normal, log-normal, exponential),
+//! * capacity-checked [`resource::ResourcePool`]s for modeling RAM, swap and
+//!   CPU shares, and
+//! * online statistics ([`stats`]) — Welford moments, histograms,
+//!   percentiles, confidence intervals and time-weighted gauges — used by the
+//!   experiment harness to decide when the 95 % confidence half-width has
+//!   shrunk below 5 % of the mean (the paper's stopping rule, §5.2).
+//!
+//! The engine is intentionally single-threaded: determinism and
+//! replayability matter more than wall-clock speed for scheduling studies,
+//! and a full 40-node, 30-application campaign simulates in milliseconds.
+//!
+//! ## Example
+//!
+//! ```
+//! use simkit::{Engine, SimTime, SimDuration};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule(SimTime::ZERO, Ev::Ping(0));
+//! let mut seen = Vec::new();
+//! engine.run(|eng, ev| {
+//!     let Ev::Ping(n) = ev;
+//!     seen.push((eng.now(), n));
+//!     if n < 3 {
+//!         eng.schedule_after(SimDuration::from_secs(1.0), Ev::Ping(n + 1));
+//!     }
+//! });
+//! assert_eq!(seen.len(), 4);
+//! assert_eq!(seen[3].0, SimTime::from_secs(3.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use event::EventQueue;
+pub use resource::{ResourceError, ResourcePool};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

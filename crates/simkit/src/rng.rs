@@ -1,0 +1,268 @@
+//! Seedable randomness with the distributions the workload models need.
+//!
+//! All stochastic behaviour in a campaign flows from one [`SimRng`] seed, so
+//! an experiment is replayable bit-for-bit. The normal and log-normal
+//! samplers are implemented with the Box–Muller transform to avoid pulling
+//! in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source for simulations.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// replication or each node its own stream without correlations.
+    #[must_use]
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.next_u64())
+    }
+
+    /// Samples uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Samples a uniform integer from `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Samples a standard uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples from a normal distribution via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Samples a standard normal deviate.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let u1: f64 = loop {
+            let u = self.unit();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2 = self.unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Samples from a log-normal distribution with the given parameters of
+    /// the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Samples from an exponential distribution with the given rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u: f64 = loop {
+            let u = self.unit();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        -u.ln() / rate
+    }
+
+    /// Samples a multiplicative noise factor `1 + normal(0, rel_sd)`,
+    /// truncated to stay within `[1 - 3·rel_sd, 1 + 3·rel_sd]` and strictly
+    /// positive. Used for measurement noise on footprints and runtimes.
+    pub fn relative_noise(&mut self, rel_sd: f64) -> f64 {
+        if rel_sd == 0.0 {
+            return 1.0;
+        }
+        let z = self.standard_normal().clamp(-3.0, 3.0);
+        (1.0 + rel_sd * z).max(0.05)
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot choose from an empty slice");
+        &items[self.uniform_usize(0, items.len() - 1)]
+    }
+
+    /// Shuffles `items` in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(0, i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `0..n` in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = SimRng::seed_from(7);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let same = (0..100).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 5, "forked streams should not coincide");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let x = rng.uniform(3.0, 8.0);
+            assert!((3.0..8.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean was {mean}");
+        assert!((var - 4.0).abs() < 0.25, "variance was {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn relative_noise_is_bounded_and_positive() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..5000 {
+            let f = rng.relative_noise(0.05);
+            assert!(f > 0.0);
+            assert!((f - 1.0).abs() <= 0.15 + 1e-12);
+        }
+        assert_eq!(rng.relative_noise(0.0), 1.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SimRng::seed_from(6);
+        let picks = rng.sample_indices(100, 10);
+        assert_eq!(picks.len(), 10);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

@@ -1,0 +1,486 @@
+//! Online statistics for simulation output analysis.
+//!
+//! Provides [`Welford`] (numerically stable running moments),
+//! [`Histogram`] (fixed-width bins, used for the paper's Fig. 13 CPU-load
+//! distribution), [`summary`] helpers (geometric mean, percentiles,
+//! confidence intervals — the harness stops replaying a mix when the 95 %
+//! half-width falls below 5 % of the mean, §5.2 of the paper), and
+//! [`TimeWeighted`] gauges for utilisation-over-time traces (Fig. 7).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 5.0);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n); 0 when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divides by n-1); 0 with fewer than two samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest observation; +inf when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; -inf when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval for
+    /// the mean. Returns +inf with fewer than two samples, so callers that
+    /// loop "until the CI is tight enough" take at least two replicates.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        1.96 * self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Returns `true` once the 95 % CI half-width is below
+    /// `rel_tol × |mean|`. This is the paper's §5.2 stopping rule with
+    /// `rel_tol = 0.05`.
+    #[must_use]
+    pub fn ci_converged(&self, rel_tol: f64) -> bool {
+        let m = self.mean().abs();
+        m > 0.0 && self.ci95_half_width() <= rel_tol * m
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-width-bin histogram over `[lo, hi)` with overflow/underflow bins.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Histogram;
+/// let mut h = Histogram::new(0.0, 60.0, 6);
+/// h.record(35.0);
+/// h.record(12.0);
+/// assert_eq!(h.bin_counts()[3], 1); // 30-40 bucket
+/// assert_eq!(h.total(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts, lowest bucket first.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len());
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Count of observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations at or above the top of the range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// A time-weighted gauge: tracks the integral of a piecewise-constant signal
+/// (e.g. per-node CPU utilisation) so its time average can be reported.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::TimeWeighted;
+/// use simkit::SimTime;
+/// let mut g = TimeWeighted::new(SimTime::ZERO);
+/// g.set(SimTime::from_secs(0.0), 0.2);
+/// g.set(SimTime::from_secs(10.0), 0.8);
+/// assert_eq!(g.time_average(SimTime::from_secs(20.0)), 0.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    started: SimTime,
+    last_change: SimTime,
+    current: f64,
+    integral: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a gauge that starts at zero at instant `start`.
+    #[must_use]
+    pub fn new(start: SimTime) -> Self {
+        TimeWeighted {
+            started: start,
+            last_change: start,
+            current: 0.0,
+            integral: 0.0,
+        }
+    }
+
+    /// Sets the gauge to `value` at instant `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous change (time must be monotone).
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.duration_since(self.last_change).as_secs();
+        self.integral += self.current * dt;
+        self.current = value;
+        self.last_change = now;
+    }
+
+    /// Current gauge value.
+    #[must_use]
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time average of the gauge from its start until `now`.
+    #[must_use]
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let total = now.duration_since(self.started).as_secs();
+        if total == 0.0 {
+            return self.current;
+        }
+        let pending = self.current * now.duration_since(self.last_change).as_secs();
+        (self.integral + pending) / total
+    }
+}
+
+/// Free-standing summaries over slices of observations.
+pub mod summary {
+    /// Geometric mean of strictly positive values; the paper reports
+    /// geometric means across configurations (§5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or any value is not strictly positive.
+    #[must_use]
+    pub fn geometric_mean(xs: &[f64]) -> f64 {
+        assert!(!xs.is_empty(), "geometric mean of an empty slice");
+        let log_sum: f64 = xs
+            .iter()
+            .map(|&x| {
+                assert!(x > 0.0, "geometric mean requires positive values, got {x}");
+                x.ln()
+            })
+            .sum();
+        (log_sum / xs.len() as f64).exp()
+    }
+
+    /// Arithmetic mean; 0 for an empty slice.
+    #[must_use]
+    pub fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `p` is out of range.
+    #[must_use]
+    pub fn percentile(xs: &[f64], p: f64) -> f64 {
+        assert!(!xs.is_empty(), "percentile of an empty slice");
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Median (the 50th percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    #[must_use]
+    pub fn median(xs: &[f64]) -> f64 {
+        percentile(xs, 50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 5);
+        assert_eq!(w.mean(), 3.0);
+        assert!((w.sample_variance() - 2.5).abs() < 1e-12);
+        assert_eq!(w.min(), 1.0);
+        assert_eq!(w.max(), 5.0);
+    }
+
+    #[test]
+    fn welford_empty_is_benign() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        assert_eq!(w.ci95_half_width(), f64::INFINITY);
+        assert!(!w.ci_converged(0.05));
+    }
+
+    #[test]
+    fn welford_merge_equals_bulk() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ci_converges_for_tight_data() {
+        let mut w = Welford::new();
+        for i in 0..50 {
+            w.push(100.0 + (i % 3) as f64);
+        }
+        assert!(w.ci_converged(0.05));
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(-5.0);
+        h.record(0.0);
+        h.record(99.999);
+        h.record(100.0);
+        h.record(55.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.bin_counts()[5], 1);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bin_edges(5), (50.0, 60.0));
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut g = TimeWeighted::new(SimTime::ZERO);
+        g.set(SimTime::ZERO, 1.0);
+        g.set(SimTime::from_secs(4.0), 0.0);
+        // 4 s at 1.0 then 4 s at 0.0.
+        assert_eq!(g.time_average(SimTime::from_secs(8.0)), 0.5);
+        assert_eq!(g.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_at_start_reports_current() {
+        let g = TimeWeighted::new(SimTime::from_secs(5.0));
+        assert_eq!(g.time_average(SimTime::from_secs(5.0)), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_known_value() {
+        let g = summary::geometric_mean(&[1.0, 4.0, 16.0]);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = summary::geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(summary::percentile(&xs, 0.0), 10.0);
+        assert_eq!(summary::percentile(&xs, 100.0), 40.0);
+        assert_eq!(summary::median(&xs), 25.0);
+        assert_eq!(summary::percentile(&xs, 50.0), 25.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(summary::mean(&[]), 0.0);
+    }
+}

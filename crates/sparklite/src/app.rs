@@ -1,0 +1,269 @@
+//! Applications as divisible data-parallel loads.
+//!
+//! A Spark application's input is an RDD partitioned across executors; for
+//! co-location studies what matters is (a) how much data remains to be
+//! processed, (b) how fast one executor chews through its slice, (c) how
+//! much CPU it demands while doing so, and (d) the ground-truth memory
+//! footprint of an executor holding a slice of a given size. [`AppSpec`]
+//! captures exactly that; [`AppState`] tracks progress.
+
+use mlkit::regression::FittedCurve;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a submitted application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AppId(pub(crate) usize);
+
+impl AppId {
+    /// Index of this application in submission order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Static description of an application run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Benchmark name (e.g. "HB.Sort").
+    pub name: String,
+    /// Total input size in GB.
+    pub input_gb: f64,
+    /// Nominal processing rate of a single executor, GB/s, when running
+    /// uncontended.
+    pub rate_gb_per_s: f64,
+    /// Average CPU utilisation of one executor as a fraction of a node's
+    /// capacity (Fig. 13: mostly below 0.4).
+    pub cpu_util: f64,
+    /// Ground-truth memory footprint curve: executor slice GB → RAM GB.
+    pub memory_curve: FittedCurve,
+    /// Relative standard deviation of multiplicative noise on the *actual*
+    /// footprint (profiling measurements observe the noisy value).
+    pub footprint_noise_sd: f64,
+}
+
+impl AppSpec {
+    /// Ground-truth footprint (GB) of an executor holding `slice_gb` of
+    /// input, before measurement noise. Never negative.
+    #[must_use]
+    pub fn true_footprint_gb(&self, slice_gb: f64) -> f64 {
+        self.memory_curve.eval(slice_gb).max(0.0)
+    }
+
+    /// Time (s) for one uncontended executor to process `gb` of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has a non-positive rate.
+    #[must_use]
+    pub fn uncontended_seconds(&self, gb: f64) -> f64 {
+        assert!(self.rate_gb_per_s > 0.0, "rate must be positive");
+        gb / self.rate_gb_per_s
+    }
+}
+
+/// Lifecycle of an application inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppStatus {
+    /// Submitted, not all input assigned/processed yet.
+    Running,
+    /// Every GB of input has been processed.
+    Finished,
+}
+
+/// Mutable progress state of a submitted application.
+#[derive(Debug, Clone)]
+pub struct AppState {
+    spec: AppSpec,
+    /// Input not yet assigned to any executor (GB).
+    unassigned_gb: f64,
+    /// Input fully processed (GB).
+    processed_gb: f64,
+    /// Live executors working for this app.
+    live_executors: usize,
+    status: AppStatus,
+}
+
+impl AppState {
+    pub(crate) fn new(spec: AppSpec) -> Self {
+        let unassigned = spec.input_gb;
+        AppState {
+            spec,
+            unassigned_gb: unassigned,
+            processed_gb: 0.0,
+            live_executors: 0,
+            status: AppStatus::Running,
+        }
+    }
+
+    /// The application's static spec.
+    #[must_use]
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// Input not yet assigned to an executor (GB).
+    #[must_use]
+    pub fn unassigned_gb(&self) -> f64 {
+        self.unassigned_gb
+    }
+
+    /// Input fully processed (GB).
+    #[must_use]
+    pub fn processed_gb(&self) -> f64 {
+        self.processed_gb
+    }
+
+    /// Number of currently live executors.
+    #[must_use]
+    pub fn live_executors(&self) -> usize {
+        self.live_executors
+    }
+
+    /// Current status.
+    #[must_use]
+    pub fn status(&self) -> AppStatus {
+        self.status
+    }
+
+    /// Whether the whole input has been processed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.status == AppStatus::Finished
+    }
+
+    /// Takes up to `gb` of unassigned input for a new executor. Returns
+    /// the amount actually taken (0 when nothing is left).
+    pub(crate) fn take_input(&mut self, gb: f64) -> f64 {
+        let taken = gb.min(self.unassigned_gb).max(0.0);
+        self.unassigned_gb -= taken;
+        if taken > 0.0 {
+            self.live_executors += 1;
+        }
+        taken
+    }
+
+    /// Takes input for extending an existing executor (the live-executor
+    /// count is unchanged).
+    pub(crate) fn take_input_for_extension(&mut self, gb: f64) -> f64 {
+        let taken = gb.min(self.unassigned_gb).max(0.0);
+        self.unassigned_gb -= taken;
+        taken
+    }
+
+    /// Records a killed executor: `processed_gb` of its slice counts as
+    /// done, `returned_gb` goes back to the unassigned pool to be re-run
+    /// (in isolation, per §2.3).
+    pub(crate) fn abort_slice(&mut self, processed_gb: f64, returned_gb: f64) {
+        self.processed_gb += processed_gb;
+        self.unassigned_gb += returned_gb;
+        self.live_executors = self.live_executors.saturating_sub(1);
+        if self.processed_gb >= self.spec.input_gb - 1e-9 && self.unassigned_gb <= 1e-9 {
+            self.status = AppStatus::Finished;
+        }
+    }
+
+    /// Records a finished slice.
+    pub(crate) fn finish_slice(&mut self, gb: f64) {
+        self.processed_gb += gb;
+        self.live_executors = self.live_executors.saturating_sub(1);
+        // Tolerate float dust when comparing against the total input.
+        if self.processed_gb >= self.spec.input_gb - 1e-9 && self.unassigned_gb <= 1e-9 {
+            self.status = AppStatus::Finished;
+        }
+    }
+
+    /// Records input processed outside normal executors (profiling runs
+    /// contribute to the final output, §2.3).
+    pub(crate) fn credit_profiled(&mut self, gb: f64) {
+        let credited = gb.min(self.unassigned_gb);
+        self.unassigned_gb -= credited;
+        self.processed_gb += credited;
+        if self.processed_gb >= self.spec.input_gb - 1e-9 && self.unassigned_gb <= 1e-9 {
+            self.status = AppStatus::Finished;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkit::regression::CurveFamily;
+
+    fn spec() -> AppSpec {
+        AppSpec {
+            name: "test".into(),
+            input_gb: 100.0,
+            rate_gb_per_s: 2.0,
+            cpu_util: 0.3,
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.1,
+                b: 1.0,
+            },
+            footprint_noise_sd: 0.0,
+        }
+    }
+
+    #[test]
+    fn footprint_and_timing_helpers() {
+        let s = spec();
+        assert_eq!(s.true_footprint_gb(50.0), 6.0);
+        assert_eq!(s.uncontended_seconds(10.0), 5.0);
+    }
+
+    #[test]
+    fn take_and_finish_slices_drive_lifecycle() {
+        let mut st = AppState::new(spec());
+        assert_eq!(st.take_input(60.0), 60.0);
+        assert_eq!(st.take_input(60.0), 40.0);
+        assert_eq!(st.take_input(60.0), 0.0);
+        assert_eq!(st.live_executors(), 2);
+        st.finish_slice(60.0);
+        assert!(!st.is_finished());
+        st.finish_slice(40.0);
+        assert!(st.is_finished());
+        assert_eq!(st.processed_gb(), 100.0);
+    }
+
+    #[test]
+    fn aborted_slice_can_be_retaken() {
+        let mut st = AppState::new(spec());
+        st.take_input(100.0);
+        // Killed after processing 30 GB: the rest returns to the pool.
+        st.abort_slice(30.0, 70.0);
+        assert_eq!(st.unassigned_gb(), 70.0);
+        assert_eq!(st.processed_gb(), 30.0);
+        assert_eq!(st.live_executors(), 0);
+        assert_eq!(st.take_input(100.0), 70.0);
+    }
+
+    #[test]
+    fn profiling_credit_reduces_remaining_work() {
+        let mut st = AppState::new(spec());
+        st.credit_profiled(10.0);
+        assert_eq!(st.unassigned_gb(), 90.0);
+        assert_eq!(st.processed_gb(), 10.0);
+        // Over-crediting is clamped.
+        st.credit_profiled(1000.0);
+        assert!(st.is_finished());
+        assert_eq!(st.processed_gb(), 100.0);
+    }
+
+    #[test]
+    fn footprint_clamped_at_zero() {
+        let mut s = spec();
+        s.memory_curve = FittedCurve {
+            family: CurveFamily::Linear,
+            m: 1.0,
+            b: -100.0,
+        };
+        assert_eq!(s.true_footprint_gb(10.0), 0.0);
+    }
+}

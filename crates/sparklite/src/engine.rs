@@ -1,0 +1,698 @@
+//! The processor-sharing progress engine.
+//!
+//! [`ClusterEngine`] owns the cluster state, the submitted applications and
+//! the live executors. It does **not** own the clock or make placement
+//! decisions: a driver loop (the `colocate` harness) alternates between
+//!
+//! 1. asking the engine for the time of the next executor completion
+//!    ([`ClusterEngine::next_completion`]),
+//! 2. advancing progress to that instant ([`ClusterEngine::advance`]), and
+//! 3. reacting — completing executors, spawning new ones per its policy.
+//!
+//! Rates are recomputed lazily from the current placement, so any change
+//! (spawn, completion, kill) is reflected in the very next query. This is
+//! the standard piecewise-constant-rate simulation of processor sharing.
+
+use crate::app::{AppId, AppSpec, AppState};
+use crate::cluster::{Cluster, ClusterSpec, NodeId};
+use crate::executor::{Executor, ExecutorId};
+use crate::perf::{ExecutorDemand, InterferenceModel, MemoryPressure};
+use crate::SparkliteError;
+use simkit::SimRng;
+use std::collections::BTreeMap;
+
+/// The cluster simulation engine.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct ClusterEngine {
+    cluster: Cluster,
+    model: InterferenceModel,
+    apps: Vec<AppState>,
+    /// Live executors, ordered by id (spawn order) for deterministic
+    /// iteration.
+    executors: BTreeMap<ExecutorId, Executor>,
+    next_executor: usize,
+    rng: SimRng,
+    /// Fixed per-executor startup latency (JVM launch, container
+    /// allocation, task scheduling), charged as dead work at the
+    /// executor's nominal rate. Zero by default.
+    startup_secs: f64,
+}
+
+impl ClusterEngine {
+    /// Creates an engine over a fresh cluster with a default RNG seed.
+    #[must_use]
+    pub fn new(spec: ClusterSpec, model: InterferenceModel) -> Self {
+        Self::with_seed(spec, model, 0)
+    }
+
+    /// Creates an engine with an explicit seed for footprint-noise draws.
+    #[must_use]
+    pub fn with_seed(spec: ClusterSpec, model: InterferenceModel, seed: u64) -> Self {
+        ClusterEngine {
+            cluster: Cluster::new(spec),
+            model,
+            apps: Vec::new(),
+            executors: BTreeMap::new(),
+            next_executor: 0,
+            rng: SimRng::seed_from(seed),
+            startup_secs: 0.0,
+        }
+    }
+
+    /// Sets the fixed startup latency charged to every newly spawned
+    /// executor (seconds of dead work at the executor's nominal rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite values.
+    pub fn set_executor_startup_secs(&mut self, secs: f64) {
+        assert!(secs.is_finite() && secs >= 0.0);
+        self.startup_secs = secs;
+    }
+
+    /// The configured per-executor startup latency (s).
+    #[must_use]
+    pub fn executor_startup_secs(&self) -> f64 {
+        self.startup_secs
+    }
+
+    /// The cluster.
+    #[must_use]
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The interference model in use.
+    #[must_use]
+    pub fn interference_model(&self) -> InterferenceModel {
+        self.model
+    }
+
+    /// Submits an application; it starts with its whole input unassigned.
+    pub fn submit(&mut self, spec: AppSpec) -> AppId {
+        self.apps.push(AppState::new(spec));
+        AppId(self.apps.len() - 1)
+    }
+
+    /// Borrow an application's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another engine.
+    #[must_use]
+    pub fn app(&self, id: AppId) -> &AppState {
+        &self.apps[id.0]
+    }
+
+    /// Number of submitted applications.
+    #[must_use]
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Iterates over `(id, state)` for all submitted applications.
+    pub fn apps(&self) -> impl Iterator<Item = (AppId, &AppState)> {
+        self.apps.iter().enumerate().map(|(i, a)| (AppId(i), a))
+    }
+
+    /// Whether every submitted application has finished.
+    #[must_use]
+    pub fn all_finished(&self) -> bool {
+        self.apps.iter().all(AppState::is_finished)
+    }
+
+    /// Borrow a live executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownExecutor`] if it finished or never
+    /// existed.
+    pub fn executor(&self, id: ExecutorId) -> Result<&Executor, SparkliteError> {
+        self.executors
+            .get(&id)
+            .ok_or(SparkliteError::UnknownExecutor(id.0))
+    }
+
+    /// Ids of live executors on `node`, in spawn order.
+    #[must_use]
+    pub fn node_executors(&self, node: NodeId) -> Vec<ExecutorId> {
+        self.executors
+            .values()
+            .filter(|e| e.node() == node)
+            .map(Executor::id)
+            .collect()
+    }
+
+    /// Number of live executors cluster-wide.
+    #[must_use]
+    pub fn live_executors(&self) -> usize {
+        self.executors.len()
+    }
+
+    /// A noisy footprint measurement for a profiling run on `slice_gb` of
+    /// `app`'s input — what `vmstat` would report for the executor (§4.1).
+    pub fn measure_footprint(&mut self, app: AppId, slice_gb: f64) -> f64 {
+        let spec = self.apps[app.0].spec();
+        let noise = self.rng.relative_noise(spec.footprint_noise_sd);
+        spec.true_footprint_gb(slice_gb) * noise
+    }
+
+    /// Credits profiling work toward an application's output (§2.3: "no
+    /// computing cycle is wasted on profiling").
+    pub fn credit_profiled(&mut self, app: AppId, gb: f64) {
+        self.apps[app.0].credit_profiled(gb);
+    }
+
+    /// Spawns an executor for `app` on `node`:
+    ///
+    /// * takes up to `slice_gb` of the app's unassigned input (clamped to
+    ///   what remains; `Ok(None)` if nothing remains);
+    /// * reserves `reserve_gb` of the node's memory (the *predicted*
+    ///   footprint the scheduler budgeted);
+    /// * draws the *actual* footprint from the app's ground-truth curve
+    ///   plus measurement noise.
+    ///
+    /// The caller should check [`ClusterEngine::memory_pressure`] afterwards
+    /// and resolve any [`MemoryPressure::OutOfMemory`] with
+    /// [`ClusterEngine::kill_executor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownNode`] / [`SparkliteError::UnknownApp`]
+    /// for bad ids, [`SparkliteError::InvalidState`] for a finished app and
+    /// [`SparkliteError::Resource`] when the reservation does not fit (the
+    /// app's input is left untouched in that case).
+    pub fn spawn_executor(
+        &mut self,
+        app: AppId,
+        node: NodeId,
+        slice_gb: f64,
+        reserve_gb: f64,
+    ) -> Result<Option<ExecutorId>, SparkliteError> {
+        if !self.cluster.contains(node) {
+            return Err(SparkliteError::UnknownNode(node.index()));
+        }
+        let state = self
+            .apps
+            .get_mut(app.0)
+            .ok_or(SparkliteError::UnknownApp(app.0))?;
+        if state.is_finished() {
+            return Err(SparkliteError::InvalidState(format!(
+                "{app} already finished"
+            )));
+        }
+        // Reserve memory first so failure leaves the app untouched.
+        self.cluster.node_mut(node).reserve(reserve_gb)?;
+        let taken = self.apps[app.0].take_input(slice_gb);
+        if taken <= 1e-12 {
+            self.cluster.node_mut(node).release(reserve_gb)?;
+            return Ok(None);
+        }
+        let spec = self.apps[app.0].spec();
+        let noise = self.rng.relative_noise(spec.footprint_noise_sd);
+        let actual = spec.true_footprint_gb(taken) * noise;
+        let cpu = spec.cpu_util;
+        let id = ExecutorId(self.next_executor);
+        self.next_executor += 1;
+        self.executors
+            .insert(
+                id,
+                Executor::new(
+                    id,
+                    app,
+                    node,
+                    taken,
+                    reserve_gb,
+                    actual,
+                    cpu,
+                    self.startup_secs * spec.rate_gb_per_s,
+                ),
+            );
+        Ok(Some(id))
+    }
+
+    /// Extends a live executor's slice with more of its application's
+    /// unassigned input — §4.3's "the number of data items to give to the
+    /// co-located executor is dynamically adjusted over time". The
+    /// executor's reservation grows by `extra_reserve_gb` and its actual
+    /// footprint is re-drawn for the larger slice. Returns the GB actually
+    /// added (0 when the app has nothing left).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownExecutor`] for dead ids and
+    /// [`SparkliteError::Resource`] if the extra reservation does not fit
+    /// (the executor is left unchanged).
+    pub fn extend_executor(
+        &mut self,
+        id: ExecutorId,
+        extra_gb: f64,
+        extra_reserve_gb: f64,
+    ) -> Result<f64, SparkliteError> {
+        let (app, node) = {
+            let exec = self
+                .executors
+                .get(&id)
+                .ok_or(SparkliteError::UnknownExecutor(id.0))?;
+            (exec.app(), exec.node())
+        };
+        self.cluster.node_mut(node).reserve(extra_reserve_gb)?;
+        let taken = self.apps[app.0].take_input_for_extension(extra_gb);
+        if taken <= 1e-12 {
+            self.cluster.node_mut(node).release(extra_reserve_gb)?;
+            return Ok(0.0);
+        }
+        let spec = self.apps[app.0].spec();
+        let noise = self.rng.relative_noise(spec.footprint_noise_sd);
+        let exec = self.executors.get_mut(&id).expect("checked above");
+        let new_slice = exec.slice_gb() + taken;
+        let new_actual = spec.true_footprint_gb(new_slice) * noise;
+        exec.extend(taken, extra_reserve_gb, new_actual);
+        Ok(taken)
+    }
+
+    /// The memory pressure on `node` given the executors' *current*
+    /// occupancy (which ramps with progress — see
+    /// [`Executor::current_actual_gb`]).
+    #[must_use]
+    pub fn memory_pressure(&self, node: NodeId) -> MemoryPressure {
+        let total: f64 = self
+            .executors
+            .values()
+            .filter(|e| e.node() == node)
+            .map(Executor::current_actual_gb)
+            .sum();
+        let spec = self.cluster.node(node).spec();
+        self.model
+            .memory_pressure(total, spec.ram_gb, spec.swap_gb)
+    }
+
+    /// The youngest executor on `node` — the conventional OOM-kill victim.
+    #[must_use]
+    pub fn oom_victim(&self, node: NodeId) -> Option<ExecutorId> {
+        self.node_executors(node).into_iter().max()
+    }
+
+    /// Kills a live executor: its **entire slice** returns to the app's
+    /// unassigned pool (an OOM-killed JVM loses its in-memory progress and
+    /// must re-run from scratch, §2.3) and its reservation is released.
+    /// Returns the GB returned to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownExecutor`] for dead ids.
+    pub fn kill_executor(&mut self, id: ExecutorId) -> Result<f64, SparkliteError> {
+        let exec = self
+            .executors
+            .remove(&id)
+            .ok_or(SparkliteError::UnknownExecutor(id.0))?;
+        self.apps[exec.app().0].abort_slice(0.0, exec.slice_gb());
+        self.cluster
+            .node_mut(exec.node())
+            .release(exec.reserved_gb())?;
+        Ok(exec.slice_gb())
+    }
+
+    /// Effective processing rate (GB/s) of each live executor under the
+    /// current placement, keyed by executor id.
+    #[must_use]
+    pub fn current_rates(&self) -> BTreeMap<ExecutorId, f64> {
+        let mut rates = BTreeMap::new();
+        for node in self.cluster.node_ids() {
+            let execs: Vec<&Executor> = self
+                .executors
+                .values()
+                .filter(|e| e.node() == node)
+                .collect();
+            if execs.is_empty() {
+                continue;
+            }
+            let demands: Vec<ExecutorDemand> = execs
+                .iter()
+                .map(|e| ExecutorDemand {
+                    cpu_util: e.cpu_util(),
+                    actual_gb: e.current_actual_gb(),
+                })
+                .collect();
+            let multipliers = self
+                .model
+                .rate_multipliers(&demands, self.cluster.node(node).spec().ram_gb);
+            for (e, mult) in execs.iter().zip(multipliers) {
+                let nominal = self.apps[e.app().0].spec().rate_gb_per_s;
+                rates.insert(e.id(), nominal * mult);
+            }
+        }
+        rates
+    }
+
+    /// Time until the next executor finishes its slice at current rates,
+    /// together with the finisher (earliest; ties broken by id). `None`
+    /// when no executors are live.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<(f64, ExecutorId)> {
+        let rates = self.current_rates();
+        self.executors
+            .values()
+            .map(|e| {
+                let rate = rates[&e.id()].max(1e-12);
+                (e.remaining_work_gb() / rate, e.id())
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+    }
+
+    /// Advances every live executor by `dt` seconds at current rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative `dt`.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance by negative time");
+        if dt == 0.0 {
+            return;
+        }
+        let rates = self.current_rates();
+        for exec in self.executors.values_mut() {
+            exec.advance(rates[&exec.id()] * dt);
+        }
+    }
+
+    /// Completes an executor whose slice is done: releases its reservation
+    /// and credits the slice to the application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownExecutor`] for dead ids and
+    /// [`SparkliteError::InvalidState`] if the slice is not finished yet.
+    pub fn complete_executor(&mut self, id: ExecutorId) -> Result<(), SparkliteError> {
+        let exec = self
+            .executors
+            .get(&id)
+            .ok_or(SparkliteError::UnknownExecutor(id.0))?;
+        if !exec.is_done() {
+            return Err(SparkliteError::InvalidState(format!(
+                "{id} still has {:.3} GB remaining",
+                exec.remaining_gb()
+            )));
+        }
+        let exec = self.executors.remove(&id).expect("checked above");
+        self.apps[exec.app().0].finish_slice(exec.slice_gb());
+        self.cluster
+            .node_mut(exec.node())
+            .release(exec.reserved_gb())?;
+        Ok(())
+    }
+
+    /// Instantaneous CPU load of `node` as a fraction in `[0, 1]`: the sum
+    /// of executor demands, capped at capacity. This is what the resource
+    /// monitor daemon reports (§4.2) and what Fig. 7 plots.
+    #[must_use]
+    pub fn node_cpu_load(&self, node: NodeId) -> f64 {
+        let total: f64 = self
+            .executors
+            .values()
+            .filter(|e| e.node() == node)
+            .map(Executor::cpu_util)
+            .sum();
+        total.min(1.0)
+    }
+
+    /// Free memory (GB) on `node` by scheduler reservations.
+    #[must_use]
+    pub fn node_free_memory(&self, node: NodeId) -> f64 {
+        self.cluster.node(node).free_memory_gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlkit::regression::{CurveFamily, FittedCurve};
+
+    fn linear_app(name: &str, input: f64, cpu: f64) -> AppSpec {
+        AppSpec {
+            name: name.into(),
+            input_gb: input,
+            rate_gb_per_s: 1.0,
+            cpu_util: cpu,
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.5,
+                b: 1.0,
+            },
+            footprint_noise_sd: 0.0,
+        }
+    }
+
+    fn engine(nodes: usize) -> ClusterEngine {
+        ClusterEngine::new(ClusterSpec::small(nodes), InterferenceModel::default())
+    }
+
+    #[test]
+    fn solo_executor_finishes_in_nominal_time() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 10.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 10.0, 6.0).unwrap().unwrap();
+        let (dt, who) = eng.next_completion().unwrap();
+        assert_eq!(who, id);
+        assert!((dt - 10.0).abs() < 1e-9, "dt = {dt}");
+        eng.advance(dt);
+        eng.complete_executor(id).unwrap();
+        assert!(eng.app(app).is_finished());
+        assert_eq!(eng.node_free_memory(node), 64.0);
+    }
+
+    #[test]
+    fn co_located_executors_slow_each_other_mildly() {
+        let mut eng = engine(1);
+        let a = eng.submit(linear_app("a", 10.0, 0.35));
+        let b = eng.submit(linear_app("b", 10.0, 0.40));
+        let node = eng.cluster().node_ids()[0];
+        eng.spawn_executor(a, node, 10.0, 6.0).unwrap().unwrap();
+        eng.spawn_executor(b, node, 10.0, 6.0).unwrap().unwrap();
+        let (dt, _) = eng.next_completion().unwrap();
+        // Both slowed by < 10 % relative to the 10 s solo time.
+        assert!(dt > 10.0 && dt < 11.0, "dt = {dt}");
+    }
+
+    #[test]
+    fn slice_clamped_to_remaining_input() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 5.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 100.0, 10.0).unwrap().unwrap();
+        assert_eq!(eng.executor(id).unwrap().slice_gb(), 5.0);
+        assert_eq!(eng.app(app).unassigned_gb(), 0.0);
+        // Nothing left: next spawn returns None and releases memory.
+        let none = eng.spawn_executor(app, node, 10.0, 10.0).unwrap();
+        assert!(none.is_none());
+        assert_eq!(eng.node_free_memory(node), 64.0 - 10.0);
+    }
+
+    #[test]
+    fn reservation_failure_leaves_app_untouched() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 10.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let err = eng.spawn_executor(app, node, 10.0, 100.0);
+        assert!(matches!(err, Err(SparkliteError::Resource(_))));
+        assert_eq!(eng.app(app).unassigned_gb(), 10.0);
+        assert_eq!(eng.live_executors(), 0);
+    }
+
+    #[test]
+    fn oom_detection_and_kill() {
+        let mut eng = engine(1);
+        // Each executor actually needs 45 GB: two fit in RAM+swap only
+        // via paging... actually 90 > 64+16, so OOM.
+        let big = AppSpec {
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.0,
+                b: 45.0,
+            },
+            ..linear_app("big", 100.0, 0.3)
+        };
+        let a = eng.submit(big.clone());
+        let b = eng.submit(big);
+        let node = eng.cluster().node_ids()[0];
+        // Scheduler under-predicts: reserves only 20 GB each. At launch
+        // both fit (memory ramps with progress)...
+        eng.spawn_executor(a, node, 50.0, 20.0).unwrap().unwrap();
+        let second = eng.spawn_executor(b, node, 50.0, 20.0).unwrap().unwrap();
+        assert!(!matches!(
+            eng.memory_pressure(node),
+            MemoryPressure::OutOfMemory
+        ));
+        // ...but as the executors cache their slices the combined 90 GB
+        // working set blows past RAM + swap mid-run.
+        if let Some((dt, _)) = eng.next_completion() {
+            eng.advance(dt * 0.9);
+        }
+        assert_eq!(
+            eng.memory_pressure(node),
+            MemoryPressure::OutOfMemory
+        );
+        let victim = eng.oom_victim(node).unwrap();
+        assert_eq!(victim, second, "youngest executor is the victim");
+        let returned = eng.kill_executor(victim).unwrap();
+        assert_eq!(returned, 50.0, "the whole slice re-runs: progress is lost");
+        assert_eq!(eng.app(b).unassigned_gb(), 100.0);
+        assert!(!matches!(
+            eng.memory_pressure(node),
+            MemoryPressure::OutOfMemory
+        ));
+    }
+
+    #[test]
+    fn paging_slows_execution() {
+        let mut eng = engine(1);
+        let heavy = AppSpec {
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.0,
+                b: 78.0, // ramps to 14 GB over RAM, within swap
+            },
+            ..linear_app("heavy", 10.0, 0.3)
+        };
+        let app = eng.submit(heavy);
+        let node = eng.cluster().node_ids()[0];
+        eng.spawn_executor(app, node, 10.0, 60.0).unwrap().unwrap();
+        // Run to 90 % progress: the working set has ramped past RAM.
+        eng.advance(9.0);
+        assert!(matches!(
+            eng.memory_pressure(node),
+            MemoryPressure::Paging(_)
+        ));
+        let (dt, _) = eng.next_completion().unwrap();
+        assert!(
+            dt > 2.0,
+            "the paging tail should far exceed the 1 s of remaining work: {dt}"
+        );
+    }
+
+    #[test]
+    fn completion_requires_done_slice() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 10.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 10.0, 6.0).unwrap().unwrap();
+        assert!(matches!(
+            eng.complete_executor(id),
+            Err(SparkliteError::InvalidState(_))
+        ));
+        eng.advance(10.0);
+        eng.complete_executor(id).unwrap();
+    }
+
+    #[test]
+    fn profiling_credit_counts_toward_completion() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 10.0, 0.3));
+        eng.credit_profiled(app, 1.5);
+        assert_eq!(eng.app(app).processed_gb(), 1.5);
+        assert_eq!(eng.app(app).unassigned_gb(), 8.5);
+    }
+
+    #[test]
+    fn measure_footprint_is_noisy_but_unbiased() {
+        let mut eng = engine(1);
+        let mut noisy = linear_app("a", 10.0, 0.3);
+        noisy.footprint_noise_sd = 0.05;
+        let app = eng.submit(noisy);
+        let n = 500;
+        let mean: f64 = (0..n)
+            .map(|_| eng.measure_footprint(app, 10.0))
+            .sum::<f64>()
+            / n as f64;
+        // truth = 0.5·10 + 1 = 6 GB.
+        assert!((mean - 6.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn cpu_load_caps_at_one() {
+        let mut eng = engine(1);
+        let node = eng.cluster().node_ids()[0];
+        for _ in 0..4 {
+            let app = eng.submit(linear_app("x", 10.0, 0.4));
+            eng.spawn_executor(app, node, 10.0, 6.0).unwrap().unwrap();
+        }
+        assert_eq!(eng.node_cpu_load(node), 1.0);
+        assert_eq!(eng.live_executors(), 4);
+        assert_eq!(eng.node_executors(node).len(), 4);
+    }
+
+    #[test]
+    fn spawn_on_finished_app_is_invalid() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 1.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 1.0, 2.0).unwrap().unwrap();
+        eng.advance(1.0);
+        eng.complete_executor(id).unwrap();
+        assert!(matches!(
+            eng.spawn_executor(app, node, 1.0, 2.0),
+            Err(SparkliteError::InvalidState(_))
+        ));
+    }
+
+    #[test]
+    fn extension_grows_a_running_executor() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 30.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 10.0, 6.0).unwrap().unwrap();
+        eng.advance(4.0);
+        let added = eng.extend_executor(id, 10.0, 5.0).unwrap();
+        assert_eq!(added, 10.0);
+        let exec = eng.executor(id).unwrap();
+        assert_eq!(exec.slice_gb(), 20.0);
+        assert_eq!(exec.reserved_gb(), 11.0);
+        assert_eq!(eng.app(app).unassigned_gb(), 10.0);
+        // 16 GB of data remain on the extended executor.
+        let (dt, _) = eng.next_completion().unwrap();
+        assert!((dt - 16.0).abs() < 1e-9, "dt = {dt}");
+        eng.advance(dt);
+        eng.complete_executor(id).unwrap();
+        assert_eq!(eng.app(app).processed_gb(), 20.0);
+        assert_eq!(eng.node_free_memory(node), 64.0);
+    }
+
+    #[test]
+    fn extension_fails_cleanly_without_memory() {
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 30.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 10.0, 60.0).unwrap().unwrap();
+        let err = eng.extend_executor(id, 10.0, 10.0);
+        assert!(matches!(err, Err(SparkliteError::Resource(_))));
+        // Untouched on failure.
+        assert_eq!(eng.executor(id).unwrap().slice_gb(), 10.0);
+        assert_eq!(eng.app(app).unassigned_gb(), 20.0);
+    }
+
+    #[test]
+    fn extension_of_drained_app_is_zero(){
+        let mut eng = engine(1);
+        let app = eng.submit(linear_app("a", 10.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 10.0, 6.0).unwrap().unwrap();
+        assert_eq!(eng.extend_executor(id, 5.0, 1.0).unwrap(), 0.0);
+        assert_eq!(eng.node_free_memory(node), 58.0, "reservation rolled back");
+    }
+
+    #[test]
+    fn all_finished_reflects_progress() {
+        let mut eng = engine(1);
+        assert!(eng.all_finished(), "vacuously true with no apps");
+        let app = eng.submit(linear_app("a", 1.0, 0.3));
+        assert!(!eng.all_finished());
+        let node = eng.cluster().node_ids()[0];
+        let id = eng.spawn_executor(app, node, 1.0, 2.0).unwrap().unwrap();
+        eng.advance(1.0);
+        eng.complete_executor(id).unwrap();
+        assert!(eng.all_finished());
+    }
+}

@@ -1,0 +1,225 @@
+//! Executor processes: the unit of placement and progress.
+
+use crate::app::AppId;
+use crate::cluster::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a spawned executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExecutorId(pub(crate) usize);
+
+impl ExecutorId {
+    /// Index of this executor in spawn order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ExecutorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exec{}", self.0)
+    }
+}
+
+/// A live executor: a slice of one application's input being processed on
+/// one node.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    id: ExecutorId,
+    app: AppId,
+    node: NodeId,
+    /// Size of the data slice this executor was given (GB).
+    slice_gb: f64,
+    /// Memory the scheduler reserved for it (predicted footprint, GB).
+    reserved_gb: f64,
+    /// Ground-truth footprint it actually occupies (GB).
+    actual_gb: f64,
+    /// CPU demand as a fraction of the node (0..=1).
+    cpu_util: f64,
+    /// Data still to process (GB).
+    remaining_gb: f64,
+    /// Startup dead work still to burn (GB-equivalents at nominal rate).
+    overhead_remaining_gb: f64,
+}
+
+impl Executor {
+    pub(crate) fn new(
+        id: ExecutorId,
+        app: AppId,
+        node: NodeId,
+        slice_gb: f64,
+        reserved_gb: f64,
+        actual_gb: f64,
+        cpu_util: f64,
+        overhead_gb: f64,
+    ) -> Self {
+        Executor {
+            id,
+            app,
+            node,
+            slice_gb,
+            reserved_gb,
+            actual_gb,
+            cpu_util,
+            remaining_gb: slice_gb,
+            overhead_remaining_gb: overhead_gb,
+        }
+    }
+
+    /// This executor's id.
+    #[must_use]
+    pub fn id(&self) -> ExecutorId {
+        self.id
+    }
+
+    /// The owning application.
+    #[must_use]
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The node it runs on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Size of the assigned slice (GB).
+    #[must_use]
+    pub fn slice_gb(&self) -> f64 {
+        self.slice_gb
+    }
+
+    /// Memory reserved by the scheduler (GB).
+    #[must_use]
+    pub fn reserved_gb(&self) -> f64 {
+        self.reserved_gb
+    }
+
+    /// Ground-truth footprint at full occupancy (GB).
+    #[must_use]
+    pub fn actual_gb(&self) -> f64 {
+        self.actual_gb
+    }
+
+    /// Memory the executor occupies *right now* (GB): Spark executors fill
+    /// their heap as they cache RDD partitions, so usage ramps from a base
+    /// working set toward the full footprint with processing progress.
+    /// This is why real out-of-memory conditions strike mid-run rather
+    /// than at launch.
+    #[must_use]
+    pub fn current_actual_gb(&self) -> f64 {
+        const RAMP_BASE: f64 = 0.25;
+        self.actual_gb * (RAMP_BASE + (1.0 - RAMP_BASE) * self.progress())
+    }
+
+    /// CPU demand (fraction of a node).
+    #[must_use]
+    pub fn cpu_util(&self) -> f64 {
+        self.cpu_util
+    }
+
+    /// Data still to process (GB), excluding startup dead work.
+    #[must_use]
+    pub fn remaining_gb(&self) -> f64 {
+        self.remaining_gb
+    }
+
+    /// Total work (data + startup overhead) still to process (GB).
+    #[must_use]
+    pub fn remaining_work_gb(&self) -> f64 {
+        self.remaining_gb + self.overhead_remaining_gb
+    }
+
+    /// Fraction of the slice already processed, in `[0, 1]`.
+    #[must_use]
+    pub fn progress(&self) -> f64 {
+        if self.slice_gb == 0.0 {
+            1.0
+        } else {
+            1.0 - self.remaining_gb / self.slice_gb
+        }
+    }
+
+    pub(crate) fn extend(&mut self, extra_gb: f64, extra_reserve_gb: f64, new_actual_gb: f64) {
+        self.slice_gb += extra_gb;
+        self.remaining_gb += extra_gb;
+        self.reserved_gb += extra_reserve_gb;
+        self.actual_gb = new_actual_gb;
+    }
+
+    pub(crate) fn advance(&mut self, processed_gb: f64) {
+        // Startup dead work burns first, then real data.
+        let from_overhead = processed_gb.min(self.overhead_remaining_gb);
+        self.overhead_remaining_gb -= from_overhead;
+        self.remaining_gb = (self.remaining_gb - (processed_gb - from_overhead)).max(0.0);
+    }
+
+    /// Whether the slice (and startup) is fully processed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.remaining_gb + self.overhead_remaining_gb <= 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exec() -> Executor {
+        Executor::new(
+            ExecutorId(0),
+            AppId(1),
+            NodeId(2),
+            10.0,
+            4.0,
+            4.5,
+            0.3,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let e = exec();
+        assert_eq!(e.id().index(), 0);
+        assert_eq!(e.app().index(), 1);
+        assert_eq!(e.node().index(), 2);
+        assert_eq!(e.slice_gb(), 10.0);
+        assert_eq!(e.reserved_gb(), 4.0);
+        assert_eq!(e.actual_gb(), 4.5);
+        assert_eq!(e.cpu_util(), 0.3);
+        assert_eq!(e.id().to_string(), "exec0");
+    }
+
+    #[test]
+    fn progress_tracks_advancement() {
+        let mut e = exec();
+        assert_eq!(e.progress(), 0.0);
+        e.advance(2.5);
+        assert_eq!(e.remaining_gb(), 7.5);
+        assert_eq!(e.progress(), 0.25);
+        assert!(!e.is_done());
+        e.advance(100.0);
+        assert!(e.is_done());
+        assert_eq!(e.progress(), 1.0);
+    }
+
+    #[test]
+    fn memory_ramps_with_progress() {
+        let mut e = exec();
+        let at_start = e.current_actual_gb();
+        assert!(at_start < e.actual_gb());
+        assert!((at_start - 4.5 * 0.25).abs() < 1e-12);
+        e.advance(10.0);
+        assert!((e.current_actual_gb() - e.actual_gb()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_slice_is_trivially_done() {
+        let e = Executor::new(ExecutorId(0), AppId(0), NodeId(0), 0.0, 0.0, 0.0, 0.1, 0.0);
+        assert!(e.is_done());
+        assert_eq!(e.progress(), 1.0);
+    }
+}

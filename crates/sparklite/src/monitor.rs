@@ -1,0 +1,265 @@
+//! The resource-monitor daemon (§4.2).
+//!
+//! Each computing node periodically reports its memory usage and CPU load;
+//! the monitor keeps the average over a sliding window (the paper uses
+//! five minutes) read from "/proc". Schedulers consume the *windowed*
+//! view, which smooths execution-phase changes and load spikes — and lags
+//! reality, which is exactly the trade-off the window-size ablation
+//! explores.
+
+use crate::cluster::NodeId;
+use crate::engine::ClusterEngine;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration of the monitoring daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Width of the sliding window, seconds (paper: 300 s).
+    pub window_secs: f64,
+    /// Reporting period of the per-node daemons, seconds.
+    pub report_period_secs: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            window_secs: 300.0,
+            report_period_secs: 30.0,
+        }
+    }
+}
+
+/// One report from a node daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Report {
+    at_secs: f64,
+    cpu_load: f64,
+    used_memory_gb: f64,
+}
+
+/// A sliding-window view of one node.
+#[derive(Debug, Clone, Default)]
+struct NodeWindow {
+    reports: VecDeque<Report>,
+}
+
+impl NodeWindow {
+    fn push(&mut self, report: Report, window_secs: f64) {
+        self.reports.push_back(report);
+        while let Some(front) = self.reports.front() {
+            if report.at_secs - front.at_secs > window_secs {
+                self.reports.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn mean_cpu(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(|r| r.cpu_load).sum::<f64>() / self.reports.len() as f64
+    }
+
+    fn mean_used_memory(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        self.reports.iter().map(|r| r.used_memory_gb).sum::<f64>() / self.reports.len() as f64
+    }
+}
+
+/// The cluster-wide resource monitor.
+///
+/// # Examples
+///
+/// ```
+/// use sparklite::cluster::ClusterSpec;
+/// use sparklite::engine::ClusterEngine;
+/// use sparklite::monitor::{MonitorConfig, ResourceMonitor};
+/// use sparklite::perf::InterferenceModel;
+///
+/// let engine = ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+/// let mut monitor = ResourceMonitor::new(2, MonitorConfig::default());
+/// monitor.observe(&engine, 0.0);
+/// let node = engine.cluster().node_ids()[0];
+/// assert_eq!(monitor.windowed_cpu(node), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResourceMonitor {
+    config: MonitorConfig,
+    windows: Vec<NodeWindow>,
+    last_observation: Option<f64>,
+}
+
+impl ResourceMonitor {
+    /// Creates a monitor for `nodes` nodes.
+    #[must_use]
+    pub fn new(nodes: usize, config: MonitorConfig) -> Self {
+        ResourceMonitor {
+            config,
+            windows: vec![NodeWindow::default(); nodes],
+            last_observation: None,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> MonitorConfig {
+        self.config
+    }
+
+    /// Ingests a snapshot of the cluster at simulated time `now_secs`,
+    /// respecting the daemons' reporting period (snapshots arriving before
+    /// the next period are ignored, as the real daemons only post
+    /// periodically).
+    pub fn observe(&mut self, engine: &ClusterEngine, now_secs: f64) {
+        if let Some(last) = self.last_observation {
+            if now_secs - last < self.config.report_period_secs {
+                return;
+            }
+        }
+        self.last_observation = Some(now_secs);
+        for (i, node) in engine.cluster().node_ids().into_iter().enumerate() {
+            let spec = engine.cluster().node(node).spec();
+            let report = Report {
+                at_secs: now_secs,
+                cpu_load: engine.node_cpu_load(node),
+                used_memory_gb: spec.ram_gb - engine.node_free_memory(node),
+            };
+            self.windows[i].push(report, self.config.window_secs);
+        }
+    }
+
+    /// Windowed average CPU load of a node, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a node id outside the monitored cluster.
+    #[must_use]
+    pub fn windowed_cpu(&self, node: NodeId) -> f64 {
+        self.windows[node.index()].mean_cpu()
+    }
+
+    /// Windowed average used memory of a node, GB.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a node id outside the monitored cluster.
+    #[must_use]
+    pub fn windowed_used_memory(&self, node: NodeId) -> f64 {
+        self.windows[node.index()].mean_used_memory()
+    }
+
+    /// Number of reports currently inside a node's window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a node id outside the monitored cluster.
+    #[must_use]
+    pub fn reports_in_window(&self, node: NodeId) -> usize {
+        self.windows[node.index()].reports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppSpec;
+    use crate::cluster::ClusterSpec;
+    use crate::perf::InterferenceModel;
+    use mlkit::regression::{CurveFamily, FittedCurve};
+
+    fn engine_with_load() -> (ClusterEngine, NodeId) {
+        let mut engine =
+            ClusterEngine::new(ClusterSpec::small(1), InterferenceModel::default());
+        let node = engine.cluster().node_ids()[0];
+        let app = engine.submit(AppSpec {
+            name: "a".into(),
+            input_gb: 100.0,
+            rate_gb_per_s: 0.01,
+            cpu_util: 0.4,
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.5,
+                b: 1.0,
+            },
+            footprint_noise_sd: 0.0,
+        });
+        engine.spawn_executor(app, node, 20.0, 11.0).unwrap();
+        (engine, node)
+    }
+
+    #[test]
+    fn windowed_values_track_load() {
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(1, MonitorConfig::default());
+        monitor.observe(&engine, 0.0);
+        assert!((monitor.windowed_cpu(node) - 0.4).abs() < 1e-12);
+        assert!((monitor.windowed_used_memory(node) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reporting_period_throttles_observations() {
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(1, MonitorConfig::default());
+        monitor.observe(&engine, 0.0);
+        monitor.observe(&engine, 5.0); // within the 30 s period: ignored
+        assert_eq!(monitor.reports_in_window(node), 1);
+        monitor.observe(&engine, 31.0);
+        assert_eq!(monitor.reports_in_window(node), 2);
+    }
+
+    #[test]
+    fn window_evicts_stale_reports() {
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(
+            1,
+            MonitorConfig {
+                window_secs: 60.0,
+                report_period_secs: 30.0,
+            },
+        );
+        for t in [0.0, 30.0, 60.0, 90.0, 120.0] {
+            monitor.observe(&engine, t);
+        }
+        // Window of 60 s from t = 120: reports at 60, 90, 120.
+        assert_eq!(monitor.reports_in_window(node), 3);
+    }
+
+    #[test]
+    fn window_lags_a_load_change() {
+        let (mut engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(1, MonitorConfig::default());
+        for t in [0.0, 30.0, 60.0] {
+            monitor.observe(&engine, t);
+        }
+        // The executor finishes: instantaneous load drops to zero...
+        engine.advance(20.0 / 0.01);
+        let id = engine.node_executors(node)[0];
+        engine.complete_executor(id).unwrap();
+        assert_eq!(engine.node_cpu_load(node), 0.0);
+        monitor.observe(&engine, 2030.0);
+        // ...but the windowed view still remembers recent activity only if
+        // reports are within the window; at t=2030 everything is stale
+        // except the new zero-load report.
+        assert!(monitor.windowed_cpu(node) < 0.1);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let monitor = ResourceMonitor::new(2, MonitorConfig::default());
+        assert_eq!(monitor.windowed_cpu(NodeId::from_index_for_tests(0)), 0.0);
+    }
+}
+
+#[cfg(test)]
+impl NodeId {
+    /// Test-only constructor.
+    #[must_use]
+    pub(crate) fn from_index_for_tests(i: usize) -> NodeId {
+        NodeId(i)
+    }
+}

@@ -1,0 +1,398 @@
+//! Stage DAGs: Spark applications as graphs of dependent stages.
+//!
+//! A Spark job compiles to a DAG of *stages* separated by shuffle
+//! boundaries; each stage has its own data volume, CPU profile and memory
+//! behaviour. The co-location experiments treat applications as single
+//! divisible loads (the paper's §2.2 scope: footprint as a function of
+//! input size), but the substrate supports the full structure so that
+//! §3.4-style phase modeling has something real to attach to:
+//!
+//! * [`StageSpec`] — one stage's data volume, rate, CPU and memory curve;
+//! * [`StagedApp`] — a DAG of stages with dependency edges;
+//! * [`StagedApp::topological_order`] / [`StagedApp::ready_after`] — the
+//!   scheduling queries a stage-aware driver needs;
+//! * [`run_staged_isolated`] — executes the DAG on a [`ClusterEngine`]
+//!   respecting dependencies (used as a reference executor in tests and
+//!   by the staged-application example).
+
+use crate::app::AppSpec;
+use crate::cluster::NodeId;
+use crate::engine::ClusterEngine;
+use crate::SparkliteError;
+use mlkit::regression::FittedCurve;
+use serde::{Deserialize, Serialize};
+
+/// One stage of a staged application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage label ("map", "shuffle-read", ...).
+    pub name: String,
+    /// Data volume flowing through this stage (GB).
+    pub data_gb: f64,
+    /// Nominal uncontended per-executor rate for the stage (GB/s).
+    pub rate_gb_per_s: f64,
+    /// CPU demand while the stage runs (fraction of a node).
+    pub cpu_util: f64,
+    /// Memory footprint curve of a stage executor vs. its slice.
+    pub memory_curve: FittedCurve,
+}
+
+impl StageSpec {
+    /// The stage as a standalone [`AppSpec`] (what the engine executes).
+    #[must_use]
+    pub fn as_app_spec(&self, footprint_noise_sd: f64) -> AppSpec {
+        AppSpec {
+            name: self.name.clone(),
+            input_gb: self.data_gb,
+            rate_gb_per_s: self.rate_gb_per_s,
+            cpu_util: self.cpu_util,
+            memory_curve: self.memory_curve,
+            footprint_noise_sd,
+        }
+    }
+}
+
+/// A DAG of stages. Edges point from prerequisites to dependents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagedApp {
+    name: String,
+    stages: Vec<StageSpec>,
+    /// `deps[i]` lists the stage indices that must complete before stage
+    /// `i` may start.
+    deps: Vec<Vec<usize>>,
+}
+
+impl StagedApp {
+    /// Builds a staged application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::InvalidState`] if the shapes mismatch, an
+    /// edge references a missing stage, or the graph has a cycle.
+    pub fn new(
+        name: impl Into<String>,
+        stages: Vec<StageSpec>,
+        deps: Vec<Vec<usize>>,
+    ) -> Result<Self, SparkliteError> {
+        if stages.is_empty() {
+            return Err(SparkliteError::InvalidState(
+                "a staged application needs at least one stage".into(),
+            ));
+        }
+        if deps.len() != stages.len() {
+            return Err(SparkliteError::InvalidState(format!(
+                "{} stages but {} dependency lists",
+                stages.len(),
+                deps.len()
+            )));
+        }
+        if deps.iter().flatten().any(|&d| d >= stages.len()) {
+            return Err(SparkliteError::InvalidState(
+                "dependency references a missing stage".into(),
+            ));
+        }
+        let app = StagedApp {
+            name: name.into(),
+            stages,
+            deps,
+        };
+        // Cycle check via topological sort.
+        if app.topological_order().is_none() {
+            return Err(SparkliteError::InvalidState(
+                "stage graph contains a cycle".into(),
+            ));
+        }
+        Ok(app)
+    }
+
+    /// A linear pipeline: stage `i+1` depends on stage `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::InvalidState`] for an empty stage list.
+    pub fn pipeline(
+        name: impl Into<String>,
+        stages: Vec<StageSpec>,
+    ) -> Result<Self, SparkliteError> {
+        let deps = (0..stages.len())
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        Self::new(name, stages, deps)
+    }
+
+    /// Application name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stages.
+    #[must_use]
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// Dependencies of stage `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn deps_of(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
+    /// Total data volume across stages (GB).
+    #[must_use]
+    pub fn total_data_gb(&self) -> f64 {
+        self.stages.iter().map(|s| s.data_gb).sum()
+    }
+
+    /// Kahn topological order, or `None` if the graph has a cycle.
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.stages.len();
+        let mut indegree = vec![0usize; n];
+        for ds in &self.deps {
+            let _ = ds;
+        }
+        for (i, ds) in self.deps.iter().enumerate() {
+            indegree[i] = ds.len();
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(next) = queue.pop() {
+            order.push(next);
+            for (i, ds) in self.deps.iter().enumerate() {
+                if ds.contains(&next) {
+                    indegree[i] -= 1;
+                    if indegree[i] == 0 {
+                        queue.push(i);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Stage indices whose prerequisites are all in `done`.
+    #[must_use]
+    pub fn ready_after(&self, done: &[usize]) -> Vec<usize> {
+        (0..self.stages.len())
+            .filter(|i| !done.contains(i))
+            .filter(|&i| self.deps[i].iter().all(|d| done.contains(d)))
+            .collect()
+    }
+
+    /// The peak memory footprint any single stage's executor would need
+    /// for a slice of `slice_gb` — what a §3.4 phase-aware budget must
+    /// provision for.
+    #[must_use]
+    pub fn peak_stage_footprint_gb(&self, slice_gb: f64) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.memory_curve.eval(slice_gb).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Executes a staged application on `engine`, one dependency level at a
+/// time, with every stage spread over `nodes` (isolated-style: full memory
+/// reserved). Returns the simulated makespan in seconds.
+///
+/// This is the reference stage executor used by tests and the example; the
+/// co-location policies schedule flattened applications instead (§2.2).
+///
+/// # Errors
+///
+/// Propagates engine failures and DAG validation errors.
+pub fn run_staged_isolated(
+    engine: &mut ClusterEngine,
+    app: &StagedApp,
+    nodes: &[NodeId],
+    footprint_noise_sd: f64,
+) -> Result<f64, SparkliteError> {
+    if nodes.is_empty() {
+        return Err(SparkliteError::InvalidState("no nodes supplied".into()));
+    }
+    let order = app
+        .topological_order()
+        .ok_or_else(|| SparkliteError::InvalidState("cyclic stage graph".into()))?;
+    let mut elapsed = 0.0;
+    let mut done: Vec<usize> = Vec::new();
+
+    // Process dependency levels: run every ready stage to completion
+    // (stages at the same level run concurrently on disjoint node sets
+    // when possible, else share).
+    while done.len() < order.len() {
+        let ready = app.ready_after(&done);
+        if ready.is_empty() {
+            return Err(SparkliteError::InvalidState(
+                "no ready stages but work remains".into(),
+            ));
+        }
+        let mut stage_apps = Vec::new();
+        for (slot, &stage_idx) in ready.iter().enumerate() {
+            let stage = &app.stages()[stage_idx];
+            let engine_app = engine.submit(stage.as_app_spec(footprint_noise_sd));
+            // Round-robin stages over nodes; same-level stages sharing a
+            // node book their observed footprint rather than the whole
+            // machine so they can coexist.
+            let node = nodes[slot % nodes.len()];
+            let slice = stage.data_gb;
+            let footprint = stage.memory_curve.eval(slice).max(0.0) * 1.2;
+            let reserve = footprint.min(engine.node_free_memory(node));
+            engine.spawn_executor(engine_app, node, slice, reserve)?;
+            stage_apps.push((stage_idx, engine_app));
+        }
+        // Drain this level.
+        while let Some((dt, who)) = engine.next_completion() {
+            engine.advance(dt);
+            elapsed += dt;
+            engine.complete_executor(who)?;
+            if stage_apps
+                .iter()
+                .all(|&(_, a)| engine.app(a).is_finished())
+            {
+                break;
+            }
+        }
+        for (stage_idx, _) in stage_apps {
+            done.push(stage_idx);
+        }
+    }
+    Ok(elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::perf::InterferenceModel;
+    use mlkit::regression::CurveFamily;
+
+    fn stage(name: &str, data: f64, rate: f64) -> StageSpec {
+        StageSpec {
+            name: name.into(),
+            data_gb: data,
+            rate_gb_per_s: rate,
+            cpu_util: 0.3,
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.2,
+                b: 1.0,
+            },
+        }
+    }
+
+    fn diamond() -> StagedApp {
+        // read -> {map_a, map_b} -> join
+        StagedApp::new(
+            "diamond",
+            vec![
+                stage("read", 10.0, 1.0),
+                stage("map_a", 5.0, 1.0),
+                stage("map_b", 5.0, 1.0),
+                stage("join", 8.0, 1.0),
+            ],
+            vec![vec![], vec![0], vec![0], vec![1, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let app = diamond();
+        let order = app.topological_order().unwrap();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(3));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let err = StagedApp::new(
+            "cyclic",
+            vec![stage("a", 1.0, 1.0), stage("b", 1.0, 1.0)],
+            vec![vec![1], vec![0]],
+        );
+        assert!(matches!(err, Err(SparkliteError::InvalidState(_))));
+    }
+
+    #[test]
+    fn ready_after_unlocks_levels() {
+        let app = diamond();
+        assert_eq!(app.ready_after(&[]), vec![0]);
+        assert_eq!(app.ready_after(&[0]), vec![1, 2]);
+        assert_eq!(app.ready_after(&[0, 1]), vec![2]);
+        assert_eq!(app.ready_after(&[0, 1, 2]), vec![3]);
+        assert!(app.ready_after(&[0, 1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn pipeline_builder_chains_stages() {
+        let app = StagedApp::pipeline(
+            "etl",
+            vec![stage("extract", 4.0, 1.0), stage("transform", 4.0, 1.0), stage("load", 2.0, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(app.deps_of(0), &[] as &[usize]);
+        assert_eq!(app.deps_of(1), &[0]);
+        assert_eq!(app.deps_of(2), &[1]);
+        assert_eq!(app.total_data_gb(), 10.0);
+    }
+
+    #[test]
+    fn peak_stage_footprint_takes_the_max() {
+        let mut app = diamond();
+        let _ = &mut app;
+        let peak = diamond().peak_stage_footprint_gb(10.0);
+        assert!((peak - (0.2 * 10.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staged_execution_respects_dag_and_finishes() {
+        let mut engine =
+            ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+        let nodes = engine.cluster().node_ids();
+        let app = diamond();
+        let makespan = run_staged_isolated(&mut engine, &app, &nodes, 0.0).unwrap();
+        // Levels: read (10 s) + parallel maps (5 s, concurrently on two
+        // nodes) + join (8 s) = 23 s at rate 1 GB/s, uncontended.
+        assert!((makespan - 23.0).abs() < 1.0, "makespan {makespan}");
+        assert!(engine.all_finished());
+    }
+
+    #[test]
+    fn single_node_serialises_level_stages_via_sharing() {
+        let mut engine =
+            ClusterEngine::new(ClusterSpec::small(1), InterferenceModel::default());
+        let nodes = engine.cluster().node_ids();
+        let app = diamond();
+        let makespan = run_staged_isolated(&mut engine, &app, &nodes, 0.0).unwrap();
+        // The two map stages co-run on one node with mild interference:
+        // longer than the 2-node run, shorter than full serialisation with
+        // generous margins.
+        assert!(makespan > 23.0);
+        assert!(makespan < 40.0, "makespan {makespan}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert!(StagedApp::new("empty", vec![], vec![]).is_err());
+        assert!(StagedApp::new(
+            "mismatch",
+            vec![stage("a", 1.0, 1.0)],
+            vec![vec![], vec![]],
+        )
+        .is_err());
+        assert!(StagedApp::new(
+            "dangling",
+            vec![stage("a", 1.0, 1.0)],
+            vec![vec![7]],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the Spark substrate.
+
+use mlkit::regression::{CurveFamily, FittedCurve};
+use proptest::prelude::*;
+use sparklite::app::AppSpec;
+use sparklite::cluster::ClusterSpec;
+use sparklite::engine::ClusterEngine;
+use sparklite::perf::{ExecutorDemand, InterferenceModel};
+
+fn app(input_gb: f64, cpu: f64, mem_m: f64) -> AppSpec {
+    AppSpec {
+        name: "p".into(),
+        input_gb,
+        rate_gb_per_s: 1.0,
+        cpu_util: cpu,
+        memory_curve: FittedCurve {
+            family: CurveFamily::Linear,
+            m: mem_m,
+            b: 0.5,
+        },
+        footprint_noise_sd: 0.0,
+    }
+}
+
+proptest! {
+    /// Rate multipliers are always in (0, 1]: co-location can only slow
+    /// executors down, never speed them up.
+    #[test]
+    fn rate_multipliers_in_unit_interval(
+        demands in proptest::collection::vec((0.01f64..1.0, 0.1f64..100.0), 1..10),
+    ) {
+        let model = InterferenceModel::default();
+        let ds: Vec<ExecutorDemand> = demands
+            .iter()
+            .map(|&(cpu_util, actual_gb)| ExecutorDemand { cpu_util, actual_gb })
+            .collect();
+        for r in model.rate_multipliers(&ds, 64.0) {
+            prop_assert!(r > 0.0 && r <= 1.0, "rate {r}");
+        }
+    }
+
+    /// Adding a co-runner never increases anyone's rate.
+    #[test]
+    fn co_runners_are_monotone_slowdowns(
+        base_cpu in 0.05f64..0.9,
+        extra_cpu in 0.05f64..0.9,
+        base_mem in 1.0f64..40.0,
+        extra_mem in 1.0f64..40.0,
+    ) {
+        let model = InterferenceModel::default();
+        let solo = model.rate_multipliers(
+            &[ExecutorDemand { cpu_util: base_cpu, actual_gb: base_mem }],
+            64.0,
+        )[0];
+        let pair = model.rate_multipliers(
+            &[
+                ExecutorDemand { cpu_util: base_cpu, actual_gb: base_mem },
+                ExecutorDemand { cpu_util: extra_cpu, actual_gb: extra_mem },
+            ],
+            64.0,
+        )[0];
+        prop_assert!(pair <= solo + 1e-12);
+    }
+
+    /// Conservation of data: processed + unassigned + in-flight always
+    /// equals the input, through arbitrary spawn/advance/complete cycles.
+    #[test]
+    fn data_is_conserved(
+        input in 5.0f64..200.0,
+        slices in proptest::collection::vec(1.0f64..50.0, 1..8),
+        advance_frac in 0.1f64..2.0,
+    ) {
+        let mut eng = ClusterEngine::new(ClusterSpec::small(4), InterferenceModel::default());
+        let a = eng.submit(app(input, 0.3, 0.1));
+        let nodes = eng.cluster().node_ids();
+        let mut live = Vec::new();
+        for (i, &s) in slices.iter().enumerate() {
+            if let Ok(Some(id)) = eng.spawn_executor(a, nodes[i % nodes.len()], s, 10.0) {
+                live.push(id);
+            }
+        }
+        // Partial progress.
+        if let Some((dt, _)) = eng.next_completion() {
+            eng.advance(dt * advance_frac.min(0.99));
+        }
+        let in_flight: f64 = live
+            .iter()
+            .filter_map(|&id| eng.executor(id).ok())
+            .map(|e| e.slice_gb())
+            .sum();
+        let st = eng.app(a);
+        let total = st.processed_gb() + st.unassigned_gb() + in_flight;
+        prop_assert!((total - input).abs() < 1e-6, "total {total} vs input {input}");
+    }
+
+    /// Reservations are always released by completion or kill: after
+    /// draining everything, every node is back to full free memory.
+    #[test]
+    fn memory_reservations_drain(
+        inputs in proptest::collection::vec(1.0f64..40.0, 1..6),
+    ) {
+        let mut eng = ClusterEngine::new(ClusterSpec::small(3), InterferenceModel::default());
+        let nodes = eng.cluster().node_ids();
+        let mut ids = Vec::new();
+        for (i, &gb) in inputs.iter().enumerate() {
+            let a = eng.submit(app(gb, 0.3, 0.2));
+            if let Ok(Some(id)) = eng.spawn_executor(a, nodes[i % nodes.len()], gb, 15.0) {
+                ids.push(id);
+            }
+        }
+        // Kill half, run the rest to completion.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                eng.kill_executor(*id).unwrap();
+            }
+        }
+        while let Some((dt, who)) = eng.next_completion() {
+            eng.advance(dt);
+            eng.complete_executor(who).unwrap();
+        }
+        for &n in &nodes {
+            prop_assert!((eng.node_free_memory(n) - 64.0).abs() < 1e-6);
+        }
+    }
+
+    /// next_completion + advance + complete always terminates a workload
+    /// (no executor ever stalls at rate zero).
+    #[test]
+    fn workloads_always_terminate(
+        napps in 1usize..5,
+        input in 1.0f64..30.0,
+        cpu in 0.1f64..0.95,
+    ) {
+        let mut eng = ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+        let nodes = eng.cluster().node_ids();
+        for i in 0..napps {
+            let a = eng.submit(app(input, cpu, 0.1));
+            eng.spawn_executor(a, nodes[i % nodes.len()], input, 10.0).unwrap();
+        }
+        let mut steps = 0;
+        while let Some((dt, who)) = eng.next_completion() {
+            eng.advance(dt);
+            eng.complete_executor(who).unwrap();
+            steps += 1;
+            prop_assert!(steps <= napps + 1, "too many completions");
+        }
+        prop_assert!(eng.all_finished());
+    }
+}

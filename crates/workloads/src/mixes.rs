@@ -1,0 +1,241 @@
+//! Runtime scenarios: Table 3's task mixes, Table 4's fixed 30-app mix and
+//! the random-mix generator of §5.2.
+
+use crate::catalog::{Benchmark, Catalog};
+use serde::{Deserialize, Serialize};
+use simkit::SimRng;
+
+/// Input-size classes used in the evaluation (§5.2: "The input size ranges
+/// from small (∼300MB) and medium (∼30GB) to large (∼1TB)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputSize {
+    /// ~300 MB.
+    Small,
+    /// ~30 GB.
+    Medium,
+    /// ~1 TB.
+    Large,
+}
+
+impl InputSize {
+    /// All classes.
+    pub const ALL: [InputSize; 3] = [InputSize::Small, InputSize::Medium, InputSize::Large];
+
+    /// Nominal size in GB.
+    #[must_use]
+    pub fn gb(self) -> f64 {
+        match self {
+            InputSize::Small => 0.3,
+            InputSize::Medium => 30.0,
+            InputSize::Large => 1000.0,
+        }
+    }
+
+    /// Parses the notations used in Table 4 ("300MB", "30GB", "1TB").
+    #[must_use]
+    pub fn parse(text: &str) -> Option<InputSize> {
+        match text {
+            "300MB" => Some(InputSize::Small),
+            "30GB" => Some(InputSize::Medium),
+            "1TB" => Some(InputSize::Large),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InputSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputSize::Small => f.write_str("300MB"),
+            InputSize::Medium => f.write_str("30GB"),
+            InputSize::Large => f.write_str("1TB"),
+        }
+    }
+}
+
+/// One application in a mix: a benchmark plus an input size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixEntry {
+    /// Catalog index of the benchmark.
+    pub benchmark: usize,
+    /// Input size class.
+    pub size: InputSize,
+}
+
+/// A runtime scenario from Table 3: a label (L1..L10) and the number of
+/// applications scheduled together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixScenario {
+    /// Scenario label, 1-based ("L3" has `label = 3`).
+    pub label: usize,
+    /// Number of applications in the mix.
+    pub apps: usize,
+}
+
+impl MixScenario {
+    /// The ten scenarios of Table 3.
+    pub const TABLE3: [MixScenario; 10] = [
+        MixScenario { label: 1, apps: 2 },
+        MixScenario { label: 2, apps: 6 },
+        MixScenario { label: 3, apps: 7 },
+        MixScenario { label: 4, apps: 9 },
+        MixScenario { label: 5, apps: 11 },
+        MixScenario { label: 6, apps: 13 },
+        MixScenario { label: 7, apps: 19 },
+        MixScenario { label: 8, apps: 23 },
+        MixScenario { label: 9, apps: 26 },
+        MixScenario { label: 10, apps: 30 },
+    ];
+
+    /// Display label ("L7").
+    #[must_use]
+    pub fn name(self) -> String {
+        format!("L{}", self.label)
+    }
+
+    /// Draws one random application mix for this scenario: benchmarks
+    /// sampled without replacement where possible (with replacement once
+    /// the catalog is exhausted), each with a random input size. Across
+    /// many draws every benchmark appears (§5.2).
+    #[must_use]
+    pub fn random_mix(self, catalog: &Catalog, rng: &mut SimRng) -> Vec<MixEntry> {
+        let n = catalog.len();
+        let mut picks = Vec::with_capacity(self.apps);
+        let mut remaining: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut remaining);
+        for i in 0..self.apps {
+            let benchmark = if let Some(idx) = remaining.pop() {
+                idx
+            } else {
+                rng.uniform_usize(0, n - 1)
+            };
+            let size = *rng.choose(&InputSize::ALL);
+            picks.push(MixEntry { benchmark, size });
+            let _ = i;
+        }
+        picks
+    }
+}
+
+/// The fixed 30-application mix of Table 4 (drives Figs. 7 and 8), in
+/// submission order.
+#[must_use]
+pub fn table4_mix(catalog: &Catalog) -> Vec<MixEntry> {
+    // (order, benchmark, input) — verbatim from Table 4.
+    let rows: [(&str, &str); 30] = [
+        ("BDB.Wordcount", "30GB"),
+        ("SP.Kmeans", "1TB"),
+        ("SP.glm-classification", "1TB"),
+        ("SP.glm-regression", "1TB"),
+        ("SP.Pca", "30GB"),
+        ("SB.SVD++", "1TB"),
+        ("HB.Scan", "30GB"),
+        ("HB.TeraSort", "1TB"),
+        ("SB.Hive", "1TB"),
+        ("SP.NaiveBayes", "1TB"),
+        ("BDB.PageRank", "1TB"),
+        ("HB.PageRank", "30GB"),
+        ("SP.DecisionTree", "30GB"),
+        ("SP.Spearman", "1TB"),
+        ("SB.MatrixFact", "1TB"),
+        ("BDB.Grep", "1TB"),
+        ("SB.LogRegre", "1TB"),
+        ("BDB.NaivesBayes", "30GB"),
+        ("BDB.Kmeans", "30GB"),
+        ("HB.Sort", "1TB"),
+        ("SP.CoreRDD", "300MB"),
+        ("SP.Gmm", "1TB"),
+        ("HB.Join", "1TB"),
+        ("SP.Sum.Statis", "30GB"),
+        ("SP.B.MatrixMult", "1TB"),
+        ("BDB.Sort", "30GB"),
+        ("SB.RDDRelation", "1TB"),
+        ("SP.Pearson", "1TB"),
+        ("SP.Chi-sq", "30GB"),
+        ("HB.Kmeans", "1TB"),
+    ];
+    rows.iter()
+        .map(|(name, size)| MixEntry {
+            benchmark: catalog
+                .by_name(name)
+                .unwrap_or_else(|| panic!("Table 4 references unknown benchmark {name}"))
+                .index(),
+            size: InputSize::parse(size).expect("valid Table 4 size"),
+        })
+        .collect()
+}
+
+/// Resolves a mix entry to its benchmark.
+#[must_use]
+pub fn resolve<'a>(catalog: &'a Catalog, entry: &MixEntry) -> &'a Benchmark {
+    &catalog.all()[entry.benchmark]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let apps: Vec<usize> = MixScenario::TABLE3.iter().map(|s| s.apps).collect();
+        assert_eq!(apps, vec![2, 6, 7, 9, 11, 13, 19, 23, 26, 30]);
+        assert_eq!(MixScenario::TABLE3[6].name(), "L7");
+    }
+
+    #[test]
+    fn input_sizes_parse_and_print() {
+        for size in InputSize::ALL {
+            assert_eq!(InputSize::parse(&size.to_string()), Some(size));
+        }
+        assert_eq!(InputSize::parse("5GB"), None);
+        assert_eq!(InputSize::Medium.gb(), 30.0);
+    }
+
+    #[test]
+    fn table4_has_thirty_known_apps() {
+        let catalog = Catalog::paper();
+        let mix = table4_mix(&catalog);
+        assert_eq!(mix.len(), 30);
+        // Order 1 is BDB.Wordcount at 30 GB; order 20 is HB.Sort at 1 TB.
+        assert_eq!(resolve(&catalog, &mix[0]).name(), "BDB.Wordcount");
+        assert_eq!(mix[0].size, InputSize::Medium);
+        assert_eq!(resolve(&catalog, &mix[19]).name(), "HB.Sort");
+        assert_eq!(mix[19].size, InputSize::Large);
+        // 30 distinct benchmarks.
+        let set: std::collections::HashSet<usize> =
+            mix.iter().map(|e| e.benchmark).collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn random_mix_has_requested_size_and_distinct_benchmarks() {
+        let catalog = Catalog::paper();
+        let mut rng = SimRng::seed_from(3);
+        let mix = MixScenario::TABLE3[9].random_mix(&catalog, &mut rng);
+        assert_eq!(mix.len(), 30);
+        let set: std::collections::HashSet<usize> =
+            mix.iter().map(|e| e.benchmark).collect();
+        assert_eq!(set.len(), 30, "≤ 44 benchmarks: no replacement needed");
+    }
+
+    #[test]
+    fn all_benchmarks_appear_across_many_mixes() {
+        let catalog = Catalog::paper();
+        let mut rng = SimRng::seed_from(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            for e in MixScenario::TABLE3[4].random_mix(&catalog, &mut rng) {
+                seen.insert(e.benchmark);
+            }
+        }
+        assert_eq!(seen.len(), catalog.len(), "coverage over ~100 mixes");
+    }
+
+    #[test]
+    fn random_mixes_are_seed_deterministic() {
+        let catalog = Catalog::paper();
+        let a = MixScenario::TABLE3[2].random_mix(&catalog, &mut SimRng::seed_from(5));
+        let b = MixScenario::TABLE3[2].random_mix(&catalog, &mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,129 @@
+//! The 12 PARSEC 3.0 benchmarks used in the Fig. 15 interference study.
+//!
+//! PARSEC programs are shared-memory, computation-intensive C/C++
+//! applications; the paper co-locates each with every Spark benchmark on a
+//! single host and measures the PARSEC side's slowdown (< 30 %, mostly
+//! < 20 %). The model here: a fixed amount of CPU-bound work with a high
+//! CPU demand and a small, input-independent memory footprint.
+
+use mlkit::regression::{CurveFamily, FittedCurve};
+use serde::{Deserialize, Serialize};
+use sparklite::app::AppSpec;
+
+/// One modeled PARSEC benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsecBenchmark {
+    name: &'static str,
+    /// CPU demand as a fraction of the node (PARSEC native runs use all
+    /// cores, throttled only by its parallel efficiency).
+    cpu_util: f64,
+    /// Resident memory of the native input (GB).
+    memory_gb: f64,
+    /// Native-input runtime in isolation (s).
+    solo_seconds: f64,
+}
+
+impl ParsecBenchmark {
+    /// Benchmark name (lowercase, as in the suite).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// CPU demand (fraction of a node).
+    #[must_use]
+    pub fn cpu_util(&self) -> f64 {
+        self.cpu_util
+    }
+
+    /// Resident memory (GB).
+    #[must_use]
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_gb
+    }
+
+    /// Isolated runtime on the native input (s).
+    #[must_use]
+    pub fn solo_seconds(&self) -> f64 {
+        self.solo_seconds
+    }
+
+    /// Models the PARSEC run as a sparklite app: a 1 GB-equivalent unit of
+    /// work processed at a rate that yields `solo_seconds` in isolation,
+    /// with a constant memory footprint.
+    #[must_use]
+    pub fn app_spec(&self) -> AppSpec {
+        AppSpec {
+            name: format!("parsec.{}", self.name),
+            input_gb: 1.0,
+            rate_gb_per_s: 1.0 / self.solo_seconds,
+            cpu_util: self.cpu_util,
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.0,
+                b: self.memory_gb,
+            },
+            footprint_noise_sd: 0.0,
+        }
+    }
+}
+
+/// The 12 PARSEC benchmarks of Fig. 15 with native-input characteristics.
+#[must_use]
+pub fn parsec_suite() -> Vec<ParsecBenchmark> {
+    // (name, cpu_util, memory_gb, solo_seconds)
+    let rows: [(&'static str, f64, f64, f64); 12] = [
+        ("blackscholes", 0.88, 0.7, 250.0),
+        ("bodytrack", 0.80, 0.4, 220.0),
+        ("canneal", 0.55, 1.0, 300.0),
+        ("facesim", 0.78, 0.9, 420.0),
+        ("ferret", 0.85, 0.3, 340.0),
+        ("fluidanimate", 0.82, 0.8, 380.0),
+        ("freqmine", 0.90, 1.2, 400.0),
+        ("raytrace", 0.75, 1.3, 360.0),
+        ("streamcluster", 0.70, 0.2, 310.0),
+        ("swaptions", 0.92, 0.1, 230.0),
+        ("vips", 0.83, 0.5, 200.0),
+        ("x264", 0.86, 0.6, 260.0),
+    ];
+    rows.iter()
+        .map(|&(name, cpu_util, memory_gb, solo_seconds)| ParsecBenchmark {
+            name,
+            cpu_util,
+            memory_gb,
+            solo_seconds,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_parsec_benchmarks() {
+        let suite = parsec_suite();
+        assert_eq!(suite.len(), 12);
+        let names: std::collections::HashSet<&str> =
+            suite.iter().map(ParsecBenchmark::name).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn parsec_is_cpu_intensive_and_memory_light() {
+        for b in parsec_suite() {
+            assert!(b.cpu_util() >= 0.5, "{} is not CPU-bound", b.name());
+            assert!(b.memory_gb() < 2.0, "{} uses too much RAM", b.name());
+            assert!(b.solo_seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn app_spec_runs_for_solo_seconds_alone() {
+        let b = &parsec_suite()[0];
+        let spec = b.app_spec();
+        assert!((spec.uncontended_seconds(spec.input_gb) - b.solo_seconds()).abs() < 1e-9);
+        assert_eq!(spec.true_footprint_gb(1.0), b.memory_gb());
+        assert!(spec.name.starts_with("parsec."));
+    }
+}

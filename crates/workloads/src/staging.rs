@@ -1,0 +1,176 @@
+//! Stage structures for the catalog benchmarks.
+//!
+//! The co-location experiments flatten applications to divisible loads
+//! (the paper's §2.2 scope), but each real benchmark is a DAG of stages.
+//! This module gives every catalog benchmark a representative stage
+//! structure — suite-typical map/shuffle/reduce or iterative patterns —
+//! usable with `sparklite::stages` for DAG-level studies and with
+//! `moe_core::phases` for §3.4 phase modeling.
+
+use crate::catalog::Benchmark;
+use mlkit::regression::{CurveFamily, FittedCurve};
+use sparklite::stages::{StageSpec, StagedApp};
+use sparklite::SparkliteError;
+
+/// The stage pattern a benchmark follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagePattern {
+    /// Scan-style: read → filter/aggregate (Grep, Scan, WordCount...).
+    ScanAggregate,
+    /// Sort-style: read → shuffle → write (Sort, TeraSort, Join...).
+    ShuffleHeavy,
+    /// Iterative ML/graph: read → N iterations → output (PageRank,
+    /// Kmeans, regressions...).
+    Iterative,
+}
+
+/// Picks the representative pattern for a benchmark from its
+/// memory-function family (streaming/saturating workloads scan or
+/// shuffle; logarithmic graph workloads and linear ML kernels iterate).
+#[must_use]
+pub fn pattern_for(bench: &Benchmark) -> StagePattern {
+    match bench.family() {
+        CurveFamily::Exponential => {
+            if bench.base_name().to_ascii_lowercase().contains("sort")
+                || bench.base_name().to_ascii_lowercase().contains("join")
+            {
+                StagePattern::ShuffleHeavy
+            } else {
+                StagePattern::ScanAggregate
+            }
+        }
+        CurveFamily::NapierianLog | CurveFamily::Linear => StagePattern::Iterative,
+    }
+}
+
+/// Builds the stage DAG of `bench` for an `input_gb`-sized run.
+///
+/// Stage data volumes follow the pattern: scans shrink the data (filter
+/// selectivity), shuffles keep it, iterations reuse it. The per-stage
+/// memory curves derive from the benchmark's overall curve — the heaviest
+/// stage matches the flattened model, lighter stages scale it down — so
+/// the flattened footprint stays the *peak* over stages, consistent with
+/// how the co-location experiments budget memory.
+///
+/// # Errors
+///
+/// Propagates DAG-construction failures (none expected for these shapes).
+pub fn staged_app(bench: &Benchmark, input_gb: f64) -> Result<StagedApp, SparkliteError> {
+    let curve = bench.curve();
+    let scaled = |factor: f64| FittedCurve {
+        family: curve.family,
+        m: curve.m * factor,
+        b: curve.b * factor,
+    };
+    let stage = |name: &str, data: f64, cpu_mult: f64, mem_factor: f64| StageSpec {
+        name: name.into(),
+        data_gb: data,
+        rate_gb_per_s: bench.rate_gb_per_s(),
+        cpu_util: (bench.cpu_util() * cpu_mult).min(1.0),
+        memory_curve: scaled(mem_factor),
+    };
+    match pattern_for(bench) {
+        StagePattern::ScanAggregate => StagedApp::pipeline(
+            bench.name(),
+            vec![
+                stage("scan", input_gb, 0.8, 1.0),
+                stage("aggregate", input_gb * 0.2, 1.2, 0.5),
+            ],
+        ),
+        StagePattern::ShuffleHeavy => StagedApp::pipeline(
+            bench.name(),
+            vec![
+                stage("read", input_gb, 0.7, 0.6),
+                stage("shuffle", input_gb, 1.2, 1.0),
+                stage("write", input_gb * 0.9, 0.9, 0.4),
+            ],
+        ),
+        StagePattern::Iterative => {
+            // read → 3 iterations (each over the cached working set) →
+            // output, as a chain.
+            let mut stages = vec![stage("read", input_gb, 0.6, 0.7)];
+            for i in 0..3 {
+                stages.push(stage(&format!("iter{i}"), input_gb * 0.6, 1.1, 1.0));
+            }
+            stages.push(stage("output", input_gb * 0.1, 0.8, 0.3));
+            StagedApp::pipeline(bench.name(), stages)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn every_benchmark_gets_a_valid_dag() {
+        let catalog = Catalog::paper();
+        for bench in catalog.all() {
+            let app = staged_app(bench, 30.0).unwrap_or_else(|e| {
+                panic!("{}: {e}", bench.name());
+            });
+            assert!(app.topological_order().is_some(), "{}", bench.name());
+            assert!(app.stages().len() >= 2);
+        }
+    }
+
+    #[test]
+    fn patterns_match_families() {
+        let catalog = Catalog::paper();
+        assert_eq!(
+            pattern_for(catalog.by_name("HB.Sort").unwrap()),
+            StagePattern::ShuffleHeavy
+        );
+        assert_eq!(
+            pattern_for(catalog.by_name("BDB.Grep").unwrap()),
+            StagePattern::ScanAggregate
+        );
+        assert_eq!(
+            pattern_for(catalog.by_name("HB.PageRank").unwrap()),
+            StagePattern::Iterative
+        );
+        assert_eq!(
+            pattern_for(catalog.by_name("SP.Kmeans").unwrap()),
+            StagePattern::Iterative
+        );
+    }
+
+    #[test]
+    fn peak_stage_footprint_matches_flattened_model() {
+        // The heaviest stage carries the benchmark's full curve, so the
+        // peak across stages equals the flattened footprint the
+        // co-location dispatcher budgets with.
+        let catalog = Catalog::paper();
+        for bench in catalog.all() {
+            let app = staged_app(bench, 30.0).unwrap();
+            let slice = 10.0;
+            let peak = app.peak_stage_footprint_gb(slice);
+            let flat = bench.true_footprint_gb(slice);
+            assert!(
+                (peak - flat).abs() < 1e-9,
+                "{}: peak {peak} vs flat {flat}",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn iterative_apps_run_their_iterations() {
+        use sparklite::cluster::ClusterSpec;
+        use sparklite::engine::ClusterEngine;
+        use sparklite::perf::InterferenceModel;
+        use sparklite::stages::run_staged_isolated;
+
+        let catalog = Catalog::paper();
+        let bench = catalog.by_name("HB.PageRank").unwrap();
+        let app = staged_app(bench, 2.0).unwrap();
+        assert_eq!(app.stages().len(), 5, "read + 3 iterations + output");
+        let mut engine =
+            ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+        let nodes = engine.cluster().node_ids();
+        let makespan = run_staged_isolated(&mut engine, &app, &nodes, 0.0).unwrap();
+        assert!(makespan > 0.0);
+        assert!(engine.all_finished());
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the workload models.
+
+use proptest::prelude::*;
+use simkit::SimRng;
+use workloads::mixes::MixScenario;
+use workloads::{signatures, Catalog};
+
+proptest! {
+    /// Ground-truth footprints are non-negative and non-decreasing in the
+    /// slice size for every benchmark (all three Table 1 families are
+    /// monotone with positive coefficients).
+    #[test]
+    fn footprints_monotone(bench_idx in 0usize..44, a in 0.01f64..60.0, delta in 0.0f64..20.0) {
+        let catalog = Catalog::paper();
+        let bench = &catalog.all()[bench_idx];
+        let f1 = bench.true_footprint_gb(a);
+        let f2 = bench.true_footprint_gb(a + delta);
+        prop_assert!(f1 >= 0.0);
+        prop_assert!(f2 >= f1 - 1e-9, "{}: f({a}) = {f1} > f({}) = {f2}", bench.name(), a + delta);
+    }
+
+    /// Random mixes always reference valid benchmarks and have the
+    /// requested size, for every scenario and seed.
+    #[test]
+    fn random_mixes_are_well_formed(scenario_idx in 0usize..10, seed in any::<u64>()) {
+        let catalog = Catalog::paper();
+        let scenario = MixScenario::TABLE3[scenario_idx];
+        let mut rng = SimRng::seed_from(seed);
+        let mix = scenario.random_mix(&catalog, &mut rng);
+        prop_assert_eq!(mix.len(), scenario.apps);
+        prop_assert!(mix.iter().all(|e| e.benchmark < catalog.len()));
+        // Sizes are one of the three classes.
+        prop_assert!(mix.iter().all(|e| [0.3, 30.0, 1000.0].contains(&e.size.gb())));
+    }
+
+    /// Observations never produce non-finite feature values.
+    #[test]
+    fn observations_are_finite(bench_idx in 0usize..44, seed in any::<u64>()) {
+        let catalog = Catalog::paper();
+        let bench = &catalog.all()[bench_idx];
+        let mut rng = SimRng::seed_from(seed);
+        let obs = signatures::observe_default(bench, &mut rng);
+        prop_assert!(obs.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// The latent signature is independent of the observation RNG: two
+    /// different observation streams share the same underlying signature.
+    #[test]
+    fn latent_signature_is_stable(bench_idx in 0usize..44, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let catalog = Catalog::paper();
+        let bench = &catalog.all()[bench_idx];
+        let a = signatures::signature_for(bench, signatures::DEFAULT_JITTER_SD);
+        let b = signatures::signature_for(bench, signatures::DEFAULT_JITTER_SD);
+        prop_assert_eq!(a, b);
+        let _ = (s1, s2);
+    }
+
+    /// app_spec round-trips the benchmark's properties for any input size.
+    #[test]
+    fn app_specs_are_consistent(bench_idx in 0usize..44, input in 0.1f64..1000.0) {
+        let catalog = Catalog::paper();
+        let bench = &catalog.all()[bench_idx];
+        let spec = bench.app_spec(input, 0.01);
+        prop_assert_eq!(spec.input_gb, input);
+        prop_assert_eq!(spec.cpu_util, bench.cpu_util());
+        prop_assert_eq!(spec.memory_curve, bench.curve());
+        prop_assert!((spec.true_footprint_gb(5.0) - bench.true_footprint_gb(5.0)).abs() < 1e-12);
+    }
+}

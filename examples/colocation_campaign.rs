@@ -1,0 +1,50 @@
+//! A small co-location campaign: one random 11-application mix (scenario
+//! L5 of Table 3) scheduled on the paper's 40-node cluster under four
+//! policies, reporting the paper's two metrics.
+//!
+//! ```sh
+//! cargo run --release --example colocation_campaign
+//! ```
+
+use colocate::harness::{run_policy, RunConfig};
+use colocate::scheduler::PolicyKind;
+use simkit::SimRng;
+use workloads::mixes::resolve;
+use workloads::{Catalog, MixScenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let mut rng = SimRng::seed_from(5);
+    let scenario = MixScenario::TABLE3[4]; // L5: 11 applications
+    let mix = scenario.random_mix(&catalog, &mut rng);
+
+    println!("scenario {} — {} applications:", scenario.name(), mix.len());
+    for entry in &mix {
+        println!("  {:<22} {}", resolve(&catalog, entry).name(), entry.size);
+    }
+
+    println!(
+        "\n{:<14} {:>8} {:>12} {:>16} {:>6}",
+        "policy", "STP", "ANTT red.", "makespan (min)", "OOMs"
+    );
+    println!("{}", "-".repeat(60));
+    for policy in [
+        PolicyKind::Pairwise,
+        PolicyKind::Quasar,
+        PolicyKind::Moe,
+        PolicyKind::Oracle,
+    ] {
+        let out = run_policy(policy, &catalog, &mix, &config, 5)?;
+        println!(
+            "{:<14} {:>8.2} {:>11.1}% {:>16.1} {:>6}",
+            out.schedule.policy,
+            out.normalized.normalized_stp,
+            out.normalized.antt_reduction_pct,
+            out.makespan_secs / 60.0,
+            out.schedule.oom_kills
+        );
+    }
+    println!("\n(higher STP and higher ANTT reduction are better; Oracle is the ceiling)");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Driving the sparklite substrate directly: submit applications, place
+//! executors by hand, watch contention, paging and OOM behaviour — the
+//! machinery underneath every scheduling policy.
+//!
+//! ```sh
+//! cargo run --release --example online_cluster
+//! ```
+
+use mlkit::regression::{CurveFamily, FittedCurve};
+use sparklite::app::AppSpec;
+use sparklite::cluster::ClusterSpec;
+use sparklite::engine::ClusterEngine;
+use sparklite::perf::{InterferenceModel, MemoryPressure};
+
+fn spec(name: &str, input_gb: f64, cpu: f64, m: f64, b: f64) -> AppSpec {
+    AppSpec {
+        name: name.into(),
+        input_gb,
+        rate_gb_per_s: 0.02,
+        cpu_util: cpu,
+        memory_curve: FittedCurve {
+            family: CurveFamily::Linear,
+            m,
+            b,
+        },
+        footprint_noise_sd: 0.0,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+    let node = engine.cluster().node_ids()[0];
+
+    // Two well-behaved tenants.
+    let a = engine.submit(spec("etl", 20.0, 0.30, 0.8, 2.0));
+    let b = engine.submit(spec("train", 20.0, 0.35, 0.9, 1.5));
+    engine.spawn_executor(a, node, 20.0, 18.0)?;
+    engine.spawn_executor(b, node, 20.0, 19.5)?;
+    println!(
+        "node0 after two spawns: cpu load {:.0} %, free memory {:.1} GB, pressure {:?}",
+        engine.node_cpu_load(node) * 100.0,
+        engine.node_free_memory(node),
+        engine.memory_pressure(node)
+    );
+
+    // A third tenant under-declares its memory: the scheduler reserves
+    // 10 GB but the executor actually needs ~47 GB — RAM + swap blow past
+    // their limits and the engine reports an OOM condition.
+    let c = engine.submit(spec("rogue", 50.0, 0.25, 0.9, 2.0));
+    engine.spawn_executor(c, node, 50.0, 10.0)?;
+    println!(
+        "after the rogue spawn: pressure {:?}",
+        engine.memory_pressure(node)
+    );
+    if matches!(engine.memory_pressure(node), MemoryPressure::OutOfMemory) {
+        let victim = engine.oom_victim(node).expect("someone to kill");
+        let owner = engine.executor(victim)?.app();
+        let returned = engine.kill_executor(victim)?;
+        println!(
+            "OOM killer removed {victim} (owner {owner}); {returned:.1} GB of input re-queued"
+        );
+    }
+
+    // Run the remaining executors to completion, reporting progress.
+    while let Some((dt, done)) = engine.next_completion() {
+        engine.advance(dt);
+        let exec = engine.executor(done)?;
+        println!(
+            "t+{dt:>8.1}s  {done} finished its {:.1} GB slice for {}",
+            exec.slice_gb(),
+            exec.app()
+        );
+        engine.complete_executor(done)?;
+    }
+    println!(
+        "etl finished: {}; train finished: {}; rogue remains unfinished: {} GB unassigned",
+        engine.app(a).is_finished(),
+        engine.app(b).is_finished(),
+        engine.app(c).unassigned_gb()
+    );
+    Ok(())
+}

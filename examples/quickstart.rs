@@ -1,0 +1,71 @@
+//! Quickstart: train the mixture-of-experts system offline, then predict
+//! the memory needs of an unseen Spark application and size an executor
+//! under a memory budget — the §4 runtime flow in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use colocate::predictors::{MemoryPredictor, MoePolicy};
+use colocate::profiling::{profile_app, ProfilingConfig};
+use colocate::training::{train_system, TrainingConfig};
+use simkit::SimRng;
+use workloads::Catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline (Fig. 2): profile the 16 HiBench/BigDataBench training
+    // programs, fit each one's memory function, train the KNN selector.
+    let catalog = Catalog::paper();
+    let mut rng = SimRng::seed_from(2026);
+    let system = train_system(&catalog, &TrainingConfig::default(), &mut rng)?;
+    println!("trained on {} programs; {} experts registered", 16, 3);
+
+    // Runtime (§4.1): an application from a suite never seen in training
+    // arrives with a 30 GB input. Profile ~100 MB for features plus two
+    // small calibration runs.
+    let app = catalog.by_name("SB.TriangleCount").expect("catalog");
+    let (profile, cost) = profile_app(app, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+    println!(
+        "profiled {}: {:.1} s feature extraction, {:.1} s calibration \
+         ({:.2} GB of input processed — it counts toward the job)",
+        app.name(),
+        cost.feature_secs,
+        cost.calibration_secs,
+        cost.profiled_gb
+    );
+
+    // Select the expert and calibrate its two coefficients.
+    let moe = MoePolicy::new(system.clone());
+    let prediction = moe.predict(&profile)?;
+    let selection = system.predictor.select(&profile.features)?;
+    let expert = system.predictor.registry().get(selection.expert)?;
+    println!(
+        "selected expert: {} (distance {:.3}{})",
+        expert.name(),
+        selection.distance,
+        if selection.low_confidence {
+            ", LOW CONFIDENCE — conservative fallback"
+        } else {
+            ""
+        }
+    );
+
+    // The two questions the dispatcher asks (§4.3).
+    for slice in [2.0, 8.0, 25.0] {
+        println!(
+            "  executor holding {slice:>4.1} GB  →  predicted footprint {:>6.2} GB \
+             (ground truth {:>6.2} GB)",
+            prediction.model.footprint_gb(slice),
+            app.true_footprint_gb(slice)
+        );
+    }
+    let budget = 40.0;
+    match prediction.model.max_input_for_budget(budget) {
+        Some(x) => println!(
+            "  under a {budget:.0} GB budget the executor can cache {:.1} GB of input",
+            x
+        ),
+        None => println!("  nothing fits under a {budget:.0} GB budget"),
+    }
+    Ok(())
+}

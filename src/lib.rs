@@ -1,0 +1,50 @@
+//! # spark-moe — memory-aware Spark task co-location, reproduced in Rust
+//!
+//! An open-source reproduction of *"Improving Spark Application Throughput
+//! Via Memory Aware Task Co-location: A Mixture of Experts Approach"*
+//! (Marco, Taylor, Porter, Wang — Middleware '17), built as a Cargo
+//! workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`moe_core`] | the paper's contribution: mixture-of-experts memory modeling |
+//! | [`mlkit`] | from-scratch ML: PCA, Varimax, KNN, trees, forests, NB, SVM, MLP, curve fitting |
+//! | [`sparklite`] | Spark-like substrate: executors, memory/paging/OOM, interference |
+//! | [`simkit`] | deterministic discrete-event simulation core |
+//! | [`workloads`] | the 44 evaluated benchmarks, PARSEC co-runners, Table 3/4 mixes |
+//! | [`colocate`] | the runtime system + every comparative scheduler + metrics |
+//!
+//! This façade crate re-exports the workspace members and hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). See `README.md` for a guided tour, `DESIGN.md` for the
+//! paper-to-module map, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use colocate::training::{train_system, TrainingConfig};
+//! use colocate::predictors::{MemoryPredictor, MoePolicy};
+//! use colocate::profiling::{profile_app, ProfilingConfig};
+//! use simkit::SimRng;
+//! use workloads::Catalog;
+//!
+//! let catalog = Catalog::paper();
+//! let mut rng = SimRng::seed_from(7);
+//! let system = train_system(&catalog, &TrainingConfig::default(), &mut rng)?;
+//! let moe = MoePolicy::new(system);
+//!
+//! // Predict the memory needs of an application never seen in training.
+//! let app = catalog.by_name("SB.TriangleCount").unwrap();
+//! let (profile, _cost) = profile_app(app, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+//! let prediction = moe.predict(&profile)?;
+//! let footprint = prediction.model.footprint_gb(8.0);
+//! assert!(footprint > 0.0);
+//! # Ok::<(), colocate::ColocateError>(())
+//! ```
+
+pub use colocate;
+pub use mlkit;
+pub use moe_core;
+pub use simkit;
+pub use sparklite;
+pub use workloads;

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: full co-location campaigns on the paper
+//! cluster, exercising training (moe-core + mlkit), profiling and
+//! scheduling (colocate), the substrate (sparklite) and the workload
+//! models together.
+
+use colocate::harness::{isolated_times, run_policy, trained_system_for, RunConfig};
+use colocate::scheduler::{run_schedule, PolicyKind};
+use simkit::SimRng;
+use workloads::mixes::MixEntry;
+use workloads::{Catalog, InputSize, MixScenario};
+
+fn mix_of(catalog: &Catalog, names: &[(&str, InputSize)]) -> Vec<MixEntry> {
+    names
+        .iter()
+        .map(|(n, s)| MixEntry {
+            benchmark: catalog.by_name(n).unwrap().index(),
+            size: *s,
+        })
+        .collect()
+}
+
+#[test]
+fn policies_rank_in_paper_order_on_average() {
+    // Single mixes have wide whiskers (Fig. 6's min-max bars overlap);
+    // the ranking claim is about scenario means, so average a few mixes.
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let policies = [
+        PolicyKind::Pairwise,
+        PolicyKind::Quasar,
+        PolicyKind::Moe,
+        PolicyKind::Oracle,
+        PolicyKind::OnlineSearch,
+    ];
+    let stats = colocate::harness::evaluate_scenario_multi(
+        &policies,
+        MixScenario::TABLE3[8], // L9: 26 apps
+        &catalog,
+        &config,
+        4,
+        77,
+    )
+    .unwrap();
+    let stp: Vec<f64> = stats.per_policy.iter().map(|s| s.stp_mean).collect();
+    let (pairwise, quasar, moe, oracle, online) = (stp[0], stp[1], stp[2], stp[3], stp[4]);
+
+    // The Fig. 6/10 ordering. Oracle and MoE may be close — and MoE's
+    // profiling latency staggers admissions, which occasionally *helps*
+    // STP by easing all-at-once contention, so allow a small inversion.
+    // Online Search must trail badly; Pairwise sits under the predictive
+    // schemes.
+    assert!(
+        oracle >= moe * 0.92,
+        "oracle {oracle:.2} must be at least on par with moe {moe:.2}"
+    );
+    assert!(
+        moe > pairwise,
+        "moe {moe:.2} must beat pairwise {pairwise:.2}"
+    );
+    assert!(
+        moe >= quasar * 0.99,
+        "moe {moe:.2} must be at least on par with quasar {quasar:.2}"
+    );
+    assert!(
+        online < moe * 0.7,
+        "online search {online:.2} must trail moe {moe:.2} badly"
+    );
+}
+
+#[test]
+fn co_location_improves_throughput_over_isolated() {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let mix = mix_of(
+        &catalog,
+        &[
+            ("HB.Sort", InputSize::Medium),
+            ("HB.PageRank", InputSize::Medium),
+            ("SP.glm-regression", InputSize::Medium),
+            ("BDB.Grep", InputSize::Medium),
+            ("SB.Hive", InputSize::Medium),
+            ("SP.Kmeans", InputSize::Medium),
+        ],
+    );
+    let moe = run_policy(PolicyKind::Moe, &catalog, &mix, &config, 5).unwrap();
+    // Six jobs co-located should make substantially more aggregate
+    // progress than one-at-a-time execution (STP formula (1) > 2).
+    assert!(
+        moe.normalized.normalized_stp > 2.0,
+        "STP {:.2}",
+        moe.normalized.normalized_stp
+    );
+    assert!(moe.normalized.antt_reduction_pct > 0.0);
+    assert_eq!(moe.turnarounds.len(), 6);
+}
+
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let mut rng = SimRng::seed_from(9);
+    let mix = MixScenario::TABLE3[2].random_mix(&catalog, &mut rng);
+    let a = run_policy(PolicyKind::Moe, &catalog, &mix, &config, 3).unwrap();
+    let b = run_policy(PolicyKind::Moe, &catalog, &mix, &config, 3).unwrap();
+    assert_eq!(a.turnarounds, b.turnarounds);
+    assert_eq!(a.makespan_secs, b.makespan_secs);
+    assert_eq!(
+        a.normalized.normalized_stp,
+        b.normalized.normalized_stp
+    );
+}
+
+#[test]
+fn profiling_contributes_to_output_and_is_bounded() {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let mix = mix_of(&catalog, &[("HB.Kmeans", InputSize::Medium)]);
+    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 4)
+        .unwrap()
+        .unwrap();
+    let outcome =
+        run_schedule(PolicyKind::Moe, &catalog, &mix, Some(&system), &config.scheduler, 4)
+            .unwrap();
+    let app = &outcome.per_app[0];
+    assert!(app.profiling.profiled_gb > 0.0);
+    assert!(app.profiling.total_secs() > 0.0);
+    // Profiling latency stays a modest fraction of the job (Fig. 11/12).
+    let iso = isolated_times(&catalog, &mix, &config.scheduler, 4).unwrap()[0];
+    assert!(
+        app.profiling.total_secs() < 0.3 * iso,
+        "profiling {:.0}s vs isolated {iso:.0}s",
+        app.profiling.total_secs()
+    );
+}
+
+#[test]
+fn every_policy_finishes_every_app() {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let mut rng = SimRng::seed_from(31);
+    let mix = MixScenario::TABLE3[3].random_mix(&catalog, &mut rng); // L4: 9 apps
+    for policy in [
+        PolicyKind::Isolated,
+        PolicyKind::Pairwise,
+        PolicyKind::OnlineSearch,
+        PolicyKind::Quasar,
+        PolicyKind::Moe,
+        PolicyKind::UnifiedLinear,
+        PolicyKind::UnifiedExponential,
+        PolicyKind::UnifiedLog,
+        PolicyKind::UnifiedAnn,
+        PolicyKind::Oracle,
+    ] {
+        let out = run_policy(policy, &catalog, &mix, &config, 31)
+            .unwrap_or_else(|e| panic!("{policy:?} failed: {e}"));
+        assert_eq!(out.turnarounds.len(), 9, "{policy:?}");
+        assert!(
+            out.turnarounds.iter().all(|&t| t > 0.0),
+            "{policy:?} produced non-positive turnarounds"
+        );
+    }
+}
+
+#[test]
+fn oom_kills_are_rare_under_accurate_prediction() {
+    // §2.3: with accurate predictions the paper never observed OOM
+    // re-runs. Allow a handful across a large mix, but not systematic
+    // thrash.
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let mut rng = SimRng::seed_from(55);
+    let mix = MixScenario::TABLE3[9].random_mix(&catalog, &mut rng); // L10
+    let out = run_policy(PolicyKind::Moe, &catalog, &mix, &config, 55).unwrap();
+    assert!(
+        out.schedule.oom_kills <= 3,
+        "{} OOM kills under MoE",
+        out.schedule.oom_kills
+    );
+}

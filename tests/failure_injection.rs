@@ -1,0 +1,141 @@
+//! Failure-injection tests: mispredicting baselines must page or OOM, and
+//! the runtime must recover the way §2.3 describes (kill, re-queue,
+//! conservative re-run) without losing work.
+
+use colocate::harness::{isolated_times_custom, trained_system_for, RunConfig};
+use colocate::scheduler::{run_schedule_custom, PolicyKind, SchedulerConfig};
+use sparklite::cluster::ClusterSpec;
+use workloads::Catalog;
+
+/// A single-host configuration with several memory-hungry linear-family
+/// applications: the unified exponential model calibrates on two small
+/// samples, saturates, and massively under-predicts the real footprints.
+fn tight_config() -> SchedulerConfig {
+    SchedulerConfig {
+        cluster: ClusterSpec::small(2),
+        ..Default::default()
+    }
+}
+
+fn hungry_linear_jobs(catalog: &Catalog) -> Vec<(usize, f64)> {
+    // Linear-family benchmarks with LOW CPU demand at a slice scale that
+    // stresses a 64 GB node: the CPU guard admits three per host, so only
+    // the memory prediction decides whether the node pages.
+    ["SP.NaiveBayes", "BDB.NaivesBayes", "HB.Bayes", "SP.Pearson"]
+        .iter()
+        .map(|n| (catalog.by_name(n).unwrap().index(), 100.0))
+        .collect()
+}
+
+#[test]
+fn under_predicting_baseline_still_completes() {
+    let catalog = Catalog::paper();
+    let config = tight_config();
+    let jobs = hungry_linear_jobs(&catalog);
+    let outcome = run_schedule_custom(
+        PolicyKind::UnifiedExponential,
+        &catalog,
+        &jobs,
+        None,
+        &config,
+        11,
+    )
+    .expect("schedule must complete despite mispredictions");
+    assert_eq!(outcome.per_app.len(), jobs.len());
+    assert!(outcome.per_app.iter().all(|a| a.finished_at > 0.0));
+}
+
+#[test]
+fn misprediction_pages_ooms_and_loses_the_makespan() {
+    let catalog = Catalog::paper();
+    let config = tight_config();
+    let jobs = hungry_linear_jobs(&catalog);
+    // Sanity: isolated baselines exist for this job set.
+    let iso = isolated_times_custom(&catalog, &jobs, &config, 11).unwrap();
+    assert!(iso.iter().all(|&c| c > 0.0));
+
+    let run = |policy: PolicyKind| {
+        run_schedule_custom(policy, &catalog, &jobs, None, &config, 11).unwrap()
+    };
+    let exp = run(PolicyKind::UnifiedExponential);
+    let oracle = run(PolicyKind::Oracle);
+    // The saturating mispredictor over-packs: it pages and kills where the
+    // oracle never does, and its schedule finishes no earlier.
+    assert!(
+        exp.oom_kills > oracle.oom_kills,
+        "mispredictor {} OOMs vs oracle {}",
+        exp.oom_kills,
+        oracle.oom_kills
+    );
+    assert_eq!(oracle.oom_kills, 0);
+    assert!(
+        oracle.makespan_secs <= exp.makespan_secs,
+        "oracle {:.0}s vs mispredictor {:.0}s",
+        oracle.makespan_secs,
+        exp.makespan_secs
+    );
+}
+
+#[test]
+fn oom_kill_requeues_and_finishes_under_conservative_margin() {
+    // Drive the engine into OOM territory directly through a predictive
+    // policy whose model under-reserves: the wrong-family exponential
+    // model on linear apps with small calibration points.
+    let catalog = Catalog::paper();
+    let config = SchedulerConfig {
+        cluster: ClusterSpec::small(1),
+        ..Default::default()
+    };
+    let jobs = hungry_linear_jobs(&catalog);
+    let outcome = run_schedule_custom(
+        PolicyKind::UnifiedExponential,
+        &catalog,
+        &jobs,
+        None,
+        &config,
+        13,
+    )
+    .expect("recovery path must terminate");
+    // The engine either paged through it or killed and re-ran; in all
+    // cases every byte of every input must be processed exactly once.
+    assert!(outcome.per_app.iter().all(|a| a.finished_at > 0.0));
+    assert!(outcome.makespan_secs >= outcome.per_app.iter().map(|a| a.finished_at).fold(0.0, f64::max) - 1e-6);
+}
+
+#[test]
+fn moe_is_resilient_where_unified_models_struggle() {
+    let catalog = Catalog::paper();
+    let run_config = RunConfig {
+        scheduler: tight_config(),
+        ..Default::default()
+    };
+    let jobs = hungry_linear_jobs(&catalog);
+    let system = trained_system_for(PolicyKind::Moe, &catalog, &run_config, 17)
+        .unwrap()
+        .unwrap();
+    let moe = run_schedule_custom(
+        PolicyKind::Moe,
+        &catalog,
+        &jobs,
+        Some(&system),
+        &run_config.scheduler,
+        17,
+    )
+    .unwrap();
+    let exp = run_schedule_custom(
+        PolicyKind::UnifiedExponential,
+        &catalog,
+        &jobs,
+        None,
+        &run_config.scheduler,
+        17,
+    )
+    .unwrap();
+    assert!(
+        moe.makespan_secs <= exp.makespan_secs * 1.1,
+        "moe {:.0}s should not trail the mispredictor {:.0}s",
+        moe.makespan_secs,
+        exp.makespan_secs
+    );
+    assert!(moe.oom_kills <= exp.oom_kills);
+}

@@ -1,0 +1,94 @@
+//! Regression tests pinning the paper's qualitative shapes (the claims
+//! EXPERIMENTS.md reports). Small campaigns keep them CI-friendly; the
+//! assertions use generous margins so only genuine regressions trip them.
+
+use colocate::harness::{evaluate_scenario_multi, RunConfig};
+use colocate::scheduler::PolicyKind;
+use workloads::{Catalog, MixScenario};
+
+fn campaign(
+    policies: &[PolicyKind],
+    scenario_idx: usize,
+    mixes: usize,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let catalog = Catalog::paper();
+    let config = RunConfig::default();
+    let stats = evaluate_scenario_multi(
+        policies,
+        MixScenario::TABLE3[scenario_idx],
+        &catalog,
+        &config,
+        mixes,
+        seed,
+    )
+    .expect("campaign");
+    stats
+        .per_policy
+        .iter()
+        .map(|s| (s.stp_mean, s.antt_mean))
+        .collect()
+}
+
+#[test]
+fn pairwise_plateaus_while_ours_scales() {
+    // Fig. 6's central contrast: by L6 (13 applications) our approach is
+    // far ahead of pairwise on throughput.
+    let rows = campaign(&[PolicyKind::Pairwise, PolicyKind::Moe], 5, 3, 42);
+    let (pairwise, ours) = (rows[0].0, rows[1].0);
+    assert!(
+        ours > pairwise * 1.4,
+        "ours {ours:.2} must clearly beat pairwise {pairwise:.2} at L6"
+    );
+    // And pairwise has plateaued near its small-scenario level.
+    assert!(pairwise < 8.0, "pairwise {pairwise:.2} should plateau");
+}
+
+#[test]
+fn ours_tracks_oracle_within_paper_band() {
+    // §6.1: our approach reaches ≥ ~84 % of the Oracle's STP. Allow noise
+    // headroom on a small campaign.
+    let rows = campaign(&[PolicyKind::Moe, PolicyKind::Oracle], 6, 3, 42);
+    let (ours, oracle) = (rows[0].0, rows[1].0);
+    let ratio = ours / oracle;
+    assert!(
+        (0.6..=1.1).contains(&ratio),
+        "ours/oracle {ratio:.2} out of band (ours {ours:.2}, oracle {oracle:.2})"
+    );
+}
+
+#[test]
+fn online_search_trails_badly() {
+    // Fig. 10: the runtime-search scheme loses by a factor ~2.
+    let rows = campaign(&[PolicyKind::OnlineSearch, PolicyKind::Moe], 5, 3, 10);
+    let (online, ours) = (rows[0].0, rows[1].0);
+    assert!(
+        ours > online * 1.4,
+        "ours {ours:.2} must dominate online search {online:.2}"
+    );
+}
+
+#[test]
+fn co_location_beats_the_isolated_baseline_at_scale() {
+    // The elementary claim: at L6 the normalized STP (formula 1) of every
+    // co-locating scheme clearly exceeds 1.
+    let rows = campaign(
+        &[PolicyKind::Pairwise, PolicyKind::Quasar, PolicyKind::Moe],
+        5,
+        3,
+        7,
+    );
+    for (stp, _) in rows {
+        assert!(stp > 2.0, "co-location STP {stp:.2} too low");
+    }
+}
+
+#[test]
+fn antt_reductions_are_positive_at_scale() {
+    // Fig. 6b: from L2 onward every predictive scheme cuts turnaround
+    // substantially versus one-by-one execution.
+    let rows = campaign(&[PolicyKind::Quasar, PolicyKind::Moe, PolicyKind::Oracle], 7, 3, 42);
+    for (_, antt) in rows {
+        assert!(antt > 30.0, "L8 ANTT reduction {antt:.1}% too small");
+    }
+}
