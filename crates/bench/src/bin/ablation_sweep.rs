@@ -41,19 +41,19 @@ fn selector_accuracy(catalog: &Catalog, config: &TrainingConfig, seed: u64) -> f
 }
 
 fn scenario_stp(config: &RunConfig, seed: u64) -> (f64, usize) {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let scenario = MixScenario::TABLE3[7]; // L8: 23 apps
-    let stats = evaluate_scenario_multi(&[PolicyKind::Moe], scenario, &catalog, config, 3, seed)
+    let stats = evaluate_scenario_multi(&[PolicyKind::Moe], scenario, catalog, config, 3, seed)
         .expect("campaign");
     // OOM kills from one representative mix.
     let mut rng = SimRng::seed_from(seed);
-    let mix = scenario.random_mix(&catalog, &mut rng);
-    let out = run_policy(PolicyKind::Moe, &catalog, &mix, config, seed).expect("run");
+    let mix = scenario.random_mix(catalog, &mut rng);
+    let out = run_policy(PolicyKind::Moe, catalog, &mix, config, seed).expect("run");
     (stats.per_policy[0].stp_mean, out.schedule.oom_kills)
 }
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
 
     println!("Ablation 1: KNN vote size (selector accuracy on unseen suites)");
     for k in [1usize, 3, 5, 7] {
@@ -62,7 +62,10 @@ fn main() {
             k,
             ..SelectorConfig::default()
         };
-        println!("  k = {k}: {:.1} %", selector_accuracy(&catalog, &config, 100));
+        println!(
+            "  k = {k}: {:.1} %",
+            selector_accuracy(catalog, &config, 100)
+        );
     }
 
     println!("\nAblation 2: principal components kept (selector accuracy)");
@@ -74,7 +77,7 @@ fn main() {
         };
         println!(
             "  PCs = {pcs:>2}: {:.1} %",
-            selector_accuracy(&catalog, &config, 101)
+            selector_accuracy(catalog, &config, 101)
         );
     }
 
@@ -131,7 +134,7 @@ fn main() {
         let stats = evaluate_scenario_multi(
             &[PolicyKind::OnlineSearch, PolicyKind::Moe],
             MixScenario::TABLE3[5], // L6: 13 apps
-            &catalog,
+            catalog,
             &config,
             3,
             106,

@@ -2,10 +2,8 @@
 //! coefficients, CPU utilisation and nominal rate — the ground truth every
 //! experiment measures predictors against.
 
-use workloads::Catalog;
-
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     println!(
         "{:<24} {:<34} {:>8} {:>8} {:>8} {:>10}",
         "benchmark", "memory function", "m", "b", "cpu %", "GB/s"

@@ -7,10 +7,10 @@ use colocate::harness::{run_policy, RunConfig};
 use colocate::scheduler::PolicyKind;
 use simkit::stats::Welford;
 use simkit::SimRng;
-use workloads::{Catalog, MixScenario};
+use workloads::MixScenario;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = RunConfig::default();
     let scenario = MixScenario::TABLE3[4]; // L5: 11 applications
     let max_mixes = bench_suite::mixes_per_scenario().max(12);
@@ -29,9 +29,9 @@ fn main() {
     let mut mix_rng = SimRng::seed_from(52);
     let mut stopped_at = None;
     for m in 0..max_mixes {
-        let mix = scenario.random_mix(&catalog, &mut mix_rng);
+        let mix = scenario.random_mix(catalog, &mut mix_rng);
         let outcome =
-            run_policy(PolicyKind::Moe, &catalog, &mix, &config, 52 + m as u64).expect("run");
+            run_policy(PolicyKind::Moe, catalog, &mix, &config, 52 + m as u64).expect("run");
         stats.push(outcome.normalized.normalized_stp);
         let hw = stats.ci95_half_width();
         let rel = if stats.mean() > 0.0 {
@@ -52,11 +52,11 @@ fn main() {
     }
     bench_suite::rule(46);
     match stopped_at {
-        Some(n) => println!(
-            "§5.2 stopping rule (half-width < 5 % of mean) triggers after {n} mixes"
-        ),
-        None => println!(
-            "stopping rule not reached within {max_mixes} mixes — raise SPARK_MOE_MIXES"
-        ),
+        Some(n) => {
+            println!("§5.2 stopping rule (half-width < 5 % of mean) triggers after {n} mixes")
+        }
+        None => {
+            println!("stopping rule not reached within {max_mixes} mixes — raise SPARK_MOE_MIXES")
+        }
     }
 }

@@ -9,10 +9,9 @@
 use colocate::predictors::robust_calibrate;
 use moe_core::expert::CurveExpert;
 use simkit::SimRng;
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let mut rng = SimRng::seed_from(0xF163);
 
     for name in ["HB.Sort", "HB.PageRank"] {
@@ -32,7 +31,10 @@ fn main() {
         let expert = CurveExpert::new(bench.family());
         let model = robust_calibrate(&expert, p1, p2).expect("calibration");
 
-        println!("{:>12} {:>12} {:>12} {:>8}", "input (GB)", "observed", "predicted", "err %");
+        println!(
+            "{:>12} {:>12} {:>12} {:>8}",
+            "input (GB)", "observed", "predicted", "err %"
+        );
         bench_suite::rule(50);
         for exp10 in -3..=3 {
             for &mant in &[1.0, 3.0] {

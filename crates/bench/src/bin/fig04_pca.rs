@@ -5,10 +5,10 @@
 use mlkit::pca::Pca;
 use mlkit::scaling::MinMaxScaler;
 use simkit::SimRng;
-use workloads::{signatures, Catalog};
+use workloads::signatures;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let mut rng = SimRng::seed_from(0xF164);
 
     let mut rows: Vec<Vec<f64>> = Vec::new();
@@ -32,7 +32,12 @@ fn main() {
             covering_95 = Some(i + 1);
         }
         if i < 6 {
-            println!("PC{:<2} {:6.1} %   (cumulative {:5.1} %)", i + 1, r * 100.0, cumulative * 100.0);
+            println!(
+                "PC{:<2} {:6.1} %   (cumulative {:5.1} %)",
+                i + 1,
+                r * 100.0,
+                cumulative * 100.0
+            );
         }
     }
     let rest: f64 = ratios.iter().skip(6).sum();

@@ -11,10 +11,9 @@ use colocate::harness::evaluate_scenario_multi;
 use colocate::scheduler::PolicyKind;
 use simkit::stats::summary::geometric_mean;
 use workloads::MixScenario;
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = bench_suite::paper_run_config();
     let mixes = bench_suite::mixes_per_scenario();
     let policies = [
@@ -31,11 +30,15 @@ fn main() {
     );
     let mut all_stats = Vec::new();
     for scenario in MixScenario::TABLE3 {
-        let stats = evaluate_scenario_multi(&policies, scenario, &catalog, &config, mixes, 42)
+        let stats = evaluate_scenario_multi(&policies, scenario, catalog, &config, mixes, 42)
             .expect("scenario campaign");
         print!("{:<5}", scenario.name());
         for s in &stats.per_policy {
-            print!(" {:>6.2} {:>16}", s.stp_mean, bench_suite::whisker(s.stp_min_max));
+            print!(
+                " {:>6.2} {:>16}",
+                s.stp_mean,
+                bench_suite::whisker(s.stp_min_max)
+            );
         }
         println!();
         all_stats.push(stats);
@@ -44,7 +47,10 @@ fn main() {
     print!("geo  ");
     let mut geo = Vec::new();
     for pi in 0..policies.len() {
-        let means: Vec<f64> = all_stats.iter().map(|s| s.per_policy[pi].stp_mean).collect();
+        let means: Vec<f64> = all_stats
+            .iter()
+            .map(|s| s.per_policy[pi].stp_mean)
+            .collect();
         let g = geometric_mean(&means);
         geo.push(g);
         print!(" {g:>6.2} {:>16}", "");
@@ -79,7 +85,12 @@ fn main() {
 
     if let Some(dir) = csv_dir() {
         let mut table = CsvTable::new([
-            "scenario", "policy", "stp_mean", "stp_min", "stp_max", "antt_reduction_pct",
+            "scenario",
+            "policy",
+            "stp_mean",
+            "stp_min",
+            "stp_max",
+            "antt_reduction_pct",
         ]);
         for stats in &all_stats {
             for (pi, s) in stats.per_policy.iter().enumerate() {
@@ -100,9 +111,18 @@ fn main() {
 
     println!("\nHeadlines (paper → measured):");
     println!("  ours STP (geomean):          8.69x → {:.2}x", geo[2]);
-    println!("  ours vs Quasar STP:          1.28x → {:.2}x", geo[2] / geo[1]);
-    println!("  ours / Oracle STP:           83.9% → {:.1}%", geo[2] / geo[3] * 100.0);
-    println!("  ours ANTT reduction (mean):  49%   → {:.1}%", antt_means[2]);
+    println!(
+        "  ours vs Quasar STP:          1.28x → {:.2}x",
+        geo[2] / geo[1]
+    );
+    println!(
+        "  ours / Oracle STP:           83.9% → {:.1}%",
+        geo[2] / geo[3] * 100.0
+    );
+    println!(
+        "  ours ANTT reduction (mean):  49%   → {:.1}%",
+        antt_means[2]
+    );
     println!(
         "  ours / Oracle ANTT:          93.4% → {:.1}%",
         antt_means[2] / antt_means[3] * 100.0

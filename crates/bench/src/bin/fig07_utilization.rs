@@ -7,7 +7,6 @@
 use colocate::harness::{bin_trace, trained_system_for, RunConfig};
 use colocate::scheduler::{run_schedule, PolicyKind};
 use workloads::mixes::{resolve, table4_mix};
-use workloads::Catalog;
 
 const TIME_BINS: usize = 24;
 
@@ -22,13 +21,17 @@ fn shade(load: f64) -> char {
 }
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config: RunConfig = bench_suite::paper_run_config();
-    let mix = table4_mix(&catalog);
+    let mix = table4_mix(catalog);
 
     println!("Table 4 mix (submission order):");
     for (i, entry) in mix.iter().enumerate() {
-        print!("{:>2}:{:<24}", i + 1, format!("{} {}", resolve(&catalog, entry).name(), entry.size));
+        print!(
+            "{:>2}:{:<24}",
+            i + 1,
+            format!("{} {}", resolve(catalog, entry).name(), entry.size)
+        );
         if (i + 1) % 3 == 0 {
             println!();
         }
@@ -36,8 +39,8 @@ fn main() {
     println!();
 
     for policy in [PolicyKind::Pairwise, PolicyKind::Quasar, PolicyKind::Moe] {
-        let system = trained_system_for(policy, &catalog, &config, 7).expect("training");
-        let outcome = run_schedule(policy, &catalog, &mix, system.as_ref(), &config.scheduler, 7)
+        let system = trained_system_for(policy, catalog, &config, 7).expect("training");
+        let outcome = run_schedule(policy, catalog, &mix, system.as_ref(), &config.scheduler, 7)
             .expect("schedule");
         let bins = bin_trace(&outcome.trace, outcome.makespan_secs, TIME_BINS);
         let nodes = bins[0].len();
@@ -52,8 +55,7 @@ fn main() {
             print!("nodes {group:>2}-{:<2} |", (group + 3).min(nodes - 1));
             for bin in &bins {
                 let hi = (group + 4).min(nodes);
-                let avg: f64 =
-                    bin[group..hi].iter().sum::<f64>() / (hi - group) as f64;
+                let avg: f64 = bin[group..hi].iter().sum::<f64>() / (hi - group) as f64;
                 print!("{}", shade(avg));
             }
             println!("|");

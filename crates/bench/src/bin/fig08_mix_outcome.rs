@@ -7,13 +7,12 @@ use colocate::harness::{isolated_times, trained_system_for, RunConfig};
 use colocate::metrics::normalize;
 use colocate::scheduler::{run_schedule, PolicyKind};
 use workloads::mixes::table4_mix;
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config: RunConfig = bench_suite::paper_run_config();
-    let mix = table4_mix(&catalog);
-    let iso = isolated_times(&catalog, &mix, &config.scheduler, 7).expect("isolated baselines");
+    let mix = table4_mix(catalog);
+    let iso = isolated_times(catalog, &mix, &config.scheduler, 7).expect("isolated baselines");
 
     println!("Fig. 8: Table 4 mix — STP and turnaround time");
     println!(
@@ -23,8 +22,8 @@ fn main() {
     bench_suite::rule(48);
     let mut rows = Vec::new();
     for policy in [PolicyKind::Pairwise, PolicyKind::Quasar, PolicyKind::Moe] {
-        let system = trained_system_for(policy, &catalog, &config, 7).expect("training");
-        let outcome = run_schedule(policy, &catalog, &mix, system.as_ref(), &config.scheduler, 7)
+        let system = trained_system_for(policy, catalog, &config, 7).expect("training");
+        let outcome = run_schedule(policy, catalog, &mix, system.as_ref(), &config.scheduler, 7)
             .expect("schedule");
         let turnarounds: Vec<f64> = outcome.per_app.iter().map(|a| a.finished_at).collect();
         let metrics = normalize(&iso, &turnarounds);

@@ -7,10 +7,10 @@ use bench_suite::csv::{csv_dir, num, CsvTable};
 use colocate::harness::evaluate_scenario_multi;
 use colocate::scheduler::PolicyKind;
 use simkit::stats::summary::geometric_mean;
-use workloads::{Catalog, MixScenario};
+use workloads::MixScenario;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = bench_suite::paper_run_config();
     let mixes = bench_suite::mixes_per_scenario();
     let policies = [
@@ -30,7 +30,7 @@ fn main() {
     println!();
     let mut all = Vec::new();
     for scenario in MixScenario::TABLE3 {
-        let stats = evaluate_scenario_multi(&policies, scenario, &catalog, &config, mixes, 91)
+        let stats = evaluate_scenario_multi(&policies, scenario, catalog, &config, mixes, 91)
             .expect("campaign");
         print!("{:<5}", scenario.name());
         for s in &stats.per_policy {
@@ -44,7 +44,9 @@ fn main() {
     let mut geo = Vec::new();
     for pi in 0..policies.len() {
         let g = geometric_mean(
-            &all.iter().map(|s| s.per_policy[pi].stp_mean).collect::<Vec<_>>(),
+            &all.iter()
+                .map(|s| s.per_policy[pi].stp_mean)
+                .collect::<Vec<_>>(),
         );
         geo.push(g);
         print!(" {g:>8.2}");
@@ -73,8 +75,7 @@ fn main() {
     );
 
     if let Some(dir) = csv_dir() {
-        let mut table =
-            CsvTable::new(["scenario", "policy", "stp_mean", "antt_reduction_pct"]);
+        let mut table = CsvTable::new(["scenario", "policy", "stp_mean", "antt_reduction_pct"]);
         for stats in &all {
             for (pi, s) in stats.per_policy.iter().enumerate() {
                 table.push([

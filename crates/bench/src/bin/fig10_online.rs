@@ -6,10 +6,10 @@
 use colocate::harness::evaluate_scenario_multi;
 use colocate::scheduler::PolicyKind;
 use simkit::stats::summary::geometric_mean;
-use workloads::{Catalog, MixScenario};
+use workloads::MixScenario;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = bench_suite::paper_run_config();
     let mixes = bench_suite::mixes_per_scenario();
     let policies = [PolicyKind::OnlineSearch, PolicyKind::Moe];
@@ -21,7 +21,7 @@ fn main() {
     );
     let mut all = Vec::new();
     for scenario in MixScenario::TABLE3 {
-        let stats = evaluate_scenario_multi(&policies, scenario, &catalog, &config, mixes, 10)
+        let stats = evaluate_scenario_multi(&policies, scenario, catalog, &config, mixes, 10)
             .expect("campaign");
         println!(
             "{:<5} {:>14.2} {:>14.2}   {:>13.1}% {:>13.1}%",
@@ -35,11 +35,14 @@ fn main() {
     }
     bench_suite::rule(70);
     let geo = |pi: usize| {
-        geometric_mean(&all.iter().map(|s| s.per_policy[pi].stp_mean).collect::<Vec<_>>())
+        geometric_mean(
+            &all.iter()
+                .map(|s| s.per_policy[pi].stp_mean)
+                .collect::<Vec<_>>(),
+        )
     };
-    let antt = |pi: usize| {
-        all.iter().map(|s| s.per_policy[pi].antt_mean).sum::<f64>() / all.len() as f64
-    };
+    let antt =
+        |pi: usize| all.iter().map(|s| s.per_policy[pi].antt_mean).sum::<f64>() / all.len() as f64;
     println!(
         "ours vs online search — STP {:.1}x (paper 2.4x), ANTT reduction {:.1}x (paper 2.6x)",
         geo(1) / geo(0),

@@ -6,13 +6,13 @@
 use colocate::harness::{isolated_times, trained_system_for, RunConfig};
 use colocate::scheduler::{run_schedule, PolicyKind};
 use simkit::SimRng;
-use workloads::{Catalog, MixScenario};
+use workloads::MixScenario;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config: RunConfig = bench_suite::paper_run_config();
     let mixes = bench_suite::mixes_per_scenario().min(5);
-    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 11)
+    let system = trained_system_for(PolicyKind::Moe, catalog, &config, 11)
         .expect("training")
         .expect("moe needs a system");
 
@@ -30,10 +30,10 @@ fn main() {
         let mut calibration = 0.0;
         let mut runtime = 0.0;
         for m in 0..mixes {
-            let mix = scenario.random_mix(&catalog, &mut rng);
+            let mix = scenario.random_mix(catalog, &mut rng);
             let outcome = run_schedule(
                 PolicyKind::Moe,
-                &catalog,
+                catalog,
                 &mix,
                 Some(&system),
                 &config.scheduler,
@@ -43,10 +43,14 @@ fn main() {
             // Fractions of *execution* time (the per-app isolated work),
             // which is what Fig. 11 stacks — turnaround would double-count
             // queueing delay.
-            let iso = isolated_times(&catalog, &mix, &config.scheduler, 1100 + m as u64)
+            let iso = isolated_times(catalog, &mix, &config.scheduler, 1100 + m as u64)
                 .expect("isolated baselines");
             let total_exec: f64 = iso.iter().sum();
-            let f: f64 = outcome.per_app.iter().map(|a| a.profiling.feature_secs).sum();
+            let f: f64 = outcome
+                .per_app
+                .iter()
+                .map(|a| a.profiling.feature_secs)
+                .sum();
             let c: f64 = outcome
                 .per_app
                 .iter()
@@ -54,11 +58,7 @@ fn main() {
                 .sum();
             feature += f / total_exec;
             calibration += c / total_exec;
-            runtime += outcome
-                .per_app
-                .iter()
-                .map(|a| a.finished_at)
-                .sum::<f64>()
+            runtime += outcome.per_app.iter().map(|a| a.finished_at).sum::<f64>()
                 / outcome.per_app.len() as f64;
         }
         let n = mixes as f64;

@@ -4,14 +4,13 @@
 
 use colocate::harness::{trained_system_for, RunConfig};
 use colocate::scheduler::{run_schedule_custom, PolicyKind};
-use workloads::Catalog;
 
 const INPUT_GB: f64 = 280.0;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config: RunConfig = bench_suite::paper_run_config();
-    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 12)
+    let system = trained_system_for(PolicyKind::Moe, catalog, &config, 12)
         .expect("training")
         .expect("moe needs a system");
 
@@ -24,7 +23,7 @@ fn main() {
     for bench in catalog.training_set() {
         let outcome = run_schedule_custom(
             PolicyKind::Moe,
-            &catalog,
+            catalog,
             &[(bench.index(), INPUT_GB)],
             Some(&system),
             &config.scheduler,

@@ -3,10 +3,9 @@
 //! CPU under 40 % for most benchmarks — the headroom co-location exploits.
 
 use simkit::stats::Histogram;
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let mut histogram = Histogram::new(0.0, 60.0, 6);
     for bench in catalog.all() {
         histogram.record(bench.cpu_util() * 100.0);
@@ -17,11 +16,15 @@ fn main() {
     bench_suite::rule(26);
     for (i, count) in histogram.bin_counts().iter().enumerate() {
         let (lo, hi) = histogram.bin_edges(i);
-        println!("{:>4.0}-{:<5.0} {:>12}  {}", lo, hi, count, "#".repeat(*count as usize));
+        println!(
+            "{:>4.0}-{:<5.0} {:>12}  {}",
+            lo,
+            hi,
+            count,
+            "#".repeat(*count as usize)
+        );
     }
     bench_suite::rule(26);
     let under_40 = histogram.bin_counts()[..4].iter().sum::<u64>();
-    println!(
-        "benchmarks under 40 % CPU: {under_40}/44 (paper: \"most of the 44 benchmarks\")"
-    );
+    println!("benchmarks under 40 % CPU: {under_40}/44 (paper: \"most of the 44 benchmarks\")");
 }

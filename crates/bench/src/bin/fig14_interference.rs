@@ -7,12 +7,11 @@ use colocate::harness::{trained_system_for, RunConfig};
 use colocate::interference::spark_pair_slowdown;
 use colocate::scheduler::PolicyKind;
 use simkit::stats::summary::{median, percentile};
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config: RunConfig = bench_suite::paper_run_config();
-    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 14)
+    let system = trained_system_for(PolicyKind::Moe, catalog, &config, 14)
         .expect("training")
         .expect("moe needs a system");
 
@@ -31,7 +30,7 @@ fn main() {
                 continue;
             }
             let s = spark_pair_slowdown(
-                &catalog,
+                catalog,
                 target.index(),
                 other.index(),
                 &system,

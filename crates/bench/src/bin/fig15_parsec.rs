@@ -7,12 +7,11 @@ use colocate::interference::parsec_slowdown;
 use colocate::scheduler::PolicyKind;
 use simkit::stats::summary::{median, percentile};
 use workloads::parsec::parsec_suite;
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config: RunConfig = bench_suite::paper_run_config();
-    let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 15)
+    let system = trained_system_for(PolicyKind::Moe, catalog, &config, 15)
         .expect("training")
         .expect("moe needs a system");
 
@@ -27,7 +26,7 @@ fn main() {
         let mut slowdowns = Vec::new();
         for spark in catalog.all() {
             let s = parsec_slowdown(
-                &catalog,
+                catalog,
                 parsec,
                 spark.index(),
                 &system,

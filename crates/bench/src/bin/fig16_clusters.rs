@@ -9,10 +9,10 @@ use mlkit::pca::Pca;
 use mlkit::regression::CurveFamily;
 use mlkit::scaling::MinMaxScaler;
 use simkit::SimRng;
-use workloads::{signatures, Catalog};
+use workloads::signatures;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let mut rng = SimRng::seed_from(0xF1616);
 
     let raw: Vec<Vec<f64>> = catalog
@@ -26,7 +26,10 @@ fn main() {
     let projected = pca.transform_batch(&scaled).expect("project");
 
     println!("Fig. 16: program feature space (PC1, PC2), one point per benchmark");
-    println!("{:<24} {:>8} {:>8}  memory function", "benchmark", "PC1", "PC2");
+    println!(
+        "{:<24} {:>8} {:>8}  memory function",
+        "benchmark", "PC1", "PC2"
+    );
     bench_suite::rule(72);
     for (bench, point) in catalog.all().iter().zip(projected.iter()) {
         println!(
@@ -85,7 +88,12 @@ fn main() {
     let labels: Vec<usize> = catalog
         .all()
         .iter()
-        .map(|b| CurveFamily::ALL.iter().position(|&f| f == b.family()).unwrap())
+        .map(|b| {
+            CurveFamily::ALL
+                .iter()
+                .position(|&f| f == b.family())
+                .unwrap()
+        })
         .collect();
     let agreement = cluster_label_agreement(km.assignments(), &labels);
     println!(

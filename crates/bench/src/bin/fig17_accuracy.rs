@@ -8,12 +8,11 @@ use colocate::predictors::{MemoryPredictor, MoePolicy};
 use colocate::profiling::{profile_app, ProfilingConfig};
 use colocate::training::{train_loocv, TrainingConfig};
 use simkit::SimRng;
-use workloads::Catalog;
 
 const INPUT_GB: f64 = 280.0;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = TrainingConfig::default();
     let profiling = ProfilingConfig::default();
     let mut rng = SimRng::seed_from(0xF1617);
@@ -28,7 +27,7 @@ fn main() {
     let mut errors = Vec::new();
     for bench in catalog.training_set() {
         let system =
-            train_loocv(&catalog, bench, &config, &mut rng).expect("leave-one-out training");
+            train_loocv(catalog, bench, &config, &mut rng).expect("leave-one-out training");
         let moe = MoePolicy::new(system);
         let (profile, _) = profile_app(bench, INPUT_GB, 40, 64.0, &profiling, &mut rng);
         let prediction = moe.predict(&profile).expect("prediction");
@@ -37,7 +36,10 @@ fn main() {
         let measured = bench.true_footprint_gb(slice);
         let err = (predicted - measured) / measured * 100.0;
         errors.push(err.abs());
-        println!("{:<20} {predicted:>10.2} {measured:>10.2} {err:>+8.1}", bench.name());
+        println!(
+            "{:<20} {predicted:>10.2} {measured:>10.2} {err:>+8.1}",
+            bench.name()
+        );
     }
     bench_suite::rule(52);
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;

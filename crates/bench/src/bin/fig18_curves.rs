@@ -7,10 +7,9 @@ use colocate::predictors::{MemoryPredictor, MoePolicy};
 use colocate::profiling::{profile_app, ProfilingConfig};
 use colocate::training::{train_loocv, TrainingConfig};
 use simkit::SimRng;
-use workloads::Catalog;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = TrainingConfig::default();
     let profiling = ProfilingConfig::default();
     let mut rng = SimRng::seed_from(0xF1618);
@@ -18,13 +17,16 @@ fn main() {
 
     println!("Fig. 18: predicted vs measured footprints (GB) over executor slice sizes");
     for bench in catalog.training_set() {
-        let system = train_loocv(&catalog, bench, &config, &mut rng).expect("training");
+        let system = train_loocv(catalog, bench, &config, &mut rng).expect("training");
         let moe = MoePolicy::new(system);
         let (profile, _) = profile_app(bench, 280.0, 40, 64.0, &profiling, &mut rng);
         let prediction = moe.predict(&profile).expect("prediction");
 
         println!("\n{} — {}", bench.name(), bench.family().name());
-        println!("{:>10} {:>10} {:>10} {:>8}", "slice GB", "measured", "predicted", "err %");
+        println!(
+            "{:>10} {:>10} {:>10} {:>8}",
+            "slice GB", "measured", "predicted", "err %"
+        );
         for &x in &sweep {
             let measured = bench.true_footprint_gb(x);
             let predicted = prediction.model.footprint_gb(x);

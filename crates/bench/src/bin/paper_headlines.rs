@@ -6,10 +6,10 @@ use bench_suite::csv::{csv_dir, num, CsvTable};
 use colocate::harness::evaluate_scenario_multi;
 use colocate::scheduler::PolicyKind;
 use simkit::stats::summary::geometric_mean;
-use workloads::{Catalog, MixScenario};
+use workloads::MixScenario;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let config = bench_suite::paper_run_config();
     let mixes = bench_suite::mixes_per_scenario();
     let policies = [
@@ -27,13 +27,10 @@ fn main() {
     println!();
     let mut stp: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     let mut antt: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    let mut table = CsvTable::new([
-        "scenario", "policy", "stp_mean", "antt_reduction_pct",
-    ]);
+    let mut table = CsvTable::new(["scenario", "policy", "stp_mean", "antt_reduction_pct"]);
     for scenario in MixScenario::TABLE3 {
-        let stats =
-            evaluate_scenario_multi(&policies, scenario, &catalog, &config, mixes, 61)
-                .expect("campaign");
+        let stats = evaluate_scenario_multi(&policies, scenario, catalog, &config, mixes, 61)
+            .expect("campaign");
         for (pi, s) in stats.per_policy.iter().enumerate() {
             stp[pi].push(s.stp_mean);
             antt[pi].push(s.antt_mean);

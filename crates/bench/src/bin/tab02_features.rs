@@ -10,10 +10,10 @@ use mlkit::scaling::MinMaxScaler;
 use mlkit::varimax::{feature_contributions, rank_features, varimax};
 use moe_core::features::RawFeature;
 use simkit::SimRng;
-use workloads::{signatures, Catalog};
+use workloads::signatures;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let mut rng = SimRng::seed_from(0x7AB2);
 
     // Several profiling observations per training benchmark.
@@ -36,8 +36,8 @@ fn main() {
     let axes = pca.loadings(); // components × features, unit rows
     let eigenvalues = pca.eigenvalues();
     let mut loadings = mlkit::linalg::Matrix::zeros(axes.cols(), axes.rows());
-    for c in 0..axes.rows() {
-        let sd = eigenvalues[c].max(0.0).sqrt();
+    for (c, &eigenvalue) in eigenvalues.iter().enumerate().take(axes.rows()) {
+        let sd = eigenvalue.max(0.0).sqrt();
         for d in 0..axes.cols() {
             loadings.set(d, c, axes.get(c, d) * sd);
         }
@@ -48,7 +48,10 @@ fn main() {
     let ranking = rank_features(&contrib);
 
     println!("Table 2: raw features sorted by importance (measured)");
-    println!("{:<4} {:<8} {:>12}  description", "rank", "abbr", "contrib (%)");
+    println!(
+        "{:<4} {:<8} {:>12}  description",
+        "rank", "abbr", "contrib (%)"
+    );
     bench_suite::rule(64);
     for (rank, &f) in ranking.iter().enumerate() {
         let feature = RawFeature::ALL[f];

@@ -19,12 +19,12 @@ use mlkit::svm::{LinearSvm, SvmParams};
 use mlkit::tree::{DecisionTree, TreeParams};
 use mlkit::Classifier;
 use simkit::SimRng;
-use workloads::{signatures, Catalog};
+use workloads::signatures;
 
 const OBSERVATIONS_PER_BENCH: usize = 8;
 
 fn main() {
-    let catalog = Catalog::paper();
+    let catalog = bench_suite::catalog();
     let training = catalog.training_set();
     let mut rng = SimRng::seed_from(0x7AB5);
 
@@ -138,7 +138,10 @@ fn main() {
     }
 
     println!("Table 5: expert-selector accuracy per classifier");
-    println!("{:<16} {:>12} {:>12}", "classifier", "measured %", "paper %");
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "classifier", "measured %", "paper %"
+    );
     bench_suite::rule(44);
     let paper = [92.5, 95.4, 94.1, 95.5, 96.8, 96.9, 97.4];
     for ((name, &h), &p) in names.iter().zip(hits.iter()).zip(paper.iter()) {

@@ -31,13 +31,29 @@
 //!
 //! The campaign sizes honour the `SPARK_MOE_MIXES` environment variable
 //! (mixes per scenario, default 8) so CI can run quickly while a full
-//! reproduction can push toward the paper's ~100 mixes.
+//! reproduction can push toward the paper's ~100 mixes. Campaigns fan out
+//! across worker threads (see `simkit::par`); set `SPARK_MOE_THREADS` to
+//! pin the pool — results are bit-for-bit identical for every value.
 
 #![warn(missing_docs)]
 
 pub mod csv;
 
 use colocate::harness::RunConfig;
+use std::sync::OnceLock;
+use workloads::Catalog;
+
+/// The 44-benchmark ground-truth catalog, built once per process.
+///
+/// Every figure binary needs the same immutable [`Catalog::paper`]; the
+/// construction involves per-benchmark latent signatures, so sharing one
+/// instance keeps binaries that evaluate many scenarios from rebuilding it
+/// per campaign (and lets campaign worker threads borrow it `'static`).
+#[must_use]
+pub fn catalog() -> &'static Catalog {
+    static CATALOG: OnceLock<Catalog> = OnceLock::new();
+    CATALOG.get_or_init(Catalog::paper)
+}
 
 /// Number of random mixes per scenario, from `SPARK_MOE_MIXES` (default 8).
 #[must_use]
@@ -50,6 +66,9 @@ pub fn mixes_per_scenario() -> usize {
 }
 
 /// The shared experiment configuration (paper cluster, default training).
+///
+/// Worker-thread count is left at `None`, deferring to the
+/// `SPARK_MOE_THREADS` override and then the host's parallelism.
 #[must_use]
 pub fn paper_run_config() -> RunConfig {
     RunConfig::default()

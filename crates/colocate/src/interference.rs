@@ -56,9 +56,8 @@ pub fn spark_pair_slowdown(
     let node = engine.cluster().node_ids()[0];
 
     let target_bench = &catalog.all()[target];
-    let target_app = engine.submit(
-        target_bench.app_spec(INTERFERENCE_INPUT_GB, config.profiling.footprint_noise_sd),
-    );
+    let target_app = engine
+        .submit(target_bench.app_spec(INTERFERENCE_INPUT_GB, config.profiling.footprint_noise_sd));
     // The target processes its input in waves sized to roughly 60 % of the
     // host's RAM — it was launched first and owns most of the memory.
     let ram = engine.cluster().node(node).spec().ram_gb;
@@ -88,9 +87,8 @@ pub fn spark_pair_slowdown(
         .predict(&profile)
         .map_err(|e| ColocateError::Config(format!("prediction failed: {e}")))?;
     let margin = config.reserve_margin.max(1.0);
-    let other_app = engine.submit(
-        other_bench.app_spec(INTERFERENCE_INPUT_GB, config.profiling.footprint_noise_sd),
-    );
+    let other_app = engine
+        .submit(other_bench.app_spec(INTERFERENCE_INPUT_GB, config.profiling.footprint_noise_sd));
 
     let mut elapsed = 0.0;
     loop {
@@ -185,9 +183,7 @@ pub fn parsec_slowdown(
     // cores, so the co-located Spark executor's CPU demand is capped to
     // the host's remaining headroom (plus a small scheduling overlap).
     let mut spec = bench.app_spec(INTERFERENCE_INPUT_GB, 0.0);
-    spec.cpu_util = spec
-        .cpu_util
-        .min((1.05 - parsec.cpu_util()).max(0.05));
+    spec.cpu_util = spec.cpu_util.min((1.05 - parsec.cpu_util()).max(0.05));
     let spark = engine.submit(spec);
     let free = engine.node_free_memory(node);
     let slice = moe_core::calibration::CalibratedModel::from_curve(bench.curve())

@@ -218,11 +218,7 @@ impl MemoryPredictor for UnifiedFamily {
     }
 
     fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
-        let model = robust_calibrate(
-            &self.expert,
-            profile.calibration[0],
-            profile.calibration[1],
-        )?;
+        let model = robust_calibrate(&self.expert, profile.calibration[0], profile.calibration[1])?;
         Ok(Prediction {
             model: Box::new(model),
             low_confidence: false,
@@ -368,7 +364,6 @@ pub struct QuasarPredictor {
     svd: mlkit::svd::TruncatedSvd,
     grid: Vec<f64>,
 }
-
 
 impl QuasarPredictor {
     /// Builds the estimator from the trained system's historical profiles:
@@ -535,12 +530,7 @@ mod tests {
         (catalog, system, rng)
     }
 
-    fn profile_of(
-        catalog: &Catalog,
-        name: &str,
-        input: f64,
-        rng: &mut SimRng,
-    ) -> AppProfile {
+    fn profile_of(catalog: &Catalog, name: &str, input: f64, rng: &mut SimRng) -> AppProfile {
         let bench = catalog.by_name(name).unwrap();
         profile_app(bench, input, 40, 64.0, &ProfilingConfig::default(), rng).0
     }
@@ -586,8 +576,13 @@ mod tests {
         let slice = profile.expected_slice_gb;
         let truth = bench.true_footprint_gb(slice);
         let moe_err = (moe.predict(&profile).unwrap().model.footprint_gb(slice) - truth).abs();
-        let lin_err =
-            (linear_only.predict(&profile).unwrap().model.footprint_gb(slice) - truth).abs();
+        let lin_err = (linear_only
+            .predict(&profile)
+            .unwrap()
+            .model
+            .footprint_gb(slice)
+            - truth)
+            .abs();
         assert!(
             moe_err < lin_err,
             "moe {moe_err:.2} GB vs linear {lin_err:.2} GB"
@@ -598,14 +593,8 @@ mod tests {
     fn ann_learns_rough_footprints() {
         let (catalog, system, mut rng) = setup();
         let sizes = TrainingConfig::default().profile_sizes_gb;
-        let ann = AnnPredictor::train(
-            &catalog,
-            &system.program_benchmarks,
-            &sizes,
-            0.01,
-            &mut rng,
-        )
-        .unwrap();
+        let ann = AnnPredictor::train(&catalog, &system.program_benchmarks, &sizes, 0.01, &mut rng)
+            .unwrap();
         let bench = catalog.by_name("HB.Sort").unwrap();
         let profile = profile_of(&catalog, "HB.Sort", 30.0, &mut rng);
         let pred = ann.predict(&profile).unwrap();

@@ -122,10 +122,7 @@ pub fn profile_app(
     // full PAPI/vmstat collection period.
     let feature_gb = config.feature_sample_gb.min(input_gb);
     let est_exec_secs = input_gb / (execs as f64 * bench.rate_gb_per_s());
-    let window = config
-        .feature_fixed_secs
-        .min(0.15 * est_exec_secs)
-        .max(2.0);
+    let window = config.feature_fixed_secs.min(0.15 * est_exec_secs).max(2.0);
     let feature_secs = window + feature_gb / bench.rate_gb_per_s();
     let features = signatures::observe(
         bench,
@@ -169,7 +166,8 @@ mod tests {
         let catalog = Catalog::paper();
         let bench = catalog.by_name("HB.PageRank").unwrap();
         let mut rng = SimRng::seed_from(1);
-        let (profile, cost) = profile_app(bench, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+        let (profile, cost) =
+            profile_app(bench, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
         assert_eq!(profile.input_gb, 30.0);
         assert!(profile.expected_slice_gb > 0.0);
         // Calibration points in increasing order, footprints near truth.
@@ -202,7 +200,8 @@ mod tests {
         let catalog = Catalog::paper();
         let bench = catalog.by_name("BDB.Grep").unwrap();
         let mut rng = SimRng::seed_from(3);
-        let (profile, cost) = profile_app(bench, 0.3, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+        let (profile, cost) =
+            profile_app(bench, 0.3, 40, 64.0, &ProfilingConfig::default(), &mut rng);
         assert!(cost.profiled_gb <= 0.3);
         assert!(profile.calibration[1].0 <= 0.3);
     }

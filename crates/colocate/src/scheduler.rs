@@ -331,10 +331,8 @@ pub fn run_schedule_custom(
     }
 
     // Main event loop.
-    let mut monitor = sparklite::monitor::ResourceMonitor::new(
-        config.cluster.nodes,
-        config.monitor,
-    );
+    let mut monitor =
+        sparklite::monitor::ResourceMonitor::new(config.cluster.nodes, config.monitor);
     let mut t = 0.0f64;
     let mut oom_kills = 0usize;
     let mut trace: Vec<(f64, Vec<f64>)> = Vec::new();
@@ -460,9 +458,7 @@ fn build_predictor(
 ) -> Result<Option<Box<dyn MemoryPredictor>>, ColocateError> {
     let need_system = || {
         system.ok_or_else(|| {
-            ColocateError::Config(format!(
-                "{policy:?} requires an offline-trained system"
-            ))
+            ColocateError::Config(format!("{policy:?} requires an offline-trained system"))
         })
     };
     Ok(match policy {
@@ -506,8 +502,6 @@ fn place(
         _ => place_predictive(engine, apps, config, t, monitor),
     }
 }
-
-
 
 /// Last-resort placement when the policy's model refuses every node: give
 /// the first ready, unfinished application one dynalloc-sized slice on the
@@ -556,7 +550,10 @@ fn force_place(
         )
         .max(config.min_slice_gb)
         .min(engine.app(id).unassigned_gb());
-        if engine.spawn_executor(id, node, slice, free * 0.95)?.is_some() {
+        if engine
+            .spawn_executor(id, node, slice, free * 0.95)?
+            .is_some()
+        {
             return Ok(true);
         }
     }
@@ -655,9 +652,7 @@ fn place_pairwise(
         let mut nodes = engine.cluster().node_ids();
         nodes.sort_by_key(|&n| engine.node_executors(n).len());
         for node in nodes {
-            if engine.app(id).unassigned_gb() <= 0.0
-                || engine.app(id).live_executors() >= target
-            {
+            if engine.app(id).unassigned_gb() <= 0.0 || engine.app(id).live_executors() >= target {
                 break;
             }
             let execs = engine.node_executors(node);
@@ -711,19 +706,19 @@ fn place_predictive(
     // starved behind large jobs the way strict per-slot FCFS would.
     loop {
         let mut progress = false;
-        for i in 0..apps.len() {
-            if apps[i].finished_at.is_some() || apps[i].ready_at > t {
+        for app in apps.iter() {
+            if app.finished_at.is_some() || app.ready_at > t {
                 continue;
             }
-            let id = apps[i].engine_id;
+            let id = app.engine_id;
             if engine.app(id).unassigned_gb() <= 0.0 {
                 continue;
             }
-            let Some(prediction) = &apps[i].prediction else {
+            let Some(prediction) = &app.prediction else {
                 continue;
             };
-            let margin = apps[i].margin * config.reserve_margin;
-            let cpu = apps[i].measured_cpu;
+            let margin = app.margin * config.reserve_margin;
+            let cpu = app.measured_cpu;
             let spec = engine.app(id).spec().clone();
             let target = dynalloc::executors_for(
                 &spec,
@@ -753,9 +748,11 @@ fn place_predictive(
                 // The monitor's windowed view (§4.2) is consulted alongside
                 // the instantaneous load so a node recovering from a burst
                 // is not immediately over-packed.
-                let observed_load = engine
-                    .node_cpu_load(node)
-                    .max(monitor.windowed_cpu(node).min(engine.node_cpu_load(node) + 0.15));
+                let observed_load = engine.node_cpu_load(node).max(
+                    monitor
+                        .windowed_cpu(node)
+                        .min(engine.node_cpu_load(node) + 0.15),
+                );
                 if observed_load + cpu > config.cpu_cap {
                     continue;
                 }
@@ -798,18 +795,18 @@ fn place_predictive(
     // not obtain another executor top up a running one where the node has
     // spare memory, avoiding a fresh executor's startup cost.
     if config.dynamic_adjustment {
-        for i in 0..apps.len() {
-            if apps[i].finished_at.is_some() || apps[i].ready_at > t {
+        for app in apps.iter() {
+            if app.finished_at.is_some() || app.ready_at > t {
                 continue;
             }
-            let id = apps[i].engine_id;
+            let id = app.engine_id;
             if engine.app(id).unassigned_gb() <= 0.0 || engine.app(id).live_executors() == 0 {
                 continue;
             }
-            let Some(prediction) = &apps[i].prediction else {
+            let Some(prediction) = &app.prediction else {
                 continue;
             };
-            let margin = apps[i].margin * config.reserve_margin;
+            let margin = app.margin * config.reserve_margin;
             // Top up only toward the dynalloc per-executor share: the
             // adjustment restores an executor squeezed below its fair
             // slice by an earlier memory shortage — it must not serialise
@@ -861,7 +858,10 @@ fn place_predictive(
                 }
                 let new_need = prediction.model.footprint_gb(slice + extra) * margin;
                 let extra_reserve = (new_need - reserved).clamp(0.0, free);
-                if engine.extend_executor(exec_id, extra, extra_reserve).is_ok() {
+                if engine
+                    .extend_executor(exec_id, extra, extra_reserve)
+                    .is_ok()
+                {
                     // One extension per app per round keeps growth fair.
                     break;
                 }
@@ -940,8 +940,15 @@ mod tests {
                 ("HB.PageRank", InputSize::Medium),
             ],
         );
-        let out =
-            run_schedule(PolicyKind::Isolated, &catalog, &mix, None, &small_config(), 1).unwrap();
+        let out = run_schedule(
+            PolicyKind::Isolated,
+            &catalog,
+            &mix,
+            None,
+            &small_config(),
+            1,
+        )
+        .unwrap();
         assert_eq!(out.per_app.len(), 2);
         // Sequential: second finishes after the first.
         assert!(out.per_app[1].finished_at > out.per_app[0].finished_at);
@@ -1031,7 +1038,14 @@ mod tests {
     #[test]
     fn empty_mix_is_rejected() {
         let catalog = Catalog::paper();
-        let err = run_schedule(PolicyKind::Isolated, &catalog, &[], None, &small_config(), 1);
+        let err = run_schedule(
+            PolicyKind::Isolated,
+            &catalog,
+            &[],
+            None,
+            &small_config(),
+            1,
+        );
         assert!(matches!(err, Err(ColocateError::Config(_))));
     }
 
@@ -1048,8 +1062,7 @@ mod tests {
         );
         let cfg = small_config();
         let orc = run_schedule(PolicyKind::Oracle, &catalog, &mix, None, &cfg, 4).unwrap();
-        let online =
-            run_schedule(PolicyKind::OnlineSearch, &catalog, &mix, None, &cfg, 4).unwrap();
+        let online = run_schedule(PolicyKind::OnlineSearch, &catalog, &mix, None, &cfg, 4).unwrap();
         assert!(online.makespan_secs > orc.makespan_secs);
     }
 

@@ -203,7 +203,11 @@ mod tests {
             }
         }
         // Noise can flip a borderline case, but nearly all must be right.
-        assert!(correct >= all.len() - 2, "only {correct}/{} correct", all.len());
+        assert!(
+            correct >= all.len() - 2,
+            "only {correct}/{} correct",
+            all.len()
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Property-based tests for the co-location runtime's metrics and
 //! scheduling invariants.
 
-use colocate::metrics::{
-    isolated_baseline_turnarounds, normalize, schedule_metrics,
-};
+use colocate::metrics::{isolated_baseline_turnarounds, normalize, schedule_metrics};
 use colocate::scheduler::{run_schedule_custom, PolicyKind, SchedulerConfig};
 use proptest::prelude::*;
 use sparklite::cluster::ClusterSpec;

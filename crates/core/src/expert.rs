@@ -154,9 +154,7 @@ mod tests {
         let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
         let fitted = expert.fit(&xs, &ys).unwrap();
-        let calibrated = expert
-            .calibrate((xs[0], ys[0]), (xs[10], ys[10]))
-            .unwrap();
+        let calibrated = expert.calibrate((xs[0], ys[0]), (xs[10], ys[10])).unwrap();
         for &x in &[0.5, 5.0, 50.0] {
             assert!((fitted.footprint_gb(x) - truth.eval(x)).abs() < 1e-6);
             assert!((calibrated.footprint_gb(x) - truth.eval(x)).abs() < 1e-6);

@@ -68,14 +68,16 @@ impl PhasedModel {
         }
         let mut phases = Vec::with_capacity(profiles.len());
         for profile in profiles {
-            let selection = predictor.select(&profile.features).map_err(|e| {
-                MoeError::InvalidTraining(format!("phase '{}': {e}", profile.name))
-            })?;
+            let selection = predictor
+                .select(&profile.features)
+                .map_err(|e| MoeError::InvalidTraining(format!("phase '{}': {e}", profile.name)))?;
             let model = predictor
-                .calibrate(selection.expert, profile.calibration[0], profile.calibration[1])
-                .map_err(|e| {
-                    MoeError::Calibration(format!("phase '{}': {e}", profile.name))
-                })?;
+                .calibrate(
+                    selection.expert,
+                    profile.calibration[0],
+                    profile.calibration[1],
+                )
+                .map_err(|e| MoeError::Calibration(format!("phase '{}': {e}", profile.name)))?;
             phases.push(PhaseModel {
                 name: profile.name.clone(),
                 expert: selection.expert,
@@ -234,8 +236,7 @@ mod tests {
             m: 30.0,
             b: 1.0,
         };
-        let model =
-            PhasedModel::from_profiles(&predictor, &[profile("iterate", 2, &log)]).unwrap();
+        let model = PhasedModel::from_profiles(&predictor, &[profile("iterate", 2, &log)]).unwrap();
         // A budget so far below the phase's floor that even the smallest
         // representable slice would not fit.
         assert_eq!(model.max_input_for_budget(1.0), None);

@@ -244,12 +244,10 @@ mod tests {
 
     #[test]
     fn training_rejects_empty_set() {
-        assert!(MoePredictor::train(
-            ExpertRegistry::builtin(),
-            &[],
-            PredictorConfig::default()
-        )
-        .is_err());
+        assert!(
+            MoePredictor::train(ExpertRegistry::builtin(), &[], PredictorConfig::default())
+                .is_err()
+        );
     }
 
     #[test]

@@ -149,11 +149,7 @@ mod tests {
                 b: m,
             }))
         }
-        fn calibrate(
-            &self,
-            p1: (f64, f64),
-            p2: (f64, f64),
-        ) -> Result<CalibratedModel, MoeError> {
+        fn calibrate(&self, p1: (f64, f64), p2: (f64, f64)) -> Result<CalibratedModel, MoeError> {
             Ok(CalibratedModel::from_curve(FittedCurve {
                 family: CurveFamily::Linear,
                 m: 0.0,

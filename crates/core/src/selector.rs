@@ -255,7 +255,8 @@ mod tests {
         let mut sel = ExpertSelector::train(&ex, SelectorConfig::default()).unwrap();
         let novel = FeatureVector::from_fn(|i| if i % 2 == 0 { 0.9 } else { 0.05 });
         let before = sel.select(&novel).unwrap();
-        sel.insert_exemplar(&novel, ExpertId::from_usize(2)).unwrap();
+        sel.insert_exemplar(&novel, ExpertId::from_usize(2))
+            .unwrap();
         let after = sel.select(&novel).unwrap();
         assert_eq!(after.expert, ExpertId::from_usize(2));
         assert!(after.distance <= before.distance);

@@ -119,8 +119,7 @@ impl Dataset {
             .map(|test| {
                 let excluded: std::collections::HashSet<usize> =
                     also_exclude(test).into_iter().chain([test]).collect();
-                let train: Vec<usize> =
-                    (0..self.len()).filter(|i| !excluded.contains(i)).collect();
+                let train: Vec<usize> = (0..self.len()).filter(|i| !excluded.contains(i)).collect();
                 (train, test)
             })
             .collect()
@@ -230,6 +229,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be")]
     fn k_fold_rejects_oversized_k() {
-        toy().k_fold(6);
+        let _ = toy().k_fold(6);
     }
 }

@@ -218,8 +218,8 @@ impl Matrix {
         let means = self.column_means();
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(r, c, self.get(r, c) - means[c]);
+            for (c, &mean) in means.iter().enumerate() {
+                out.set(r, c, self.get(r, c) - mean);
             }
         }
         out
@@ -440,7 +440,10 @@ mod tests {
         let b = Matrix::zeros(2, 2);
         assert!(matches!(
             a.matmul(&b),
-            Err(MlError::DimensionMismatch { expected: 3, actual: 2 })
+            Err(MlError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 
@@ -459,11 +462,7 @@ mod tests {
     #[test]
     fn covariance_of_known_data() {
         // Two perfectly correlated columns.
-        let m = Matrix::from_rows(vec![
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ]);
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]);
         let cov = m.covariance();
         assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
         assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
@@ -493,8 +492,8 @@ mod tests {
         let (vals, vecs) = m.symmetric_eigen().unwrap();
         // Rebuild A = V Λ Vᵀ and compare.
         let mut lambda = Matrix::zeros(3, 3);
-        for i in 0..3 {
-            lambda.set(i, i, vals[i]);
+        for (i, &val) in vals.iter().enumerate() {
+            lambda.set(i, i, val);
         }
         let rebuilt = vecs
             .matmul(&lambda)

@@ -73,7 +73,11 @@ impl Mlp {
     ///
     /// Returns [`MlError::InvalidTrainingData`] for empty/ragged inputs,
     /// label mismatch, or degenerate hyper-parameters.
-    pub fn fit_classifier(xs: &[Vec<f64>], ys: &[usize], params: MlpParams) -> Result<Self, MlError> {
+    pub fn fit_classifier(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        params: MlpParams,
+    ) -> Result<Self, MlError> {
         let n_classes = ys.iter().copied().max().unwrap_or(0) + 1;
         let targets: Vec<Vec<f64>> = ys
             .iter()
@@ -168,15 +172,19 @@ impl Mlp {
             .w1
             .iter()
             .zip(self.b1.iter())
-            .map(|(w, b)| {
-                (w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>() + b).tanh()
-            })
+            .map(|(w, b)| (w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>() + b).tanh())
             .collect();
         let out: Vec<f64> = self
             .w2
             .iter()
             .zip(self.b2.iter())
-            .map(|(w, b)| w.iter().zip(hidden.iter()).map(|(wi, hi)| wi * hi).sum::<f64>() + b)
+            .map(|(w, b)| {
+                w.iter()
+                    .zip(hidden.iter())
+                    .map(|(wi, hi)| wi * hi)
+                    .sum::<f64>()
+                    + b
+            })
             .collect();
         (hidden, out)
     }

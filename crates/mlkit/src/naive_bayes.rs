@@ -109,9 +109,8 @@ impl GaussianNb {
     fn log_likelihood(&self, c: usize, x: &[f64]) -> f64 {
         let model = &self.classes[c];
         let mut ll = model.prior_ln;
-        for d in 0..self.dims {
-            let var = model.variances[d];
-            let diff = x[d] - model.means[d];
+        for ((&xi, &mean), &var) in x.iter().zip(&model.means).zip(&model.variances) {
+            let diff = xi - mean;
             ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
         }
         ll
@@ -186,7 +185,12 @@ mod tests {
 
     #[test]
     fn constant_feature_does_not_blow_up() {
-        let xs = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 10.0], vec![1.0, 11.0]];
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 10.0],
+            vec![1.0, 11.0],
+        ];
         let ys = vec![0, 0, 1, 1];
         let nb = GaussianNb::fit(&xs, &ys).unwrap();
         assert_eq!(nb.predict(&[1.0, 0.5]), 0);

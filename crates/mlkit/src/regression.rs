@@ -219,7 +219,7 @@ pub fn fit_exponential(xs: &[f64], ys: &[f64]) -> Result<FittedCurve, MlError> {
 
     // Coarse log grid centred on scales implied by the data.
     let lo = 1e-6 / x_max.max(1e-12);
-    let hi = 1e4 / x_max.min(1e12).max(1e-12);
+    let hi = 1e4 / x_max.clamp(1e-12, 1e12);
     let mut best_b = lo;
     let mut best_sse = f64::INFINITY;
     let grid_points = 200;
@@ -319,11 +319,7 @@ pub fn solve_two_point(
         CurveFamily::Linear => {
             let m = (y2 - y1) / (x2 - x1);
             let b = y1 - m * x1;
-            Ok(FittedCurve {
-                family,
-                m,
-                b,
-            })
+            Ok(FittedCurve { family, m, b })
         }
         CurveFamily::NapierianLog => {
             if x1 <= 0.0 {
@@ -508,10 +504,7 @@ mod tests {
     #[test]
     fn names_and_formulas_are_stable() {
         assert_eq!(CurveFamily::Linear.name(), "Linear Regression");
-        assert_eq!(
-            CurveFamily::Exponential.formula(),
-            "y = m*(1 - e^(-b*x))"
-        );
+        assert_eq!(CurveFamily::Exponential.formula(), "y = m*(1 - e^(-b*x))");
         assert_eq!(
             CurveFamily::NapierianLog.to_string(),
             "Napierian Logarithmic Regression"

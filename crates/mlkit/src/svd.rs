@@ -53,8 +53,7 @@ pub fn truncated_svd(a: &Matrix, k: usize, iterations: usize) -> Result<Truncate
             // w = Aᵀ (A v)
             let av = a.matvec(&v)?;
             let mut w = vec![0.0; m];
-            for i in 0..n {
-                let avi = av[i];
+            for (i, &avi) in av.iter().enumerate() {
                 if avi == 0.0 {
                     continue;
                 }
@@ -90,11 +89,11 @@ pub fn truncated_svd(a: &Matrix, k: usize, iterations: usize) -> Result<Truncate
     let mut u = Matrix::zeros(n, kept);
     let mut v = Matrix::zeros(m, kept);
     for c in 0..kept {
-        for i in 0..n {
-            u.set(i, c, us[c][i]);
+        for (i, &ui) in us[c].iter().enumerate() {
+            u.set(i, c, ui);
         }
-        for j in 0..m {
-            v.set(j, c, vs[c][j]);
+        for (j, &vj) in vs[c].iter().enumerate() {
+            v.set(j, c, vj);
         }
     }
     Ok(TruncatedSvd { u, s: sigmas, v })
@@ -218,8 +217,8 @@ fn solve_small(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
     let mut x = vec![0.0; n];
     for row in (0..n).rev() {
         let mut acc = rhs[row];
-        for j in (row + 1)..n {
-            acc -= m.get(row, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(row + 1) {
+            acc -= m.get(row, j) * xj;
         }
         x[row] = acc / m.get(row, row);
     }
@@ -269,7 +268,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..6)
             .map(|i| {
                 let (a, b) = (1.0 + i as f64 * 0.5, 2.0 - i as f64 * 0.25);
-                p1.iter().zip(p2.iter()).map(|(x, y)| a * x + b * y).collect()
+                p1.iter()
+                    .zip(p2.iter())
+                    .map(|(x, y)| a * x + b * y)
+                    .collect()
             })
             .collect();
         let a = Matrix::from_rows(rows.clone());
@@ -293,7 +295,10 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..6)
             .map(|i| {
                 let (a, b) = (1.0 + i as f64 * 0.5, 2.0 - i as f64 * 0.25);
-                p1.iter().zip(p2.iter()).map(|(x, y)| a * x + b * y).collect()
+                p1.iter()
+                    .zip(p2.iter())
+                    .map(|(x, y)| a * x + b * y)
+                    .collect()
             })
             .collect();
         let svd = truncated_svd(&Matrix::from_rows(rows), 2, 300).unwrap();
@@ -303,9 +308,7 @@ mod tests {
             .zip(p2.iter())
             .map(|(x, y)| 2.2 * x + 0.7 * y)
             .collect();
-        let completed = svd
-            .complete_row(&[(0, truth[0]), (3, truth[3])])
-            .unwrap();
+        let completed = svd.complete_row(&[(0, truth[0]), (3, truth[3])]).unwrap();
         for (got, want) in completed.iter().zip(truth.iter()) {
             assert!((got - want).abs() < 1e-6, "{got} vs {want}");
         }

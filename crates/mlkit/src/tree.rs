@@ -247,8 +247,8 @@ fn grow<R: FeatureSampler>(
                 continue;
             }
             let n = indices.len() as f64;
-            let weighted = gini(ys, &left) * left.len() as f64 / n
-                + gini(ys, &right) * right.len() as f64 / n;
+            let weighted =
+                gini(ys, &left) * left.len() as f64 / n + gini(ys, &right) * right.len() as f64 / n;
             if best.is_none_or(|(b, _, _)| weighted < b) {
                 best = Some((weighted, f, threshold));
             }
@@ -313,7 +313,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -392,8 +396,8 @@ mod tests {
 
     #[test]
     fn trait_metadata() {
-        let tree = DecisionTree::fit(&[vec![0.0], vec![1.0]], &[0, 1], TreeParams::default())
-            .unwrap();
+        let tree =
+            DecisionTree::fit(&[vec![0.0], vec![1.0]], &[0, 1], TreeParams::default()).unwrap();
         assert_eq!(tree.dims(), 1);
         assert_eq!(tree.name(), "Decision Tree");
     }

@@ -202,11 +202,7 @@ mod tests {
 
     #[test]
     fn contributions_sum_to_100() {
-        let loadings = Matrix::from_rows(vec![
-            vec![0.9, 0.1],
-            vec![0.1, 0.9],
-            vec![0.5, 0.5],
-        ]);
+        let loadings = Matrix::from_rows(vec![vec![0.9, 0.1], vec![0.1, 0.9], vec![0.5, 0.5]]);
         let c = feature_contributions(&loadings, &[0.7, 0.3]).unwrap();
         assert!((c.iter().sum::<f64>() - 100.0).abs() < 1e-9);
         assert_eq!(c.len(), 3);
@@ -227,11 +223,7 @@ mod tests {
     #[test]
     fn dominant_feature_ranks_first() {
         // Feature 0 loads heavily on the dominant component.
-        let loadings = Matrix::from_rows(vec![
-            vec![0.95, 0.05],
-            vec![0.3, 0.4],
-            vec![0.1, 0.2],
-        ]);
+        let loadings = Matrix::from_rows(vec![vec![0.95, 0.05], vec![0.3, 0.4], vec![0.1, 0.2]]);
         let out = varimax(&loadings, 100, 1e-10).unwrap();
         let contrib = feature_contributions(&out.rotated, &[0.8, 0.2]).unwrap();
         assert_eq!(rank_features(&contrib)[0], 0);

@@ -3,9 +3,7 @@
 use mlkit::eval::{accuracy, r_squared};
 use mlkit::knn::KnnClassifier;
 use mlkit::pca::Pca;
-use mlkit::regression::{
-    evaluate, fit_family, solve_two_point, CurveFamily, FittedCurve,
-};
+use mlkit::regression::{evaluate, fit_family, solve_two_point, CurveFamily, FittedCurve};
 use mlkit::scaling::MinMaxScaler;
 use mlkit::Classifier;
 use proptest::prelude::*;

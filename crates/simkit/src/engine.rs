@@ -47,6 +47,17 @@ impl<E> Engine<E> {
         }
     }
 
+    /// Creates an engine whose pending-event set has room for `capacity`
+    /// events, avoiding heap reallocation churn in event-dense simulations.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+            processed: 0,
+        }
+    }
+
     /// Returns the current simulated instant.
     #[must_use]
     pub fn now(&self) -> SimTime {

@@ -96,6 +96,32 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with room for `capacity` pending events, so
+    /// a simulation with a known event population never reallocates the
+    /// heap mid-run.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            live: std::collections::HashSet::with_capacity(capacity),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events on top
+    /// of the current length.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.live.reserve(additional);
+    }
+
+    /// Number of events the heap can hold without reallocating.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `payload` to fire at `at`; returns a handle usable with
     /// [`EventQueue::cancel`].
     pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
@@ -239,8 +265,26 @@ mod tests {
         let mut q = EventQueue::new();
         let id = q.push(t(1.0), 1);
         assert!(q.pop().is_some());
-        assert!(!q.cancel(id), "cancelling an already-fired event is a no-op");
+        assert!(
+            !q.cancel(id),
+            "cancelling an already-fired event is a no-op"
+        );
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_reserve_grows() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let before = q.capacity();
+        for i in 0..64 {
+            q.push(t(i as f64), i);
+        }
+        assert_eq!(q.capacity(), before, "no reallocation within capacity");
+        q.reserve(128);
+        assert!(q.capacity() >= 64 + 128);
+        // Queue semantics are unchanged.
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0));
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! The engine is intentionally single-threaded: determinism and
 //! replayability matter more than wall-clock speed for scheduling studies,
 //! and a full 40-node, 30-application campaign simulates in milliseconds.
+//! Campaign-level parallelism lives one layer up: [`par::par_map_indexed`]
+//! fans statistically independent replays out across scoped worker threads
+//! and commits their results in index order, so a multi-core campaign is
+//! bit-for-bit identical to the serial one.
 //!
 //! ## Example
 //!
@@ -46,6 +50,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod par;
 pub mod resource;
 pub mod rng;
 pub mod stats;

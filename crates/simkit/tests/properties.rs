@@ -156,4 +156,70 @@ proptest! {
         prop_assert!(w.mean() <= w.max() + 1e-6);
         prop_assert!(w.sample_variance() >= 0.0);
     }
+
+    /// Chan et al. pairwise combine: pushing a sequence serially and
+    /// merging arbitrary contiguous shards of it must agree on every
+    /// moment — the invariant the parallel campaign fold relies on.
+    #[test]
+    fn welford_merge_matches_serial_push(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..300),
+        cuts in proptest::collection::vec(0usize..300, 0..6),
+    ) {
+        let mut serial = Welford::new();
+        for &x in &xs {
+            serial.push(x);
+        }
+
+        // Split points (deduped, clamped) partition xs into shards; fold
+        // each shard separately, then merge left to right.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (xs.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(xs.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut merged = Welford::new();
+        for pair in bounds.windows(2) {
+            let mut shard = Welford::new();
+            for &x in &xs[pair[0]..pair[1]] {
+                shard.push(x);
+            }
+            merged.merge(&shard);
+        }
+
+        prop_assert_eq!(merged.count(), serial.count());
+        prop_assert!(
+            (merged.mean() - serial.mean()).abs() < 1e-9,
+            "mean {} vs {}",
+            merged.mean(),
+            serial.mean()
+        );
+        prop_assert!(
+            (merged.sample_variance() - serial.sample_variance()).abs()
+                < 1e-9 * (1.0 + serial.sample_variance()),
+            "variance {} vs {}",
+            merged.sample_variance(),
+            serial.sample_variance()
+        );
+        prop_assert_eq!(merged.min().to_bits(), serial.min().to_bits());
+        prop_assert_eq!(merged.max().to_bits(), serial.max().to_bits());
+    }
+
+    /// Merging empty shards in either direction is the identity.
+    #[test]
+    fn welford_merge_empty_is_identity(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let before = (w.count(), w.mean().to_bits(), w.sample_variance().to_bits());
+        w.merge(&Welford::new());
+        prop_assert_eq!(before.0, w.count());
+        prop_assert_eq!(before.1, w.mean().to_bits());
+        prop_assert_eq!(before.2, w.sample_variance().to_bits());
+
+        let mut empty = Welford::new();
+        empty.merge(&w);
+        prop_assert_eq!(empty.count(), w.count());
+        prop_assert_eq!(empty.mean().to_bits(), w.mean().to_bits());
+    }
 }

@@ -216,20 +216,19 @@ impl ClusterEngine {
         let cpu = spec.cpu_util;
         let id = ExecutorId(self.next_executor);
         self.next_executor += 1;
-        self.executors
-            .insert(
+        self.executors.insert(
+            id,
+            Executor::new(
                 id,
-                Executor::new(
-                    id,
-                    app,
-                    node,
-                    taken,
-                    reserve_gb,
-                    actual,
-                    cpu,
-                    self.startup_secs * spec.rate_gb_per_s,
-                ),
-            );
+                app,
+                node,
+                taken,
+                reserve_gb,
+                actual,
+                cpu,
+                self.startup_secs * spec.rate_gb_per_s,
+            ),
+        );
         Ok(Some(id))
     }
 
@@ -285,8 +284,7 @@ impl ClusterEngine {
             .map(Executor::current_actual_gb)
             .sum();
         let spec = self.cluster.node(node).spec();
-        self.model
-            .memory_pressure(total, spec.ram_gb, spec.swap_gb)
+        self.model.memory_pressure(total, spec.ram_gb, spec.swap_gb)
     }
 
     /// The youngest executor on `node` — the conventional OOM-kill victim.
@@ -531,10 +529,7 @@ mod tests {
         if let Some((dt, _)) = eng.next_completion() {
             eng.advance(dt * 0.9);
         }
-        assert_eq!(
-            eng.memory_pressure(node),
-            MemoryPressure::OutOfMemory
-        );
+        assert_eq!(eng.memory_pressure(node), MemoryPressure::OutOfMemory);
         let victim = eng.oom_victim(node).unwrap();
         assert_eq!(victim, second, "youngest executor is the victim");
         let returned = eng.kill_executor(victim).unwrap();
@@ -674,7 +669,7 @@ mod tests {
     }
 
     #[test]
-    fn extension_of_drained_app_is_zero(){
+    fn extension_of_drained_app_is_zero() {
         let mut eng = engine(1);
         let app = eng.submit(linear_app("a", 10.0, 0.3));
         let node = eng.cluster().node_ids()[0];

@@ -44,6 +44,7 @@ pub struct Executor {
 }
 
 impl Executor {
+    #[allow(clippy::too_many_arguments)] // crate-internal; mirrors the launch record's fields
     pub(crate) fn new(
         id: ExecutorId,
         app: AppId,
@@ -168,16 +169,7 @@ mod tests {
     use super::*;
 
     fn exec() -> Executor {
-        Executor::new(
-            ExecutorId(0),
-            AppId(1),
-            NodeId(2),
-            10.0,
-            4.0,
-            4.5,
-            0.3,
-            0.0,
-        )
+        Executor::new(ExecutorId(0), AppId(1), NodeId(2), 10.0, 4.0, 4.5, 0.3, 0.0)
     }
 
     #[test]

@@ -165,6 +165,15 @@ impl ResourceMonitor {
 }
 
 #[cfg(test)]
+impl NodeId {
+    /// Test-only constructor.
+    #[must_use]
+    pub(crate) fn from_index_for_tests(i: usize) -> NodeId {
+        NodeId(i)
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::app::AppSpec;
@@ -173,8 +182,7 @@ mod tests {
     use mlkit::regression::{CurveFamily, FittedCurve};
 
     fn engine_with_load() -> (ClusterEngine, NodeId) {
-        let mut engine =
-            ClusterEngine::new(ClusterSpec::small(1), InterferenceModel::default());
+        let mut engine = ClusterEngine::new(ClusterSpec::small(1), InterferenceModel::default());
         let node = engine.cluster().node_ids()[0];
         let app = engine.submit(AppSpec {
             name: "a".into(),
@@ -252,14 +260,5 @@ mod tests {
     fn empty_monitor_reports_zero() {
         let monitor = ResourceMonitor::new(2, MonitorConfig::default());
         assert_eq!(monitor.windowed_cpu(NodeId::from_index_for_tests(0)), 0.0);
-    }
-}
-
-#[cfg(test)]
-impl NodeId {
-    /// Test-only constructor.
-    #[must_use]
-    pub(crate) fn from_index_for_tests(i: usize) -> NodeId {
-        NodeId(i)
     }
 }

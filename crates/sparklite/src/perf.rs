@@ -88,11 +88,7 @@ impl InterferenceModel {
     /// detected [`MemoryPressure::OutOfMemory`] and killed an executor
     /// first; if not, the paging term simply saturates.
     #[must_use]
-    pub fn rate_multipliers(
-        &self,
-        demands: &[ExecutorDemand],
-        ram_gb: f64,
-    ) -> Vec<f64> {
+    pub fn rate_multipliers(&self, demands: &[ExecutorDemand], ram_gb: f64) -> Vec<f64> {
         if demands.is_empty() {
             return Vec::new();
         }
@@ -107,7 +103,11 @@ impl InterferenceModel {
         demands
             .iter()
             .map(|d| {
-                let oversub = if total_cpu > 1.0 { 1.0 / total_cpu } else { 1.0 };
+                let oversub = if total_cpu > 1.0 {
+                    1.0 / total_cpu
+                } else {
+                    1.0
+                };
                 let other = (total_cpu - d.cpu_util).max(0.0);
                 let interference = 1.0 / (1.0 + self.cpu_interference_beta * other);
                 oversub * interference * paging_factor

@@ -250,10 +250,7 @@ pub fn run_staged_isolated(
             engine.advance(dt);
             elapsed += dt;
             engine.complete_executor(who)?;
-            if stage_apps
-                .iter()
-                .all(|&(_, a)| engine.app(a).is_finished())
-            {
+            if stage_apps.iter().all(|&(_, a)| engine.app(a).is_finished()) {
                 break;
             }
         }
@@ -335,7 +332,11 @@ mod tests {
     fn pipeline_builder_chains_stages() {
         let app = StagedApp::pipeline(
             "etl",
-            vec![stage("extract", 4.0, 1.0), stage("transform", 4.0, 1.0), stage("load", 2.0, 1.0)],
+            vec![
+                stage("extract", 4.0, 1.0),
+                stage("transform", 4.0, 1.0),
+                stage("load", 2.0, 1.0),
+            ],
         )
         .unwrap();
         assert_eq!(app.deps_of(0), &[] as &[usize]);
@@ -354,8 +355,7 @@ mod tests {
 
     #[test]
     fn staged_execution_respects_dag_and_finishes() {
-        let mut engine =
-            ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+        let mut engine = ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
         let nodes = engine.cluster().node_ids();
         let app = diamond();
         let makespan = run_staged_isolated(&mut engine, &app, &nodes, 0.0).unwrap();
@@ -367,8 +367,7 @@ mod tests {
 
     #[test]
     fn single_node_serialises_level_stages_via_sharing() {
-        let mut engine =
-            ClusterEngine::new(ClusterSpec::small(1), InterferenceModel::default());
+        let mut engine = ClusterEngine::new(ClusterSpec::small(1), InterferenceModel::default());
         let nodes = engine.cluster().node_ids();
         let app = diamond();
         let makespan = run_staged_isolated(&mut engine, &app, &nodes, 0.0).unwrap();
@@ -382,17 +381,9 @@ mod tests {
     #[test]
     fn validation_rejects_bad_shapes() {
         assert!(StagedApp::new("empty", vec![], vec![]).is_err());
-        assert!(StagedApp::new(
-            "mismatch",
-            vec![stage("a", 1.0, 1.0)],
-            vec![vec![], vec![]],
-        )
-        .is_err());
-        assert!(StagedApp::new(
-            "dangling",
-            vec![stage("a", 1.0, 1.0)],
-            vec![vec![7]],
-        )
-        .is_err());
+        assert!(
+            StagedApp::new("mismatch", vec![stage("a", 1.0, 1.0)], vec![vec![], vec![]],).is_err()
+        );
+        assert!(StagedApp::new("dangling", vec![stage("a", 1.0, 1.0)], vec![vec![7]],).is_err());
     }
 }

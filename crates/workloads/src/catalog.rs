@@ -209,14 +209,16 @@ impl Catalog {
         let benchmarks = rows
             .into_iter()
             .enumerate()
-            .map(|(index, (suite, base, family, m, b, cpu_util, rate))| Benchmark {
-                suite,
-                base,
-                curve: FittedCurve { family, m, b },
-                cpu_util,
-                rate_gb_per_s: rate,
-                index,
-            })
+            .map(
+                |(index, (suite, base, family, m, b, cpu_util, rate))| Benchmark {
+                    suite,
+                    base,
+                    curve: FittedCurve { family, m, b },
+                    cpu_util,
+                    rate_gb_per_s: rate,
+                    index,
+                },
+            )
             .collect();
         Catalog { benchmarks }
     }
@@ -248,7 +250,10 @@ impl Catalog {
     /// Benchmarks of one suite, in catalog order.
     #[must_use]
     pub fn by_suite(&self, suite: Suite) -> Vec<&Benchmark> {
-        self.benchmarks.iter().filter(|b| b.suite() == suite).collect()
+        self.benchmarks
+            .iter()
+            .filter(|b| b.suite() == suite)
+            .collect()
     }
 
     /// The 16 training benchmarks: HiBench + BigDataBench (§3.3).
@@ -346,11 +351,7 @@ mod tests {
     fn equivalence_links_cross_suite_twins() {
         let c = Catalog::paper();
         let hb_sort = c.by_name("HB.Sort").unwrap();
-        let eq: Vec<String> = c
-            .equivalents_of(hb_sort)
-            .iter()
-            .map(|b| b.name())
-            .collect();
+        let eq: Vec<String> = c.equivalents_of(hb_sort).iter().map(|b| b.name()).collect();
         assert!(eq.contains(&"BDB.Sort".to_string()));
         assert!(eq.contains(&"SP.Sort".to_string()));
         assert!(!eq.contains(&"HB.Sort".to_string()));

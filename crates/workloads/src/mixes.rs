@@ -84,7 +84,10 @@ impl MixScenario {
         MixScenario { label: 7, apps: 19 },
         MixScenario { label: 8, apps: 23 },
         MixScenario { label: 9, apps: 26 },
-        MixScenario { label: 10, apps: 30 },
+        MixScenario {
+            label: 10,
+            apps: 30,
+        },
     ];
 
     /// Display label ("L7").
@@ -202,8 +205,7 @@ mod tests {
         assert_eq!(resolve(&catalog, &mix[19]).name(), "HB.Sort");
         assert_eq!(mix[19].size, InputSize::Large);
         // 30 distinct benchmarks.
-        let set: std::collections::HashSet<usize> =
-            mix.iter().map(|e| e.benchmark).collect();
+        let set: std::collections::HashSet<usize> = mix.iter().map(|e| e.benchmark).collect();
         assert_eq!(set.len(), 30);
     }
 
@@ -213,8 +215,7 @@ mod tests {
         let mut rng = SimRng::seed_from(3);
         let mix = MixScenario::TABLE3[9].random_mix(&catalog, &mut rng);
         assert_eq!(mix.len(), 30);
-        let set: std::collections::HashSet<usize> =
-            mix.iter().map(|e| e.benchmark).collect();
+        let set: std::collections::HashSet<usize> = mix.iter().map(|e| e.benchmark).collect();
         assert_eq!(set.len(), 30, "≤ 44 benchmarks: no replacement needed");
     }
 

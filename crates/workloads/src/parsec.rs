@@ -87,12 +87,14 @@ pub fn parsec_suite() -> Vec<ParsecBenchmark> {
         ("x264", 0.86, 0.6, 260.0),
     ];
     rows.iter()
-        .map(|&(name, cpu_util, memory_gb, solo_seconds)| ParsecBenchmark {
-            name,
-            cpu_util,
-            memory_gb,
-            solo_seconds,
-        })
+        .map(
+            |&(name, cpu_util, memory_gb, solo_seconds)| ParsecBenchmark {
+                name,
+                cpu_util,
+                memory_gb,
+                solo_seconds,
+            },
+        )
         .collect()
 }
 

@@ -136,7 +136,12 @@ pub fn signature_for(bench: &Benchmark, jitter_sd: f64) -> FeatureVector {
 /// stretch the range and compress the bulk, which is why these features
 /// contribute little variance (Fig. 4a) and rank low (Table 2).
 #[must_use]
-pub fn observe(bench: &Benchmark, rng: &mut SimRng, jitter_sd: f64, noise_sd: f64) -> FeatureVector {
+pub fn observe(
+    bench: &Benchmark,
+    rng: &mut SimRng,
+    jitter_sd: f64,
+    noise_sd: f64,
+) -> FeatureVector {
     let latent = signature_for(bench, jitter_sd);
     let scales = feature_scales();
     FeatureVector::from_fn(|d| {
@@ -235,8 +240,17 @@ mod tests {
             .zip(scales.iter())
             .enumerate()
         {
+            // Gaussian component within 4σ, plus head-room for the
+            // one-sided counter burst (up to +10σ) that `observe` injects
+            // on high-weight features — the bound must hold for any RNG
+            // stream, not just a lucky seed.
+            let burst = if feature_noise_weight(d) > 1.0 {
+                10.0
+            } else {
+                0.0
+            };
             assert!(
-                (o - l).abs() <= 4.0 * DEFAULT_NOISE_SD * feature_noise_weight(d) * s,
+                (o - l).abs() <= (4.0 + burst) * DEFAULT_NOISE_SD * feature_noise_weight(d) * s,
                 "observation strayed too far on feature {d}"
             );
         }

@@ -166,8 +166,7 @@ mod tests {
         let bench = catalog.by_name("HB.PageRank").unwrap();
         let app = staged_app(bench, 2.0).unwrap();
         assert_eq!(app.stages().len(), 5, "read + 3 iterations + output");
-        let mut engine =
-            ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
+        let mut engine = ClusterEngine::new(ClusterSpec::small(2), InterferenceModel::default());
         let nodes = engine.cluster().node_ids();
         let makespan = run_staged_isolated(&mut engine, &app, &nodes, 0.0).unwrap();
         assert!(makespan > 0.0);

@@ -96,7 +96,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Calibrate on two profiling points of a true √ curve y = 3√x + 1.
     let truth = |x: f64| 3.0 * x.sqrt() + 1.0;
     let model = predictor.calibrate(selection.expert, (1.0, truth(1.0)), (4.0, truth(4.0)))?;
-    println!("\ncalibrated y = m*sqrt(x) + b on (1, {:.1}) and (4, {:.1}):", truth(1.0), truth(4.0));
+    println!(
+        "\ncalibrated y = m*sqrt(x) + b on (1, {:.1}) and (4, {:.1}):",
+        truth(1.0),
+        truth(4.0)
+    );
     for x in [9.0f64, 25.0, 100.0] {
         // The model stores (m, b) over √x; evaluate through the transform.
         let predicted = model.curve().m * x.sqrt() + model.curve().b;

@@ -118,7 +118,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let budget = 16.0;
     match model.max_input_for_budget(budget) {
-        Some(x) => println!("  a {budget:.0} GB budget safely hosts {x:.1} GB slices across all phases"),
+        Some(x) => {
+            println!("  a {budget:.0} GB budget safely hosts {x:.1} GB slices across all phases")
+        }
         None => println!("  nothing fits a {budget:.0} GB budget"),
     }
     Ok(())

@@ -144,8 +144,6 @@ mod tests {
     fn all_excludes_isolated_baseline() {
         // "all" compares co-location schemes; the isolated baseline enters
         // through the metrics, not as a row.
-        assert!(!parse_policy("all")
-            .unwrap()
-            .contains(&PolicyKind::Isolated));
+        assert!(!parse_policy("all").unwrap().contains(&PolicyKind::Isolated));
     }
 }

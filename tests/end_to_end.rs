@@ -104,10 +104,7 @@ fn campaigns_are_deterministic_per_seed() {
     let b = run_policy(PolicyKind::Moe, &catalog, &mix, &config, 3).unwrap();
     assert_eq!(a.turnarounds, b.turnarounds);
     assert_eq!(a.makespan_secs, b.makespan_secs);
-    assert_eq!(
-        a.normalized.normalized_stp,
-        b.normalized.normalized_stp
-    );
+    assert_eq!(a.normalized.normalized_stp, b.normalized.normalized_stp);
 }
 
 #[test]
@@ -118,9 +115,15 @@ fn profiling_contributes_to_output_and_is_bounded() {
     let system = trained_system_for(PolicyKind::Moe, &catalog, &config, 4)
         .unwrap()
         .unwrap();
-    let outcome =
-        run_schedule(PolicyKind::Moe, &catalog, &mix, Some(&system), &config.scheduler, 4)
-            .unwrap();
+    let outcome = run_schedule(
+        PolicyKind::Moe,
+        &catalog,
+        &mix,
+        Some(&system),
+        &config.scheduler,
+        4,
+    )
+    .unwrap();
     let app = &outcome.per_app[0];
     assert!(app.profiling.profiled_gb > 0.0);
     assert!(app.profiling.total_secs() > 0.0);

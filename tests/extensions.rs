@@ -175,5 +175,8 @@ fn monitor_smooths_bursts_for_the_dispatcher() {
     monitor.observe(&engine, 120.0);
     assert!(monitor.windowed_cpu(node) > 0.5);
     monitor.observe(&engine, 500.0);
-    assert!(monitor.windowed_cpu(node) < 0.1, "burst aged out of the window");
+    assert!(
+        monitor.windowed_cpu(node) < 0.1,
+        "burst aged out of the window"
+    );
 }

@@ -99,7 +99,15 @@ fn oom_kill_requeues_and_finishes_under_conservative_margin() {
     // The engine either paged through it or killed and re-ran; in all
     // cases every byte of every input must be processed exactly once.
     assert!(outcome.per_app.iter().all(|a| a.finished_at > 0.0));
-    assert!(outcome.makespan_secs >= outcome.per_app.iter().map(|a| a.finished_at).fold(0.0, f64::max) - 1e-6);
+    assert!(
+        outcome.makespan_secs
+            >= outcome
+                .per_app
+                .iter()
+                .map(|a| a.finished_at)
+                .fold(0.0, f64::max)
+                - 1e-6
+    );
 }
 
 #[test]

@@ -87,7 +87,12 @@ fn co_location_beats_the_isolated_baseline_at_scale() {
 fn antt_reductions_are_positive_at_scale() {
     // Fig. 6b: from L2 onward every predictive scheme cuts turnaround
     // substantially versus one-by-one execution.
-    let rows = campaign(&[PolicyKind::Quasar, PolicyKind::Moe, PolicyKind::Oracle], 7, 3, 42);
+    let rows = campaign(
+        &[PolicyKind::Quasar, PolicyKind::Moe, PolicyKind::Oracle],
+        7,
+        3,
+        42,
+    );
     for (_, antt) in rows {
         assert!(antt > 30.0, "L8 ANTT reduction {antt:.1}% too small");
     }

@@ -118,13 +118,7 @@ fn low_confidence_flag_fires_for_alien_applications() {
     let catalog = Catalog::paper();
     let mut rng = SimRng::seed_from(5);
     let system = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
-    let alien = moe_core::features::FeatureVector::from_fn(|i| {
-        if i % 2 == 0 {
-            1e6
-        } else {
-            -1e6
-        }
-    });
+    let alien = moe_core::features::FeatureVector::from_fn(|i| if i % 2 == 0 { 1e6 } else { -1e6 });
     let sel = system.predictor.select(&alien).unwrap();
     assert!(sel.low_confidence, "distance {}", sel.distance);
 }

@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides [`Criterion::bench_function`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of the real
+//! crate's statistical engine, each benchmark is warmed up briefly and then
+//! timed over enough iterations to fill a fixed measurement window; the
+//! mean wall-clock per iteration is printed in a `name: time` row. That is
+//! enough to compare hot paths before/after a change in this offline
+//! environment.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors the real crate's CLI hook; accepts no arguments here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs `f` as the benchmark `name` and prints a mean-time row.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measurement: self.measurement,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+            println!(
+                "{name}: time {} ({} iterations)",
+                fmt_time(per_iter),
+                b.iters
+            );
+        } else {
+            println!("{name}: no iterations recorded");
+        }
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measurement: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly: first until the warm-up window elapses, then
+    /// until the measurement window elapses, timing the measured calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            black_box(f());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if started.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = started.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a callable group, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

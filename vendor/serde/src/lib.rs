@@ -1,0 +1,17 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its result and
+//! statistics types but never serializes them at runtime (no `serde_json`,
+//! no `bincode` — the bench suite writes CSV by hand). With no registry
+//! access in the build environment, this stub keeps the derives compiling:
+//! the traits are markers and the derive macros (from the sibling
+//! `serde_derive` stub) expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

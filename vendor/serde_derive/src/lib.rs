@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stub.
+//!
+//! The workspace never serializes at runtime, so the derives only need to
+//! exist, accept the usual `#[serde(...)]` helper attribute, and expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the stubbed `Serialize` is a marker trait with no items.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the stubbed `Deserialize` is a marker trait with no items.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
