@@ -24,6 +24,7 @@
 //! | `fig16_clusters` | Fig. 16 — benchmark clusters in PCA space |
 //! | `fig17_accuracy` | Fig. 17 — predicted vs measured footprints |
 //! | `fig18_curves` | Fig. 18 — predicted vs measured curves, all training apps |
+//! | `fig19_chaos` | Fig. 19 (extension) — STP/ANTT vs fault intensity, self-healing MoE vs plain/Pairwise/Oracle |
 //! | `ablation_sweep` | design-choice ablations (KNN k, PCs, calibration sizes, margins, CPU guard, monitor window, cluster scaling) |
 //! | `paper_headlines` | the §6.1 highlights block, measured in one run |
 //! | `catalog_dump` | the 44-benchmark ground-truth catalog |

@@ -6,6 +6,9 @@
 //! * [`evaluate_scenario`] — many random mixes of a Table 3 scenario,
 //!   replayed until the 95 % confidence half-width drops below 5 % of the
 //!   mean (§5.2), reporting mean and min–max bars (Fig. 6);
+//! * [`evaluate_chaos`] — shared-mix, shared-fault-plan chaos campaigns:
+//!   several `(policy, resilience)` entries replayed against identical
+//!   injected faults (Fig. 19);
 //! * [`bin_trace`] — converts event-sampled utilisation traces into the
 //!   time-binned per-node matrix of Fig. 7;
 //! * [`overhead_fractions`] — feature-extraction and calibration shares of
@@ -13,10 +16,12 @@
 
 use crate::metrics::{normalize, NormalizedMetrics};
 use crate::scheduler::{
-    run_schedule, run_schedule_custom, PolicyKind, ScheduleOutcome, SchedulerConfig,
+    run_schedule, run_schedule_custom, run_schedule_with_faults, FaultStats, PolicyKind,
+    ResilienceConfig, ScheduleOutcome, SchedulerConfig,
 };
 use crate::training::{train_system, TrainedSystem, TrainingConfig};
 use crate::ColocateError;
+use simkit::faults::{FaultPlan, FaultPlanConfig};
 use simkit::par;
 use simkit::stats::Welford;
 use simkit::SimRng;
@@ -415,6 +420,227 @@ pub fn evaluate_scenario_multi(
                 antt_mean: antt[pi].mean(),
                 antt_min_max: (antt[pi].min(), antt[pi].max()),
                 mixes,
+            })
+            .collect(),
+    })
+}
+
+/// Shape of a chaos campaign: one fault intensity plus the plan
+/// parameters shared by every mix. The fault horizon scales with each
+/// mix's summed isolated time so a given intensity means the same fault
+/// *rate* regardless of how long the mix runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Fault intensity in `[0, 1]`; 0 injects nothing.
+    pub intensity: f64,
+    /// Mean node outage, seconds.
+    pub mean_outage_secs: f64,
+    /// Mean monitor-dropout duration, seconds.
+    pub mean_dropout_secs: f64,
+    /// Log-scale standard deviation of prediction-noise factors.
+    pub noise_sd: f64,
+    /// Fault horizon as a fraction of the mix's summed isolated time.
+    pub horizon_frac: f64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            intensity: 0.0,
+            mean_outage_secs: 300.0,
+            mean_dropout_secs: 600.0,
+            noise_sd: 0.35,
+            horizon_frac: 0.5,
+        }
+    }
+}
+
+impl ChaosSpec {
+    /// A spec with everything default except the intensity.
+    #[must_use]
+    pub fn at_intensity(intensity: f64) -> Self {
+        ChaosSpec {
+            intensity,
+            ..ChaosSpec::default()
+        }
+    }
+}
+
+/// One contender in a chaos campaign: a policy plus its resilience
+/// configuration (so the same policy can race itself with and without
+/// the self-healing layer).
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosEntry {
+    /// Label used in figures and result files.
+    pub label: &'static str,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Self-healing configuration for this entry.
+    pub resilience: ResilienceConfig,
+}
+
+/// Aggregates for one chaos-campaign entry.
+#[derive(Debug, Clone)]
+pub struct ChaosPolicyStats {
+    /// The entry's label.
+    pub label: &'static str,
+    /// Mean normalised STP across mixes.
+    pub stp_mean: f64,
+    /// Min/max normalised STP across mixes.
+    pub stp_min_max: (f64, f64),
+    /// Mean ANTT reduction (%).
+    pub antt_mean: f64,
+    /// Min/max ANTT reduction across mixes.
+    pub antt_min_max: (f64, f64),
+    /// Mean OOM kills per mix.
+    pub oom_kills_mean: f64,
+    /// Fault/recovery counters summed over all mixes.
+    pub faults: FaultStats,
+}
+
+/// Results of one chaos campaign (one scenario × one intensity).
+#[derive(Debug, Clone)]
+pub struct ChaosStats {
+    /// Scenario evaluated.
+    pub scenario: MixScenario,
+    /// Fault intensity of the campaign.
+    pub intensity: f64,
+    /// Number of mixes evaluated.
+    pub mixes: usize,
+    /// Per-entry aggregates, parallel to the `entries` argument.
+    pub per_entry: Vec<ChaosPolicyStats>,
+}
+
+/// Evaluates several `(policy, resilience)` entries on the *same* random
+/// mixes of one scenario while replaying the *same* per-mix [`FaultPlan`]
+/// against each entry — the apples-to-apples chaos comparison behind
+/// Fig. 19.
+///
+/// Per mix `m`, the schedule seed is `base_seed + m` and the fault plan is
+/// drawn from `(base_seed + m) ^ 0xC4A0_5EED` so the fault stream is
+/// independent of the schedule stream: changing the resilience config
+/// never changes which faults strike. Isolated baselines stay fault-free
+/// (`C_iso` keeps its §5.3 meaning) and are memoized in a
+/// [`BaselineCache`]. Mixes fan out across
+/// [`RunConfig::effective_workers`] threads with results folded in index
+/// order, so the returned stats are bit-for-bit identical for every
+/// worker count.
+///
+/// # Errors
+///
+/// Propagates training and per-mix scheduler failures.
+pub fn evaluate_chaos(
+    entries: &[ChaosEntry],
+    scenario: MixScenario,
+    catalog: &Catalog,
+    config: &RunConfig,
+    mixes: usize,
+    base_seed: u64,
+    chaos: &ChaosSpec,
+) -> Result<ChaosStats, ColocateError> {
+    let workers = config.effective_workers();
+
+    // Train once per distinct policy; entries share systems read-only.
+    let mut by_policy: HashMap<PolicyKind, Option<TrainedSystem>> = HashMap::new();
+    for e in entries {
+        if let std::collections::hash_map::Entry::Vacant(slot) = by_policy.entry(e.policy) {
+            slot.insert(trained_system_for(e.policy, catalog, config, base_seed)?);
+        }
+    }
+    // Per-entry scheduler configs differ only in their resilience block.
+    let cfgs: Vec<SchedulerConfig> = entries
+        .iter()
+        .map(|e| SchedulerConfig {
+            resilience: e.resilience,
+            ..config.scheduler.clone()
+        })
+        .collect();
+
+    // Mix drawing stays serial: the scenario RNG is one stream.
+    let mut mix_rng = SimRng::seed_from(base_seed);
+    let all_mixes: Vec<Vec<MixEntry>> = (0..mixes)
+        .map(|_| scenario.random_mix(catalog, &mut mix_rng))
+        .collect();
+
+    let baselines = BaselineCache::new();
+    let per_mix = par::par_map_indexed(&all_mixes, workers, |m, mix| {
+        let seed = base_seed + m as u64;
+        let iso = baselines.isolated_times(catalog, mix, &config.scheduler, seed)?;
+        let jobs: Vec<(usize, f64)> = mix.iter().map(|e| (e.benchmark, e.size.gb())).collect();
+        let horizon = (iso.iter().sum::<f64>() * chaos.horizon_frac).max(60.0);
+        let plan = FaultPlan::generate(
+            seed ^ 0xC4A0_5EED,
+            &FaultPlanConfig {
+                intensity: chaos.intensity,
+                horizon_secs: horizon,
+                nodes: config.scheduler.cluster.nodes,
+                apps: jobs.len(),
+                mean_outage_secs: chaos.mean_outage_secs,
+                mean_dropout_secs: chaos.mean_dropout_secs,
+                noise_sd: chaos.noise_sd,
+            },
+        );
+        entries
+            .iter()
+            .enumerate()
+            .map(|(ei, entry)| {
+                let schedule = run_schedule_with_faults(
+                    entry.policy,
+                    catalog,
+                    &jobs,
+                    by_policy[&entry.policy].as_ref(),
+                    &cfgs[ei],
+                    seed,
+                    &plan,
+                )?;
+                let turnarounds: Vec<f64> =
+                    schedule.per_app.iter().map(|a| a.finished_at).collect();
+                Ok((
+                    normalize(&iso, &turnarounds),
+                    schedule.oom_kills,
+                    schedule.faults,
+                ))
+            })
+            .collect::<Result<Vec<(NormalizedMetrics, usize, FaultStats)>, ColocateError>>()
+    });
+
+    let mut stp = vec![Welford::new(); entries.len()];
+    let mut antt = vec![Welford::new(); entries.len()];
+    let mut ooms = vec![Welford::new(); entries.len()];
+    let mut faults = vec![FaultStats::default(); entries.len()];
+    for result in per_mix {
+        let metrics = result?;
+        for (ei, (n, kills, f)) in metrics.iter().enumerate() {
+            stp[ei].push(n.normalized_stp);
+            antt[ei].push(n.antt_reduction_pct);
+            ooms[ei].push(*kills as f64);
+            let agg = &mut faults[ei];
+            agg.node_crashes += f.node_crashes;
+            agg.executor_crashes += f.executor_crashes;
+            agg.monitor_dropouts += f.monitor_dropouts;
+            agg.prediction_noise += f.prediction_noise;
+            agg.slices_requeued_gb += f.slices_requeued_gb;
+            agg.retries += f.retries;
+            agg.quarantines += f.quarantines;
+            agg.isolated_fallbacks += f.isolated_fallbacks;
+        }
+    }
+
+    Ok(ChaosStats {
+        scenario,
+        intensity: chaos.intensity,
+        mixes,
+        per_entry: entries
+            .iter()
+            .enumerate()
+            .map(|(ei, e)| ChaosPolicyStats {
+                label: e.label,
+                stp_mean: stp[ei].mean(),
+                stp_min_max: (stp[ei].min(), stp[ei].max()),
+                antt_mean: antt[ei].mean(),
+                antt_min_max: (antt[ei].min(), antt[ei].max()),
+                oom_kills_mean: ooms[ei].mean(),
+                faults: faults[ei],
             })
             .collect(),
     })

@@ -34,12 +34,14 @@ use crate::profiling::{profile_app, ProfilingConfig, ProfilingCost};
 use crate::training::{TrainedSystem, TrainingConfig};
 use crate::ColocateError;
 use mlkit::regression::CurveFamily;
+use simkit::faults::{FaultEvent, FaultKind, FaultPlan};
 use simkit::SimRng;
 use sparklite::app::AppId;
 use sparklite::cluster::ClusterSpec;
 use sparklite::dynalloc::{self, DynAllocConfig};
 use sparklite::engine::ClusterEngine;
 use sparklite::perf::{InterferenceModel, MemoryPressure};
+use std::collections::VecDeque;
 use workloads::catalog::Catalog;
 use workloads::mixes::MixEntry;
 
@@ -137,6 +139,9 @@ pub struct SchedulerConfig {
     /// Online search: steady-state rate penalty from repeated trial
     /// adjustments.
     pub search_rate_penalty: f64,
+    /// Self-healing behaviour under injected faults. Disabled by default,
+    /// in which case the dispatcher behaves exactly as it always has.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -160,8 +165,96 @@ impl Default for SchedulerConfig {
             executor_startup_secs: 25.0,
             search_serial_frac: 0.008,
             search_rate_penalty: 0.18,
+            resilience: ResilienceConfig::default(),
         }
     }
+}
+
+/// Self-healing knobs layered on the dispatcher. Fault *injection* (via
+/// [`run_schedule_with_faults`]) affects every policy equally; only
+/// schedules with `enabled == true` get the recovery machinery: retry
+/// backoff after executor losses, node quarantine after repeated OOM
+/// kills, an online safety-margin controller, and graceful degradation
+/// to an isolated reservation once the retry budget is exhausted.
+///
+/// The default is fully disabled so the fault-free path is byte-identical
+/// to a scheduler without this module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Master switch; `false` disables every recovery mechanism.
+    pub enabled: bool,
+    /// Executor-loss retries an application may consume before the
+    /// scheduler stops trusting its prediction and falls back to an
+    /// isolated full-node reservation.
+    pub max_retries: usize,
+    /// Backoff before the first retry, seconds (doubles per failure).
+    pub backoff_base_secs: f64,
+    /// Ceiling on the exponential backoff, seconds.
+    pub backoff_cap_secs: f64,
+    /// Relative jitter applied to each backoff (± this fraction), drawn
+    /// from a dedicated RNG fork so it never perturbs the main stream.
+    pub backoff_jitter: f64,
+    /// OOM kills within one monitor window that quarantine a node.
+    pub quarantine_threshold: usize,
+    /// How long placement avoids a quarantined node, seconds.
+    pub quarantine_secs: f64,
+    /// EWMA smoothing factor for the observed-vs-booked footprint ratio
+    /// feeding the safety-margin controller.
+    pub margin_alpha: f64,
+    /// Upper clamp on the controller's margin multiplier.
+    pub margin_cap: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: false,
+            max_retries: 3,
+            backoff_base_secs: 10.0,
+            backoff_cap_secs: 120.0,
+            backoff_jitter: 0.25,
+            quarantine_threshold: 3,
+            quarantine_secs: 240.0,
+            margin_alpha: 0.3,
+            margin_cap: 2.0,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The self-healing configuration used by the chaos evaluation:
+    /// defaults with the master switch on.
+    #[must_use]
+    pub fn self_healing() -> Self {
+        ResilienceConfig {
+            enabled: true,
+            ..ResilienceConfig::default()
+        }
+    }
+}
+
+/// What the fault layer did to one schedule, and how the scheduler coped.
+/// All zeros on a fault-free run with resilience disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    /// Node crashes delivered.
+    pub node_crashes: usize,
+    /// Executor crash-restarts delivered.
+    pub executor_crashes: usize,
+    /// Monitor dropouts delivered.
+    pub monitor_dropouts: usize,
+    /// Prediction-noise perturbations delivered.
+    pub prediction_noise: usize,
+    /// Input data re-queued by crashes, GB (work conservation: every GB
+    /// here went back to the owning application's unassigned pool).
+    pub slices_requeued_gb: f64,
+    /// Retries scheduled by the self-healing layer.
+    pub retries: usize,
+    /// Node quarantines triggered by repeated OOM kills.
+    pub quarantines: usize,
+    /// Applications that exhausted their retry budget and degraded to an
+    /// isolated full-node reservation.
+    pub isolated_fallbacks: usize,
 }
 
 /// Outcome for one application in a schedule.
@@ -193,6 +286,8 @@ pub struct ScheduleOutcome {
     /// Utilisation trace: `(time, per-node CPU load)` samples at every
     /// scheduling event.
     pub trace: Vec<(f64, Vec<f64>)>,
+    /// Delivered faults and the self-healing layer's responses.
+    pub faults: FaultStats,
 }
 
 struct AppRt {
@@ -205,6 +300,85 @@ struct AppRt {
     finished_at: Option<f64>,
     profiling: ProfilingCost,
     input_gb: f64,
+    /// Multiplicative perturbation of the predicted footprint (injected
+    /// prediction-noise faults land here; 1.0 = faithful predictions).
+    pred_scale: f64,
+    /// EWMA of the observed/booked footprint ratio for the online
+    /// safety-margin controller (resilience only).
+    err_ewma: f64,
+    /// Executor losses (crashes and OOM kills) charged to this app.
+    failures: usize,
+    /// Earliest time the self-healing layer allows a re-placement.
+    retry_at: f64,
+    /// Retry budget exhausted: only isolated full-node placements remain.
+    isolated_fallback: bool,
+}
+
+/// Mutable runtime state of the self-healing layer for one schedule.
+struct ResilState {
+    /// Backoff-jitter RNG, forked only when resilience is enabled so the
+    /// disabled path draws nothing extra from the main stream.
+    jitter: Option<SimRng>,
+    /// Per-node quarantine deadlines (0 = not quarantined); inert zeros
+    /// when resilience is disabled.
+    quarantined_until: Vec<f64>,
+    /// Recent OOM-kill timestamps per node (pruned to the monitor window).
+    oom_times: Vec<VecDeque<f64>>,
+    stats: FaultStats,
+}
+
+/// The margin the dispatcher books for `app`: its per-app margin (raised
+/// on OOM re-runs) times the global reserve margin, times the online
+/// controller's clamped error estimate when resilience is enabled. With
+/// resilience disabled the controller multiplier is exactly 1.0 and the
+/// product is bit-identical to the historical `margin * reserve_margin`.
+fn effective_margin(app: &AppRt, config: &SchedulerConfig) -> f64 {
+    let controller = if config.resilience.enabled {
+        app.err_ewma.clamp(1.0, config.resilience.margin_cap)
+    } else {
+        1.0
+    };
+    app.margin * config.reserve_margin * controller
+}
+
+/// Feeds one executor's observed footprint into the app's error EWMA.
+fn observe_footprint_error(app: &mut AppRt, actual_gb: f64, reserved_gb: f64, alpha: f64) {
+    if reserved_gb <= 0.0 {
+        return;
+    }
+    let ratio = (actual_gb / reserved_gb).clamp(0.0, 10.0);
+    app.err_ewma = (1.0 - alpha) * app.err_ewma + alpha * ratio;
+}
+
+/// Charges one executor loss to `app`: exponential backoff with jitter,
+/// and — only when the loss was the application's own doing (`may_demote`,
+/// i.e. an OOM kill rather than an injected crash) — degradation to
+/// isolated mode once the retry budget runs out. Environment failures
+/// keep retrying at the capped backoff forever: serialising an
+/// application because its *nodes* kept dying would punish the victim.
+fn schedule_retry(
+    app: &mut AppRt,
+    t: f64,
+    r: &ResilienceConfig,
+    resil: &mut ResilState,
+    may_demote: bool,
+) {
+    app.failures += 1;
+    if may_demote && app.failures > r.max_retries {
+        if !app.isolated_fallback {
+            app.isolated_fallback = true;
+            resil.stats.isolated_fallbacks += 1;
+        }
+        return;
+    }
+    let exponent = app.failures.min(r.max_retries.max(1)) as i32 - 1;
+    let backoff = (r.backoff_base_secs * 2f64.powi(exponent)).min(r.backoff_cap_secs);
+    let jitter = match resil.jitter.as_mut() {
+        Some(rng) => 1.0 + r.backoff_jitter * rng.uniform(-1.0, 1.0),
+        None => 1.0,
+    };
+    app.retry_at = app.retry_at.max(t + (backoff * jitter).max(0.0));
+    resil.stats.retries += 1;
 }
 
 /// Runs one mix under one policy. `system` supplies the offline-trained
@@ -242,6 +416,48 @@ pub fn run_schedule_custom(
     system: Option<&TrainedSystem>,
     config: &SchedulerConfig,
     seed: u64,
+) -> Result<ScheduleOutcome, ColocateError> {
+    run_schedule_inner(policy, catalog, mix, system, config, seed, None)
+}
+
+/// Like [`run_schedule_custom`], but replaying a pre-drawn [`FaultPlan`]
+/// against the schedule: node crashes take a node (and every executor on
+/// it) offline for their outage, executor crashes kill the youngest
+/// executor on a node, monitor dropouts silence a node's resource-monitor
+/// daemon, and prediction-noise events perturb one application's booked
+/// footprints. Crashed work is credited back to the owning application
+/// (work conservation), and an empty plan reproduces
+/// [`run_schedule_custom`] bit for bit.
+///
+/// Recovery behaviour is controlled by `config.resilience`: with the
+/// default (disabled) config the dispatcher just re-places lost work
+/// through its normal placement path; with
+/// [`ResilienceConfig::self_healing`] it adds retry backoff, node
+/// quarantine, an online safety-margin controller and isolated fallback.
+///
+/// # Errors
+///
+/// Same conditions as [`run_schedule`].
+pub fn run_schedule_with_faults(
+    policy: PolicyKind,
+    catalog: &Catalog,
+    mix: &[(usize, f64)],
+    system: Option<&TrainedSystem>,
+    config: &SchedulerConfig,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<ScheduleOutcome, ColocateError> {
+    run_schedule_inner(policy, catalog, mix, system, config, seed, Some(plan))
+}
+
+fn run_schedule_inner(
+    policy: PolicyKind,
+    catalog: &Catalog,
+    mix: &[(usize, f64)],
+    system: Option<&TrainedSystem>,
+    config: &SchedulerConfig,
+    seed: u64,
+    plan: Option<&FaultPlan>,
 ) -> Result<ScheduleOutcome, ColocateError> {
     if mix.is_empty() {
         return Err(ColocateError::Config("empty application mix".into()));
@@ -320,6 +536,11 @@ pub fn run_schedule_custom(
             finished_at: None,
             profiling,
             input_gb: input,
+            pred_scale: 1.0,
+            err_ewma: 1.0,
+            failures: 0,
+            retry_at: 0.0,
+            isolated_fallback: false,
         });
     }
     for app in &mut apps {
@@ -340,6 +561,18 @@ pub fn run_schedule_custom(
     let mut guard = 0usize;
     let guard_limit = 200_000usize;
 
+    // Fault replay and self-healing state. The jitter RNG is forked only
+    // when resilience is enabled, and only after the app-setup loop, so
+    // the fault-free disabled path draws exactly what it always drew.
+    let mut cursor = plan.map(FaultPlan::cursor);
+    let mut restore_at = vec![0.0f64; node_ids.len()];
+    let mut resil = ResilState {
+        jitter: config.resilience.enabled.then(|| rng.fork()),
+        quarantined_until: vec![0.0; node_ids.len()],
+        oom_times: vec![VecDeque::new(); node_ids.len()],
+        stats: FaultStats::default(),
+    };
+
     loop {
         guard += 1;
         if guard.is_multiple_of(20_000) && std::env::var_os("SPARK_MOE_DEBUG").is_some() {
@@ -355,6 +588,29 @@ pub fn run_schedule_custom(
             ));
         }
 
+        // Deliver every fault due by now before placement sees the
+        // cluster, then bring nodes whose outage elapsed back online.
+        if let Some(cursor) = cursor.as_mut() {
+            while let Some(event) = cursor.pop_due(t) {
+                apply_fault(
+                    event,
+                    &mut engine,
+                    &mut monitor,
+                    &mut apps,
+                    config,
+                    t,
+                    &mut restore_at,
+                    &mut resil,
+                )?;
+            }
+        }
+        for (i, due) in restore_at.iter_mut().enumerate() {
+            if *due > 0.0 && *due <= t {
+                engine.restore_node(node_ids[i])?;
+                *due = 0.0;
+            }
+        }
+
         // Mark finished apps before placement so policies see fresh state
         // (the isolated policy in particular must move on to the next app
         // in the same instant its predecessor's last executor completes).
@@ -365,8 +621,17 @@ pub fn run_schedule_custom(
         }
 
         monitor.observe(&engine, t);
-        place(policy, &mut engine, &mut apps, config, t, catalog, &monitor)?;
-        oom_kills += resolve_ooms(&mut engine, &mut apps, config)?;
+        place(
+            policy,
+            &mut engine,
+            &mut apps,
+            config,
+            t,
+            catalog,
+            &monitor,
+            &resil,
+        )?;
+        oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil)?;
 
         trace.push((
             t,
@@ -383,21 +648,37 @@ pub fn run_schedule_custom(
             break;
         }
 
+        // Next externally scheduled instant: an application becoming
+        // ready (profiling done or retry backoff elapsed), a fault
+        // striking, or a crashed node's outage ending. With no plan and
+        // resilience disabled this reduces to the classic next-ready time.
         let next_ready = apps
             .iter()
-            .filter(|a| a.finished_at.is_none() && a.ready_at > t)
-            .map(|a| a.ready_at)
+            .filter(|a| a.finished_at.is_none())
+            .map(|a| a.ready_at.max(a.retry_at))
+            .filter(|&r| r > t)
             .fold(f64::INFINITY, f64::min);
+        let next_fault = cursor
+            .as_ref()
+            .and_then(simkit::faults::FaultCursor::next_at)
+            .unwrap_or(f64::INFINITY);
+        let next_restore = restore_at
+            .iter()
+            .copied()
+            .filter(|&r| r > t)
+            .fold(f64::INFINITY, f64::min);
+        let next_event = next_ready.min(next_fault).min(next_restore);
         let next_done = engine.next_completion();
 
-        match (next_done, next_ready.is_finite()) {
-            (Some((dt, _)), true) if t + dt > next_ready => {
-                engine.advance(next_ready - t);
-                t = next_ready;
+        match (next_done, next_event.is_finite()) {
+            (Some((dt, _)), true) if t + dt > next_event => {
+                engine.advance(next_event - t);
+                t = next_event;
             }
             (Some((dt, first)), _) => {
                 engine.advance(dt);
                 t += dt;
+                note_completion(&engine, &mut apps, config, first);
                 engine.complete_executor(first)?;
                 // Complete any executors that finished at the same instant.
                 while let Some((dt2, id2)) = engine.next_completion() {
@@ -406,11 +687,12 @@ pub fn run_schedule_custom(
                     }
                     engine.advance(dt2);
                     t += dt2;
+                    note_completion(&engine, &mut apps, config, id2);
                     engine.complete_executor(id2)?;
                 }
             }
             (None, true) => {
-                t = next_ready;
+                t = next_event;
             }
             (None, false) => {
                 // No executors, nothing becoming ready: the policy's model
@@ -447,7 +729,112 @@ pub fn run_schedule_custom(
         makespan_secs: makespan,
         oom_kills,
         trace,
+        faults: resil.stats,
     })
+}
+
+/// Completion hook for the self-healing layer: a successfully finished
+/// executor reports its observed footprint to the margin controller,
+/// clears the owner's crash streak and lifts any isolated-fallback
+/// demotion — §2.3's re-run-in-isolation is one probation wave, not a
+/// life sentence, so a clean finish earns back co-location (with the
+/// raised margin and error EWMA carried along). No-op when resilience
+/// is disabled.
+fn note_completion(
+    engine: &ClusterEngine,
+    apps: &mut [AppRt],
+    config: &SchedulerConfig,
+    id: sparklite::ExecutorId,
+) {
+    if !config.resilience.enabled {
+        return;
+    }
+    let Ok(exec) = engine.executor(id) else {
+        return;
+    };
+    let (owner, actual, reserved) = (exec.app(), exec.actual_gb(), exec.reserved_gb());
+    if let Some(app) = apps.iter_mut().find(|a| a.engine_id == owner) {
+        observe_footprint_error(app, actual, reserved, config.resilience.margin_alpha);
+        app.failures = 0;
+        app.isolated_fallback = false;
+    }
+}
+
+/// Applies one fault event to the running schedule.
+#[allow(clippy::too_many_arguments)]
+fn apply_fault(
+    event: &FaultEvent,
+    engine: &mut ClusterEngine,
+    monitor: &mut sparklite::monitor::ResourceMonitor,
+    apps: &mut [AppRt],
+    config: &SchedulerConfig,
+    t: f64,
+    restore_at: &mut [f64],
+    resil: &mut ResilState,
+) -> Result<(), ColocateError> {
+    let node_ids = engine.cluster().node_ids();
+    match event.kind {
+        FaultKind::NodeCrash { node, outage_secs } => {
+            let Some(&id) = node_ids.get(node) else {
+                return Ok(());
+            };
+            let lost = engine.fail_node(id)?;
+            resil.stats.node_crashes += 1;
+            restore_at[node] = restore_at[node].max(t + outage_secs);
+            let mut owners: Vec<AppId> = Vec::new();
+            for (owner, slice) in lost {
+                resil.stats.slices_requeued_gb += slice;
+                if !owners.contains(&owner) {
+                    owners.push(owner);
+                }
+            }
+            if config.resilience.enabled {
+                for owner in owners {
+                    if let Some(app) = apps.iter_mut().find(|a| a.engine_id == owner) {
+                        schedule_retry(app, t, &config.resilience, resil, false);
+                    }
+                }
+            }
+        }
+        FaultKind::ExecutorCrash { node } => {
+            let Some(&id) = node_ids.get(node) else {
+                return Ok(());
+            };
+            // The youngest executor (largest id, i.e. the most recently
+            // spawned container) is the one that dies — the same victim
+            // order the OOM killer uses, so crash and OOM recovery share
+            // one re-queue path.
+            let Some(victim) = engine.node_executors(id).into_iter().max() else {
+                return Ok(());
+            };
+            let owner = engine.executor(victim)?.app();
+            let slice = engine.kill_executor(victim)?;
+            resil.stats.executor_crashes += 1;
+            resil.stats.slices_requeued_gb += slice;
+            if config.resilience.enabled {
+                if let Some(app) = apps.iter_mut().find(|a| a.engine_id == owner) {
+                    schedule_retry(app, t, &config.resilience, resil, false);
+                }
+            }
+        }
+        FaultKind::MonitorDropout {
+            node,
+            duration_secs,
+        } => {
+            let Some(&id) = node_ids.get(node) else {
+                return Ok(());
+            };
+            monitor.drop_reports(id, t + duration_secs);
+            resil.stats.monitor_dropouts += 1;
+        }
+        FaultKind::PredictionNoise { app, factor } => {
+            if let Some(rt) = apps.get_mut(app) {
+                rt.pred_scale *= factor;
+                resil.stats.prediction_noise += 1;
+            }
+        }
+    }
+    Ok(())
 }
 
 fn build_predictor(
@@ -495,11 +882,12 @@ fn place(
     t: f64,
     catalog: &Catalog,
     monitor: &sparklite::monitor::ResourceMonitor,
+    resil: &ResilState,
 ) -> Result<(), ColocateError> {
     match policy {
         PolicyKind::Isolated => place_isolated(engine, apps, config),
         PolicyKind::Pairwise => place_pairwise(engine, apps, config, catalog),
-        _ => place_predictive(engine, apps, config, t, monitor),
+        _ => place_predictive(engine, apps, config, t, monitor, resil),
     }
 }
 
@@ -514,7 +902,7 @@ fn force_place(
     t: f64,
 ) -> Result<bool, ColocateError> {
     for app in apps.iter() {
-        if app.finished_at.is_some() || app.ready_at > t {
+        if app.finished_at.is_some() || app.ready_at.max(app.retry_at) > t {
             continue;
         }
         let id = app.engine_id;
@@ -528,17 +916,22 @@ fn force_place(
             config.cluster.node.ram_gb,
             config.dynalloc,
         );
-        let node = engine
+        // Emptiest *online* node; when every node is offline there is
+        // nothing to force (the caller's restore schedule will unblock).
+        let Some(node) = engine
             .cluster()
             .node_ids()
             .into_iter()
+            .filter(|&n| engine.node_online(n))
             .max_by(|&a, &b| {
                 engine
                     .node_free_memory(a)
                     .partial_cmp(&engine.node_free_memory(b))
                     .expect("finite memory")
             })
-            .expect("cluster has nodes");
+        else {
+            return Ok(false);
+        };
         let free = engine.node_free_memory(node);
         if free <= 0.5 {
             continue;
@@ -599,7 +992,7 @@ fn place_isolated(
         if engine.app(id).live_executors() >= target {
             break;
         }
-        if !engine.node_executors(node).is_empty() {
+        if !engine.node_online(node) || !engine.node_executors(node).is_empty() {
             continue;
         }
         // Exclusive: reserve the node's entire memory; process the input
@@ -655,6 +1048,9 @@ fn place_pairwise(
             if engine.app(id).unassigned_gb() <= 0.0 || engine.app(id).live_executors() >= target {
                 break;
             }
+            if !engine.node_online(node) {
+                continue;
+            }
             let execs = engine.node_executors(node);
             if execs.len() >= 2 {
                 continue;
@@ -698,7 +1094,43 @@ fn place_predictive(
     config: &SchedulerConfig,
     t: f64,
     monitor: &sparklite::monitor::ResourceMonitor,
+    resil: &ResilState,
 ) -> Result<(), ColocateError> {
+    // Graceful degradation (resilience only): an application that burned
+    // through its retry budget gets a whole empty node to itself — the
+    // paper's §2.3 answer to repeated OOMs is to re-run in isolation —
+    // sidestepping the predictions that kept failing it.
+    if config.resilience.enabled {
+        for app in apps.iter() {
+            if !app.isolated_fallback
+                || app.finished_at.is_some()
+                || app.ready_at.max(app.retry_at) > t
+            {
+                continue;
+            }
+            let id = app.engine_id;
+            if engine.app(id).unassigned_gb() <= 0.0 || engine.app(id).live_executors() > 0 {
+                continue;
+            }
+            let spec = engine.app(id).spec().clone();
+            for node in engine.cluster().node_ids() {
+                if !engine.node_online(node)
+                    || resil.quarantined_until[node.index()] > t
+                    || !engine.node_executors(node).is_empty()
+                {
+                    continue;
+                }
+                let ram = engine.cluster().node(node).spec().ram_gb;
+                let wave = fitting_slice(&spec, engine.app(id).unassigned_gb(), ram * 0.95);
+                if wave < config.min_slice_gb {
+                    continue;
+                }
+                engine.spawn_executor(id, node, wave, ram)?;
+                break;
+            }
+        }
+    }
+
     // Water-filling rounds: each ready application may claim at most one
     // new executor per round, earlier-submitted applications picking
     // first. This models §4.3's "starts executing waiting applications as
@@ -707,7 +1139,10 @@ fn place_predictive(
     loop {
         let mut progress = false;
         for app in apps.iter() {
-            if app.finished_at.is_some() || app.ready_at > t {
+            if app.finished_at.is_some()
+                || app.ready_at.max(app.retry_at) > t
+                || app.isolated_fallback
+            {
                 continue;
             }
             let id = app.engine_id;
@@ -717,7 +1152,7 @@ fn place_predictive(
             let Some(prediction) = &app.prediction else {
                 continue;
             };
-            let margin = app.margin * config.reserve_margin;
+            let margin = effective_margin(app, config);
             let cpu = app.measured_cpu;
             let spec = engine.app(id).spec().clone();
             let target = dynalloc::executors_for(
@@ -741,6 +1176,9 @@ fn place_predictive(
                     .expect("finite memory")
             });
             for node in nodes {
+                if !engine.node_online(node) || resil.quarantined_until[node.index()] > t {
+                    continue;
+                }
                 if engine.node_executors(node).len() >= config.max_execs_per_node {
                     continue;
                 }
@@ -759,7 +1197,7 @@ fn place_predictive(
                 let free = engine.node_free_memory(node);
                 let remaining = engine.app(id).unassigned_gb();
                 let want = slice_target.min(remaining);
-                let need = prediction.model.footprint_gb(want) * margin;
+                let need = prediction.model.footprint_gb(want) * app.pred_scale * margin;
                 let quantize = |gb: f64| -> f64 {
                     // Whole RDD partitions only (never exceeding what was
                     // asked for; a final sub-partition tail is allowed so
@@ -772,10 +1210,17 @@ fn place_predictive(
                 let (slice, reserve) = if need <= free {
                     (want, need)
                 } else {
-                    match prediction.model.max_input_for_budget(free / margin) {
+                    match prediction
+                        .model
+                        .max_input_for_budget(free / (app.pred_scale * margin))
+                    {
                         Some(x) if x.min(want) >= config.min_slice_gb => {
                             let s = quantize(x.min(want)).max(config.min_slice_gb);
-                            (s, (prediction.model.footprint_gb(s) * margin).min(free))
+                            (
+                                s,
+                                (prediction.model.footprint_gb(s) * app.pred_scale * margin)
+                                    .min(free),
+                            )
                         }
                         _ => continue,
                     }
@@ -796,7 +1241,10 @@ fn place_predictive(
     // spare memory, avoiding a fresh executor's startup cost.
     if config.dynamic_adjustment {
         for app in apps.iter() {
-            if app.finished_at.is_some() || app.ready_at > t {
+            if app.finished_at.is_some()
+                || app.ready_at.max(app.retry_at) > t
+                || app.isolated_fallback
+            {
                 continue;
             }
             let id = app.engine_id;
@@ -806,7 +1254,7 @@ fn place_predictive(
             let Some(prediction) = &app.prediction else {
                 continue;
             };
-            let margin = app.margin * config.reserve_margin;
+            let margin = effective_margin(app, config);
             // Top up only toward the dynalloc per-executor share: the
             // adjustment restores an executor squeezed below its fair
             // slice by an earlier memory shortage — it must not serialise
@@ -820,26 +1268,24 @@ fn place_predictive(
             );
             let slice_target = spec.input_gb / target as f64;
             // This app's executors, on the node with the most free memory
-            // first.
-            let mut candidates: Vec<_> = engine
-                .cluster()
-                .node_ids()
-                .into_iter()
-                .flat_map(|n| engine.node_executors(n))
-                .filter(|&e| engine.executor(e).map(|x| x.app()) == Ok(id))
-                .collect();
-            candidates.sort_by(|&a, &b| {
-                let fa = engine.node_free_memory(engine.executor(a).expect("live").node());
-                let fb = engine.node_free_memory(engine.executor(b).expect("live").node());
-                fb.partial_cmp(&fa).expect("finite memory")
-            });
-            for exec_id in candidates {
+            // first. Free memory is cached at collection time so the sort
+            // needs no fallible engine lookups.
+            let mut candidates: Vec<(sparklite::ExecutorId, f64)> = Vec::new();
+            for n in engine.cluster().node_ids() {
+                for e in engine.node_executors(n) {
+                    if engine.executor(e)?.app() == id {
+                        candidates.push((e, engine.node_free_memory(n)));
+                    }
+                }
+            }
+            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite memory"));
+            for (exec_id, _) in candidates {
                 let remaining = engine.app(id).unassigned_gb();
                 if remaining <= config.min_slice_gb {
                     break;
                 }
                 let (node, slice, reserved) = {
-                    let e = engine.executor(exec_id).expect("live executor");
+                    let e = engine.executor(exec_id)?;
                     (e.node(), e.slice_gb(), e.reserved_gb())
                 };
                 let free = engine.node_free_memory(node);
@@ -848,7 +1294,7 @@ fn place_predictive(
                 }
                 // Grow toward what the whole budget (current + free) can
                 // host, bounded by the remaining input.
-                let budget = (reserved + free) / margin;
+                let budget = (reserved + free) / (app.pred_scale * margin);
                 let Some(max_slice) = prediction.model.max_input_for_budget(budget) else {
                     continue;
                 };
@@ -856,7 +1302,8 @@ fn place_predictive(
                 if extra < config.min_slice_gb.max(config.partition_gb) {
                     continue;
                 }
-                let new_need = prediction.model.footprint_gb(slice + extra) * margin;
+                let new_need =
+                    prediction.model.footprint_gb(slice + extra) * app.pred_scale * margin;
                 let extra_reserve = (new_need - reserved).clamp(0.0, free);
                 if engine
                     .extend_executor(exec_id, extra, extra_reserve)
@@ -872,24 +1319,52 @@ fn place_predictive(
 }
 
 /// Kills executors until no node is out of memory; raises the owning
-/// application's margin so its re-run is conservative.
+/// application's margin so its re-run is conservative. With resilience
+/// enabled it additionally feeds the margin controller, schedules a
+/// backed-off retry for the owner, and quarantines nodes that keep OOMing
+/// within one monitor window.
 fn resolve_ooms(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
     config: &SchedulerConfig,
+    t: f64,
+    resil: &mut ResilState,
 ) -> Result<usize, ColocateError> {
+    let resilience = config.resilience;
     let mut kills = 0;
     for node in engine.cluster().node_ids() {
         while matches!(engine.memory_pressure(node), MemoryPressure::OutOfMemory) {
             let Some(victim) = engine.oom_victim(node) else {
                 break;
             };
-            let owner = engine.executor(victim)?.app();
+            let (owner, actual, reserved) = {
+                let e = engine.executor(victim)?;
+                (e.app(), e.current_actual_gb(), e.reserved_gb())
+            };
             engine.kill_executor(victim)?;
             if let Some(app) = apps.iter_mut().find(|a| a.engine_id == owner) {
                 app.margin = (app.margin * 1.5).min(3.0).max(config.conservative_margin);
+                if resilience.enabled {
+                    observe_footprint_error(app, actual, reserved, resilience.margin_alpha);
+                    schedule_retry(app, t, &resilience, resil, true);
+                }
             }
             kills += 1;
+            if resilience.enabled {
+                let times = &mut resil.oom_times[node.index()];
+                times.push_back(t);
+                while times
+                    .front()
+                    .is_some_and(|&f| t - f > config.monitor.window_secs)
+                {
+                    times.pop_front();
+                }
+                if times.len() >= resilience.quarantine_threshold {
+                    resil.quarantined_until[node.index()] = t + resilience.quarantine_secs;
+                    times.clear();
+                    resil.stats.quarantines += 1;
+                }
+            }
         }
     }
     Ok(kills)

@@ -1,0 +1,381 @@
+//! Deterministic fault injection: seeded, replayable chaos plans.
+//!
+//! A [`FaultPlan`] is a pre-drawn, time-sorted list of typed fault events
+//! derived entirely from a `(seed, config)` pair: the same pair always
+//! yields the same plan, bit for bit, regardless of how many worker
+//! threads later replay it. Generating the whole plan up front (rather
+//! than sampling faults during the run) is what keeps chaos campaigns
+//! worker-count invariant — the simulation consumes faults from an
+//! immutable schedule instead of an RNG that races with execution order.
+//!
+//! The fault taxonomy mirrors the failure modes the co-location paper
+//! concedes in §2.3/§6 plus the operational ones any cluster scheduler
+//! faces:
+//!
+//! * **node crashes** — every executor on the node is lost and the node
+//!   stays offline for a drawn outage;
+//! * **executor crash-restarts** — one executor dies and its work is
+//!   re-queued (the owner restarts it through normal placement);
+//! * **monitor dropouts** — a node's resource-monitor daemon goes silent,
+//!   so sliding windows go *stale* rather than reading zero;
+//! * **prediction noise** — a multiplicative perturbation of the memory
+//!   footprint a predictor reports for one application, modelling the
+//!   mispredicted apps of §6 (factors below 1 under-predict and invite
+//!   paging/OOM; factors above 1 over-reserve and waste capacity).
+//!
+//! Intensity 0 produces an empty plan, so a zero-intensity chaos run is
+//! definitionally identical to a fault-free one.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault. Node and application references are plain
+/// indices so the plan stays agnostic of any particular cluster model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The node loses all executors and refuses work for `outage_secs`.
+    NodeCrash {
+        /// Index of the crashed node.
+        node: usize,
+        /// How long the node stays offline, seconds.
+        outage_secs: f64,
+    },
+    /// The youngest executor on the node (if any) crashes and must be
+    /// restarted by its owner.
+    ExecutorCrash {
+        /// Index of the node whose executor crashes.
+        node: usize,
+    },
+    /// The node's monitor daemon reports nothing for `duration_secs`; its
+    /// sliding window drains and goes stale.
+    MonitorDropout {
+        /// Index of the silenced node.
+        node: usize,
+        /// How long reports are dropped, seconds.
+        duration_secs: f64,
+    },
+    /// From the injection time onward, the named application's predicted
+    /// footprints are multiplied by `factor`.
+    PredictionNoise {
+        /// Index of the perturbed application (submission order).
+        app: usize,
+        /// Multiplicative perturbation applied to reported footprints.
+        factor: f64,
+    },
+}
+
+/// A typed fault with its deterministic injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated time at which the fault strikes, seconds.
+    pub at_secs: f64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Shape of a chaos campaign: how many faults of each kind to draw and
+/// over what horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Overall fault intensity in `[0, 1]`: scales every per-kind count.
+    /// Zero yields an empty plan.
+    pub intensity: f64,
+    /// Horizon over which injection times are drawn uniformly, seconds.
+    pub horizon_secs: f64,
+    /// Number of nodes faults may target.
+    pub nodes: usize,
+    /// Number of applications prediction-noise faults may target.
+    pub apps: usize,
+    /// Mean node outage (exponentially distributed), seconds.
+    pub mean_outage_secs: f64,
+    /// Mean monitor-dropout duration (exponentially distributed), seconds.
+    pub mean_dropout_secs: f64,
+    /// Log-scale standard deviation of the prediction-noise factor
+    /// (`factor = exp(N(0, sd))`).
+    pub noise_sd: f64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            intensity: 0.0,
+            horizon_secs: 3_600.0,
+            nodes: 1,
+            apps: 1,
+            mean_outage_secs: 300.0,
+            mean_dropout_secs: 600.0,
+            noise_sd: 0.35,
+        }
+    }
+}
+
+/// A seeded, replayable schedule of fault events, sorted by time.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::faults::{FaultPlan, FaultPlanConfig};
+///
+/// let cfg = FaultPlanConfig { intensity: 0.5, nodes: 8, apps: 4, ..Default::default() };
+/// let a = FaultPlan::generate(7, &cfg);
+/// let b = FaultPlan::generate(7, &cfg);
+/// assert_eq!(a.events(), b.events(), "same seed, same plan");
+/// assert!(FaultPlan::generate(7, &FaultPlanConfig::default()).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; replays are identical to fault-free runs).
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Draws a plan deterministically from `seed` and `config`.
+    ///
+    /// Per-kind event counts scale with `intensity × nodes` (or `× apps`
+    /// for prediction noise); times are uniform over the horizon; outage
+    /// and dropout durations are exponential around their configured
+    /// means. Events are sorted by injection time with generation order
+    /// breaking ties, so the plan — and everything downstream of it — is
+    /// bit-for-bit reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative intensity or a non-positive horizon.
+    #[must_use]
+    pub fn generate(seed: u64, config: &FaultPlanConfig) -> Self {
+        assert!(
+            config.intensity >= 0.0 && config.intensity.is_finite(),
+            "fault intensity must be a finite non-negative number"
+        );
+        assert!(config.horizon_secs > 0.0, "fault horizon must be positive");
+        let mut rng = SimRng::seed_from(seed ^ 0xFA00_17ED_5EED_0000);
+        let mut events = Vec::new();
+        if config.intensity == 0.0 || config.nodes == 0 {
+            return FaultPlan { events };
+        }
+        let scaled = |per_unit: f64, units: usize| -> usize {
+            (config.intensity * per_unit * units as f64).round() as usize
+        };
+        let node_crashes = scaled(0.5, config.nodes);
+        let exec_crashes = scaled(0.75, config.nodes);
+        let dropouts = scaled(0.75, config.nodes);
+        let noises = scaled(1.0, config.apps).min(config.apps.saturating_mul(2));
+
+        for _ in 0..node_crashes {
+            events.push(FaultEvent {
+                at_secs: rng.uniform(0.0, config.horizon_secs),
+                kind: FaultKind::NodeCrash {
+                    node: rng.uniform_usize(0, config.nodes - 1),
+                    outage_secs: rng.exponential(1.0 / config.mean_outage_secs.max(1e-9)),
+                },
+            });
+        }
+        for _ in 0..exec_crashes {
+            events.push(FaultEvent {
+                at_secs: rng.uniform(0.0, config.horizon_secs),
+                kind: FaultKind::ExecutorCrash {
+                    node: rng.uniform_usize(0, config.nodes - 1),
+                },
+            });
+        }
+        for _ in 0..dropouts {
+            events.push(FaultEvent {
+                at_secs: rng.uniform(0.0, config.horizon_secs),
+                kind: FaultKind::MonitorDropout {
+                    node: rng.uniform_usize(0, config.nodes - 1),
+                    duration_secs: rng.exponential(1.0 / config.mean_dropout_secs.max(1e-9)),
+                },
+            });
+        }
+        if config.apps > 0 {
+            for _ in 0..noises {
+                events.push(FaultEvent {
+                    // Prediction noise strikes early (first tenth of the
+                    // horizon): a mis-calibrated model is wrong from the
+                    // start, not halfway through the campaign.
+                    at_secs: rng.uniform(0.0, config.horizon_secs * 0.1),
+                    kind: FaultKind::PredictionNoise {
+                        app: rng.uniform_usize(0, config.apps - 1),
+                        factor: rng.log_normal(0.0, config.noise_sd).clamp(0.2, 5.0),
+                    },
+                });
+            }
+        }
+        // Stable sort: ties keep generation order, preserving determinism.
+        events.sort_by(|a, b| a.at_secs.partial_cmp(&b.at_secs).expect("finite times"));
+        FaultPlan { events }
+    }
+
+    /// The planned events in injection order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of planned events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// A cursor over the plan for consumption during a replay.
+    #[must_use]
+    pub fn cursor(&self) -> FaultCursor<'_> {
+        FaultCursor {
+            events: &self.events,
+            next: 0,
+        }
+    }
+}
+
+/// Consumes a [`FaultPlan`] front to back during a simulation.
+#[derive(Debug, Clone)]
+pub struct FaultCursor<'a> {
+    events: &'a [FaultEvent],
+    next: usize,
+}
+
+impl<'a> FaultCursor<'a> {
+    /// Injection time of the next undelivered event, if any.
+    #[must_use]
+    pub fn next_at(&self) -> Option<f64> {
+        self.events.get(self.next).map(|e| e.at_secs)
+    }
+
+    /// Pops the next event if it is due at or before `now_secs`.
+    pub fn pop_due(&mut self, now_secs: f64) -> Option<&'a FaultEvent> {
+        let event = self.events.get(self.next)?;
+        if event.at_secs <= now_secs {
+            self.next += 1;
+            Some(event)
+        } else {
+            None
+        }
+    }
+
+    /// Number of events not yet delivered.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(intensity: f64) -> FaultPlanConfig {
+        FaultPlanConfig {
+            intensity,
+            horizon_secs: 1_000.0,
+            nodes: 10,
+            apps: 6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn zero_intensity_is_empty() {
+        let plan = FaultPlan::generate(42, &cfg(0.0));
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.cursor().next_at(), None);
+        assert_eq!(plan, FaultPlan::none());
+    }
+
+    #[test]
+    fn same_seed_same_plan_bitwise() {
+        let a = FaultPlan::generate(9, &cfg(0.7));
+        let b = FaultPlan::generate(9, &cfg(0.7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.at_secs.to_bits(), y.at_secs.to_bits());
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, &cfg(0.7));
+        let b = FaultPlan::generate(2, &cfg(0.7));
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_in_bounds() {
+        let plan = FaultPlan::generate(3, &cfg(1.0));
+        assert!(!plan.is_empty());
+        let mut last = 0.0;
+        for e in plan.events() {
+            assert!(e.at_secs >= last, "events must be time-sorted");
+            assert!(e.at_secs < 1_000.0);
+            last = e.at_secs;
+            match e.kind {
+                FaultKind::NodeCrash { node, outage_secs } => {
+                    assert!(node < 10);
+                    assert!(outage_secs > 0.0);
+                }
+                FaultKind::ExecutorCrash { node } => assert!(node < 10),
+                FaultKind::MonitorDropout {
+                    node,
+                    duration_secs,
+                } => {
+                    assert!(node < 10);
+                    assert!(duration_secs > 0.0);
+                }
+                FaultKind::PredictionNoise { app, factor } => {
+                    assert!(app < 6);
+                    assert!((0.2..=5.0).contains(&factor));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intensity_scales_event_count() {
+        let low = FaultPlan::generate(4, &cfg(0.1));
+        let high = FaultPlan::generate(4, &cfg(0.9));
+        assert!(high.len() > low.len());
+    }
+
+    #[test]
+    fn cursor_pops_in_order_and_respects_now() {
+        let plan = FaultPlan::generate(5, &cfg(0.8));
+        let mut cursor = plan.cursor();
+        assert_eq!(cursor.remaining(), plan.len());
+        let first_at = cursor.next_at().unwrap();
+        assert!(cursor.pop_due(first_at - 1e-9).is_none());
+        let e = cursor.pop_due(first_at).unwrap();
+        assert_eq!(e.at_secs, first_at);
+        // Drain everything by the horizon.
+        let mut popped = 1;
+        while cursor.pop_due(1_000.0).is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, plan.len());
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intensity")]
+    fn negative_intensity_panics() {
+        let _ = FaultPlan::generate(
+            1,
+            &FaultPlanConfig {
+                intensity: -0.5,
+                ..cfg(0.0)
+            },
+        );
+    }
+}

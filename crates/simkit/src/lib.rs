@@ -9,7 +9,11 @@
 //! * a seedable random-number layer ([`rng::SimRng`]) with the distributions
 //!   the workload models need (uniform, normal, log-normal, exponential),
 //! * capacity-checked [`resource::ResourcePool`]s for modeling RAM, swap and
-//!   CPU shares, and
+//!   CPU shares,
+//! * a deterministic fault-injection layer ([`faults::FaultPlan`]): seeded,
+//!   replayable chaos schedules (node crashes, executor crashes, monitor
+//!   dropouts, prediction noise) drawn entirely up front so chaos campaigns
+//!   stay bit-for-bit identical across worker counts, and
 //! * online statistics ([`stats`]) — Welford moments, histograms,
 //!   percentiles, confidence intervals and time-weighted gauges — used by the
 //!   experiment harness to decide when the 95 % confidence half-width has
@@ -50,6 +54,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod par;
 pub mod resource;
 pub mod rng;
@@ -58,6 +63,7 @@ pub mod time;
 
 pub use engine::Engine;
 pub use event::EventQueue;
+pub use faults::{FaultCursor, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use resource::{ResourceError, ResourcePool};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

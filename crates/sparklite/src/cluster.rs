@@ -82,6 +82,9 @@ pub struct Node {
     spec: NodeSpec,
     /// Scheduler-visible reservations (predicted footprints).
     reserved: ResourcePool,
+    /// Whether the node accepts work. Crashed nodes go offline until the
+    /// fault layer restores them; all nodes start online.
+    online: bool,
 }
 
 impl Node {
@@ -90,6 +93,7 @@ impl Node {
             id,
             spec,
             reserved: ResourcePool::new(format!("{id}-ram"), spec.ram_gb),
+            online: true,
         }
     }
 
@@ -116,6 +120,16 @@ impl Node {
     #[must_use]
     pub fn reserved_memory_gb(&self) -> f64 {
         self.reserved.in_use()
+    }
+
+    /// Whether the node is accepting work (not crashed).
+    #[must_use]
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    pub(crate) fn set_online(&mut self, online: bool) {
+        self.online = online;
     }
 
     pub(crate) fn reserve(&mut self, gb: f64) -> Result<(), simkit::ResourceError> {
@@ -228,6 +242,18 @@ mod tests {
         assert!(c.node_mut(id).reserve(41.0).is_err());
         c.node_mut(id).release(24.0).unwrap();
         assert_eq!(c.node(id).free_memory_gb(), 64.0);
+    }
+
+    #[test]
+    fn nodes_start_online_and_toggle() {
+        let mut c = Cluster::new(ClusterSpec::small(2));
+        let id = c.node_ids()[0];
+        assert!(c.node(id).is_online());
+        c.node_mut(id).set_online(false);
+        assert!(!c.node(id).is_online());
+        assert!(c.node(c.node_ids()[1]).is_online(), "other nodes untouched");
+        c.node_mut(id).set_online(true);
+        assert!(c.node(id).is_online());
     }
 
     #[test]

@@ -194,6 +194,9 @@ impl ClusterEngine {
         if !self.cluster.contains(node) {
             return Err(SparkliteError::UnknownNode(node.index()));
         }
+        if !self.cluster.node(node).is_online() {
+            return Err(SparkliteError::NodeOffline(node.index()));
+        }
         let state = self
             .apps
             .get_mut(app.0)
@@ -257,6 +260,9 @@ impl ClusterEngine {
                 .ok_or(SparkliteError::UnknownExecutor(id.0))?;
             (exec.app(), exec.node())
         };
+        if !self.cluster.node(node).is_online() {
+            return Err(SparkliteError::NodeOffline(node.index()));
+        }
         self.cluster.node_mut(node).reserve(extra_reserve_gb)?;
         let taken = self.apps[app.0].take_input_for_extension(extra_gb);
         if taken <= 1e-12 {
@@ -288,6 +294,13 @@ impl ClusterEngine {
     }
 
     /// The youngest executor on `node` — the conventional OOM-kill victim.
+    ///
+    /// "Youngest" means the highest [`ExecutorId`]: ids are assigned in
+    /// strictly increasing spawn order, so when two executors were spawned
+    /// at the same simulated timestamp the one whose `spawn_executor` call
+    /// came later (larger id) is the victim. This id-order tie-break is
+    /// deterministic and mirrors the Linux OOM killer's bias toward the
+    /// most recently started process.
     #[must_use]
     pub fn oom_victim(&self, node: NodeId) -> Option<ExecutorId> {
         self.node_executors(node).into_iter().max()
@@ -311,6 +324,62 @@ impl ClusterEngine {
             .node_mut(exec.node())
             .release(exec.reserved_gb())?;
         Ok(exec.slice_gb())
+    }
+
+    /// Whether `node` is online (accepting spawns and extensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from another cluster.
+    #[must_use]
+    pub fn node_online(&self, node: NodeId) -> bool {
+        self.cluster.node(node).is_online()
+    }
+
+    /// Crashes a node: every live executor on it is killed — each slice
+    /// returns in full to its application's unassigned pool, exactly like
+    /// an OOM kill — the node's reservations drop to zero and the node
+    /// goes offline (spawns and extensions are refused until
+    /// [`ClusterEngine::restore_node`]). Returns the killed executors'
+    /// `(owner, lost slice GB)` pairs in spawn order. Failing a node that
+    /// is already offline is a no-op returning an empty list, so
+    /// overlapping outages in a fault plan compose safely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownNode`] for bad ids, and propagates
+    /// reservation-accounting failures from the kills (which indicate
+    /// engine bugs, not expected conditions).
+    pub fn fail_node(&mut self, node: NodeId) -> Result<Vec<(AppId, f64)>, SparkliteError> {
+        if !self.cluster.contains(node) {
+            return Err(SparkliteError::UnknownNode(node.index()));
+        }
+        if !self.cluster.node(node).is_online() {
+            return Ok(Vec::new());
+        }
+        let victims = self.node_executors(node);
+        let mut lost = Vec::with_capacity(victims.len());
+        for id in victims {
+            let owner = self.executor(id)?.app();
+            let slice = self.kill_executor(id)?;
+            lost.push((owner, slice));
+        }
+        self.cluster.node_mut(node).set_online(false);
+        Ok(lost)
+    }
+
+    /// Brings a crashed node back online with empty memory. Restoring an
+    /// online node is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparkliteError::UnknownNode`] for bad ids.
+    pub fn restore_node(&mut self, node: NodeId) -> Result<(), SparkliteError> {
+        if !self.cluster.contains(node) {
+            return Err(SparkliteError::UnknownNode(node.index()));
+        }
+        self.cluster.node_mut(node).set_online(true);
+        Ok(())
     }
 
     /// Effective processing rate (GB/s) of each live executor under the
@@ -538,6 +607,88 @@ mod tests {
         assert!(!matches!(
             eng.memory_pressure(node),
             MemoryPressure::OutOfMemory
+        ));
+    }
+
+    #[test]
+    fn oom_victim_tie_break_is_executor_id_order() {
+        // Two executors spawned at the same simulated timestamp (no
+        // advance between the calls): the victim must be the one spawned
+        // by the LATER call — the larger ExecutorId — pinning the
+        // documented id-order tie-break.
+        let mut eng = engine(1);
+        let a = eng.submit(linear_app("a", 20.0, 0.3));
+        let b = eng.submit(linear_app("b", 20.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        let first = eng.spawn_executor(a, node, 10.0, 6.0).unwrap().unwrap();
+        let second = eng.spawn_executor(b, node, 10.0, 6.0).unwrap().unwrap();
+        assert!(second > first, "ids increase in spawn order");
+        assert_eq!(eng.oom_victim(node), Some(second));
+        // Kill the younger: the tie-break now selects the survivor.
+        eng.kill_executor(second).unwrap();
+        assert_eq!(eng.oom_victim(node), Some(first));
+        eng.kill_executor(first).unwrap();
+        assert_eq!(eng.oom_victim(node), None);
+    }
+
+    #[test]
+    fn failed_node_refuses_work_and_returns_slices() {
+        let mut eng = engine(2);
+        let app = eng.submit(linear_app("a", 30.0, 0.3));
+        let nodes = eng.cluster().node_ids();
+        let id = eng
+            .spawn_executor(app, nodes[0], 10.0, 6.0)
+            .unwrap()
+            .unwrap();
+        eng.advance(5.0); // half the slice processed, then the node dies
+        let lost = eng.fail_node(nodes[0]).unwrap();
+        assert_eq!(lost, vec![(app, 10.0)], "whole slice is lost, like OOM");
+        // Work conservation: the slice is back in the unassigned pool.
+        assert_eq!(eng.app(app).unassigned_gb(), 30.0);
+        assert_eq!(eng.app(app).processed_gb(), 0.0);
+        assert_eq!(eng.live_executors(), 0);
+        // Memory returned; node offline; spawns/extensions refused.
+        assert_eq!(eng.node_free_memory(nodes[0]), 64.0);
+        assert!(!eng.node_online(nodes[0]));
+        assert!(eng.node_online(nodes[1]));
+        assert!(matches!(
+            eng.spawn_executor(app, nodes[0], 10.0, 6.0),
+            Err(SparkliteError::NodeOffline(0))
+        ));
+        assert!(matches!(
+            eng.executor(id),
+            Err(SparkliteError::UnknownExecutor(_))
+        ));
+        // Double-fail is a harmless no-op; restore brings it back.
+        assert!(eng.fail_node(nodes[0]).unwrap().is_empty());
+        eng.restore_node(nodes[0]).unwrap();
+        assert!(eng.node_online(nodes[0]));
+        eng.spawn_executor(app, nodes[0], 10.0, 6.0)
+            .unwrap()
+            .unwrap();
+    }
+
+    #[test]
+    fn node_lifecycle_error_paths() {
+        // Failing a node never strands executors elsewhere, and bad node
+        // ids surface as UnknownNode from both lifecycle calls.
+        let mut eng = engine(2);
+        let app = eng.submit(linear_app("a", 30.0, 0.3));
+        let nodes = eng.cluster().node_ids();
+        let id = eng
+            .spawn_executor(app, nodes[0], 10.0, 6.0)
+            .unwrap()
+            .unwrap();
+        // Fail the OTHER node: extension on the live node still works.
+        eng.fail_node(nodes[1]).unwrap();
+        assert_eq!(eng.extend_executor(id, 5.0, 3.0).unwrap(), 5.0);
+        assert!(matches!(
+            eng.fail_node(NodeId(9)),
+            Err(SparkliteError::UnknownNode(9))
+        ));
+        assert!(matches!(
+            eng.restore_node(NodeId(9)),
+            Err(SparkliteError::UnknownNode(9))
         ));
     }
 

@@ -85,6 +85,8 @@ pub enum SparkliteError {
     UnknownExecutor(usize),
     /// Referenced a node id that does not exist.
     UnknownNode(usize),
+    /// Tried to place work on a crashed (offline) node.
+    NodeOffline(usize),
     /// A reservation exceeded the node's memory.
     Resource(simkit::ResourceError),
     /// An operation was invalid in the current state (e.g. spawning an
@@ -98,6 +100,7 @@ impl fmt::Display for SparkliteError {
             SparkliteError::UnknownApp(id) => write!(f, "unknown application #{id}"),
             SparkliteError::UnknownExecutor(id) => write!(f, "unknown executor #{id}"),
             SparkliteError::UnknownNode(id) => write!(f, "unknown node #{id}"),
+            SparkliteError::NodeOffline(id) => write!(f, "node #{id} is offline"),
             SparkliteError::Resource(e) => write!(f, "resource error: {e}"),
             SparkliteError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
         }

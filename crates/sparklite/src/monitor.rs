@@ -6,6 +6,12 @@
 //! view, which smooths execution-phase changes and load spikes — and lags
 //! reality, which is exactly the trade-off the window-size ablation
 //! explores.
+//!
+//! Daemons can also go silent (crash, network partition, hung `/proc`
+//! read): [`ResourceMonitor::drop_reports`] silences a node for a span,
+//! after which its window drains and [`ResourceMonitor::is_stale`] turns
+//! true. A stale window means the node's state is **unknown** — consumers
+//! must not read the zeroed means as "idle".
 
 use crate::cluster::NodeId;
 use crate::engine::ClusterEngine;
@@ -47,8 +53,16 @@ struct NodeWindow {
 impl NodeWindow {
     fn push(&mut self, report: Report, window_secs: f64) {
         self.reports.push_back(report);
+        self.evict(report.at_secs, window_secs);
+    }
+
+    /// Drops reports older than the window measured from `now_secs`. Runs
+    /// on every observation — including ones where the node's daemon is
+    /// silent — so a dropped-out node's window drains to *empty* (stale)
+    /// instead of freezing its last pre-dropout contents.
+    fn evict(&mut self, now_secs: f64, window_secs: f64) {
         while let Some(front) = self.reports.front() {
-            if report.at_secs - front.at_secs > window_secs {
+            if now_secs - front.at_secs > window_secs {
                 self.reports.pop_front();
             } else {
                 break;
@@ -92,6 +106,9 @@ pub struct ResourceMonitor {
     config: MonitorConfig,
     windows: Vec<NodeWindow>,
     last_observation: Option<f64>,
+    /// Per-node dropout deadline: the node's daemon posts nothing until
+    /// this simulated time (fault injection; 0 = reporting normally).
+    dropped_until: Vec<f64>,
 }
 
 impl ResourceMonitor {
@@ -102,6 +119,7 @@ impl ResourceMonitor {
             config,
             windows: vec![NodeWindow::default(); nodes],
             last_observation: None,
+            dropped_until: vec![0.0; nodes],
         }
     }
 
@@ -123,6 +141,12 @@ impl ResourceMonitor {
         }
         self.last_observation = Some(now_secs);
         for (i, node) in engine.cluster().node_ids().into_iter().enumerate() {
+            self.windows[i].evict(now_secs, self.config.window_secs);
+            if now_secs < self.dropped_until[i] {
+                // The daemon is silent: no fresh report, and the eviction
+                // above lets the window age toward staleness.
+                continue;
+            }
             let spec = engine.cluster().node(node).spec();
             let report = Report {
                 at_secs: now_secs,
@@ -131,6 +155,30 @@ impl ResourceMonitor {
             };
             self.windows[i].push(report, self.config.window_secs);
         }
+    }
+
+    /// Silences a node's daemon until `until_secs` (fault injection: the
+    /// monitor process hangs or its reports are lost). Overlapping
+    /// dropouts extend to the furthest deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a node id outside the monitored cluster.
+    pub fn drop_reports(&mut self, node: NodeId, until_secs: f64) {
+        let slot = &mut self.dropped_until[node.index()];
+        *slot = slot.max(until_secs);
+    }
+
+    /// Whether a node's window holds **no** reports — the scheduler must
+    /// treat such a node's resource view as *unknown*, not as zero load
+    /// (a silent daemon is indistinguishable from a saturated one).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a node id outside the monitored cluster.
+    #[must_use]
+    pub fn is_stale(&self, node: NodeId) -> bool {
+        self.windows[node.index()].reports.is_empty()
     }
 
     /// Windowed average CPU load of a node, in `[0, 1]`.
@@ -260,5 +308,88 @@ mod tests {
     fn empty_monitor_reports_zero() {
         let monitor = ResourceMonitor::new(2, MonitorConfig::default());
         assert_eq!(monitor.windowed_cpu(NodeId::from_index_for_tests(0)), 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_stale_and_reads_zero() {
+        // Edge case: no reports at all. The numeric views read zero (the
+        // legacy behaviour callers may rely on) but `is_stale` flags the
+        // window so schedulers can refuse to trust the zeros.
+        let monitor = ResourceMonitor::new(1, MonitorConfig::default());
+        let node = NodeId::from_index_for_tests(0);
+        assert_eq!(monitor.reports_in_window(node), 0);
+        assert!(monitor.is_stale(node));
+        assert_eq!(monitor.windowed_cpu(node), 0.0);
+        assert_eq!(monitor.windowed_used_memory(node), 0.0);
+    }
+
+    #[test]
+    fn single_report_window_is_its_own_mean() {
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(1, MonitorConfig::default());
+        monitor.observe(&engine, 0.0);
+        assert_eq!(monitor.reports_in_window(node), 1);
+        assert!(!monitor.is_stale(node));
+        // A one-report mean is exactly that report.
+        assert!((monitor.windowed_cpu(node) - 0.4).abs() < 1e-12);
+        assert!((monitor.windowed_used_memory(node) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_exactly_at_window_boundary_is_kept() {
+        // Eviction drops reports strictly OLDER than the window: a report
+        // whose age equals `window_secs` exactly stays in (the `>` in
+        // `NodeWindow::evict`). Pin that boundary.
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(
+            1,
+            MonitorConfig {
+                window_secs: 60.0,
+                report_period_secs: 30.0,
+            },
+        );
+        monitor.observe(&engine, 0.0);
+        monitor.observe(&engine, 60.0); // age of first = window exactly
+        assert_eq!(monitor.reports_in_window(node), 2);
+        monitor.observe(&engine, 90.0); // age of first = 90 > 60: evicted
+        assert_eq!(monitor.reports_in_window(node), 2);
+    }
+
+    #[test]
+    fn dropout_drains_the_window_to_stale() {
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(
+            1,
+            MonitorConfig {
+                window_secs: 60.0,
+                report_period_secs: 30.0,
+            },
+        );
+        monitor.observe(&engine, 0.0);
+        assert!(!monitor.is_stale(node));
+        monitor.drop_reports(node, 300.0);
+        // Observations during the dropout add nothing; once the last real
+        // report ages past the window the node reads as stale, not zero.
+        monitor.observe(&engine, 30.0);
+        assert_eq!(monitor.reports_in_window(node), 1);
+        monitor.observe(&engine, 90.0);
+        assert_eq!(monitor.reports_in_window(node), 0);
+        assert!(monitor.is_stale(node));
+        // After the dropout deadline the daemon reports again.
+        monitor.observe(&engine, 301.0);
+        assert_eq!(monitor.reports_in_window(node), 1);
+        assert!(!monitor.is_stale(node));
+    }
+
+    #[test]
+    fn overlapping_dropouts_extend_to_the_furthest_deadline() {
+        let (engine, node) = engine_with_load();
+        let mut monitor = ResourceMonitor::new(1, MonitorConfig::default());
+        monitor.drop_reports(node, 100.0);
+        monitor.drop_reports(node, 50.0); // shorter: must not shrink
+        monitor.observe(&engine, 60.0);
+        assert_eq!(monitor.reports_in_window(node), 0);
+        monitor.observe(&engine, 101.0);
+        assert_eq!(monitor.reports_in_window(node), 1);
     }
 }
