@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Panic-freedom gate for the crash-consistency-critical paths: the journal
+# layer, the campaign harness, checkpoint codecs, and the bench emission
+# helpers must not contain `unwrap()` / `expect(` outside test code.
+#
+# Intentional exceptions live in ci/panic_allowlist.txt as
+# `<path>:<needle>` lines; a gated line is tolerated iff it contains the
+# needle verbatim. Keep the list short and justified.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GATED_FILES=(
+  crates/simkit/src/journal.rs
+  crates/colocate/src/checkpoint.rs
+  crates/colocate/src/harness.rs
+  crates/bench/src/fsutil.rs
+  crates/bench/src/report.rs
+  crates/bench/src/csv.rs
+  crates/bench/src/lib.rs
+)
+
+ALLOWLIST=ci/panic_allowlist.txt
+fail=0
+
+for f in "${GATED_FILES[@]}"; do
+  # Strip everything from the unit-test module to EOF: the gate covers
+  # runtime code only, and these crates keep tests in a trailing
+  # `#[cfg(test)]` block by convention.
+  hits=$(sed '/#\[cfg(test)\]/,$d' "$f" \
+    | grep -n '\.unwrap()\|\.expect(' \
+    | grep -v 'unwrap_or' || true)
+  [ -z "$hits" ] && continue
+  while IFS= read -r hit; do
+    line=${hit%%:*}
+    text=${hit#*:}
+    allowed=0
+    if [ -f "$ALLOWLIST" ]; then
+      while IFS= read -r rule; do
+        case $rule in ''|'#'*) continue ;; esac
+        rule_path=${rule%%:*}
+        rule_needle=${rule#*:}
+        if [ "$rule_path" = "$f" ] && [ "${text#*"$rule_needle"}" != "$text" ]; then
+          allowed=1
+          break
+        fi
+      done < "$ALLOWLIST"
+    fi
+    if [ "$allowed" -eq 0 ]; then
+      echo "PANIC GATE: $f:$line: $text" >&2
+      fail=1
+    fi
+  done <<< "$hits"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo >&2
+  echo "unwrap()/expect( found in crash-consistency-critical non-test code." >&2
+  echo "Return a typed error instead, or add a justified line to $ALLOWLIST." >&2
+  exit 1
+fi
+echo "panic gate: clean"

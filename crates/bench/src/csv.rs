@@ -74,16 +74,15 @@ impl CsvTable {
         out
     }
 
-    /// Writes the table as `<dir>/<name>.csv`.
+    /// Writes the table as `<dir>/<name>.csv` via an atomic
+    /// temp-file-then-rename ([`crate::fsutil::atomic_write`]), so a kill
+    /// mid-write never leaves a truncated series behind.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_to(&self, dir: &Path, name: &str) -> std::io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{name}.csv"));
-        std::fs::write(&path, self.to_csv())?;
-        Ok(path)
+        crate::fsutil::atomic_write_in(dir, &format!("{name}.csv"), &self.to_csv())
     }
 }
 

@@ -1,0 +1,160 @@
+//! Deterministic JSON emission for machine-readable campaign records.
+//!
+//! The `BENCH_*.json` artifacts must be byte-stable: the kill–resume
+//! acceptance test asserts an interrupted-and-resumed campaign produces
+//! the *identical* file an uninterrupted one does. These emitters
+//! therefore avoid anything nondeterministic — no hash-map iteration, no
+//! timestamps — and format floats with Rust's shortest-round-trip `{:?}`,
+//! which is a pure function of the `f64` bits.
+
+use colocate::harness::{ChaosStats, MultiPolicyStats, ScenarioStats};
+use std::fmt::Write as _;
+
+/// Shortest-round-trip JSON number for `v` (infinite/NaN become `null`).
+#[must_use]
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for a JSON literal.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_scenario(out: &mut String, label: &str, s: &ScenarioStats) {
+    let _ = write!(
+        out,
+        "{{\"label\":{},\"scenario\":{},\"mixes\":{},\"stp_mean\":{},\"stp_min\":{},\
+         \"stp_max\":{},\"antt_mean\":{},\"antt_min\":{},\"antt_max\":{}}}",
+        json_str(label),
+        json_str(&s.scenario.name()),
+        s.mixes,
+        json_num(s.stp_mean),
+        json_num(s.stp_min_max.0),
+        json_num(s.stp_min_max.1),
+        json_num(s.antt_mean),
+        json_num(s.antt_min_max.0),
+        json_num(s.antt_min_max.1),
+    );
+}
+
+/// Renders one [`ScenarioStats`] as a JSON object.
+#[must_use]
+pub fn scenario_stats_json(label: &str, stats: &ScenarioStats) -> String {
+    let mut out = String::new();
+    push_scenario(&mut out, label, stats);
+    out.push('\n');
+    out
+}
+
+/// Renders a multi-policy campaign (`policy labels` parallel to
+/// `stats.per_policy`) as a JSON document.
+#[must_use]
+pub fn multi_stats_json(labels: &[&str], stats: &MultiPolicyStats) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"scenario\":{},\"per_policy\":[",
+        json_str(&stats.scenario.name())
+    );
+    for (i, (label, s)) in labels.iter().zip(&stats.per_policy).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_scenario(&mut out, label, s);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders a chaos sweep (one [`ChaosStats`] per intensity) as a JSON
+/// document — the `BENCH_fig19_chaos.json` record.
+#[must_use]
+pub fn chaos_stats_json(all: &[ChaosStats]) -> String {
+    let mut out = String::from("{\"campaigns\":[");
+    for (i, stats) in all.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"scenario\":{},\"intensity\":{},\"mixes\":{},\"per_entry\":[",
+            json_str(&stats.scenario.name()),
+            json_num(stats.intensity),
+            stats.mixes,
+        );
+        for (j, e) in stats.per_entry.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let f = &e.faults;
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"stp_mean\":{},\"stp_min\":{},\"stp_max\":{},\
+                 \"antt_mean\":{},\"antt_min\":{},\"antt_max\":{},\"oom_kills_mean\":{},\
+                 \"faults\":{{\"node_crashes\":{},\"executor_crashes\":{},\
+                 \"monitor_dropouts\":{},\"prediction_noise\":{},\"slices_requeued_gb\":{},\
+                 \"retries\":{},\"quarantines\":{},\"isolated_fallbacks\":{}}}}}",
+                json_str(e.label),
+                json_num(e.stp_mean),
+                json_num(e.stp_min_max.0),
+                json_num(e.stp_min_max.1),
+                json_num(e.antt_mean),
+                json_num(e.antt_min_max.0),
+                json_num(e.antt_min_max.1),
+                json_num(e.oom_kills_mean),
+                f.node_crashes,
+                f.executor_crashes,
+                f.monitor_dropouts,
+                f.prediction_noise,
+                json_num(f.slices_requeued_gb),
+                f.retries,
+                f.quarantines,
+                f.isolated_fallbacks,
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_shortest_round_trip() {
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(0.1 + 0.2), "0.30000000000000004");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("tab\tdone"), "\"tab\\tdone\"");
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`overhead_fractions`] — feature-extraction and calibration shares of
 //!   total execution time (Figs. 11/12).
 
+use crate::checkpoint::{self, CheckpointConfig};
 use crate::metrics::{normalize, NormalizedMetrics};
 use crate::scheduler::{
     run_schedule, run_schedule_custom, run_schedule_with_faults, FaultStats, PolicyKind,
@@ -22,12 +23,13 @@ use crate::scheduler::{
 use crate::training::{train_system, TrainedSystem, TrainingConfig};
 use crate::ColocateError;
 use simkit::faults::{FaultPlan, FaultPlanConfig};
+use simkit::journal::Journal;
 use simkit::par;
 use simkit::stats::Welford;
 use simkit::SimRng;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use workloads::catalog::Catalog;
 use workloads::mixes::{MixEntry, MixScenario};
 
@@ -144,8 +146,16 @@ impl BaselineCache {
         config: &SchedulerConfig,
         seed: u64,
     ) -> Result<f64, ColocateError> {
+        // A poisoned lock only means another worker panicked after a
+        // completed insert; the map is a plain memo table whose entries
+        // are always whole, so recover the guard rather than propagate.
         let key = (job.0, job.1.to_bits(), seed);
-        if let Some(&secs) = self.map.lock().expect("baseline cache poisoned").get(&key) {
+        if let Some(&secs) = self
+            .map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(secs);
         }
@@ -153,7 +163,7 @@ impl BaselineCache {
         let solo = run_schedule_custom(PolicyKind::Isolated, catalog, &[job], None, config, seed)?;
         self.map
             .lock()
-            .expect("baseline cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, solo.makespan_secs);
         Ok(solo.makespan_secs)
     }
@@ -282,17 +292,81 @@ pub fn evaluate_scenario(
     max_mixes: usize,
     base_seed: u64,
 ) -> Result<ScenarioStats, ColocateError> {
+    evaluate_scenario_checkpointed(
+        policy, scenario, catalog, config, min_mixes, max_mixes, base_seed, None,
+    )
+}
+
+/// [`evaluate_scenario`] with opt-in crash-safe checkpointing.
+///
+/// With `ckpt` set, every committed fold is appended to the journal at
+/// `ckpt.path` as it happens. On startup the journal is validated against
+/// this campaign's definition (seed, policy, scenario, mix bounds,
+/// catalog and config signatures — but *not* the worker count), torn or
+/// corrupt tail records are truncated, and the surviving folds are
+/// replayed through the same Welford accumulators and §5.2 stopping rule
+/// before any new replay is dispatched. Because the statistics are a pure
+/// function of the index-ordered fold sequence, a resumed campaign is
+/// bit-for-bit identical to an uninterrupted one — under any
+/// `SPARK_MOE_THREADS`, including a different one than the original run.
+///
+/// # Errors
+///
+/// Propagates per-mix failures and journal I/O/validation failures
+/// ([`ColocateError::Checkpoint`]).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_scenario_checkpointed(
+    policy: PolicyKind,
+    scenario: MixScenario,
+    catalog: &Catalog,
+    config: &RunConfig,
+    min_mixes: usize,
+    max_mixes: usize,
+    base_seed: u64,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<ScenarioStats, ColocateError> {
     let workers = config.effective_workers();
     let mut stp = Welford::new();
     let mut antt = Welford::new();
     let mut mix_rng = SimRng::seed_from(base_seed);
     let mut count = 0; // replays folded into the accumulators
-    let mut dispatched = 0; // replays handed to the pool (>= count)
-    'campaign: while dispatched < max_mixes {
-        // First batch covers the mandatory replays (the stopping rule
-        // cannot fire before two samples); later batches fill the pool.
-        let batch = if dispatched == 0 {
-            min_mixes.max(2).min(max_mixes)
+    let mut done = false; // §5.2 stopping rule (or max_mixes) satisfied
+
+    let mut journal: Option<Journal> = None;
+    if let Some(c) = ckpt {
+        let binding = checkpoint::scenario_binding(
+            policy, scenario, catalog, config, min_mixes, max_mixes, base_seed,
+        );
+        let recovered = Journal::open(&c.path, &binding, c.flush_every)?;
+        // Replay committed folds exactly as the original run folded them,
+        // stopping where the original loop would have stopped.
+        for payload in &recovered.records {
+            if done {
+                break;
+            }
+            let pair = checkpoint::decode_folds(payload, 1)?;
+            stp.push(pair[0].0);
+            antt.push(pair[0].1);
+            count += 1;
+            done = count >= max_mixes || (count >= min_mixes && stp.ci_converged(0.05));
+        }
+        // Keep the scenario RNG aligned: the journaled folds consumed the
+        // first `count` draws of the one serial mix stream.
+        for _ in 0..count {
+            let _ = scenario.random_mix(catalog, &mut mix_rng);
+        }
+        let mut j = recovered.journal;
+        j.set_kill_point(c.kill_point);
+        journal = Some(j);
+    }
+
+    let mut dispatched = count; // replays handed to the pool (>= count)
+    'campaign: while !done && dispatched < max_mixes {
+        // Cover the mandatory replays first (the stopping rule cannot
+        // fire before min_mixes/two samples); later batches fill the pool.
+        let mandatory = min_mixes.max(2).saturating_sub(dispatched);
+        let batch = if mandatory > 0 {
+            mandatory.min(max_mixes - dispatched)
         } else {
             workers.min(max_mixes - dispatched)
         };
@@ -307,8 +381,18 @@ pub fn evaluate_scenario(
         dispatched += batch;
         for result in results {
             let outcome = result?;
-            stp.push(outcome.normalized.normalized_stp);
-            antt.push(outcome.normalized.antt_reduction_pct);
+            let pair = (
+                outcome.normalized.normalized_stp,
+                outcome.normalized.antt_reduction_pct,
+            );
+            // Journal the fold before consuming it, so a kill between
+            // append and fold costs one recomputed replay, never a
+            // double-counted one.
+            if let Some(j) = journal.as_mut() {
+                j.append(&checkpoint::encode_folds(&[pair]))?;
+            }
+            stp.push(pair.0);
+            antt.push(pair.1);
             count += 1;
             if count >= min_mixes && stp.ci_converged(0.05) {
                 break 'campaign;
@@ -317,6 +401,9 @@ pub fn evaluate_scenario(
                 break 'campaign;
             }
         }
+    }
+    if let Some(j) = journal.as_mut() {
+        j.sync()?;
     }
     Ok(ScenarioStats {
         scenario,
@@ -361,6 +448,34 @@ pub fn evaluate_scenario_multi(
     mixes: usize,
     base_seed: u64,
 ) -> Result<MultiPolicyStats, ColocateError> {
+    evaluate_scenario_multi_checkpointed(
+        policies, scenario, catalog, config, mixes, base_seed, None,
+    )
+}
+
+/// [`evaluate_scenario_multi`] with opt-in crash-safe checkpointing.
+///
+/// With `ckpt` set, each mix's per-policy fold is journaled as it
+/// commits (in mix-index order) and the computation proceeds one batch
+/// of `workers` mixes at a time, so an interrupted campaign loses at most
+/// the in-flight batch. On resume the journal is validated against this
+/// campaign definition, its folds are replayed, and only the remaining
+/// mixes are computed — bit-for-bit identical stats to an uninterrupted
+/// run, at any worker count. Without `ckpt` this is exactly
+/// [`evaluate_scenario_multi`].
+///
+/// # Errors
+///
+/// Propagates per-mix failures and journal I/O/validation failures.
+pub fn evaluate_scenario_multi_checkpointed(
+    policies: &[PolicyKind],
+    scenario: MixScenario,
+    catalog: &Catalog,
+    config: &RunConfig,
+    mixes: usize,
+    base_seed: u64,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<MultiPolicyStats, ColocateError> {
     let workers = config.effective_workers();
     let mut stp = vec![Welford::new(); policies.len()];
     let mut antt = vec![Welford::new(); policies.len()];
@@ -377,35 +492,80 @@ pub fn evaluate_scenario_multi(
         .map(|_| scenario.random_mix(catalog, &mut mix_rng))
         .collect();
 
-    let baselines = BaselineCache::new();
-    let per_mix = par::par_map_indexed(&all_mixes, workers, |m, mix| {
-        let seed = base_seed + m as u64;
-        let iso = baselines.isolated_times(catalog, mix, &config.scheduler, seed)?;
-        policies
-            .iter()
-            .enumerate()
-            .map(|(pi, &policy)| {
-                let schedule = run_schedule(
-                    policy,
-                    catalog,
-                    mix,
-                    systems[pi].as_ref(),
-                    &config.scheduler,
-                    seed,
-                )?;
-                let turnarounds: Vec<f64> =
-                    schedule.per_app.iter().map(|a| a.finished_at).collect();
-                Ok(normalize(&iso, &turnarounds))
-            })
-            .collect::<Result<Vec<NormalizedMetrics>, ColocateError>>()
-    });
-
-    for result in per_mix {
-        let metrics = result?;
-        for (pi, n) in metrics.iter().enumerate() {
-            stp[pi].push(n.normalized_stp);
-            antt[pi].push(n.antt_reduction_pct);
+    let mut journal: Option<Journal> = None;
+    let mut start = 0; // first mix index not covered by the journal
+    if let Some(c) = ckpt {
+        let binding =
+            checkpoint::multi_binding(policies, scenario, catalog, config, mixes, base_seed);
+        let recovered = Journal::open(&c.path, &binding, c.flush_every)?;
+        for payload in recovered.records.iter().take(mixes) {
+            for (pi, (s, a)) in checkpoint::decode_folds(payload, policies.len())?
+                .into_iter()
+                .enumerate()
+            {
+                stp[pi].push(s);
+                antt[pi].push(a);
+            }
+            start += 1;
         }
+        let mut j = recovered.journal;
+        j.set_kill_point(c.kill_point);
+        journal = Some(j);
+    }
+
+    let baselines = BaselineCache::new();
+    let mut next = start;
+    while next < mixes {
+        // Checkpointed runs commit one worker-batch at a time so a kill
+        // loses at most the in-flight batch; unjournaled runs keep the
+        // single full fan-out. Either way folds commit in index order,
+        // so the statistics are identical.
+        let batch = if journal.is_some() {
+            workers.min(mixes - next)
+        } else {
+            mixes - next
+        };
+        let first = next;
+        let per_mix = par::par_map_indexed(&all_mixes[first..first + batch], workers, |i, mix| {
+            let seed = base_seed + (first + i) as u64;
+            let iso = baselines.isolated_times(catalog, mix, &config.scheduler, seed)?;
+            policies
+                .iter()
+                .enumerate()
+                .map(|(pi, &policy)| {
+                    let schedule = run_schedule(
+                        policy,
+                        catalog,
+                        mix,
+                        systems[pi].as_ref(),
+                        &config.scheduler,
+                        seed,
+                    )?;
+                    let turnarounds: Vec<f64> =
+                        schedule.per_app.iter().map(|a| a.finished_at).collect();
+                    Ok(normalize(&iso, &turnarounds))
+                })
+                .collect::<Result<Vec<NormalizedMetrics>, ColocateError>>()
+        });
+        next += batch;
+
+        for result in per_mix {
+            let metrics = result?;
+            if let Some(j) = journal.as_mut() {
+                let pairs: Vec<(f64, f64)> = metrics
+                    .iter()
+                    .map(|n| (n.normalized_stp, n.antt_reduction_pct))
+                    .collect();
+                j.append(&checkpoint::encode_folds(&pairs))?;
+            }
+            for (pi, n) in metrics.iter().enumerate() {
+                stp[pi].push(n.normalized_stp);
+                antt[pi].push(n.antt_reduction_pct);
+            }
+        }
+    }
+    if let Some(j) = journal.as_mut() {
+        j.sync()?;
     }
 
     Ok(MultiPolicyStats {
@@ -538,6 +698,34 @@ pub fn evaluate_chaos(
     base_seed: u64,
     chaos: &ChaosSpec,
 ) -> Result<ChaosStats, ColocateError> {
+    evaluate_chaos_checkpointed(
+        entries, scenario, catalog, config, mixes, base_seed, chaos, None,
+    )
+}
+
+/// [`evaluate_chaos`] with opt-in crash-safe checkpointing.
+///
+/// Works like [`evaluate_scenario_multi_checkpointed`]: with `ckpt` set,
+/// each mix's per-entry fold (STP, ANTT, OOM kills, fault counters) is
+/// journaled as it commits, mixes are computed one worker-batch at a
+/// time, and a resumed campaign — even one killed mid fault plan, since
+/// plans are regenerated deterministically from `(seed, spec)` — yields
+/// bit-for-bit identical [`ChaosStats`] at any worker count.
+///
+/// # Errors
+///
+/// Propagates training, per-mix scheduler and journal failures.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_chaos_checkpointed(
+    entries: &[ChaosEntry],
+    scenario: MixScenario,
+    catalog: &Catalog,
+    config: &RunConfig,
+    mixes: usize,
+    base_seed: u64,
+    chaos: &ChaosSpec,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<ChaosStats, ColocateError> {
     let workers = config.effective_workers();
 
     // Train once per distinct policy; entries share systems read-only.
@@ -562,59 +750,22 @@ pub fn evaluate_chaos(
         .map(|_| scenario.random_mix(catalog, &mut mix_rng))
         .collect();
 
-    let baselines = BaselineCache::new();
-    let per_mix = par::par_map_indexed(&all_mixes, workers, |m, mix| {
-        let seed = base_seed + m as u64;
-        let iso = baselines.isolated_times(catalog, mix, &config.scheduler, seed)?;
-        let jobs: Vec<(usize, f64)> = mix.iter().map(|e| (e.benchmark, e.size.gb())).collect();
-        let horizon = (iso.iter().sum::<f64>() * chaos.horizon_frac).max(60.0);
-        let plan = FaultPlan::generate(
-            seed ^ 0xC4A0_5EED,
-            &FaultPlanConfig {
-                intensity: chaos.intensity,
-                horizon_secs: horizon,
-                nodes: config.scheduler.cluster.nodes,
-                apps: jobs.len(),
-                mean_outage_secs: chaos.mean_outage_secs,
-                mean_dropout_secs: chaos.mean_dropout_secs,
-                noise_sd: chaos.noise_sd,
-            },
-        );
-        entries
-            .iter()
-            .enumerate()
-            .map(|(ei, entry)| {
-                let schedule = run_schedule_with_faults(
-                    entry.policy,
-                    catalog,
-                    &jobs,
-                    by_policy[&entry.policy].as_ref(),
-                    &cfgs[ei],
-                    seed,
-                    &plan,
-                )?;
-                let turnarounds: Vec<f64> =
-                    schedule.per_app.iter().map(|a| a.finished_at).collect();
-                Ok((
-                    normalize(&iso, &turnarounds),
-                    schedule.oom_kills,
-                    schedule.faults,
-                ))
-            })
-            .collect::<Result<Vec<(NormalizedMetrics, usize, FaultStats)>, ColocateError>>()
-    });
-
     let mut stp = vec![Welford::new(); entries.len()];
     let mut antt = vec![Welford::new(); entries.len()];
     let mut ooms = vec![Welford::new(); entries.len()];
     let mut faults = vec![FaultStats::default(); entries.len()];
-    for result in per_mix {
-        let metrics = result?;
-        for (ei, (n, kills, f)) in metrics.iter().enumerate() {
-            stp[ei].push(n.normalized_stp);
-            antt[ei].push(n.antt_reduction_pct);
-            ooms[ei].push(*kills as f64);
-            let agg = &mut faults[ei];
+    struct ChaosAccum<'a> {
+        stp: &'a mut [Welford],
+        antt: &'a mut [Welford],
+        ooms: &'a mut [Welford],
+        faults: &'a mut [FaultStats],
+    }
+    fn fold(acc: &mut ChaosAccum<'_>, per_entry: &[checkpoint::ChaosFold]) {
+        for (ei, (s, a, kills, f)) in per_entry.iter().enumerate() {
+            acc.stp[ei].push(*s);
+            acc.antt[ei].push(*a);
+            acc.ooms[ei].push(*kills as f64);
+            let agg = &mut acc.faults[ei];
             agg.node_crashes += f.node_crashes;
             agg.executor_crashes += f.executor_crashes;
             agg.monitor_dropouts += f.monitor_dropouts;
@@ -624,6 +775,95 @@ pub fn evaluate_chaos(
             agg.quarantines += f.quarantines;
             agg.isolated_fallbacks += f.isolated_fallbacks;
         }
+    }
+    let mut acc = ChaosAccum {
+        stp: &mut stp,
+        antt: &mut antt,
+        ooms: &mut ooms,
+        faults: &mut faults,
+    };
+
+    let mut journal: Option<Journal> = None;
+    let mut start = 0; // first mix index not covered by the journal
+    if let Some(c) = ckpt {
+        let binding =
+            checkpoint::chaos_binding(entries, scenario, catalog, config, mixes, base_seed, chaos);
+        let recovered = Journal::open(&c.path, &binding, c.flush_every)?;
+        for payload in recovered.records.iter().take(mixes) {
+            fold(
+                &mut acc,
+                &checkpoint::decode_chaos_folds(payload, entries.len())?,
+            );
+            start += 1;
+        }
+        let mut j = recovered.journal;
+        j.set_kill_point(c.kill_point);
+        journal = Some(j);
+    }
+
+    let baselines = BaselineCache::new();
+    let mut next = start;
+    while next < mixes {
+        let batch = if journal.is_some() {
+            workers.min(mixes - next)
+        } else {
+            mixes - next
+        };
+        let first = next;
+        let per_mix = par::par_map_indexed(&all_mixes[first..first + batch], workers, |i, mix| {
+            let seed = base_seed + (first + i) as u64;
+            let iso = baselines.isolated_times(catalog, mix, &config.scheduler, seed)?;
+            let jobs: Vec<(usize, f64)> = mix.iter().map(|e| (e.benchmark, e.size.gb())).collect();
+            let horizon = (iso.iter().sum::<f64>() * chaos.horizon_frac).max(60.0);
+            let plan = FaultPlan::generate(
+                seed ^ 0xC4A0_5EED,
+                &FaultPlanConfig {
+                    intensity: chaos.intensity,
+                    horizon_secs: horizon,
+                    nodes: config.scheduler.cluster.nodes,
+                    apps: jobs.len(),
+                    mean_outage_secs: chaos.mean_outage_secs,
+                    mean_dropout_secs: chaos.mean_dropout_secs,
+                    noise_sd: chaos.noise_sd,
+                },
+            );
+            entries
+                .iter()
+                .enumerate()
+                .map(|(ei, entry)| {
+                    let schedule = run_schedule_with_faults(
+                        entry.policy,
+                        catalog,
+                        &jobs,
+                        by_policy[&entry.policy].as_ref(),
+                        &cfgs[ei],
+                        seed,
+                        &plan,
+                    )?;
+                    let turnarounds: Vec<f64> =
+                        schedule.per_app.iter().map(|a| a.finished_at).collect();
+                    let n = normalize(&iso, &turnarounds);
+                    Ok((
+                        n.normalized_stp,
+                        n.antt_reduction_pct,
+                        schedule.oom_kills,
+                        schedule.faults,
+                    ))
+                })
+                .collect::<Result<Vec<checkpoint::ChaosFold>, ColocateError>>()
+        });
+        next += batch;
+
+        for result in per_mix {
+            let per_entry = result?;
+            if let Some(j) = journal.as_mut() {
+                j.append(&checkpoint::encode_chaos_folds(&per_entry))?;
+            }
+            fold(&mut acc, &per_entry);
+        }
+    }
+    if let Some(j) = journal.as_mut() {
+        j.sync()?;
     }
 
     Ok(ChaosStats {

@@ -503,11 +503,15 @@ fn run_schedule_inner(
                 let prediction = p.predict(&profile)?;
                 let mut ready = if p.needs_profiling() {
                     engine.credit_profiled(engine_id, cost.profiled_gb);
-                    // Take the earliest-free profiling slot.
+                    // Take the earliest-free profiling slot. Slot times
+                    // are sums of positive costs, so `total_cmp` orders
+                    // them exactly as `partial_cmp` would.
                     let slot = profile_slots
                         .iter_mut()
-                        .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
-                        .expect("non-empty pool");
+                        .min_by(|a, b| a.total_cmp(b))
+                        .ok_or_else(|| {
+                            ColocateError::Config("profiling slot pool is empty".into())
+                        })?;
                     *slot += cost.total_secs();
                     *slot
                 } else {
@@ -710,22 +714,27 @@ fn run_schedule_inner(
         }
     }
 
-    let makespan = apps
-        .iter()
-        .map(|a| a.finished_at.expect("all finished"))
-        .fold(0.0, f64::max);
+    // Every app must have finished by now (the event loop only exits once
+    // the last completion fires); surface a typed error rather than
+    // panicking if that invariant is ever broken.
+    let mut per_app = Vec::with_capacity(apps.len());
+    let mut makespan = 0.0f64;
+    for a in &apps {
+        let finished_at = a.finished_at.ok_or_else(|| {
+            ColocateError::Config("schedule ended with an unfinished application".into())
+        })?;
+        makespan = makespan.max(finished_at);
+        per_app.push(AppOutcome {
+            benchmark: a.benchmark,
+            input_gb: a.input_gb,
+            ready_at: a.ready_at,
+            finished_at,
+            profiling: a.profiling,
+        });
+    }
     Ok(ScheduleOutcome {
         policy: policy.display_name(),
-        per_app: apps
-            .iter()
-            .map(|a| AppOutcome {
-                benchmark: a.benchmark,
-                input_gb: a.input_gb,
-                ready_at: a.ready_at,
-                finished_at: a.finished_at.expect("all finished"),
-                profiling: a.profiling,
-            })
-            .collect(),
+        per_app,
         makespan_secs: makespan,
         oom_kills,
         trace,
@@ -926,8 +935,7 @@ fn force_place(
             .max_by(|&a, &b| {
                 engine
                     .node_free_memory(a)
-                    .partial_cmp(&engine.node_free_memory(b))
-                    .expect("finite memory")
+                    .total_cmp(&engine.node_free_memory(b))
             })
         else {
             return Ok(false);
@@ -1172,8 +1180,7 @@ fn place_predictive(
             nodes.sort_by(|&a, &b| {
                 engine
                     .node_free_memory(b)
-                    .partial_cmp(&engine.node_free_memory(a))
-                    .expect("finite memory")
+                    .total_cmp(&engine.node_free_memory(a))
             });
             for node in nodes {
                 if !engine.node_online(node) || resil.quarantined_until[node.index()] > t {
@@ -1278,7 +1285,7 @@ fn place_predictive(
                     }
                 }
             }
-            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite memory"));
+            candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
             for (exec_id, _) in candidates {
                 let remaining = engine.app(id).unassigned_gb();
                 if remaining <= config.min_slice_gb {

@@ -130,11 +130,12 @@ impl RandomForest {
 
 impl Classifier for RandomForest {
     fn predict(&self, x: &[f64]) -> usize {
+        // `fit` rejects zero-tree forests, so the vote map always has at
+        // least one entry; the fallback keeps this path panic-free anyway.
         self.votes(x)
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
-            .map(|(label, _)| label)
-            .expect("forest has at least one tree")
+            .map_or(0, |(label, _)| label)
     }
 
     fn dims(&self) -> usize {

@@ -82,6 +82,11 @@ impl KMeans {
                 params.k
             )));
         }
+        if data.iter().any(|r| r.iter().any(|v| !v.is_finite())) {
+            return Err(MlError::InvalidTrainingData(
+                "non-finite value in clustering data".into(),
+            ));
+        }
 
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut centroids = kmeans_plus_plus(data, params.k, &mut rng);
@@ -174,12 +179,15 @@ impl KMeans {
 }
 
 fn nearest(centroids: &[Vec<f64>], point: &[f64]) -> (usize, f64) {
+    // `fit` guarantees k >= 1 finite centroids; `total_cmp` keeps the
+    // selection panic-free (and identical to `partial_cmp` on finite
+    // distances) even if a caller feeds a non-finite point.
     centroids
         .iter()
         .enumerate()
         .map(|(i, c)| (i, euclidean(c, point)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
-        .expect("at least one centroid")
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap_or((0, f64::INFINITY))
 }
 
 /// k-means++ seeding: subsequent centroids drawn proportionally to squared

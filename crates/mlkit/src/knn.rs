@@ -66,6 +66,11 @@ impl KnnClassifier {
                 "rows must be non-empty and rectangular".into(),
             ));
         }
+        if xs.iter().any(|x| x.iter().any(|v| !v.is_finite())) {
+            return Err(MlError::InvalidTrainingData(
+                "non-finite feature value in training set".into(),
+            ));
+        }
         Ok(KnnClassifier {
             exemplars: xs.to_vec(),
             labels: ys.to_vec(),
@@ -86,6 +91,11 @@ impl KnnClassifier {
                 expected: self.dims,
                 actual: x.len(),
             });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidTrainingData(
+                "non-finite feature value in exemplar".into(),
+            ));
         }
         self.exemplars.push(x);
         self.labels.push(y);
@@ -116,7 +126,9 @@ impl KnnClassifier {
     ///
     /// # Errors
     ///
-    /// Returns [`MlError::DimensionMismatch`] on wrong dimensionality.
+    /// Returns [`MlError::DimensionMismatch`] on wrong dimensionality and
+    /// [`MlError::Numerical`] when the query contains a non-finite value
+    /// (a NaN query has no meaningful nearest neighbour).
     pub fn predict_with_evidence(&self, x: &[f64]) -> Result<KnnPrediction, MlError> {
         if x.len() != self.dims {
             return Err(MlError::DimensionMismatch {
@@ -124,13 +136,20 @@ impl KnnClassifier {
                 actual: x.len(),
             });
         }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::Numerical(
+                "non-finite value in KNN query vector".into(),
+            ));
+        }
+        // Exemplars and the query are validated finite, so every distance
+        // is finite and `total_cmp` orders exactly as `partial_cmp` would.
         let mut dists: Vec<(f64, usize)> = self
             .exemplars
             .iter()
             .enumerate()
             .map(|(i, e)| (euclidean(e, x), i))
             .collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let neighbours = &dists[..self.k];
 
         // Majority vote, ties resolved by smallest cumulative distance.
@@ -143,11 +162,8 @@ impl KnnClassifier {
         }
         let (&label, _) = votes
             .iter()
-            .max_by(|(_, (ca, da)), (_, (cb, db))| {
-                ca.cmp(cb)
-                    .then_with(|| db.partial_cmp(da).expect("finite distances"))
-            })
-            .expect("at least one neighbour");
+            .max_by(|(_, (ca, da)), (_, (cb, db))| ca.cmp(cb).then_with(|| db.total_cmp(da)))
+            .ok_or_else(|| MlError::InvalidTrainingData("no neighbours to vote".into()))?;
 
         Ok(KnnPrediction {
             label,
@@ -242,6 +258,24 @@ mod tests {
         assert!(knn.predict_with_evidence(&[1.0]).is_err());
         let mut knn = knn;
         assert!(knn.insert(vec![1.0], 0).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_inputs_with_typed_errors() {
+        assert!(matches!(
+            KnnClassifier::fit(&[vec![f64::NAN]], &[0], 1),
+            Err(MlError::InvalidTrainingData(_))
+        ));
+        let (xs, ys) = two_blobs();
+        let mut knn = KnnClassifier::fit(&xs, &ys, 3).unwrap();
+        assert!(matches!(
+            knn.insert(vec![1.0, f64::INFINITY], 0),
+            Err(MlError::InvalidTrainingData(_))
+        ));
+        assert!(matches!(
+            knn.predict_with_evidence(&[f64::NAN, 0.0]),
+            Err(MlError::Numerical(_))
+        ));
     }
 
     #[test]

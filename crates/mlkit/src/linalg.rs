@@ -335,11 +335,10 @@ impl Matrix {
         }
 
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| {
-            a.get(j, j)
-                .partial_cmp(&a.get(i, i))
-                .expect("eigenvalues are finite")
-        });
+        // `total_cmp` orders exactly as `partial_cmp` on the finite
+        // eigenvalues Jacobi produces, and stays panic-free if a caller
+        // slips a non-finite entry past the input checks.
+        order.sort_by(|&i, &j| a.get(j, j).total_cmp(&a.get(i, i)));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (new_col, &old_col) in order.iter().enumerate() {

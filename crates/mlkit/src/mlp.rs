@@ -279,11 +279,12 @@ impl Classifier for Mlp {
         let out = self
             .predict_vector(x)
             .expect("dimension mismatch in MLP predict");
+        // The output layer is non-empty by construction; `total_cmp`
+        // matches `partial_cmp` on finite softmax outputs and never panics.
         out.iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite outputs"))
-            .map(|(i, _)| i)
-            .expect("at least one output")
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map_or(0, |(i, _)| i)
     }
 
     fn dims(&self) -> usize {

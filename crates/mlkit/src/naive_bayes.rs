@@ -129,13 +129,14 @@ impl GaussianNb {
                 actual: x.len(),
             });
         }
+        // `fit` guarantees at least one class; `total_cmp` matches
+        // `partial_cmp` on finite log-likelihoods and never panics.
         Ok((0..self.classes.len())
             .max_by(|&a, &b| {
                 self.log_likelihood(a, x)
-                    .partial_cmp(&self.log_likelihood(b, x))
-                    .expect("finite log-likelihoods")
+                    .total_cmp(&self.log_likelihood(b, x))
             })
-            .expect("at least one class"))
+            .unwrap_or(0))
     }
 }
 

@@ -186,16 +186,16 @@ fn solve_small(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MlError> {
     let mut m = a.clone();
     let mut rhs = b.to_vec();
     for col in 0..n {
-        // Pivot.
+        // Pivot. `col..n` is non-empty (col < n) and `total_cmp` keeps the
+        // selection panic-free even when elimination produced a NaN.
         let pivot = (col..n)
-            .max_by(|&r1, &r2| {
-                m.get(r1, col)
-                    .abs()
-                    .partial_cmp(&m.get(r2, col).abs())
-                    .expect("finite")
-            })
-            .expect("non-empty");
-        if m.get(pivot, col).abs() < 1e-300 {
+            .max_by(|&r1, &r2| m.get(r1, col).abs().total_cmp(&m.get(r2, col).abs()))
+            .unwrap_or(col);
+        let pivot_mag = m.get(pivot, col).abs();
+        if !pivot_mag.is_finite() {
+            return Err(MlError::Numerical("non-finite pivot".into()));
+        }
+        if pivot_mag < 1e-300 {
             return Err(MlError::Numerical("singular system".into()));
         }
         if pivot != col {

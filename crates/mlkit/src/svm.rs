@@ -140,13 +140,14 @@ fn train_binary(
 impl Classifier for LinearSvm {
     fn predict(&self, x: &[f64]) -> usize {
         assert_eq!(x.len(), self.dims, "dimension mismatch in SVM predict");
+        // `fit` guarantees at least one hyperplane; `total_cmp` matches
+        // `partial_cmp` on finite decision values and never panics.
         (0..self.hyperplanes.len())
             .max_by(|&a, &b| {
                 self.decision_value(a, x)
-                    .partial_cmp(&self.decision_value(b, x))
-                    .expect("finite decision values")
+                    .total_cmp(&self.decision_value(b, x))
             })
-            .expect("at least one class")
+            .unwrap_or(0)
     }
 
     fn dims(&self) -> usize {

@@ -231,7 +231,7 @@ fn grow<R: FeatureSampler>(
     for &f in &candidate_features {
         // Candidate thresholds: midpoints between consecutive sorted values.
         let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][f]).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.sort_by(f64::total_cmp);
         values.dedup();
         for w in values.windows(2) {
             let threshold = (w[0] + w[1]) / 2.0;

@@ -139,11 +139,7 @@ pub fn feature_contributions(
 #[must_use]
 pub fn rank_features(contributions: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..contributions.len()).collect();
-    idx.sort_by(|&a, &b| {
-        contributions[b]
-            .partial_cmp(&contributions[a])
-            .expect("finite contributions")
-    });
+    idx.sort_by(|&a, &b| contributions[b].total_cmp(&contributions[a]));
     idx
 }
 

@@ -1,0 +1,619 @@
+//! Crash-safe, append-only record journals for resumable campaigns.
+//!
+//! A campaign that replays hundreds of mixes loses everything when the
+//! process dies — unless each committed fold is durably recorded as it
+//! happens. This module provides that persistence layer:
+//!
+//! * **Append-only record log** — each record is `[len: u32 LE]`
+//!   `[fnv64(payload): u64 LE]` `[payload]`. Payloads are opaque bytes;
+//!   the campaign layer encodes its folds with the [`wire`] helpers.
+//! * **Checksummed header binding** — the journal starts with a magic
+//!   number and a caller-supplied *binding blob* (campaign definition:
+//!   seeds, policies, catalog signature, …) protected by its own FNV-64.
+//!   [`Journal::open`] refuses to resume a journal whose binding differs
+//!   from the campaign being run, so stale or foreign checkpoints can
+//!   never silently corrupt results.
+//! * **Atomic creation** — the header is written to a temp file, fsynced
+//!   and atomically renamed into place ([`atomic_write`]), so a journal
+//!   either exists with a complete header or not at all.
+//! * **Torn-tail recovery** — appends go straight to the live file (with
+//!   configurable fsync cadence), so a kill mid-append can leave a
+//!   partial record at the end. Recovery scans the log, keeps the longest
+//!   valid prefix and truncates the torn or corrupt tail instead of
+//!   failing: a crash costs at most the records since the last fsync,
+//!   never the campaign.
+//! * **Deterministic kill points** — [`KillPoint`] aborts an append after
+//!   a configured count (optionally mid-record, producing a torn tail on
+//!   purpose). This is the fault-injection hook the kill–resume
+//!   equivalence tests drive; production runs never set it.
+//!
+//! The journal stores raw little-endian `f64` bits, so a replayed fold is
+//! bit-for-bit the value the interrupted run computed — which is what
+//! makes resumed campaign statistics identical to uninterrupted ones.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes opening every journal file: "SMJL" + format version 1.
+pub const MAGIC: [u8; 8] = *b"SMJL\x01\x00\x00\x00";
+
+/// Largest accepted record payload (guards the scanner against a corrupt
+/// length field committing us to a multi-gigabyte read).
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// FNV-1a 64-bit checksum — the no-dependency integrity check used for
+/// both the header binding and every record payload.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Errors raised by journal persistence.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file's header binding does not match this campaign definition.
+    BindingMismatch {
+        /// FNV-64 of the binding the campaign expects.
+        expected: u64,
+        /// FNV-64 of the binding found in the file.
+        found: u64,
+    },
+    /// The file is not a journal or its header is damaged (a damaged
+    /// header cannot be a torn tail: headers are written atomically).
+    Corrupt(String),
+    /// A configured [`KillPoint`] fired (test-only fault injection).
+    KillPoint {
+        /// Appends completed before the abort.
+        appends: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BindingMismatch { expected, found } => write!(
+                f,
+                "journal binding mismatch: campaign {expected:#018x}, file {found:#018x} \
+                 (refusing to resume against a different campaign definition)"
+            ),
+            JournalError::Corrupt(msg) => write!(f, "corrupt journal: {msg}"),
+            JournalError::KillPoint { appends } => {
+                write!(f, "kill point fired after {appends} journal appends")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Deterministic abort injected into the append path (test-only).
+///
+/// The kill–resume equivalence tests use this to simulate a process dying
+/// at an arbitrary point of a campaign: the append that would commit
+/// record `after_appends` instead returns [`JournalError::KillPoint`].
+/// With `torn` set, the abort additionally writes the record header plus
+/// a partial payload first — the on-disk state a kill mid-`write(2)`
+/// leaves behind — which recovery must truncate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Number of appends that complete before the abort.
+    pub after_appends: u64,
+    /// Whether the aborting append leaves a torn (partial) record.
+    pub torn: bool,
+}
+
+/// An open journal, positioned for appending.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    appends: u64,
+    unsynced: u32,
+    flush_every: u32,
+    kill: Option<KillPoint>,
+}
+
+/// Result of [`Journal::open`]: the journal plus everything recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The journal, ready for appends.
+    pub journal: Journal,
+    /// Payloads of every valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of torn/corrupt tail that were truncated (0 on a clean open).
+    pub truncated_bytes: u64,
+    /// Whether the file was created by this call.
+    pub created: bool,
+}
+
+impl Journal {
+    /// Opens (resuming) or creates the journal at `path`.
+    ///
+    /// On creation the header — magic, binding blob, binding checksum —
+    /// is written via temp file + fsync + atomic rename. On resume the
+    /// header is validated against `binding`, the record log is scanned,
+    /// and any torn or corrupt tail is truncated; the surviving payloads
+    /// are returned in order.
+    ///
+    /// `flush_every` is the fsync cadence in records (clamped to ≥ 1): 1
+    /// makes every committed record durable, larger values trade
+    /// durability of the last few records for fewer fsyncs.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BindingMismatch`] when the file belongs to a
+    /// different campaign definition, [`JournalError::Corrupt`] when the
+    /// header is damaged, and [`JournalError::Io`] on filesystem failure.
+    pub fn open(path: &Path, binding: &[u8], flush_every: u32) -> Result<Recovered, JournalError> {
+        let flush_every = flush_every.max(1);
+        if !path.exists() {
+            let mut header = Vec::with_capacity(MAGIC.len() + 12 + binding.len());
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(
+                &u32::try_from(binding.len())
+                    .map_err(|_| {
+                        JournalError::Corrupt("binding blob exceeds u32 length".to_string())
+                    })?
+                    .to_le_bytes(),
+            );
+            header.extend_from_slice(binding);
+            header.extend_from_slice(&fnv64(binding).to_le_bytes());
+            atomic_write(path, &header)?;
+            let file = OpenOptions::new().append(true).open(path)?;
+            return Ok(Recovered {
+                journal: Journal {
+                    file,
+                    path: path.to_path_buf(),
+                    records: 0,
+                    appends: 0,
+                    unsynced: 0,
+                    flush_every,
+                    kill: None,
+                },
+                records: Vec::new(),
+                truncated_bytes: 0,
+                created: true,
+            });
+        }
+
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // Header: magic + binding length + binding + binding checksum.
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(JournalError::Corrupt("file shorter than header".into()));
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::Corrupt("bad magic".into()));
+        }
+        let blen = read_u32(&bytes, MAGIC.len()) as usize;
+        let bstart = MAGIC.len() + 4;
+        let bend = bstart + blen;
+        if bytes.len() < bend + 8 {
+            return Err(JournalError::Corrupt("truncated header binding".into()));
+        }
+        let file_binding = &bytes[bstart..bend];
+        let stored_crc = read_u64(&bytes, bend);
+        if fnv64(file_binding) != stored_crc {
+            return Err(JournalError::Corrupt(
+                "header binding checksum mismatch".into(),
+            ));
+        }
+        if file_binding != binding {
+            return Err(JournalError::BindingMismatch {
+                expected: fnv64(binding),
+                found: fnv64(file_binding),
+            });
+        }
+
+        // Scan records; stop at the first torn or corrupt one.
+        let mut records = Vec::new();
+        let mut pos = bend + 8;
+        let mut valid_end = pos;
+        while pos + 12 <= bytes.len() {
+            let len = read_u32(&bytes, pos) as usize;
+            if len > MAX_RECORD_LEN as usize || pos + 12 + len > bytes.len() {
+                break; // torn tail or corrupt length
+            }
+            let crc = read_u64(&bytes, pos + 4);
+            let payload = &bytes[pos + 12..pos + 12 + len];
+            if fnv64(payload) != crc {
+                break; // corrupt record: drop it and everything after
+            }
+            records.push(payload.to_vec());
+            pos += 12 + len;
+            valid_end = pos;
+        }
+
+        let truncated = bytes.len() as u64 - valid_end as u64;
+        if truncated > 0 {
+            file.set_len(valid_end as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        Ok(Recovered {
+            journal: Journal {
+                file,
+                path: path.to_path_buf(),
+                records: records.len() as u64,
+                appends: 0,
+                unsynced: 0,
+                flush_every,
+                kill: None,
+            },
+            records,
+            truncated_bytes: truncated,
+            created: false,
+        })
+    }
+
+    /// Arms a deterministic [`KillPoint`] on this journal (test-only).
+    pub fn set_kill_point(&mut self, kill: Option<KillPoint>) {
+        self.kill = kill;
+    }
+
+    /// Number of committed records in the file.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record; fsyncs every `flush_every` appends.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on write failure, [`JournalError::KillPoint`]
+    /// when an armed kill point fires (after writing a torn partial
+    /// record if the kill point is `torn`).
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        if let Some(kill) = self.kill {
+            if self.appends >= kill.after_appends {
+                if kill.torn {
+                    // Simulate dying mid-write(2): commit the record
+                    // header and half the payload, then abort.
+                    let len = u32::try_from(payload.len())
+                        .map_err(|_| JournalError::Corrupt("record exceeds u32 length".into()))?;
+                    let mut partial = Vec::with_capacity(12 + payload.len() / 2);
+                    partial.extend_from_slice(&len.to_le_bytes());
+                    partial.extend_from_slice(&fnv64(payload).to_le_bytes());
+                    partial.extend_from_slice(&payload[..payload.len() / 2]);
+                    self.file.write_all(&partial)?;
+                    self.file.sync_data()?;
+                }
+                return Err(JournalError::KillPoint {
+                    appends: self.appends,
+                });
+            }
+        }
+        let len = u32::try_from(payload.len())
+            .map_err(|_| JournalError::Corrupt("record exceeds u32 length".into()))?;
+        if len > MAX_RECORD_LEN {
+            return Err(JournalError::Corrupt(format!(
+                "record of {len} bytes exceeds MAX_RECORD_LEN"
+            )));
+        }
+        let mut buf = Vec::with_capacity(12 + payload.len());
+        buf.extend_from_slice(&len.to_le_bytes());
+        buf.extend_from_slice(&fnv64(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.file.write_all(&buf)?;
+        self.records += 1;
+        self.appends += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.flush_every {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Forces any buffered appends to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on fsync failure.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Writes `bytes` to `path` crash-consistently: temp file in the same
+/// directory, `fsync`, atomic rename over the destination, then `fsync`
+/// of the parent directory (so the rename itself is durable). Readers
+/// observe either the old content or the new — never a partial write.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the temp file is removed on failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&parent)?;
+    let name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("atomic_write target has no file name"))?;
+    let tmp = parent.join(format!(
+        ".{}.tmp.{}.{}",
+        name.to_string_lossy(),
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Make the rename durable. Directories cannot be fsynced on every
+        // platform; failure to open or sync the directory is non-fatal
+        // for correctness (the rename is already atomic), so ignore it.
+        if let Ok(dir) = File::open(&parent) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Little-endian encode/decode helpers for journal record payloads.
+///
+/// Values round-trip exactly: `f64`s travel as raw bits, so a replayed
+/// fold is the identical IEEE-754 value the interrupted run produced.
+pub mod wire {
+    use super::JournalError;
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bits (little-endian).
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// A cursor over a record payload.
+    #[derive(Debug)]
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// Starts reading at the payload's first byte.
+        #[must_use]
+        pub fn new(buf: &'a [u8]) -> Self {
+            Reader { buf, pos: 0 }
+        }
+
+        /// Reads a `u64`.
+        ///
+        /// # Errors
+        ///
+        /// [`JournalError::Corrupt`] when the payload is too short.
+        pub fn u64(&mut self) -> Result<u64, JournalError> {
+            if self.pos + 8 > self.buf.len() {
+                return Err(JournalError::Corrupt("record payload too short".into()));
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+            self.pos += 8;
+            Ok(u64::from_le_bytes(b))
+        }
+
+        /// Reads an `f64` from its raw bits.
+        ///
+        /// # Errors
+        ///
+        /// [`JournalError::Corrupt`] when the payload is too short.
+        pub fn f64(&mut self) -> Result<f64, JournalError> {
+            Ok(f64::from_bits(self.u64()?))
+        }
+
+        /// Whether every byte has been consumed.
+        #[must_use]
+        pub fn exhausted(&self) -> bool {
+            self.pos == self.buf.len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smjl_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("c.journal");
+        let binding = b"campaign-1";
+        let mut rec = Journal::open(&path, binding, 1).unwrap();
+        assert!(rec.created);
+        rec.journal.append(b"alpha").unwrap();
+        rec.journal.append(b"").unwrap();
+        rec.journal.append(&[7u8; 300]).unwrap();
+        drop(rec);
+        let back = Journal::open(&path, binding, 1).unwrap();
+        assert!(!back.created);
+        assert_eq!(back.truncated_bytes, 0);
+        assert_eq!(back.records.len(), 3);
+        assert_eq!(back.records[0], b"alpha");
+        assert_eq!(back.records[1], b"");
+        assert_eq!(back.records[2], vec![7u8; 300]);
+        assert_eq!(back.journal.records(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binding_mismatch_is_refused() {
+        let dir = tmp_dir("binding");
+        let path = dir.join("c.journal");
+        Journal::open(&path, b"seed=1", 1).unwrap();
+        let err = Journal::open(&path, b"seed=2", 1).unwrap_err();
+        assert!(matches!(err, JournalError::BindingMismatch { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("c.journal");
+        let binding = b"bind";
+        let mut rec = Journal::open(&path, binding, 1).unwrap();
+        rec.journal.append(b"one").unwrap();
+        rec.journal.append(b"two").unwrap();
+        drop(rec);
+        // Tear the file mid-record: append a valid header + partial body.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&9u32.to_le_bytes()).unwrap();
+        f.write_all(&fnv64(b"destined!").to_le_bytes()).unwrap();
+        f.write_all(b"dest").unwrap();
+        drop(f);
+        let mut back = Journal::open(&path, binding, 1).unwrap();
+        assert_eq!(back.records.len(), 2);
+        assert!(back.truncated_bytes > 0);
+        // Appending after recovery produces a clean log again.
+        back.journal.append(b"three").unwrap();
+        drop(back);
+        let again = Journal::open(&path, binding, 1).unwrap();
+        assert_eq!(
+            again.records,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_point_aborts_and_optionally_tears() {
+        let dir = tmp_dir("kill");
+        let path = dir.join("c.journal");
+        let binding = b"bind";
+        let mut rec = Journal::open(&path, binding, 1).unwrap();
+        rec.journal.set_kill_point(Some(KillPoint {
+            after_appends: 1,
+            torn: true,
+        }));
+        rec.journal.append(b"first").unwrap();
+        let err = rec.journal.append(b"second-record").unwrap_err();
+        assert!(
+            matches!(err, JournalError::KillPoint { appends: 1 }),
+            "{err}"
+        );
+        drop(rec);
+        let back = Journal::open(&path, binding, 1).unwrap();
+        assert_eq!(back.records, vec![b"first".to_vec()]);
+        assert!(back.truncated_bytes > 0, "torn partial record was written");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("c.journal");
+        let binding = b"bind";
+        let mut rec = Journal::open(&path, binding, 1).unwrap();
+        rec.journal.append(b"record-zero").unwrap();
+        rec.journal.append(b"record-one").unwrap();
+        drop(rec);
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let back = Journal::open(&path, binding, 1).unwrap();
+        assert_eq!(back.records, vec![b"record-zero".to_vec()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmp_dir("aw");
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"v1").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"v1");
+        atomic_write(&path, b"version-2").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"version-2");
+        // No temp litter.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wire_round_trips_bits() {
+        let mut buf = Vec::new();
+        wire::put_u64(&mut buf, 42);
+        wire::put_f64(&mut buf, -0.0);
+        wire::put_f64(&mut buf, 1.0 / 3.0);
+        let mut r = wire::Reader::new(&buf);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), 1.0 / 3.0);
+        assert!(r.exhausted());
+        assert!(r.u64().is_err());
+    }
+}

@@ -13,7 +13,12 @@
 //! * a deterministic fault-injection layer ([`faults::FaultPlan`]): seeded,
 //!   replayable chaos schedules (node crashes, executor crashes, monitor
 //!   dropouts, prediction noise) drawn entirely up front so chaos campaigns
-//!   stay bit-for-bit identical across worker counts, and
+//!   stay bit-for-bit identical across worker counts,
+//! * a crash-safe persistence layer ([`journal`]): append-only, checksummed
+//!   record logs with atomic header creation, torn-tail recovery and
+//!   deterministic kill-point injection, used by the campaign harness to
+//!   checkpoint completed replay folds so interrupted sweeps resume
+//!   bit-for-bit, and
 //! * online statistics ([`stats`]) — Welford moments, histograms,
 //!   percentiles, confidence intervals and time-weighted gauges — used by the
 //!   experiment harness to decide when the 95 % confidence half-width has
@@ -55,6 +60,7 @@
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod journal;
 pub mod par;
 pub mod resource;
 pub mod rng;
