@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Panic-freedom gate for the crash-consistency-critical paths: the journal
-# layer, the campaign harness, checkpoint codecs, and the bench emission
-# helpers must not contain `unwrap()` / `expect(` outside test code.
+# layer, the campaign harness, checkpoint codecs, the bench emission
+# helpers, and the hot-path cache modules (event queue slab, engine rate
+# cache, monitor window memoization) must not contain `unwrap()` /
+# `expect(` outside test code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -18,6 +20,9 @@ GATED_FILES=(
   crates/bench/src/report.rs
   crates/bench/src/csv.rs
   crates/bench/src/lib.rs
+  crates/simkit/src/event.rs
+  crates/sparklite/src/engine.rs
+  crates/sparklite/src/monitor.rs
 )
 
 ALLOWLIST=ci/panic_allowlist.txt

@@ -41,6 +41,7 @@ use sparklite::cluster::ClusterSpec;
 use sparklite::dynalloc::{self, DynAllocConfig};
 use sparklite::engine::ClusterEngine;
 use sparklite::perf::{InterferenceModel, MemoryPressure};
+use sparklite::NodeId;
 use std::collections::VecDeque;
 use workloads::catalog::Catalog;
 use workloads::mixes::MixEntry;
@@ -634,8 +635,9 @@ fn run_schedule_inner(
             catalog,
             &monitor,
             &resil,
+            &node_ids,
         )?;
-        oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil)?;
+        oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil, &node_ids)?;
 
         trace.push((
             t,
@@ -781,10 +783,9 @@ fn apply_fault(
     restore_at: &mut [f64],
     resil: &mut ResilState,
 ) -> Result<(), ColocateError> {
-    let node_ids = engine.cluster().node_ids();
     match event.kind {
         FaultKind::NodeCrash { node, outage_secs } => {
-            let Some(&id) = node_ids.get(node) else {
+            let Some(id) = engine.cluster().node_ids_iter().nth(node) else {
                 return Ok(());
             };
             let lost = engine.fail_node(id)?;
@@ -806,14 +807,14 @@ fn apply_fault(
             }
         }
         FaultKind::ExecutorCrash { node } => {
-            let Some(&id) = node_ids.get(node) else {
+            let Some(id) = engine.cluster().node_ids_iter().nth(node) else {
                 return Ok(());
             };
             // The youngest executor (largest id, i.e. the most recently
             // spawned container) is the one that dies — the same victim
             // order the OOM killer uses, so crash and OOM recovery share
             // one re-queue path.
-            let Some(victim) = engine.node_executors(id).into_iter().max() else {
+            let Some(victim) = engine.node_executors_iter(id).max() else {
                 return Ok(());
             };
             let owner = engine.executor(victim)?.app();
@@ -830,7 +831,7 @@ fn apply_fault(
             node,
             duration_secs,
         } => {
-            let Some(&id) = node_ids.get(node) else {
+            let Some(id) = engine.cluster().node_ids_iter().nth(node) else {
                 return Ok(());
             };
             monitor.drop_reports(id, t + duration_secs);
@@ -892,11 +893,12 @@ fn place(
     catalog: &Catalog,
     monitor: &sparklite::monitor::ResourceMonitor,
     resil: &ResilState,
+    nodes: &[NodeId],
 ) -> Result<(), ColocateError> {
     match policy {
-        PolicyKind::Isolated => place_isolated(engine, apps, config),
-        PolicyKind::Pairwise => place_pairwise(engine, apps, config, catalog),
-        _ => place_predictive(engine, apps, config, t, monitor, resil),
+        PolicyKind::Isolated => place_isolated(engine, apps, config, nodes),
+        PolicyKind::Pairwise => place_pairwise(engine, apps, config, catalog, nodes),
+        _ => place_predictive(engine, apps, config, t, monitor, resil, nodes),
     }
 }
 
@@ -929,8 +931,7 @@ fn force_place(
         // nothing to force (the caller's restore schedule will unblock).
         let Some(node) = engine
             .cluster()
-            .node_ids()
-            .into_iter()
+            .node_ids_iter()
             .filter(|&n| engine.node_online(n))
             .max_by(|&a, &b| {
                 engine
@@ -976,6 +977,7 @@ fn place_isolated(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
     config: &SchedulerConfig,
+    nodes: &[NodeId],
 ) -> Result<(), ColocateError> {
     // The first unfinished app owns the whole cluster.
     let Some(active) = apps.iter().position(|a| a.finished_at.is_none()) else {
@@ -993,14 +995,14 @@ fn place_isolated(
         config.dynalloc,
     );
     let slice = spec.input_gb / target as f64;
-    for node in engine.cluster().node_ids() {
+    for &node in nodes {
         if engine.app(id).unassigned_gb() <= 0.0 {
             break;
         }
         if engine.app(id).live_executors() >= target {
             break;
         }
-        if !engine.node_online(node) || !engine.node_executors(node).is_empty() {
+        if !engine.node_online(node) || engine.node_executors_iter(node).next().is_some() {
             continue;
         }
         // Exclusive: reserve the node's entire memory; process the input
@@ -1020,6 +1022,7 @@ fn place_pairwise(
     apps: &mut [AppRt],
     config: &SchedulerConfig,
     catalog: &Catalog,
+    nodes: &[NodeId],
 ) -> Result<(), ColocateError> {
     // Pairwise co-location runs the queue strictly first-come-first-served
     // with AT MOST TWO CONCURRENT APPLICATIONS: the head-of-queue job gets
@@ -1049,25 +1052,28 @@ fn place_pairwise(
             config.dynalloc,
         );
         let slice = spec.input_gb / target as f64;
-        // Prefer empty nodes, then singly occupied ones.
-        let mut nodes = engine.cluster().node_ids();
-        nodes.sort_by_key(|&n| engine.node_executors(n).len());
-        for node in nodes {
+        // Prefer empty nodes, then singly occupied ones. Occupancy counts
+        // come from one pass over the executor set instead of letting the
+        // sort re-scan it per comparison key; the stable sort over equal
+        // counts visits nodes in exactly the order the per-node rescans
+        // produced.
+        let mut node_order: Vec<(NodeId, usize)> = nodes.iter().map(|&n| (n, 0)).collect();
+        for e in engine.executors_iter() {
+            node_order[e.node().index()].1 += 1;
+        }
+        node_order.sort_by_key(|&(_, count)| count);
+        for (node, occupants) in node_order {
             if engine.app(id).unassigned_gb() <= 0.0 || engine.app(id).live_executors() >= target {
                 break;
             }
             if !engine.node_online(node) {
                 continue;
             }
-            let execs = engine.node_executors(node);
-            if execs.len() >= 2 {
+            if occupants >= 2 {
                 continue;
             }
             // One executor per app per host.
-            if execs
-                .iter()
-                .any(|&e| engine.executor(e).map(|x| x.app()) == Ok(id))
-            {
+            if engine.executors_on(node).any(|e| e.app() == id) {
                 continue;
             }
             let want = fitting_slice(
@@ -1085,7 +1091,7 @@ fn place_pairwise(
             }
             // First occupant books what it is observed to use; the
             // co-locating newcomer gets heap = all free memory.
-            let reserve = if execs.is_empty() {
+            let reserve = if occupants == 0 {
                 observed.min(free)
             } else {
                 free
@@ -1096,6 +1102,7 @@ fn place_pairwise(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn place_predictive(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
@@ -1103,6 +1110,7 @@ fn place_predictive(
     t: f64,
     monitor: &sparklite::monitor::ResourceMonitor,
     resil: &ResilState,
+    nodes: &[NodeId],
 ) -> Result<(), ColocateError> {
     // Graceful degradation (resilience only): an application that burned
     // through its retry budget gets a whole empty node to itself — the
@@ -1121,10 +1129,10 @@ fn place_predictive(
                 continue;
             }
             let spec = engine.app(id).spec().clone();
-            for node in engine.cluster().node_ids() {
+            for &node in nodes {
                 if !engine.node_online(node)
                     || resil.quarantined_until[node.index()] > t
-                    || !engine.node_executors(node).is_empty()
+                    || engine.node_executors_iter(node).next().is_some()
                 {
                     continue;
                 }
@@ -1144,6 +1152,7 @@ fn place_predictive(
     // first. This models §4.3's "starts executing waiting applications as
     // soon as possible" + even thread distribution: late arrivals are not
     // starved behind large jobs the way strict per-slot FCFS would.
+    let mut ranked: Vec<(NodeId, f64)> = Vec::with_capacity(nodes.len());
     loop {
         let mut progress = false;
         for app in apps.iter() {
@@ -1175,18 +1184,23 @@ fn place_predictive(
             let slice_target = spec.input_gb / target as f64;
 
             // Nodes with the most free memory first (§4.3: spawn on
-            // servers that have spare memory).
-            let mut nodes = engine.cluster().node_ids();
-            nodes.sort_by(|&a, &b| {
-                engine
-                    .node_free_memory(b)
-                    .total_cmp(&engine.node_free_memory(a))
-            });
-            for node in nodes {
-                if !engine.node_online(node) || resil.quarantined_until[node.index()] > t {
-                    continue;
-                }
-                if engine.node_executors(node).len() >= config.max_execs_per_node {
+            // servers that have spare memory). Offline and quarantined
+            // nodes are filtered out BEFORE ranking, so rounds on a
+            // degraded cluster stop re-sorting and re-skipping dead nodes;
+            // the stable sort over the surviving subset (same keys, same
+            // relative pre-order) visits eligible nodes in exactly the
+            // sequence the unfiltered scan did.
+            ranked.clear();
+            ranked.extend(
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|&n| engine.node_online(n) && resil.quarantined_until[n.index()] <= t)
+                    .map(|n| (n, engine.node_free_memory(n))),
+            );
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for &(node, _) in &ranked {
+                if engine.node_executor_count(node) >= config.max_execs_per_node {
                     continue;
                 }
                 // CPU guard: aggregate load stays under the cap (§4.3).
@@ -1247,6 +1261,8 @@ fn place_predictive(
     // not obtain another executor top up a running one where the node has
     // spare memory, avoiding a fresh executor's startup cost.
     if config.dynamic_adjustment {
+        // Reused across apps; (executor, its node, free memory there).
+        let mut candidates: Vec<(sparklite::ExecutorId, NodeId, f64)> = Vec::new();
         for app in apps.iter() {
             if app.finished_at.is_some()
                 || app.ready_at.max(app.retry_at) > t
@@ -1275,18 +1291,22 @@ fn place_predictive(
             );
             let slice_target = spec.input_gb / target as f64;
             // This app's executors, on the node with the most free memory
-            // first. Free memory is cached at collection time so the sort
-            // needs no fallible engine lookups.
-            let mut candidates: Vec<(sparklite::ExecutorId, f64)> = Vec::new();
-            for n in engine.cluster().node_ids() {
-                for e in engine.node_executors(n) {
-                    if engine.executor(e)?.app() == id {
-                        candidates.push((e, engine.node_free_memory(n)));
-                    }
+            // first. One pass over the executor set replaces the old
+            // nodes-times-executors double scan; the (node, id) tie-break
+            // reproduces the order that scan fed its stable sort, so equal
+            // free-memory ties resolve identically.
+            candidates.clear();
+            for e in engine.executors_iter() {
+                if e.app() == id {
+                    candidates.push((e.id(), e.node(), engine.node_free_memory(e.node())));
                 }
             }
-            candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
-            for (exec_id, _) in candidates {
+            candidates.sort_by(|a, b| {
+                b.2.total_cmp(&a.2)
+                    .then_with(|| a.1.cmp(&b.1))
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            for &(exec_id, _, _) in &candidates {
                 let remaining = engine.app(id).unassigned_gb();
                 if remaining <= config.min_slice_gb {
                     break;
@@ -1336,10 +1356,11 @@ fn resolve_ooms(
     config: &SchedulerConfig,
     t: f64,
     resil: &mut ResilState,
+    nodes: &[NodeId],
 ) -> Result<usize, ColocateError> {
     let resilience = config.resilience;
     let mut kills = 0;
-    for node in engine.cluster().node_ids() {
+    for &node in nodes {
         while matches!(engine.memory_pressure(node), MemoryPressure::OutOfMemory) {
             let Some(victim) = engine.oom_victim(node) else {
                 break;

@@ -4,14 +4,33 @@
 //! events fire in timestamp order, and events scheduled for the same instant
 //! fire in the order they were inserted. That tie-break is what makes whole
 //! campaigns bit-for-bit replayable from a seed.
+//!
+//! Lifecycle bookkeeping (which sequence numbers are live, cancelled or
+//! already fired) lives in a slab: a `VecDeque` of one-byte states indexed
+//! by `sequence - base`, rather than a pair of hash sets. Every push, pop
+//! and cancel is hash-free, and fired prefixes compact away eagerly so the
+//! slab's size tracks the *span* of outstanding events, not the total ever
+//! scheduled.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+/// Lifecycle of one scheduled sequence number.
+///
+/// Invariant: an event's heap entry exists iff its slot is `Live` or
+/// `Cancelled`; the slot turns `Fired` exactly when the entry leaves the
+/// heap (popped live, or skipped as a tombstone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Live,
+    Cancelled,
+    Fired,
+}
 
 struct Scheduled<E> {
     at: SimTime,
@@ -63,9 +82,12 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
-    /// Sequence numbers currently in the heap and not cancelled.
-    live: std::collections::HashSet<EventId>,
-    cancelled: std::collections::HashSet<EventId>,
+    /// Lifecycle slab: state of sequence number `base_seq + i` at index
+    /// `i`. Sequences below `base_seq` have fired and been compacted out.
+    states: VecDeque<Slot>,
+    base_seq: u64,
+    /// Number of `Slot::Live` entries (= the queue's length).
+    live_count: usize,
 }
 
 impl<E: std::fmt::Debug> std::fmt::Debug for Scheduled<E> {
@@ -91,8 +113,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            live: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            states: VecDeque::new(),
+            base_seq: 0,
+            live_count: 0,
         }
     }
 
@@ -104,8 +127,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
-            live: std::collections::HashSet::with_capacity(capacity),
-            cancelled: std::collections::HashSet::new(),
+            states: VecDeque::with_capacity(capacity),
+            base_seq: 0,
+            live_count: 0,
         }
     }
 
@@ -113,13 +137,37 @@ impl<E> EventQueue<E> {
     /// of the current length.
     pub fn reserve(&mut self, additional: usize) {
         self.heap.reserve(additional);
-        self.live.reserve(additional);
+        self.states.reserve(additional);
     }
 
     /// Number of events the heap can hold without reallocating.
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.heap.capacity()
+    }
+
+    /// State slot of `seq`, if it is still tracked (not compacted away and
+    /// not from a different queue).
+    fn slot(&self, seq: u64) -> Option<Slot> {
+        let idx = seq.checked_sub(self.base_seq)?;
+        self.states.get(usize::try_from(idx).ok()?).copied()
+    }
+
+    fn set_slot(&mut self, seq: u64, slot: Slot) {
+        debug_assert!(seq >= self.base_seq);
+        let idx = (seq - self.base_seq) as usize;
+        self.states[idx] = slot;
+    }
+
+    /// Drops the fired prefix of the slab: once the oldest tracked
+    /// sequences have left the heap there is nothing to remember about
+    /// them, so long campaigns don't accumulate bookkeeping for every
+    /// event ever scheduled.
+    fn compact_front(&mut self) {
+        while self.states.front() == Some(&Slot::Fired) {
+            self.states.pop_front();
+            self.base_seq += 1;
+        }
     }
 
     /// Schedules `payload` to fire at `at`; returns a handle usable with
@@ -131,7 +179,8 @@ impl<E> EventQueue<E> {
             seq: self.next_seq,
             payload,
         });
-        self.live.insert(id);
+        self.states.push_back(Slot::Live);
+        self.live_count += 1;
         self.next_seq += 1;
         id
     }
@@ -139,8 +188,9 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event. Returns `true` if the event had
     /// not yet fired (or been cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id) {
-            self.cancelled.insert(id);
+        if self.slot(id.0) == Some(Slot::Live) {
+            self.set_slot(id.0, Slot::Cancelled);
+            self.live_count -= 1;
             true
         } else {
             false
@@ -150,25 +200,30 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest live event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(ev) = self.heap.pop() {
-            if self.cancelled.remove(&EventId(ev.seq)) {
-                continue;
+            let was_live = self.slot(ev.seq) == Some(Slot::Live);
+            self.set_slot(ev.seq, Slot::Fired);
+            self.compact_front();
+            if was_live {
+                self.live_count -= 1;
+                return Some((ev.at, ev.payload));
             }
-            self.live.remove(&EventId(ev.seq));
-            return Some((ev.at, ev.payload));
         }
         None
     }
 
-    /// Returns the timestamp of the earliest live event without removing it.
+    /// Returns the timestamp of the earliest live event without removing
+    /// it. Cancelled tombstones reached at the head are discarded as a
+    /// side effect (which is why this takes `&mut self`).
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(ev) = self.heap.peek() {
-            if self.cancelled.contains(&EventId(ev.seq)) {
-                let seq = ev.seq;
-                self.heap.pop();
-                self.cancelled.remove(&EventId(seq));
-                continue;
+            if self.slot(ev.seq) == Some(Slot::Live) {
+                return Some(ev.at);
             }
-            return Some(ev.at);
+            // Tombstone: drop the heap entry and retire its slot.
+            let seq = ev.seq;
+            self.heap.pop();
+            self.set_slot(seq, Slot::Fired);
+            self.compact_front();
         }
         None
     }
@@ -176,7 +231,7 @@ impl<E> EventQueue<E> {
     /// Returns the number of live (not fired, not cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// Returns `true` if no live events remain.
@@ -185,11 +240,22 @@ impl<E> EventQueue<E> {
         self.len() == 0
     }
 
-    /// Drops every pending event.
+    /// Drops every pending event. Capacity is retained; call
+    /// [`EventQueue::shrink_to_fit`] afterwards to release it when the
+    /// queue is reused across differently sized runs.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.live.clear();
-        self.cancelled.clear();
+        self.states.clear();
+        self.base_seq = self.next_seq;
+        self.live_count = 0;
+    }
+
+    /// Releases excess capacity held by the heap and the lifecycle slab —
+    /// the `clear`-then-shrink path keeps long campaigns from holding
+    /// peak-size allocations across mixes.
+    pub fn shrink_to_fit(&mut self) {
+        self.heap.shrink_to_fit();
+        self.states.shrink_to_fit();
     }
 }
 
@@ -261,6 +327,26 @@ mod tests {
     }
 
     #[test]
+    fn peek_time_discards_multiple_tombstones_and_preserves_live_head() {
+        // Regression for the cancelled-head path: several tombstones in a
+        // row must all be skipped, the cancelled ids must stay dead (a
+        // later cancel of them returns false), and the surviving head must
+        // still pop normally after the peek.
+        let mut q = EventQueue::new();
+        let a = q.push(t(1.0), 'a');
+        let b = q.push(t(1.5), 'b');
+        q.push(t(2.0), 'c');
+        q.cancel(a);
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.cancel(a), "tombstone discarded by peek stays dead");
+        assert!(!q.cancel(b));
+        assert_eq!(q.pop().map(|(_, e)| e), Some('c'));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
     fn cancel_after_fire_is_false() {
         let mut q = EventQueue::new();
         let id = q.push(t(1.0), 1);
@@ -290,9 +376,66 @@ mod tests {
     #[test]
     fn clear_empties_queue() {
         let mut q = EventQueue::new();
-        q.push(t(1.0), 1);
+        let id = q.push(t(1.0), 1);
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+        assert!(!q.cancel(id), "cleared events cannot be cancelled");
+        // The queue remains usable with fresh sequence numbers.
+        q.push(t(2.0), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn fired_bookkeeping_compacts_eagerly() {
+        // Popping in seq order leaves no slab entries behind; interleaved
+        // cancels retire with the heap tombstones they shadow.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100).map(|i| q.push(t(i as f64), i)).collect();
+        for id in ids.iter().skip(1).step_by(2) {
+            q.cancel(*id);
+        }
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 50);
+        assert_eq!(q.states.len(), 0, "all slots compacted after drain");
+        assert_eq!(q.base_seq, 100);
+    }
+
+    #[test]
+    fn shrink_to_fit_releases_capacity_after_clear() {
+        let mut q = EventQueue::with_capacity(4096);
+        for i in 0..4096 {
+            q.push(t(i as f64), i);
+        }
+        q.clear();
+        q.shrink_to_fit();
+        assert!(q.capacity() < 4096, "capacity released: {}", q.capacity());
+        // Still fully usable afterwards.
+        q.push(t(1.0), 7);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(7));
+    }
+
+    #[test]
+    fn out_of_order_pops_keep_slab_bounded_by_span() {
+        // Events fire in time order, not seq order: the slab holds the
+        // outstanding span but compacts as the oldest seqs retire.
+        let mut q = EventQueue::new();
+        // Descending times: seq 0 fires last.
+        let n = 64u64;
+        for i in 0..n {
+            q.push(t((n - i) as f64), i);
+        }
+        // Pop half (the latest-scheduled, earliest-firing half).
+        for _ in 0..n / 2 {
+            q.pop();
+        }
+        // seq 0 (firing last) is still pending, so nothing compacts yet…
+        assert_eq!(q.states.len() as u64, n);
+        // …but draining the rest retires everything.
+        while q.pop().is_some() {}
+        assert_eq!(q.states.len(), 0);
     }
 }

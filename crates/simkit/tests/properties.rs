@@ -34,6 +34,68 @@ proptest! {
         prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
     }
 
+    /// The slab-backed queue behaves exactly like a naive reference model
+    /// under arbitrary push / cancel / pop / peek / clear interleavings:
+    /// same pop order, same cancel verdicts, same lengths. This pins the
+    /// lifecycle bookkeeping (Live/Cancelled/Fired slots, eager front
+    /// compaction) against the simplest possible specification.
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..6, 0usize..64, 0.0f64..1e3), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        // Model: (time, seq, payload) of still-live events, plus every id
+        // ever issued so cancels can target fired/cancelled/cleared
+        // handles too.
+        let mut model: Vec<(SimTime, u64, usize)> = Vec::new();
+        let mut issued = Vec::new();
+        let mut next_seq = 0u64;
+        for (i, &(op, pick, time)) in ops.iter().enumerate() {
+            match op {
+                0 | 1 => {
+                    let at = SimTime::from_secs(time);
+                    let id = q.push(at, i);
+                    issued.push((id, next_seq));
+                    model.push((at, next_seq, i));
+                    next_seq += 1;
+                }
+                2 => {
+                    if !issued.is_empty() {
+                        let (id, seq) = issued[pick % issued.len()];
+                        let was_live = model.iter().any(|&(_, s, _)| s == seq);
+                        prop_assert_eq!(q.cancel(id), was_live);
+                        model.retain(|&(_, s, _)| s != seq);
+                    }
+                }
+                3 => {
+                    let mut best: Option<(usize, SimTime, u64)> = None;
+                    for (idx, &(at, s, _)) in model.iter().enumerate() {
+                        if best.is_none_or(|(_, bat, bs)| (at, s) < (bat, bs)) {
+                            best = Some((idx, at, s));
+                        }
+                    }
+                    match best {
+                        Some((idx, _, _)) => {
+                            let (at, _, payload) = model.remove(idx);
+                            prop_assert_eq!(q.pop(), Some((at, payload)));
+                        }
+                        None => prop_assert_eq!(q.pop(), None),
+                    }
+                }
+                4 => {
+                    let expect = model.iter().map(|&(at, s, _)| (at, s)).min().map(|(at, _)| at);
+                    prop_assert_eq!(q.peek_time(), expect);
+                }
+                _ => {
+                    q.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+    }
+
     /// A pool never reports usage below zero or above capacity, no matter
     /// what sequence of reserve/release calls is attempted.
     #[test]

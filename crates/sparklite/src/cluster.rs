@@ -177,9 +177,17 @@ impl Cluster {
     }
 
     /// All node ids, in index order.
+    ///
+    /// Allocates; callers that only iterate should prefer
+    /// [`Cluster::node_ids_iter`].
     #[must_use]
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.iter().map(Node::id).collect()
+        self.node_ids_iter().collect()
+    }
+
+    /// Iterates node ids in index order without allocating.
+    pub fn node_ids_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().map(Node::id)
     }
 
     /// Borrow a node.

@@ -12,6 +12,13 @@
 //! Rates are recomputed lazily from the current placement, so any change
 //! (spawn, completion, kill) is reflected in the very next query. This is
 //! the standard piecewise-constant-rate simulation of processor sharing.
+//!
+//! Internally the engine memoizes the rate vector between queries: every
+//! placement mutation (and every `advance`, since actual footprints ramp
+//! with progress) invalidates the cache, and the next query recomputes it
+//! with exactly the arithmetic [`ClusterEngine::current_rates`] performs —
+//! same per-node grouping, same executor-id order, same float operations —
+//! so caching never changes a single output bit (DESIGN.md §11).
 
 use crate::app::{AppId, AppSpec, AppState};
 use crate::cluster::{Cluster, ClusterSpec, NodeId};
@@ -20,6 +27,33 @@ use crate::perf::{ExecutorDemand, InterferenceModel, MemoryPressure};
 use crate::SparkliteError;
 use simkit::SimRng;
 use std::collections::BTreeMap;
+
+/// Incrementally maintained executor rates.
+///
+/// `rates` holds `(id, GB/s)` pairs parallel to `executors.values()`
+/// (both in executor-id order). It is refreshed lazily on the first query
+/// after an invalidation, re-running exactly the arithmetic
+/// [`ClusterEngine::current_rates`] performs so cached and from-scratch
+/// values are bit-identical. The remaining vectors are scratch buffers
+/// reused across refreshes, keeping the hot path allocation-free once
+/// they reach steady-state capacity.
+#[derive(Debug, Default)]
+struct RateCache {
+    valid: bool,
+    rates: Vec<(ExecutorId, f64)>,
+    /// Scratch: per-executor node index, parallel to `rates`.
+    exec_nodes: Vec<usize>,
+    /// Scratch: per-executor demand, parallel to `rates`.
+    exec_demands: Vec<ExecutorDemand>,
+    /// Scratch: executor positions grouped by node (counting sort).
+    grouped: Vec<usize>,
+    /// Scratch: counting-sort offsets, one per node plus a leading slot.
+    cursors: Vec<usize>,
+    /// Scratch: one node's demands, in executor-id order.
+    node_demands: Vec<ExecutorDemand>,
+    /// Scratch: one node's rate multipliers.
+    multipliers: Vec<f64>,
+}
 
 /// The cluster simulation engine.
 ///
@@ -38,6 +72,7 @@ pub struct ClusterEngine {
     /// allocation, task scheduling), charged as dead work at the
     /// executor's nominal rate. Zero by default.
     startup_secs: f64,
+    rate_cache: RateCache,
 }
 
 impl ClusterEngine {
@@ -58,6 +93,7 @@ impl ClusterEngine {
             next_executor: 0,
             rng: SimRng::seed_from(seed),
             startup_secs: 0.0,
+            rate_cache: RateCache::default(),
         }
     }
 
@@ -136,13 +172,34 @@ impl ClusterEngine {
     }
 
     /// Ids of live executors on `node`, in spawn order.
+    ///
+    /// Allocates; hot paths that only iterate should prefer
+    /// [`ClusterEngine::node_executors_iter`].
     #[must_use]
     pub fn node_executors(&self, node: NodeId) -> Vec<ExecutorId> {
-        self.executors
-            .values()
-            .filter(|e| e.node() == node)
-            .map(Executor::id)
-            .collect()
+        self.node_executors_iter(node).collect()
+    }
+
+    /// Iterates ids of live executors on `node`, in spawn order, without
+    /// allocating.
+    pub fn node_executors_iter(&self, node: NodeId) -> impl Iterator<Item = ExecutorId> + '_ {
+        self.executors_on(node).map(Executor::id)
+    }
+
+    /// Iterates live executors on `node`, in spawn order.
+    pub fn executors_on(&self, node: NodeId) -> impl Iterator<Item = &Executor> {
+        self.executors.values().filter(move |e| e.node() == node)
+    }
+
+    /// Number of live executors on `node`.
+    #[must_use]
+    pub fn node_executor_count(&self, node: NodeId) -> usize {
+        self.executors_on(node).count()
+    }
+
+    /// Iterates all live executors cluster-wide, in spawn (id) order.
+    pub fn executors_iter(&self) -> impl Iterator<Item = &Executor> {
+        self.executors.values()
     }
 
     /// Number of live executors cluster-wide.
@@ -232,6 +289,7 @@ impl ClusterEngine {
                 self.startup_secs * spec.rate_gb_per_s,
             ),
         );
+        self.rate_cache.valid = false;
         Ok(Some(id))
     }
 
@@ -253,13 +311,11 @@ impl ClusterEngine {
         extra_gb: f64,
         extra_reserve_gb: f64,
     ) -> Result<f64, SparkliteError> {
-        let (app, node) = {
-            let exec = self
-                .executors
-                .get(&id)
-                .ok_or(SparkliteError::UnknownExecutor(id.0))?;
-            (exec.app(), exec.node())
-        };
+        let exec = self
+            .executors
+            .get_mut(&id)
+            .ok_or(SparkliteError::UnknownExecutor(id.0))?;
+        let (app, node) = (exec.app(), exec.node());
         if !self.cluster.node(node).is_online() {
             return Err(SparkliteError::NodeOffline(node.index()));
         }
@@ -271,10 +327,10 @@ impl ClusterEngine {
         }
         let spec = self.apps[app.0].spec();
         let noise = self.rng.relative_noise(spec.footprint_noise_sd);
-        let exec = self.executors.get_mut(&id).expect("checked above");
         let new_slice = exec.slice_gb() + taken;
         let new_actual = spec.true_footprint_gb(new_slice) * noise;
         exec.extend(taken, extra_reserve_gb, new_actual);
+        self.rate_cache.valid = false;
         Ok(taken)
     }
 
@@ -303,7 +359,7 @@ impl ClusterEngine {
     /// most recently started process.
     #[must_use]
     pub fn oom_victim(&self, node: NodeId) -> Option<ExecutorId> {
-        self.node_executors(node).into_iter().max()
+        self.node_executors_iter(node).max()
     }
 
     /// Kills a live executor: its **entire slice** returns to the app's
@@ -319,6 +375,7 @@ impl ClusterEngine {
             .executors
             .remove(&id)
             .ok_or(SparkliteError::UnknownExecutor(id.0))?;
+        self.rate_cache.valid = false;
         self.apps[exec.app().0].abort_slice(0.0, exec.slice_gb());
         self.cluster
             .node_mut(exec.node())
@@ -365,6 +422,7 @@ impl ClusterEngine {
             lost.push((owner, slice));
         }
         self.cluster.node_mut(node).set_online(false);
+        self.rate_cache.valid = false;
         Ok(lost)
     }
 
@@ -379,11 +437,99 @@ impl ClusterEngine {
             return Err(SparkliteError::UnknownNode(node.index()));
         }
         self.cluster.node_mut(node).set_online(true);
+        self.rate_cache.valid = false;
         Ok(())
+    }
+
+    /// Recomputes the rate cache if a mutation invalidated it.
+    ///
+    /// Executors are grouped by node with a counting sort — one O(E + N)
+    /// pass instead of a per-node filter scan — and within each node the
+    /// grouped positions stay in executor-id order (stable placement over
+    /// an id-ordered iteration). Nodes are then visited in index order, so
+    /// every demand vector, multiplier call and `nominal * multiplier`
+    /// product happens with exactly the operands and order of
+    /// [`ClusterEngine::current_rates`]: the cache is bit-identical to a
+    /// from-scratch recomputation.
+    fn refresh_rates(&mut self) {
+        if self.rate_cache.valid {
+            return;
+        }
+        let apps = &self.apps;
+        let executors = &self.executors;
+        let cluster = &self.cluster;
+        let model = &self.model;
+        let cache = &mut self.rate_cache;
+
+        cache.rates.clear();
+        cache.exec_nodes.clear();
+        cache.exec_demands.clear();
+        for e in executors.values() {
+            cache
+                .rates
+                .push((e.id(), apps[e.app().0].spec().rate_gb_per_s));
+            cache.exec_nodes.push(e.node().index());
+            cache.exec_demands.push(ExecutorDemand {
+                cpu_util: e.cpu_util(),
+                actual_gb: e.current_actual_gb(),
+            });
+        }
+
+        let n = cluster.len();
+        cache.cursors.clear();
+        cache.cursors.resize(n + 1, 0);
+        for &node in &cache.exec_nodes {
+            cache.cursors[node + 1] += 1;
+        }
+        for i in 0..n {
+            cache.cursors[i + 1] += cache.cursors[i];
+        }
+        cache.grouped.clear();
+        cache.grouped.resize(cache.exec_nodes.len(), 0);
+        for (pos, &node) in cache.exec_nodes.iter().enumerate() {
+            cache.grouped[cache.cursors[node]] = pos;
+            cache.cursors[node] += 1;
+        }
+
+        // After placement, `cursors[i]` is the end of node i's range.
+        let mut start = 0;
+        for node_idx in 0..n {
+            let end = cache.cursors[node_idx];
+            if end > start {
+                cache.node_demands.clear();
+                cache.node_demands.extend(
+                    cache.grouped[start..end]
+                        .iter()
+                        .map(|&p| cache.exec_demands[p]),
+                );
+                let ram = cluster.node(NodeId(node_idx)).spec().ram_gb;
+                model.rate_multipliers_into(&cache.node_demands, ram, &mut cache.multipliers);
+                // `rates` holds the nominal rate; multiplying in place is
+                // the same `nominal * mult` product `current_rates` forms.
+                for (&pos, &mult) in cache.grouped[start..end].iter().zip(&cache.multipliers) {
+                    cache.rates[pos].1 *= mult;
+                }
+            }
+            start = end;
+        }
+        cache.valid = true;
+    }
+
+    /// Effective rates under the current placement served from the
+    /// engine's incremental cache, as `(executor id, GB/s)` pairs in id
+    /// order. Refreshes the cache if a mutation invalidated it;
+    /// bit-identical to [`ClusterEngine::current_rates`].
+    pub fn cached_current_rates(&mut self) -> &[(ExecutorId, f64)] {
+        self.refresh_rates();
+        &self.rate_cache.rates
     }
 
     /// Effective processing rate (GB/s) of each live executor under the
     /// current placement, keyed by executor id.
+    ///
+    /// Always recomputes from scratch and allocates the map; this is the
+    /// reference implementation the rate cache is checked against. Hot
+    /// paths use [`ClusterEngine::cached_current_rates`] instead.
     #[must_use]
     pub fn current_rates(&self) -> BTreeMap<ExecutorId, f64> {
         let mut rates = BTreeMap::new();
@@ -417,16 +563,22 @@ impl ClusterEngine {
     /// Time until the next executor finishes its slice at current rates,
     /// together with the finisher (earliest; ties broken by id). `None`
     /// when no executors are live.
-    #[must_use]
-    pub fn next_completion(&self) -> Option<(f64, ExecutorId)> {
-        let rates = self.current_rates();
+    ///
+    /// Takes `&mut self` only to refresh the rate cache; the simulation
+    /// state is otherwise untouched.
+    pub fn next_completion(&mut self) -> Option<(f64, ExecutorId)> {
+        self.refresh_rates();
         self.executors
             .values()
-            .map(|e| {
-                let rate = rates[&e.id()].max(1e-12);
+            .zip(&self.rate_cache.rates)
+            .map(|(e, &(_, r))| {
+                let rate = r.max(1e-12);
                 (e.remaining_work_gb() / rate, e.id())
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("finite times"))
+            // Times are finite (rates are clamped away from zero), so the
+            // partial order is total here; `Equal` would only ever keep
+            // the fold's current candidate.
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Advances every live executor by `dt` seconds at current rates.
@@ -439,10 +591,14 @@ impl ClusterEngine {
         if dt == 0.0 {
             return;
         }
-        let rates = self.current_rates();
-        for exec in self.executors.values_mut() {
-            exec.advance(rates[&exec.id()] * dt);
+        self.refresh_rates();
+        debug_assert_eq!(self.rate_cache.rates.len(), self.executors.len());
+        for (exec, &(_, rate)) in self.executors.values_mut().zip(&self.rate_cache.rates) {
+            exec.advance(rate * dt);
         }
+        // Actual footprints ramp with progress, so the rates are stale
+        // the moment time passes.
+        self.rate_cache.valid = false;
     }
 
     /// Completes an executor whose slice is done: releases its reservation
@@ -463,7 +619,10 @@ impl ClusterEngine {
                 exec.remaining_gb()
             )));
         }
-        let exec = self.executors.remove(&id).expect("checked above");
+        let Some(exec) = self.executors.remove(&id) else {
+            return Err(SparkliteError::UnknownExecutor(id.0));
+        };
+        self.rate_cache.valid = false;
         self.apps[exec.app().0].finish_slice(exec.slice_gb());
         self.cluster
             .node_mut(exec.node())

@@ -16,6 +16,7 @@
 use crate::cluster::NodeId;
 use crate::engine::ClusterEngine;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 /// Configuration of the monitoring daemon.
@@ -45,14 +46,25 @@ struct Report {
 }
 
 /// A sliding-window view of one node.
+///
+/// Both windowed means are memoized behind a dirty flag: schedulers query
+/// `windowed_cpu`/`windowed_used_memory` for every node on every placement
+/// decision, but the window contents only change on (throttled)
+/// observations. The cached values are recomputed with the same
+/// front-to-back summation a direct scan performs, so memoization never
+/// changes a single output bit.
 #[derive(Debug, Clone, Default)]
 struct NodeWindow {
     reports: VecDeque<Report>,
+    cached_cpu: Cell<f64>,
+    cached_mem: Cell<f64>,
+    dirty: Cell<bool>,
 }
 
 impl NodeWindow {
     fn push(&mut self, report: Report, window_secs: f64) {
         self.reports.push_back(report);
+        self.dirty.set(true);
         self.evict(report.at_secs, window_secs);
     }
 
@@ -64,24 +76,60 @@ impl NodeWindow {
         while let Some(front) = self.reports.front() {
             if now_secs - front.at_secs > window_secs {
                 self.reports.pop_front();
+                self.dirty.set(true);
             } else {
                 break;
             }
         }
     }
 
-    fn mean_cpu(&self) -> f64 {
-        if self.reports.is_empty() {
-            return 0.0;
+    /// Recomputes both cached means in one front-to-back pass. Per field,
+    /// the additions happen in exactly the order
+    /// `reports.iter().map(..).sum::<f64>()` performs them (left fold from
+    /// `0.0`), which pins the float summation order the bit-identity
+    /// guarantee depends on.
+    fn refresh(&self) {
+        if !self.dirty.get() {
+            return;
         }
-        self.reports.iter().map(|r| r.cpu_load).sum::<f64>() / self.reports.len() as f64
+        if self.reports.is_empty() {
+            self.cached_cpu.set(0.0);
+            self.cached_mem.set(0.0);
+        } else {
+            let mut cpu = 0.0_f64;
+            let mut mem = 0.0_f64;
+            for r in &self.reports {
+                cpu += r.cpu_load;
+                mem += r.used_memory_gb;
+            }
+            let len = self.reports.len() as f64;
+            self.cached_cpu.set(cpu / len);
+            self.cached_mem.set(mem / len);
+        }
+        self.dirty.set(false);
+    }
+
+    fn mean_cpu(&self) -> f64 {
+        self.refresh();
+        self.cached_cpu.get()
     }
 
     fn mean_used_memory(&self) -> f64 {
+        self.refresh();
+        self.cached_mem.get()
+    }
+
+    /// Uncached reference computation, kept verbatim from the
+    /// pre-memoization implementation as the oracle for property tests.
+    #[cfg(test)]
+    fn naive_means(&self) -> (f64, f64) {
         if self.reports.is_empty() {
-            return 0.0;
+            return (0.0, 0.0);
         }
-        self.reports.iter().map(|r| r.used_memory_gb).sum::<f64>() / self.reports.len() as f64
+        let cpu = self.reports.iter().map(|r| r.cpu_load).sum::<f64>() / self.reports.len() as f64;
+        let mem =
+            self.reports.iter().map(|r| r.used_memory_gb).sum::<f64>() / self.reports.len() as f64;
+        (cpu, mem)
     }
 }
 
@@ -140,7 +188,7 @@ impl ResourceMonitor {
             }
         }
         self.last_observation = Some(now_secs);
-        for (i, node) in engine.cluster().node_ids().into_iter().enumerate() {
+        for (i, node) in engine.cluster().node_ids_iter().enumerate() {
             self.windows[i].evict(now_secs, self.config.window_secs);
             if now_secs < self.dropped_until[i] {
                 // The daemon is silent: no fresh report, and the eviction
@@ -379,6 +427,56 @@ mod tests {
         monitor.observe(&engine, 301.0);
         assert_eq!(monitor.reports_in_window(node), 1);
         assert!(!monitor.is_stale(node));
+    }
+
+    proptest::proptest! {
+        /// The memoized window means are bit-identical to the uncached
+        /// reference computation under arbitrary report / eviction / query
+        /// interleavings — queries between mutations must not perturb the
+        /// cache, and every mutation must re-dirty it.
+        #[test]
+        fn memoized_means_match_naive(
+            ops in proptest::collection::vec(
+                (0u8..4, 0.0f64..1.0, 0.0f64..64.0, 0.1f64..120.0),
+                1..100,
+            ),
+        ) {
+            let window_secs = 300.0;
+            let mut w = NodeWindow::default();
+            let mut now = 0.0_f64;
+            for &(op, cpu, mem, dt) in &ops {
+                match op {
+                    0 | 1 => {
+                        now += dt;
+                        w.push(
+                            Report {
+                                at_secs: now,
+                                cpu_load: cpu,
+                                used_memory_gb: mem,
+                            },
+                            window_secs,
+                        );
+                    }
+                    2 => {
+                        now += dt;
+                        // A silent-daemon observation: eviction only.
+                        w.evict(now, window_secs);
+                    }
+                    _ => {
+                        // Pure query op: exercised below like every other
+                        // op, but with no mutation in between — the cache
+                        // must serve the same bits twice.
+                        let first = (w.mean_cpu(), w.mean_used_memory());
+                        let again = (w.mean_cpu(), w.mean_used_memory());
+                        proptest::prop_assert_eq!(first.0.to_bits(), again.0.to_bits());
+                        proptest::prop_assert_eq!(first.1.to_bits(), again.1.to_bits());
+                    }
+                }
+                let (naive_cpu, naive_mem) = w.naive_means();
+                proptest::prop_assert_eq!(w.mean_cpu().to_bits(), naive_cpu.to_bits());
+                proptest::prop_assert_eq!(w.mean_used_memory().to_bits(), naive_mem.to_bits());
+            }
+        }
     }
 
     #[test]

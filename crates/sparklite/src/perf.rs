@@ -89,8 +89,24 @@ impl InterferenceModel {
     /// first; if not, the paging term simply saturates.
     #[must_use]
     pub fn rate_multipliers(&self, demands: &[ExecutorDemand], ram_gb: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(demands.len());
+        self.rate_multipliers_into(demands, ram_gb, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`InterferenceModel::rate_multipliers`]:
+    /// clears `out` and appends one multiplier per demand, in order. The
+    /// per-demand arithmetic is identical, so both forms produce the same
+    /// bits.
+    pub fn rate_multipliers_into(
+        &self,
+        demands: &[ExecutorDemand],
+        ram_gb: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
         if demands.is_empty() {
-            return Vec::new();
+            return;
         }
         let total_cpu: f64 = demands.iter().map(|d| d.cpu_util).sum();
         let total_mem: f64 = demands.iter().map(|d| d.actual_gb).sum();
@@ -100,19 +116,16 @@ impl InterferenceModel {
         // what makes precise memory prediction worth having (§1).
         let paging_factor = (-self.paging_gamma * overflow / ram_gb.max(1e-9)).exp();
 
-        demands
-            .iter()
-            .map(|d| {
-                let oversub = if total_cpu > 1.0 {
-                    1.0 / total_cpu
-                } else {
-                    1.0
-                };
-                let other = (total_cpu - d.cpu_util).max(0.0);
-                let interference = 1.0 / (1.0 + self.cpu_interference_beta * other);
-                oversub * interference * paging_factor
-            })
-            .collect()
+        out.extend(demands.iter().map(|d| {
+            let oversub = if total_cpu > 1.0 {
+                1.0 / total_cpu
+            } else {
+                1.0
+            };
+            let other = (total_cpu - d.cpu_util).max(0.0);
+            let interference = 1.0 / (1.0 + self.cpu_interference_beta * other);
+            oversub * interference * paging_factor
+        }));
     }
 }
 

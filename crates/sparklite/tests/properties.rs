@@ -123,6 +123,66 @@ proptest! {
         }
     }
 
+    /// The engine's incremental rate cache is bit-identical to a
+    /// from-scratch recomputation after arbitrary seeded sequences of
+    /// spawn / extend / kill / fail / restore / advance — the invariant
+    /// the figure regeneration identity rests on.
+    #[test]
+    fn cached_rates_match_from_scratch_recomputation(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0u8..6, 0usize..64, 0.1f64..30.0), 1..40),
+    ) {
+        let mut eng = ClusterEngine::with_seed(
+            ClusterSpec::small(4),
+            InterferenceModel::default(),
+            seed,
+        );
+        let apps: Vec<_> = (0..3)
+            .map(|i| eng.submit(app(500.0, 0.2 + 0.2 * i as f64, 0.3)))
+            .collect();
+        let nodes = eng.cluster().node_ids();
+        for &(op, pick, amount) in &ops {
+            match op {
+                0 => {
+                    let a = apps[pick % apps.len()];
+                    let n = nodes[pick % nodes.len()];
+                    let _ = eng.spawn_executor(a, n, amount, amount.min(12.0));
+                }
+                1 => {
+                    let ids: Vec<_> = eng.executors_iter().map(|e| e.id()).collect();
+                    if !ids.is_empty() {
+                        let _ = eng.extend_executor(ids[pick % ids.len()], amount, 1.0);
+                    }
+                }
+                2 => {
+                    let ids: Vec<_> = eng.executors_iter().map(|e| e.id()).collect();
+                    if !ids.is_empty() {
+                        let _ = eng.kill_executor(ids[pick % ids.len()]);
+                    }
+                }
+                3 => {
+                    let _ = eng.fail_node(nodes[pick % nodes.len()]);
+                }
+                4 => {
+                    let _ = eng.restore_node(nodes[pick % nodes.len()]);
+                }
+                _ => eng.advance(amount * 0.1),
+            }
+            // After EVERY mutation the cache must agree bit-for-bit with
+            // the reference implementation.
+            let scratch = eng.current_rates();
+            let cached = eng.cached_current_rates().to_vec();
+            prop_assert_eq!(cached.len(), scratch.len());
+            for (id, rate) in cached {
+                let reference = scratch[&id];
+                prop_assert!(
+                    rate.to_bits() == reference.to_bits(),
+                    "cached rate for {:?} is {}, reference {}", id, rate, reference
+                );
+            }
+        }
+    }
+
     /// next_completion + advance + complete always terminates a workload
     /// (no executor ever stalls at rate zero).
     #[test]
