@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Panic-freedom gate for the crash-consistency-critical paths: the journal
 # layer, the campaign harness, checkpoint codecs, the bench emission
-# helpers, and the hot-path cache modules (event queue slab, engine rate
-# cache, monitor window memoization) must not contain `unwrap()` /
-# `expect(` outside test code.
+# helpers, the hot-path cache modules (event queue slab, engine rate
+# cache, monitor window memoization), the mlkit compute kernels, and the
+# ML campaign drivers must not contain `unwrap()` / `expect(` outside
+# test code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -23,6 +24,12 @@ GATED_FILES=(
   crates/simkit/src/event.rs
   crates/sparklite/src/engine.rs
   crates/sparklite/src/monitor.rs
+  crates/mlkit/src/kernels.rs
+  crates/mlkit/src/linalg.rs
+  crates/mlkit/src/knn.rs
+  crates/colocate/src/predictors.rs
+  crates/colocate/src/training.rs
+  crates/bench/src/mlcamp.rs
 )
 
 ALLOWLIST=ci/panic_allowlist.txt

@@ -2,49 +2,10 @@
 //! component. The paper reports PC1 ≈ 71 %, PC2 ≈ 10 %, PC3 ≈ 7 %,
 //! PC4 ≈ 4 %, PC5 ≈ 3 %, rest ≈ 5 %, with the top five covering 95 %.
 
-use mlkit::pca::Pca;
-use mlkit::scaling::MinMaxScaler;
-use simkit::SimRng;
-use workloads::signatures;
+use bench_suite::mlcamp;
 
-fn main() {
-    let catalog = bench_suite::catalog();
-    let mut rng = SimRng::seed_from(0xF164);
-
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    for bench in catalog.training_set() {
-        for _ in 0..4 {
-            rows.push(signatures::observe_default(bench, &mut rng).into_vec());
-        }
-    }
-    let scaler = MinMaxScaler::fit(&rows).expect("non-empty rows");
-    let scaled = scaler.transform_batch(&rows).expect("fixed arity");
-    let full = Pca::fit(&scaled, 22).expect("full PCA");
-    let ratios = full.explained_variance_ratio();
-
-    println!("Fig. 4a: percentage of overall feature variance per PC");
-    bench_suite::rule(40);
-    let mut cumulative = 0.0;
-    let mut covering_95 = None;
-    for (i, r) in ratios.iter().enumerate() {
-        cumulative += r;
-        if covering_95.is_none() && cumulative >= 0.95 {
-            covering_95 = Some(i + 1);
-        }
-        if i < 6 {
-            println!(
-                "PC{:<2} {:6.1} %   (cumulative {:5.1} %)",
-                i + 1,
-                r * 100.0,
-                cumulative * 100.0
-            );
-        }
-    }
-    let rest: f64 = ratios.iter().skip(6).sum();
-    println!("rest {:6.1} %", rest * 100.0);
-    bench_suite::rule(40);
-    println!(
-        "components needed for 95 % variance: {} (paper: 5)",
-        covering_95.unwrap_or(ratios.len())
-    );
+fn main() -> Result<(), mlcamp::CampaignError> {
+    let report = mlcamp::fig04_report(bench_suite::catalog())?;
+    print!("{report}");
+    Ok(())
 }

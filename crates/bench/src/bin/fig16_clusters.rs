@@ -3,101 +3,10 @@
 //! function. The paper reports a Pearson correlation above 0.9999 between
 //! each program and its cluster centre.
 
-use mlkit::kmeans::{cluster_label_agreement, KMeans, KMeansParams};
-use mlkit::linalg::pearson;
-use mlkit::pca::Pca;
-use mlkit::regression::CurveFamily;
-use mlkit::scaling::MinMaxScaler;
-use simkit::SimRng;
-use workloads::signatures;
+use bench_suite::mlcamp;
 
-fn main() {
-    let catalog = bench_suite::catalog();
-    let mut rng = SimRng::seed_from(0xF1616);
-
-    let raw: Vec<Vec<f64>> = catalog
-        .all()
-        .iter()
-        .map(|b| signatures::observe_default(b, &mut rng).into_vec())
-        .collect();
-    let scaler = MinMaxScaler::fit(&raw).expect("scaler");
-    let scaled = scaler.transform_batch(&raw).expect("scale");
-    let pca = Pca::fit(&scaled, 2).expect("pca to 2-D");
-    let projected = pca.transform_batch(&scaled).expect("project");
-
-    println!("Fig. 16: program feature space (PC1, PC2), one point per benchmark");
-    println!(
-        "{:<24} {:>8} {:>8}  memory function",
-        "benchmark", "PC1", "PC2"
-    );
-    bench_suite::rule(72);
-    for (bench, point) in catalog.all().iter().zip(projected.iter()) {
-        println!(
-            "{:<24} {:>8.3} {:>8.3}  {}",
-            bench.name(),
-            point[0],
-            point[1],
-            bench.family().name()
-        );
-    }
-
-    // Cluster tightness: Pearson correlation of each program's (PC1, PC2)
-    // against its family centroid, as in §6.9.
-    bench_suite::rule(72);
-    for family in CurveFamily::ALL {
-        // The paper's per-cluster similarity check: Pearson correlation of
-        // each member's feature vector against the cluster centre. Two
-        // PCA coordinates are too few points for a meaningful correlation,
-        // so the full 22-d scaled vectors are used.
-        let mut min_corr = f64::INFINITY;
-        // Raw (unscaled) vectors, as a profiling tool would compare them:
-        // large-magnitude counters dominate, which is what drives the
-        // paper's near-perfect correlations.
-        let full_members: Vec<Vec<f64>> = catalog
-            .all()
-            .iter()
-            .zip(raw.iter())
-            .filter(|(b, _)| b.family() == family)
-            .map(|(_, s)| s.iter().map(|v| (1.0 + v.abs()).log10()).collect())
-            .collect();
-        let dims = full_members[0].len();
-        let center: Vec<f64> = (0..dims)
-            .map(|d| full_members.iter().map(|m| m[d]).sum::<f64>() / full_members.len() as f64)
-            .collect();
-        for m in &full_members {
-            min_corr = min_corr.min(pearson(m, &center));
-        }
-        println!(
-            "{:<36} members {:>2}  min Pearson r to centre {:.4}",
-            family.name(),
-            full_members.len(),
-            min_corr
-        );
-    }
-    println!("(paper: three clusters, correlation to cluster centre > 0.9999)");
-
-    // Unsupervised confirmation: k-means with k = 3 over the scaled
-    // features should rediscover the three memory-function families
-    // without ever seeing the labels.
-    // Cluster in the selector's own representation (top principal
-    // components) — the noisy tail features would otherwise blur the
-    // boundaries.
-    let pca5 = Pca::fit(&scaled, 5).expect("pca-5");
-    let projected5 = pca5.transform_batch(&scaled).expect("project");
-    let km = KMeans::fit(&projected5, KMeansParams::default()).expect("k-means");
-    let labels: Vec<usize> = catalog
-        .all()
-        .iter()
-        .map(|b| {
-            CurveFamily::ALL
-                .iter()
-                .position(|&f| f == b.family())
-                .unwrap()
-        })
-        .collect();
-    let agreement = cluster_label_agreement(km.assignments(), &labels);
-    println!(
-        "k-means (k=3, unsupervised) agreement with memory-function families: {:.1} %",
-        agreement * 100.0
-    );
+fn main() -> Result<(), mlcamp::CampaignError> {
+    let report = mlcamp::fig16_report(bench_suite::catalog())?;
+    print!("{report}");
+    Ok(())
 }

@@ -4,47 +4,10 @@
 //! benchmarks, with HB.PageRank, BDB.PageRank and BDB.Sort over-provisioned
 //! by 8–12 %.
 
-use colocate::predictors::{MemoryPredictor, MoePolicy};
-use colocate::profiling::{profile_app, ProfilingConfig};
-use colocate::training::{train_loocv, TrainingConfig};
-use simkit::SimRng;
+use bench_suite::mlcamp;
 
-const INPUT_GB: f64 = 280.0;
-
-fn main() {
-    let catalog = bench_suite::catalog();
-    let config = TrainingConfig::default();
-    let profiling = ProfilingConfig::default();
-    let mut rng = SimRng::seed_from(0xF1617);
-
-    println!("Fig. 17: predicted vs measured footprint (GB), ~280 GB inputs, LOOCV");
-    println!(
-        "{:<20} {:>10} {:>10} {:>8}",
-        "benchmark", "predicted", "measured", "err %"
-    );
-    bench_suite::rule(52);
-
-    let mut errors = Vec::new();
-    for bench in catalog.training_set() {
-        let system =
-            train_loocv(catalog, bench, &config, &mut rng).expect("leave-one-out training");
-        let moe = MoePolicy::new(system);
-        let (profile, _) = profile_app(bench, INPUT_GB, 40, 64.0, &profiling, &mut rng);
-        let prediction = moe.predict(&profile).expect("prediction");
-        let slice = profile.expected_slice_gb;
-        let predicted = prediction.model.footprint_gb(slice);
-        let measured = bench.true_footprint_gb(slice);
-        let err = (predicted - measured) / measured * 100.0;
-        errors.push(err.abs());
-        println!(
-            "{:<20} {predicted:>10.2} {measured:>10.2} {err:>+8.1}",
-            bench.name()
-        );
-    }
-    bench_suite::rule(52);
-    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
-    let under5 = errors.iter().filter(|e| **e < 5.0).count();
-    println!(
-        "mean |error| {mean:.1} % — {under5}/16 under 5 % (paper: ~5 % average, most under 5 %)"
-    );
+fn main() -> Result<(), mlcamp::CampaignError> {
+    let report = mlcamp::fig17_report(bench_suite::catalog(), simkit::par::available_workers())?;
+    print!("{report}");
+    Ok(())
 }

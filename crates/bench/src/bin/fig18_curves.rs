@@ -3,40 +3,10 @@
 //! 280 GB). Predictions come from the leave-one-out-trained system with
 //! two-point calibration, exactly as at runtime.
 
-use colocate::predictors::{MemoryPredictor, MoePolicy};
-use colocate::profiling::{profile_app, ProfilingConfig};
-use colocate::training::{train_loocv, TrainingConfig};
-use simkit::SimRng;
+use bench_suite::mlcamp;
 
-fn main() {
-    let catalog = bench_suite::catalog();
-    let config = TrainingConfig::default();
-    let profiling = ProfilingConfig::default();
-    let mut rng = SimRng::seed_from(0xF1618);
-    let sweep = [0.003, 0.03, 0.3, 3.0, 10.0, 30.0, 64.0];
-
-    println!("Fig. 18: predicted vs measured footprints (GB) over executor slice sizes");
-    for bench in catalog.training_set() {
-        let system = train_loocv(catalog, bench, &config, &mut rng).expect("training");
-        let moe = MoePolicy::new(system);
-        let (profile, _) = profile_app(bench, 280.0, 40, 64.0, &profiling, &mut rng);
-        let prediction = moe.predict(&profile).expect("prediction");
-
-        println!("\n{} — {}", bench.name(), bench.family().name());
-        println!(
-            "{:>10} {:>10} {:>10} {:>8}",
-            "slice GB", "measured", "predicted", "err %"
-        );
-        for &x in &sweep {
-            let measured = bench.true_footprint_gb(x);
-            let predicted = prediction.model.footprint_gb(x);
-            let err = if measured > 1e-9 {
-                (predicted - measured) / measured * 100.0
-            } else {
-                0.0
-            };
-            println!("{x:>10.3} {measured:>10.2} {predicted:>10.2} {err:>+8.1}");
-        }
-    }
-    println!("\n(The paper plots these per-benchmark curves in eight panels.)");
+fn main() -> Result<(), mlcamp::CampaignError> {
+    let report = mlcamp::fig18_report(bench_suite::catalog(), simkit::par::available_workers())?;
+    print!("{report}");
+    Ok(())
 }

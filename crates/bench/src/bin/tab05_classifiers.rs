@@ -8,150 +8,10 @@
 //! profiling observations per held-out benchmark standing in for the
 //! different inputs.
 
-use colocate::training::family_expert_id;
-use mlkit::forest::{ForestParams, RandomForest};
-use mlkit::knn::KnnClassifier;
-use mlkit::mlp::{Mlp, MlpParams};
-use mlkit::naive_bayes::GaussianNb;
-use mlkit::pca::Pca;
-use mlkit::scaling::MinMaxScaler;
-use mlkit::svm::{LinearSvm, SvmParams};
-use mlkit::tree::{DecisionTree, TreeParams};
-use mlkit::Classifier;
-use simkit::SimRng;
-use workloads::signatures;
+use bench_suite::mlcamp;
 
-const OBSERVATIONS_PER_BENCH: usize = 8;
-
-fn main() {
-    let catalog = bench_suite::catalog();
-    let training = catalog.training_set();
-    let mut rng = SimRng::seed_from(0x7AB5);
-
-    // Several profiling observations per training benchmark (different
-    // inputs, §5.2's "averaged across benchmarks and inputs") serve as
-    // training exemplars; held-out benchmarks are tested on fresh
-    // observations.
-    const TRAIN_OBS: usize = 4;
-    let mut train_features: Vec<Vec<f64>> = Vec::new();
-    let mut train_labels: Vec<usize> = Vec::new();
-    let mut train_owner: Vec<usize> = Vec::new();
-    for (bi, bench) in training.iter().enumerate() {
-        for _ in 0..TRAIN_OBS {
-            train_features.push(signatures::observe_default(bench, &mut rng).into_vec());
-            train_labels.push(family_expert_id(bench.family()).as_usize());
-            train_owner.push(bi);
-        }
-    }
-
-    let names = [
-        "Naive Bayes",
-        "SVM",
-        "MLP",
-        "Random Forests",
-        "Decision Tree",
-        "ANN",
-        "KNN",
-    ];
-    let mut hits = vec![0usize; names.len()];
-    let mut total = 0usize;
-
-    for (held_out, bench) in training.iter().enumerate() {
-        // Leave-one-out + cross-suite equivalents (§5.2).
-        let excluded: std::collections::HashSet<usize> = catalog
-            .equivalents_of(bench)
-            .iter()
-            .map(|b| b.index())
-            .chain([bench.index()])
-            .collect();
-        let fold: Vec<usize> = (0..train_features.len())
-            .filter(|&i| !excluded.contains(&training[train_owner[i]].index()))
-            .collect();
-        let xs_raw: Vec<Vec<f64>> = fold.iter().map(|&i| train_features[i].clone()).collect();
-        let ys: Vec<usize> = fold.iter().map(|&i| train_labels[i]).collect();
-
-        let scaler = MinMaxScaler::fit(&xs_raw).expect("scaler");
-        let scaled = scaler.transform_batch(&xs_raw).expect("scale");
-        // The paper keeps the top five principal components (§3.2).
-        let pca = Pca::fit(&scaled, 5).expect("pca");
-        let xs = pca.transform_batch(&scaled).expect("project");
-
-        let models: Vec<Box<dyn Classifier>> = vec![
-            Box::new(GaussianNb::fit(&xs, &ys).expect("nb")),
-            Box::new(
-                LinearSvm::fit(
-                    &xs,
-                    &ys,
-                    SvmParams {
-                        lambda: 1e-4,
-                        epochs: 600,
-                        seed: 0x30,
-                    },
-                )
-                .expect("svm"),
-            ),
-            Box::new(
-                Mlp::fit_classifier(
-                    &xs,
-                    &ys,
-                    MlpParams {
-                        hidden: 8,
-                        epochs: 600,
-                        learning_rate: 0.05,
-                        seed: 0x31,
-                    },
-                )
-                .expect("mlp")
-                .with_name("MLP"),
-            ),
-            Box::new(RandomForest::fit(&xs, &ys, ForestParams::default()).expect("rf")),
-            Box::new(DecisionTree::fit(&xs, &ys, TreeParams::default()).expect("dt")),
-            Box::new(
-                Mlp::fit_classifier(
-                    &xs,
-                    &ys,
-                    MlpParams {
-                        hidden: 16,
-                        epochs: 1200,
-                        learning_rate: 0.03,
-                        seed: 0x32,
-                    },
-                )
-                .expect("ann"),
-            ),
-            Box::new(KnnClassifier::fit(&xs, &ys, 1).expect("knn")),
-        ];
-
-        let want = family_expert_id(bench.family()).as_usize();
-        let _ = held_out;
-        for _ in 0..OBSERVATIONS_PER_BENCH {
-            let obs = signatures::observe_default(bench, &mut rng);
-            let scaled = scaler.transform(obs.as_slice()).expect("scale");
-            let projected = pca.transform(&scaled).expect("project");
-            total += 1;
-            for (mi, model) in models.iter().enumerate() {
-                if model.predict(&projected) == want {
-                    hits[mi] += 1;
-                }
-            }
-        }
-    }
-
-    println!("Table 5: expert-selector accuracy per classifier");
-    println!(
-        "{:<16} {:>12} {:>12}",
-        "classifier", "measured %", "paper %"
-    );
-    bench_suite::rule(44);
-    let paper = [92.5, 95.4, 94.1, 95.5, 96.8, 96.9, 97.4];
-    for ((name, &h), &p) in names.iter().zip(hits.iter()).zip(paper.iter()) {
-        println!(
-            "{:<16} {:>12.1} {:>12.1}",
-            name,
-            h as f64 / total as f64 * 100.0,
-            p
-        );
-    }
-    bench_suite::rule(44);
-    println!("({} held-out predictions per classifier)", total);
+fn main() -> Result<(), mlcamp::CampaignError> {
+    let report = mlcamp::tab05_report(bench_suite::catalog(), simkit::par::available_workers())?;
+    print!("{report}");
+    Ok(())
 }

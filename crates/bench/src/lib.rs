@@ -40,6 +40,7 @@
 
 pub mod csv;
 pub mod fsutil;
+pub mod mlcamp;
 pub mod report;
 
 use colocate::checkpoint::CheckpointConfig;

@@ -229,6 +229,14 @@ pub fn run_policy(
     })
 }
 
+/// Whether a policy needs the offline-trained system.
+fn needs_offline_training(policy: PolicyKind) -> bool {
+    matches!(
+        policy,
+        PolicyKind::Moe | PolicyKind::Quasar | PolicyKind::UnifiedAnn
+    )
+}
+
 /// Trains the offline system if `policy` needs one.
 ///
 /// # Errors
@@ -240,13 +248,43 @@ pub fn trained_system_for(
     config: &RunConfig,
     seed: u64,
 ) -> Result<Option<TrainedSystem>, ColocateError> {
-    match policy {
-        PolicyKind::Moe | PolicyKind::Quasar | PolicyKind::UnifiedAnn => {
-            let mut rng = SimRng::seed_from(seed ^ 0x7EA1);
-            Ok(Some(train_system(catalog, &config.training, &mut rng)?))
-        }
-        _ => Ok(None),
+    if needs_offline_training(policy) {
+        let mut rng = SimRng::seed_from(seed ^ 0x7EA1);
+        Ok(Some(train_system(catalog, &config.training, &mut rng)?))
+    } else {
+        Ok(None)
     }
+}
+
+/// Trains the offline systems for a whole policy roster, running the
+/// training pipeline at most **once**: every predictive policy trains from
+/// the same `seed ^ 0x7EA1` stream, so their systems are bit-identical and
+/// one pass can be cloned across the roster. The clones share one Arc'd
+/// [`PredictionTable`](crate::predictors::PredictionTable), so policies
+/// and mix replays of the campaign reuse each other's expert selections.
+///
+/// # Errors
+///
+/// Propagates training failures.
+pub fn trained_systems_for(
+    policies: &[PolicyKind],
+    catalog: &Catalog,
+    config: &RunConfig,
+    seed: u64,
+) -> Result<Vec<Option<TrainedSystem>>, ColocateError> {
+    let mut shared: Option<TrainedSystem> = None;
+    let mut systems = Vec::with_capacity(policies.len());
+    for &p in policies {
+        if needs_offline_training(p) {
+            if shared.is_none() {
+                shared = trained_system_for(p, catalog, config, seed)?;
+            }
+            systems.push(shared.clone());
+        } else {
+            systems.push(None);
+        }
+    }
+    Ok(systems)
 }
 
 /// Aggregated results of a scenario campaign.
@@ -480,11 +518,9 @@ pub fn evaluate_scenario_multi_checkpointed(
     let mut stp = vec![Welford::new(); policies.len()];
     let mut antt = vec![Welford::new(); policies.len()];
 
-    // Train once per campaign; predictive policies share the system.
-    let mut systems: Vec<Option<TrainedSystem>> = Vec::with_capacity(policies.len());
-    for &p in policies {
-        systems.push(trained_system_for(p, catalog, config, base_seed)?);
-    }
+    // Train once per campaign; predictive policies share one bit-identical
+    // system (and thereby one campaign-wide prediction table).
+    let systems = trained_systems_for(policies, catalog, config, base_seed)?;
 
     // Mix drawing stays serial: the scenario RNG is one stream.
     let mut mix_rng = SimRng::seed_from(base_seed);

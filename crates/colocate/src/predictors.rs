@@ -21,8 +21,13 @@ use mlkit::regression::{CurveFamily, FittedCurve};
 use mlkit::scaling::MinMaxScaler;
 use moe_core::calibration::CalibratedModel;
 use moe_core::expert::{CurveExpert, MemoryExpert};
+use moe_core::features::FeatureVector;
+use moe_core::{MoeError, MoePredictor, Selection};
 use simkit::SimRng;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use workloads::catalog::Catalog;
 use workloads::signatures;
 
@@ -108,6 +113,90 @@ pub fn robust_calibrate(
 }
 
 // ---------------------------------------------------------------------------
+// Campaign-wide selection cache.
+// ---------------------------------------------------------------------------
+
+/// A campaign-wide cache of expert selections.
+///
+/// Expert selection ([`MoePredictor::select`]) is a pure function of the
+/// trained selector and the exact bits of the query features, so its result
+/// can be memoised. A table is created once per [`TrainedSystem`] and shared
+/// by every clone of that system — across policies built from it and across
+/// mix replays — through an `Arc`, so the scaling + PCA + KNN pipeline runs
+/// at most once per distinct feature vector per campaign binding.
+///
+/// Keys are the `f64::to_bits` patterns of the raw features, which makes a
+/// hit bit-identical to re-running the selection; replay outputs therefore
+/// stay invariant to worker count and replay order. Errors are never
+/// cached.
+#[derive(Debug, Default)]
+pub struct PredictionTable {
+    entries: Mutex<HashMap<Vec<u64>, Selection>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PredictionTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        PredictionTable::default()
+    }
+
+    /// Returns the cached selection for `features`, running
+    /// `predictor.select` and caching the result on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MoePredictor::select`] failures (which are not cached).
+    pub fn select_cached(
+        &self,
+        predictor: &MoePredictor,
+        features: &FeatureVector,
+    ) -> Result<Selection, MoeError> {
+        let key: Vec<u64> = features.as_slice().iter().map(|v| v.to_bits()).collect();
+        {
+            let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(&hit) = entries.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let selection = predictor.select(features)?;
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, selection);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(selection)
+    }
+
+    /// Number of distinct feature vectors cached so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the table has cached nothing yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the full selection pipeline.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Our approach.
 // ---------------------------------------------------------------------------
 
@@ -137,7 +226,13 @@ impl MemoryPredictor for MoePolicy {
     }
 
     fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
-        let selection = self.system.predictor.select(&profile.features)?;
+        // Selection is memoised campaign-wide: every clone of this system
+        // shares the table, so repeated queries for the same feature bits
+        // skip the scaling + PCA + KNN pipeline entirely.
+        let selection = self
+            .system
+            .selections
+            .select_cached(&self.system.predictor, &profile.features)?;
         let expert = self.system.predictor.registry().get(selection.expert)?;
         let model = robust_calibrate(expert, profile.calibration[0], profile.calibration[1])?;
         Ok(Prediction {
@@ -469,34 +564,38 @@ impl MemoryPredictor for QuasarPredictor {
 
     fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError> {
         // CPU demand: classified from the nearest historical workload.
+        // Squared distances rank identically to distances (sqrt is
+        // monotone and injective on non-negatives, ties included), so each
+        // exemplar costs one fused pass instead of the two full `euclidean`
+        // evaluations the old comparator re-ran per comparison. `min_by`
+        // keeps the first of equal minima either way.
         let scaled = self.scaler.transform(profile.features.as_slice())?;
         let nearest = self
             .exemplars
             .iter()
+            .map(|e| mlkit::linalg::euclidean_sq(e, &scaled))
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                mlkit::linalg::euclidean(a, &scaled)
-                    .partial_cmp(&mlkit::linalg::euclidean(b, &scaled))
-                    .expect("finite distances")
-            })
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .ok_or_else(|| ColocateError::Config("Quasar has no historical workloads".into()))?;
+        if self.grid.is_empty() {
+            return Err(ColocateError::Config(
+                "Quasar has an empty size grid".into(),
+            ));
+        }
 
         // Memory profile: collaborative filtering. Map the two calibration
         // measurements onto the nearest grid columns and complete the row
         // in the historical low-rank space.
         let nearest_col = |x: f64| {
+            let lx = x.max(1e-9).ln();
             self.grid
                 .iter()
+                .map(|a| (a.ln() - lx).abs())
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    (a.ln() - x.max(1e-9).ln())
-                        .abs()
-                        .partial_cmp(&(b.ln() - x.max(1e-9).ln()).abs())
-                        .expect("finite grid")
-                })
-                .map(|(i, _)| i)
-                .expect("non-empty grid")
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                // Unreachable fallback: the grid was verified non-empty.
+                .map_or(0, |(i, _)| i)
         };
         let mut observed: Vec<(usize, f64)> = Vec::new();
         for &(x, y) in &profile.calibration {
@@ -549,6 +648,40 @@ mod tests {
             let err = (got - truth).abs() / truth;
             assert!(err < 0.15, "{name}: predicted {got:.2}, truth {truth:.2}");
         }
+    }
+
+    #[test]
+    fn prediction_table_is_shared_across_clones_and_bit_identical() {
+        let (catalog, system, mut rng) = setup();
+        let profile = profile_of(&catalog, "SB.TriangleCount", 30.0, &mut rng);
+        // Direct selection, bypassing the table, as the reference bits.
+        let direct = system.predictor.select(&profile.features).unwrap();
+        assert!(system.selections.is_empty());
+
+        // Two policies cloned from the same binding share one table.
+        let moe_a = MoePolicy::new(system.clone());
+        let moe_b = MoePolicy::new(system.clone());
+        moe_a.predict(&profile).unwrap();
+        assert_eq!(
+            (system.selections.misses(), system.selections.hits()),
+            (1, 0)
+        );
+        moe_b.predict(&profile).unwrap();
+        assert_eq!(
+            (system.selections.misses(), system.selections.hits()),
+            (1, 1)
+        );
+        assert_eq!(system.selections.len(), 1);
+
+        // A cache hit returns the stored selection bit for bit.
+        let cached = system
+            .selections
+            .select_cached(&system.predictor, &profile.features)
+            .unwrap();
+        assert_eq!(cached.expert, direct.expert);
+        assert_eq!(cached.distance.to_bits(), direct.distance.to_bits());
+        assert_eq!(cached.low_confidence, direct.low_confidence);
+        assert_eq!(system.selections.hits(), 2);
     }
 
     #[test]

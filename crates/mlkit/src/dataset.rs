@@ -115,11 +115,20 @@ impl Dataset {
     where
         F: FnMut(usize) -> Vec<usize>,
     {
+        // A reused boolean mask instead of a per-fold hash set: the train
+        // list is built by one ascending scan, so fold contents and order
+        // are unchanged.
+        let mut excluded = vec![false; self.len()];
         (0..self.len())
             .map(|test| {
-                let excluded: std::collections::HashSet<usize> =
-                    also_exclude(test).into_iter().chain([test]).collect();
-                let train: Vec<usize> = (0..self.len()).filter(|i| !excluded.contains(i)).collect();
+                excluded.fill(false);
+                for i in also_exclude(test) {
+                    if i < excluded.len() {
+                        excluded[i] = true;
+                    }
+                }
+                excluded[test] = true;
+                let train: Vec<usize> = (0..self.len()).filter(|&i| !excluded[i]).collect();
                 (train, test)
             })
             .collect()
@@ -147,7 +156,9 @@ impl Dataset {
         for f in 0..k {
             let size = base + usize::from(f < extra);
             let test: Vec<usize> = (start..start + size).collect();
-            let train: Vec<usize> = (0..n).filter(|i| !test.contains(i)).collect();
+            // Test indices are one contiguous range, so the complement is
+            // two ranges — no per-index membership scan needed.
+            let train: Vec<usize> = (0..start).chain(start + size..n).collect();
             folds.push((train, test));
             start += size;
         }

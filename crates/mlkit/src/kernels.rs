@@ -1,0 +1,578 @@
+//! Flat row-major compute kernels behind [`crate::linalg::Matrix`].
+//!
+//! Every kernel here operates on plain `&[f64]` slices in row-major order
+//! so the hot loops index contiguous memory instead of going through
+//! bounds-checked `get`/`set` pairs. The design rule, enforced by the
+//! property tests in this module and in `tests/properties.rs`, is:
+//!
+//! > **An optimized kernel performs exactly the same floating-point
+//! > operations, on the same values, in the same order, as the naive
+//! > oracle it replaces** — so results are bitwise identical, not merely
+//! > close.
+//!
+//! Concretely:
+//!
+//! * [`matmul_dense`] keeps the naive oracle's `i-k-j` loop order — each
+//!   output element still accumulates in ascending `k` from a zero start,
+//!   so results are bitwise identical — but broadcasts one LHS element
+//!   across a whole output row via slice iterators. The per-`j`
+//!   accumulator chains are independent, so the compiler can vectorize
+//!   and pipeline the inner loop, which a per-element dot product (one
+//!   serial FP dependency chain) cannot offer.
+//! * [`matmul_pretransposed`] pre-transposes the right-hand side once and
+//!   walks both operands row-wise in cache-friendly `j`-blocks, but each
+//!   output element is still one `k`-ascending multiply-add chain from a
+//!   zero accumulator — the identical reduction order the naive
+//!   `i-k-j` accumulation produces. Blocking only reorders *which output
+//!   elements* are computed when, never the additions *within* one. This
+//!   is the dot-product form [`crate::pca`]'s covariance uses (transposed
+//!   operand, stride-1 rows); for general products at this pipeline's
+//!   sizes the broadcast form above is faster, so [`matmul_dense`] backs
+//!   `Matrix::matmul`.
+//! * [`matvec`] / [`matvec_sub`] reduce each row with the same
+//!   `zip/map/sum` chain the original `Matrix::matvec` used (std's
+//!   `f64::sum` folds from the *first element*, so even the `-0.0`
+//!   corner matches); `matvec_sub` additionally fuses the
+//!   `v[c] - sub[c]` centering into the load so PCA's transform skips
+//!   its temporary centered vector.
+//! * [`transpose`] / [`transpose_in_place_square`] move values without
+//!   arithmetic, so bitwise identity is trivial.
+//! * [`euclidean_sq`] is the squared-distance reduction shared by KNN
+//!   ranking and k-means assignment; `euclidean_sq(a, b).sqrt()` is
+//!   bitwise what the old `euclidean` computed, and because `sqrt` is
+//!   strictly monotone (and exact per IEEE-754), ranking by squared
+//!   distance selects the same winners as ranking by distance.
+//!
+//! The naive counterparts ([`matmul_naive`], [`matvec_naive`],
+//! [`transpose_naive`]) stay here as documented oracles: slow, obviously
+//! correct reference implementations the property tests pin the
+//! optimized kernels against.
+
+/// Dense matrix product `out = a × b` with both operands in natural
+/// row-major layout (`a` is `m × k`, `b` is `k × n`); `out` is `m × n` and
+/// fully overwritten.
+///
+/// Same `i-k-j` loop order as [`matmul_naive`] — every output element is a
+/// `k`-ascending multiply-add chain from `0.0`, so results are **bitwise
+/// identical** to the oracle. The difference is purely mechanical: each
+/// `a[i][k]` is broadcast across an output-row slice zipped with a `b`-row
+/// slice, eliminating bounds checks and leaving `n` independent
+/// accumulator chains per inner loop for the compiler to vectorize.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matmul_dense(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the `avx` feature was just verified at runtime.
+        unsafe { x86::matmul_dense_avx(m, k, n, a, b, out) };
+        return;
+    }
+    matmul_dense_scalar(m, k, n, a, b, out);
+}
+
+/// Portable body of [`matmul_dense`]: the fallback on targets without AVX
+/// and the reference the AVX path reproduces bitwise.
+fn matmul_dense_scalar(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    out.fill(0.0);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        // Eight `k` steps per pass over the output row: the eight additions
+        // into each `orow[j]` happen in ascending `k`, exactly as the
+        // one-step loop would order them, but the output element is loaded
+        // and stored once instead of eight times. The `[..n]` re-slices let
+        // the compiler prove every `[j]` below is in bounds.
+        let mut kk = 0;
+        while kk + 8 <= k {
+            let ar = &arow[kk..kk + 8];
+            let b0 = &b[kk * n..][..n];
+            let b1 = &b[(kk + 1) * n..][..n];
+            let b2 = &b[(kk + 2) * n..][..n];
+            let b3 = &b[(kk + 3) * n..][..n];
+            let b4 = &b[(kk + 4) * n..][..n];
+            let b5 = &b[(kk + 5) * n..][..n];
+            let b6 = &b[(kk + 6) * n..][..n];
+            let b7 = &b[(kk + 7) * n..][..n];
+            for j in 0..n {
+                let mut o = orow[j];
+                o += ar[0] * b0[j];
+                o += ar[1] * b1[j];
+                o += ar[2] * b2[j];
+                o += ar[3] * b3[j];
+                o += ar[4] * b4[j];
+                o += ar[5] * b5[j];
+                o += ar[6] * b6[j];
+                o += ar[7] * b7[j];
+                orow[j] = o;
+            }
+            kk += 8;
+        }
+        while kk < k {
+            let av = arow[kk];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+            kk += 1;
+        }
+    }
+}
+
+/// AVX specialisation of [`matmul_dense`].
+///
+/// The baseline `x86-64` target only exposes SSE2 (two `f64` lanes), and
+/// the scalar kernel already saturates that; these 256-bit loops double
+/// the lanes. Crucially they use only `vmulpd` + `vaddpd` — **never FMA**
+/// — so every multiply and every add is an individually rounded IEEE-754
+/// operation and each lane `j` performs exactly the scalar sequence
+/// `o += a[k] * b[k][j]` in ascending `k`. Results are therefore bitwise
+/// identical to [`matmul_dense_scalar`] (pinned by the property tests
+/// below), and runtime dispatch cannot make output depend on the machine.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+    };
+
+    /// # Safety
+    ///
+    /// Caller must ensure the `avx` target feature is available. Slice
+    /// bounds are asserted by [`super::matmul_dense`] before dispatch.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn matmul_dense_avx(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        out.fill(0.0);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            let mut kk = 0;
+            // Four `k` steps per pass; within a pass each output element
+            // receives its four additions in ascending `k`, matching the
+            // scalar loop's order exactly.
+            while kk + 4 <= k {
+                let av = [arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]];
+                let b0 = &b[kk * n..][..n];
+                let b1 = &b[(kk + 1) * n..][..n];
+                let b2 = &b[(kk + 2) * n..][..n];
+                let b3 = &b[(kk + 3) * n..][..n];
+                let (s0, s1, s2, s3) = (
+                    _mm256_set1_pd(av[0]),
+                    _mm256_set1_pd(av[1]),
+                    _mm256_set1_pd(av[2]),
+                    _mm256_set1_pd(av[3]),
+                );
+                let mut j = 0;
+                while j + 4 <= n {
+                    // SAFETY: `j + 4 <= n` and every slice has length `n`.
+                    let mut o = _mm256_loadu_pd(orow.as_ptr().add(j));
+                    o = _mm256_add_pd(o, _mm256_mul_pd(s0, _mm256_loadu_pd(b0.as_ptr().add(j))));
+                    o = _mm256_add_pd(o, _mm256_mul_pd(s1, _mm256_loadu_pd(b1.as_ptr().add(j))));
+                    o = _mm256_add_pd(o, _mm256_mul_pd(s2, _mm256_loadu_pd(b2.as_ptr().add(j))));
+                    o = _mm256_add_pd(o, _mm256_mul_pd(s3, _mm256_loadu_pd(b3.as_ptr().add(j))));
+                    _mm256_storeu_pd(orow.as_mut_ptr().add(j), o);
+                    j += 4;
+                }
+                while j < n {
+                    let mut o = orow[j];
+                    o += av[0] * b0[j];
+                    o += av[1] * b1[j];
+                    o += av[2] * b2[j];
+                    o += av[3] * b3[j];
+                    orow[j] = o;
+                    j += 1;
+                }
+                kk += 4;
+            }
+            while kk < k {
+                let av = arow[kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+                kk += 1;
+            }
+        }
+    }
+}
+
+/// Column-block width for [`matmul_pretransposed`]. 32 output columns of
+/// `f64` are two pages of accumulator state — small enough to stay in L1
+/// alongside one LHS row and the matching RHS-transpose rows.
+const MATMUL_BLOCK_J: usize = 32;
+
+/// Dense matrix product `out = a × b` with `b` supplied **pre-transposed**
+/// (`bt` is `n × k` row-major, i.e. `bt[j * k + kk] == b[kk * n + j]`).
+///
+/// `a` is `m × k` row-major, `out` is `m × n` row-major and is fully
+/// overwritten. Each output element is the `k`-ascending dot product of an
+/// `a` row with a `bt` row, accumulated from `0.0` — bitwise the same
+/// reduction the naive `i-k-j` loop performs (see [`matmul_naive`]).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matmul_pretransposed(m: usize, k: usize, n: usize, a: &[f64], bt: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(bt.len(), n * k, "pre-transposed rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    for jb in (0..n).step_by(MATMUL_BLOCK_J) {
+        let jend = (jb + MATMUL_BLOCK_J).min(n);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in jb..jend {
+                let brow = &bt[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                orow[j] = acc;
+            }
+        }
+    }
+}
+
+/// Naive dense matrix product `out = a × b` (`b` in natural `k × n`
+/// row-major layout): the documented oracle for
+/// [`matmul_pretransposed`].
+///
+/// Accumulates `out[i][j] += a[i][k] * b[k][j]` in `i-k-j` order — for
+/// each output element the additions arrive in ascending `k`, exactly the
+/// reduction order of the optimized kernel's per-element dot product.
+/// Unlike the historical `Matrix::matmul` this does **not** skip
+/// `a[i][k] == 0.0` terms, so `0 × ∞` and `0 × NaN` propagate as IEEE-754
+/// dictates.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matmul_naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    out.fill(0.0);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            for j in 0..n {
+                out[i * n + j] += av * b[kk * n + j];
+            }
+        }
+    }
+}
+
+/// Matrix-vector product `out[r] = Σ_c a[r][c] * v[c]`, each row reduced
+/// `c`-ascending.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matvec(rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(v.len(), cols, "vector length mismatch");
+    assert_eq!(out.len(), rows, "output length mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &a[r * cols..(r + 1) * cols];
+        // The same `zip/map/sum` reduction as the historical
+        // `Matrix::matvec` — bitwise identical, including the signed-zero
+        // behaviour of `f64::sum` (which folds from the first element).
+        *o = row.iter().zip(v.iter()).map(|(x, y)| x * y).sum::<f64>();
+    }
+}
+
+/// Naive matrix-vector product via the iterator chain the original
+/// `Matrix::matvec` used: the documented oracle for [`matvec`].
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matvec_naive(rows: usize, cols: usize, a: &[f64], v: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(v.len(), cols, "vector length mismatch");
+    (0..rows)
+        .map(|r| {
+            a[r * cols..(r + 1) * cols]
+                .iter()
+                .zip(v.iter())
+                .map(|(x, y)| x * y)
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Fused centered matrix-vector product:
+/// `out[r] = Σ_c a[r][c] * (v[c] - sub[c])`, reduced `c`-ascending.
+///
+/// The subtraction per term is bitwise what a caller gets from first
+/// materialising `centered[c] = v[c] - sub[c]` and then calling
+/// [`matvec`]; fusing merely drops the temporary allocation.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matvec_sub(rows: usize, cols: usize, a: &[f64], v: &[f64], sub: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    assert_eq!(v.len(), cols, "vector length mismatch");
+    assert_eq!(sub.len(), cols, "subtrahend length mismatch");
+    assert_eq!(out.len(), rows, "output length mismatch");
+    for (r, o) in out.iter_mut().enumerate() {
+        let row = &a[r * cols..(r + 1) * cols];
+        *o = row
+            .iter()
+            .zip(v.iter().zip(sub.iter()))
+            .map(|(x, (y, s))| x * (y - s))
+            .sum::<f64>();
+    }
+}
+
+/// Out-of-place transpose: `out` becomes the `cols × rows` transpose of
+/// the `rows × cols` row-major `a`. Pure data movement.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the stated shape.
+pub fn transpose(rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "input shape mismatch");
+    assert_eq!(out.len(), rows * cols, "output shape mismatch");
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+}
+
+/// Naive transpose via per-element indexing: the documented oracle for
+/// [`transpose`] and [`transpose_in_place_square`].
+///
+/// # Panics
+///
+/// Panics if the slice length disagrees with the stated shape.
+pub fn transpose_naive(rows: usize, cols: usize, a: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "input shape mismatch");
+    let mut out = vec![0.0; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+    out
+}
+
+/// In-place transpose of a square `n × n` row-major matrix by swapping
+/// the strictly-upper triangle with the strictly-lower one.
+///
+/// # Panics
+///
+/// Panics if the slice length is not `n * n`.
+pub fn transpose_in_place_square(n: usize, a: &mut [f64]) {
+    assert_eq!(a.len(), n * n, "square shape mismatch");
+    for r in 0..n {
+        for c in (r + 1)..n {
+            a.swap(r * n + c, c * n + r);
+        }
+    }
+}
+
+/// Squared Euclidean distance `Σ (a[i] - b[i])²`, reduced `i`-ascending
+/// from `0.0`.
+///
+/// `euclidean_sq(a, b).sqrt()` is bitwise identical to the historical
+/// `euclidean(a, b)` (same reduction, then one exact IEEE-754 `sqrt`),
+/// and ranking by squared distance yields exactly the same order as
+/// ranking by distance because `sqrt` is strictly monotone.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance requires equal dimensions");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+}
+
+/// Per-row squared norms `Σ_c a[r][c]²` of a `rows × cols` row-major
+/// matrix, each reduced `c`-ascending. Used by KNN to expand
+/// `‖e − q‖² = ‖e‖² − 2·e·q + ‖q‖²` without touching every exemplar
+/// coordinate twice.
+///
+/// # Panics
+///
+/// Panics if the slice length disagrees with the stated shape.
+#[must_use]
+pub fn sq_norms(rows: usize, cols: usize, a: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), rows * cols, "matrix shape mismatch");
+    (0..rows)
+        .map(|r| {
+            let row = &a[r * cols..(r + 1) * cols];
+            row.iter().map(|&x| x * x).sum::<f64>()
+        })
+        .collect()
+}
+
+/// Dot product via the same `zip/map/sum` chain as the historical
+/// `linalg::dot` — bitwise identical, signed zeros included.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot requires equal dimensions");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic dense test data: golden-ratio fractions spread over
+    /// [-1, 1), including exact zeros when `zero_every` divides the index.
+    fn fixture(len: usize, salt: usize, zero_every: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                if zero_every > 0 && i % zero_every == 0 {
+                    0.0
+                } else {
+                    (((i + salt) as f64) * 0.618_033_988_75).fract() * 2.0 - 1.0
+                }
+            })
+            .collect()
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 23, 9), (33, 40, 65)] {
+            let a = fixture(m * k, 1, 7);
+            let b = fixture(k * n, 2, 5);
+            let mut naive = vec![0.0; m * n];
+            matmul_naive(m, k, n, &a, &b, &mut naive);
+            let mut dense = vec![0.0; m * n];
+            matmul_dense(m, k, n, &a, &b, &mut dense);
+            assert_eq!(bits(&naive), bits(&dense), "dense shape {m}x{k}x{n}");
+            // The scalar body must agree too, so on AVX machines this pins
+            // the SIMD path against the portable one as well as the oracle.
+            let mut scalar = vec![0.0; m * n];
+            matmul_dense_scalar(m, k, n, &a, &b, &mut scalar);
+            assert_eq!(bits(&naive), bits(&scalar), "scalar shape {m}x{k}x{n}");
+            let bt = transpose_naive(k, n, &b);
+            let mut fast = vec![0.0; m * n];
+            matmul_pretransposed(m, k, n, &a, &bt, &mut fast);
+            assert_eq!(bits(&naive), bits(&fast), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite() {
+        // 0 * inf = NaN must reach the output; the old zero-skip hid it.
+        let a = [0.0, 1.0];
+        let b = [f64::INFINITY, 2.0];
+        let mut out = vec![0.0; 1];
+        matmul_naive(1, 2, 1, &a, &b, &mut out);
+        assert!(out[0].is_nan());
+        let mut dense = vec![0.0; 1];
+        matmul_dense(1, 2, 1, &a, &b, &mut dense);
+        assert!(dense[0].is_nan());
+        let bt = transpose_naive(2, 1, &b);
+        let mut fast = vec![0.0; 1];
+        matmul_pretransposed(1, 2, 1, &a, &bt, &mut fast);
+        assert!(fast[0].is_nan());
+    }
+
+    #[test]
+    fn matvec_matches_naive_bitwise() {
+        for &(rows, cols) in &[(1, 1), (5, 3), (22, 22), (64, 22)] {
+            let a = fixture(rows * cols, 3, 11);
+            let v = fixture(cols, 4, 0);
+            let naive = matvec_naive(rows, cols, &a, &v);
+            let mut fast = vec![0.0; rows];
+            matvec(rows, cols, &a, &v, &mut fast);
+            assert_eq!(bits(&naive), bits(&fast), "shape {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn matvec_sub_matches_center_then_matvec_bitwise() {
+        let (rows, cols) = (7, 9);
+        let a = fixture(rows * cols, 5, 13);
+        let v = fixture(cols, 6, 0);
+        let sub = fixture(cols, 7, 0);
+        let centered: Vec<f64> = v.iter().zip(sub.iter()).map(|(x, s)| x - s).collect();
+        let naive = matvec_naive(rows, cols, &a, &centered);
+        let mut fast = vec![0.0; rows];
+        matvec_sub(rows, cols, &a, &v, &sub, &mut fast);
+        assert_eq!(bits(&naive), bits(&fast));
+    }
+
+    #[test]
+    fn transpose_matches_naive_and_round_trips() {
+        let (rows, cols) = (6, 11);
+        let a = fixture(rows * cols, 8, 0);
+        let naive = transpose_naive(rows, cols, &a);
+        let mut fast = vec![0.0; rows * cols];
+        transpose(rows, cols, &a, &mut fast);
+        assert_eq!(bits(&naive), bits(&fast));
+        let mut back = vec![0.0; rows * cols];
+        transpose(cols, rows, &fast, &mut back);
+        assert_eq!(bits(&a), bits(&back));
+    }
+
+    #[test]
+    fn in_place_square_transpose_matches_naive() {
+        let n = 13;
+        let mut a = fixture(n * n, 9, 0);
+        let naive = transpose_naive(n, n, &a);
+        transpose_in_place_square(n, &mut a);
+        assert_eq!(bits(&naive), bits(&a));
+    }
+
+    #[test]
+    fn euclidean_sq_sqrt_matches_euclidean_bitwise() {
+        let a = fixture(22, 10, 0);
+        let b = fixture(22, 11, 0);
+        let old: f64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert_eq!(old.to_bits(), euclidean_sq(&a, &b).sqrt().to_bits());
+    }
+
+    #[test]
+    fn sq_norms_match_self_distance_to_origin() {
+        let (rows, cols) = (5, 22);
+        let a = fixture(rows * cols, 12, 0);
+        let zeros = vec![0.0; cols];
+        let norms = sq_norms(rows, cols, &a);
+        for r in 0..rows {
+            let row = &a[r * cols..(r + 1) * cols];
+            assert_eq!(norms[r].to_bits(), euclidean_sq(row, &zeros).to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_matches_iterator_chain_bitwise() {
+        let a = fixture(40, 13, 0);
+        let b = fixture(40, 14, 0);
+        let old: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(old.to_bits(), dot(&a, &b).to_bits());
+    }
+}

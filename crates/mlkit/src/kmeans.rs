@@ -4,7 +4,7 @@
 //! benchmarks' feature vectors into three groups should recover the three
 //! memory-function families without ever seeing the labels.
 
-use crate::linalg::euclidean;
+use crate::linalg::{euclidean, euclidean_sq};
 use crate::MlError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,7 +97,7 @@ impl KMeans {
             iterations += 1;
             // Assignment step.
             for (i, point) in data.iter().enumerate() {
-                assignments[i] = nearest(&centroids, point).0;
+                assignments[i] = nearest_sq(&centroids, point).0;
             }
             // Update step.
             let mut movement = 0.0;
@@ -128,7 +128,7 @@ impl KMeans {
             }
         }
         for (i, point) in data.iter().enumerate() {
-            assignments[i] = nearest(&centroids, point).0;
+            assignments[i] = nearest_sq(&centroids, point).0;
         }
         let inertia = data
             .iter()
@@ -174,18 +174,22 @@ impl KMeans {
     /// Panics on wrong dimensionality.
     #[must_use]
     pub fn assign(&self, point: &[f64]) -> usize {
-        nearest(&self.centroids, point).0
+        nearest_sq(&self.centroids, point).0
     }
 }
 
-fn nearest(centroids: &[Vec<f64>], point: &[f64]) -> (usize, f64) {
+/// Nearest centroid by **squared** distance: ranking by `d²` picks the
+/// same winner (ties included — `sqrt` is injective on non-negatives) as
+/// ranking by `d`, without a `sqrt` per centroid. Callers needing the
+/// actual distance take `.1.sqrt()`.
+fn nearest_sq(centroids: &[Vec<f64>], point: &[f64]) -> (usize, f64) {
     // `fit` guarantees k >= 1 finite centroids; `total_cmp` keeps the
     // selection panic-free (and identical to `partial_cmp` on finite
     // distances) even if a caller feeds a non-finite point.
     centroids
         .iter()
         .enumerate()
-        .map(|(i, c)| (i, euclidean(c, point)))
+        .map(|(i, c)| (i, euclidean_sq(c, point)))
         .min_by(|a, b| a.1.total_cmp(&b.1))
         .unwrap_or((0, f64::INFINITY))
 }
@@ -196,9 +200,12 @@ fn kmeans_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
     let mut centroids = Vec::with_capacity(k);
     centroids.push(data[rng.gen_range(0..data.len())].clone());
     while centroids.len() < k {
+        // `sqrt().powi(2)` reproduces the historical weight bit for bit
+        // (it was computed as `euclidean(..).powi(2)`), while the search
+        // itself no longer takes a root per (point, centroid) pair.
         let d2: Vec<f64> = data
             .iter()
-            .map(|p| nearest(&centroids, p).1.powi(2))
+            .map(|p| nearest_sq(&centroids, p).1.sqrt().powi(2))
             .collect();
         let total: f64 = d2.iter().sum();
         if total <= 0.0 {

@@ -7,7 +7,7 @@
 //! application is far from every training program, the runtime falls back
 //! to a conservative policy (§6.9).
 
-use crate::linalg::euclidean;
+use crate::kernels;
 use crate::{Classifier, MlError};
 use serde::{Deserialize, Serialize};
 
@@ -37,7 +37,12 @@ pub struct KnnPrediction {
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KnnClassifier {
-    exemplars: Vec<Vec<f64>>,
+    /// Exemplars stored flat, row-major (`len × dims`), so the distance
+    /// pass walks contiguous memory.
+    exemplars: Vec<f64>,
+    /// Precomputed squared norm `‖e‖²` per exemplar, maintained by
+    /// [`KnnClassifier::fit`] and [`KnnClassifier::insert`].
+    norms_sq: Vec<f64>,
     labels: Vec<usize>,
     k: usize,
     dims: usize,
@@ -71,10 +76,13 @@ impl KnnClassifier {
                 "non-finite feature value in training set".into(),
             ));
         }
+        let flat: Vec<f64> = xs.iter().flat_map(|r| r.iter().copied()).collect();
+        let norms_sq = kernels::sq_norms(xs.len(), dims, &flat);
         Ok(KnnClassifier {
-            exemplars: xs.to_vec(),
+            exemplars: flat,
+            norms_sq,
             labels: ys.to_vec(),
-            k: k.min(xs.len()),
+            k: k.min(ys.len()),
             dims,
         })
     }
@@ -97,7 +105,8 @@ impl KnnClassifier {
                 "non-finite feature value in exemplar".into(),
             ));
         }
-        self.exemplars.push(x);
+        self.norms_sq.push(kernels::dot(&x, &x));
+        self.exemplars.extend_from_slice(&x);
         self.labels.push(y);
         Ok(())
     }
@@ -105,13 +114,18 @@ impl KnnClassifier {
     /// Number of stored exemplars.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.exemplars.len()
+        self.labels.len()
     }
 
     /// Whether the classifier holds no exemplars (never true once fitted).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.exemplars.is_empty()
+        self.labels.is_empty()
+    }
+
+    /// Exemplar `i` as a slice of the flat store.
+    fn exemplar(&self, i: usize) -> &[f64] {
+        &self.exemplars[i * self.dims..(i + 1) * self.dims]
     }
 
     /// The `k` in use.
@@ -123,6 +137,18 @@ impl KnnClassifier {
     /// Predicts with full evidence: majority vote over the `k` nearest
     /// exemplars (ties broken toward the closer class), plus the nearest
     /// distance for confidence thresholds.
+    ///
+    /// Neighbour search is two-stage: a screening pass ranks all
+    /// exemplars by the norm expansion `‖e‖² − 2·e·q + ‖q‖²` (using the
+    /// precomputed squared norms) and partial-selects the `k` smallest
+    /// via `select_nth_unstable_by` — no full sort over the store. The
+    /// selected `k` are then re-scored with the exact squared distance
+    /// and sorted with the historical `total_cmp`-then-index tie-break,
+    /// and the reported distances are `sqrt` of the exact values — bit
+    /// for bit what the full-sort implementation returned. The screening
+    /// expansion agrees with the exact distance to within ~1 ULP, so the
+    /// candidate set can only differ from the exact top-`k` when two
+    /// exemplars straddle the boundary within that rounding margin.
     ///
     /// # Errors
     ///
@@ -143,22 +169,33 @@ impl KnnClassifier {
         }
         // Exemplars and the query are validated finite, so every distance
         // is finite and `total_cmp` orders exactly as `partial_cmp` would.
-        let mut dists: Vec<(f64, usize)> = self
-            .exemplars
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (euclidean(e, x), i))
+        let q_sq = kernels::dot(x, x);
+        let mut screened: Vec<(f64, usize)> = (0..self.len())
+            .map(|i| {
+                let approx = self.norms_sq[i] - 2.0 * kernels::dot(self.exemplar(i), x) + q_sq;
+                (approx, i)
+            })
             .collect();
-        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let neighbours = &dists[..self.k];
+        let cmp = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        if self.k < screened.len() {
+            screened.select_nth_unstable_by(self.k - 1, cmp);
+            screened.truncate(self.k);
+        }
+        // Re-score the k candidates exactly and restore the historical
+        // neighbour order (sqrt is monotone: ranking by d² == by d).
+        let mut neighbours: Vec<(f64, usize)> = screened
+            .into_iter()
+            .map(|(_, i)| (kernels::euclidean_sq(self.exemplar(i), x), i))
+            .collect();
+        neighbours.sort_by(cmp);
 
         // Majority vote, ties resolved by smallest cumulative distance.
         let mut votes: std::collections::HashMap<usize, (usize, f64)> =
             std::collections::HashMap::new();
-        for &(d, idx) in neighbours {
+        for &(d_sq, idx) in &neighbours {
             let entry = votes.entry(self.labels[idx]).or_insert((0, 0.0));
             entry.0 += 1;
-            entry.1 += d;
+            entry.1 += d_sq.sqrt();
         }
         let (&label, _) = votes
             .iter()
@@ -167,7 +204,7 @@ impl KnnClassifier {
 
         Ok(KnnPrediction {
             label,
-            nearest_distance: neighbours[0].0,
+            nearest_distance: neighbours[0].0.sqrt(),
             nearest_index: neighbours[0].1,
         })
     }
@@ -276,6 +313,63 @@ mod tests {
             knn.predict_with_evidence(&[f64::NAN, 0.0]),
             Err(MlError::Numerical(_))
         ));
+    }
+
+    #[test]
+    fn partial_select_matches_full_sort_oracle() {
+        // Oracle: the historical implementation — full sort of exact
+        // euclidean distances with the (distance, index) tie-break.
+        let dims = 22;
+        let n = 257;
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dims)
+                    .map(|d| {
+                        let jitter = (((i * 31 + d * 7) % 97) as f64 / 97.0 - 0.5) * 0.4;
+                        (i % 3) as f64 * 2.0 + (d % 5) as f64 * 0.1 + jitter
+                    })
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        for k in [1, 3, 7] {
+            let knn = KnnClassifier::fit(&xs, &ys, k).unwrap();
+            for qi in 0..8 {
+                let q: Vec<f64> = (0..dims)
+                    .map(|d| (qi % 3) as f64 * 2.0 + (d % 5) as f64 * 0.1 + 0.03 * qi as f64)
+                    .collect();
+                let got = knn.predict_with_evidence(&q).unwrap();
+
+                let mut dists: Vec<(f64, usize)> = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (crate::linalg::euclidean(e, &q), i))
+                    .collect();
+                dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let neighbours = &dists[..k];
+                let mut votes: std::collections::HashMap<usize, (usize, f64)> =
+                    std::collections::HashMap::new();
+                for &(d, idx) in neighbours {
+                    let entry = votes.entry(ys[idx]).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += d;
+                }
+                let (&label, _) = votes
+                    .iter()
+                    .max_by(|(_, (ca, da)), (_, (cb, db))| {
+                        ca.cmp(cb).then_with(|| db.total_cmp(da))
+                    })
+                    .unwrap();
+
+                assert_eq!(got.label, label, "winner k={k} q={qi}");
+                assert_eq!(got.nearest_index, neighbours[0].1, "index k={k} q={qi}");
+                assert_eq!(
+                    got.nearest_distance.to_bits(),
+                    neighbours[0].0.to_bits(),
+                    "distance bits k={k} q={qi}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 pub mod dataset;
 pub mod eval;
 pub mod forest;
+pub mod kernels;
 pub mod kmeans;
 pub mod knn;
 pub mod linalg;

@@ -1,7 +1,14 @@
 //! Minimal dense linear algebra: a row-major [`Matrix`] with the operations
 //! PCA and the classifiers need (multiplication, transpose, covariance,
 //! symmetric eigendecomposition via cyclic Jacobi).
+//!
+//! The arithmetic lives in the flat slice kernels of [`crate::kernels`];
+//! this module owns shape checking and the `Matrix` container. Optimized
+//! and naive paths are pinned bitwise-equal by the kernel property tests
+//! (see the `kernels` module docs for the exact reduction-order
+//! argument).
 
+use crate::kernels;
 use crate::MlError;
 use serde::{Deserialize, Serialize};
 
@@ -135,19 +142,38 @@ impl Matrix {
         (0..self.rows).map(|r| self.get(r, c)).collect()
     }
 
+    /// Borrow of the full row-major backing store.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Matrix transpose.
     #[must_use]
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t.set(c, r, self.get(r, c));
-            }
-        }
+        kernels::transpose(self.rows, self.cols, &self.data, &mut t.data);
         t
     }
 
-    /// Matrix product `self × rhs`.
+    /// In-place transpose (square matrices only; no reallocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::Numerical`] if the matrix is not square.
+    pub fn transpose_in_place(&mut self) -> Result<(), MlError> {
+        if self.rows != self.cols {
+            return Err(MlError::Numerical(
+                "in-place transpose requires a square matrix".into(),
+            ));
+        }
+        kernels::transpose_in_place_square(self.rows, &mut self.data);
+        Ok(())
+    }
+
+    /// Matrix product `self × rhs`, computed by the vectorizable broadcast
+    /// kernel ([`kernels::matmul_dense`]). Bitwise identical to
+    /// [`Matrix::matmul_naive`].
     ///
     /// # Errors
     ///
@@ -160,17 +186,41 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..rhs.cols {
-                    out.data[i * rhs.cols + j] += a * rhs.get(k, j);
-                }
-            }
+        kernels::matmul_dense(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// Naive matrix product: the documented oracle [`matmul`]
+    /// (`Matrix::matmul`) is property-tested against, kept deliberately
+    /// simple. Dense — earlier revisions skipped `a == 0.0` terms, which
+    /// silently suppressed `0 × ∞ = NaN` propagation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if the inner dimensions differ.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix, MlError> {
+        if self.cols != rhs.rows {
+            return Err(MlError::DimensionMismatch {
+                expected: self.cols,
+                actual: rhs.rows,
+            });
         }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        kernels::matmul_naive(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
@@ -186,15 +236,32 @@ impl Matrix {
                 actual: v.len(),
             });
         }
-        Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
-            .collect())
+        let mut out = vec![0.0; self.rows];
+        kernels::matvec(self.rows, self.cols, &self.data, v, &mut out);
+        Ok(out)
+    }
+
+    /// Fused centered matrix-vector product `self × (v − sub)` without
+    /// materialising the centered temporary (PCA's projection hot path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `v` or `sub` length
+    /// differs from `self.cols()`.
+    pub fn matvec_sub(&self, v: &[f64], sub: &[f64]) -> Result<Vec<f64>, MlError> {
+        if v.len() != self.cols || sub.len() != self.cols {
+            return Err(MlError::DimensionMismatch {
+                expected: self.cols,
+                actual: if v.len() != self.cols {
+                    v.len()
+                } else {
+                    sub.len()
+                },
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        kernels::matvec_sub(self.rows, self.cols, &self.data, v, sub, &mut out);
+        Ok(out)
     }
 
     /// Per-column means.
@@ -227,9 +294,16 @@ impl Matrix {
 
     /// Sample covariance matrix of the rows (dividing by `n − 1`; by `n`
     /// when there is a single row).
+    ///
+    /// Works on the **transposed** centered data so each `(i, j)` entry is
+    /// one contiguous dot product; the reduction still runs over samples
+    /// in ascending order, so the result is bitwise identical to the
+    /// per-element `get()` double loop it replaced.
     #[must_use]
     pub fn covariance(&self) -> Matrix {
         let centered = self.center_columns();
+        let mut ct = vec![0.0; centered.data.len()];
+        kernels::transpose(self.rows, self.cols, &centered.data, &mut ct);
         let denom = if self.rows > 1 {
             (self.rows - 1) as f64
         } else {
@@ -237,14 +311,19 @@ impl Matrix {
         };
         let mut cov = Matrix::zeros(self.cols, self.cols);
         for i in 0..self.cols {
+            let ci = &ct[i * self.rows..(i + 1) * self.rows];
             for j in i..self.cols {
+                let cj = &ct[j * self.rows..(j + 1) * self.rows];
+                // Manual 0.0-start accumulation: the historical loop's
+                // reduction, not `f64::sum` (which folds from the first
+                // element and differs on signed zeros).
                 let mut s = 0.0;
-                for r in 0..self.rows {
-                    s += centered.get(r, i) * centered.get(r, j);
+                for (x, y) in ci.iter().zip(cj.iter()) {
+                    s += x * y;
                 }
                 s /= denom;
-                cov.set(i, j, s);
-                cov.set(j, i, s);
+                cov.data[i * self.cols + j] = s;
+                cov.data[j * self.cols + i] = s;
             }
         }
         cov
@@ -262,6 +341,12 @@ impl Matrix {
     /// eigenvalue; eigenvector `i` is the `i`-th **column** of the returned
     /// matrix.
     ///
+    /// The sweep runs over the flat backing store with direct indexing
+    /// (no bounds-checked `get`/`set` per rotation element); every
+    /// rotation applies the identical formulas in the identical order as
+    /// the original per-element version, so eigenvalues and vectors are
+    /// bitwise unchanged.
+    ///
     /// # Errors
     ///
     /// Returns [`MlError::Numerical`] if the matrix is not square or the
@@ -274,15 +359,18 @@ impl Matrix {
             ));
         }
         let n = self.rows;
-        let mut a = self.clone();
-        let mut v = Matrix::identity(n);
+        let mut a = self.data.clone();
+        let mut v = vec![0.0; n * n];
+        for i in 0..n {
+            v[i * n + i] = 1.0;
+        }
 
-        let off_diag = |m: &Matrix| -> f64 {
+        let off_diag = |m: &[f64]| -> f64 {
             let mut s = 0.0;
             for i in 0..n {
                 for j in 0..n {
                     if i != j {
-                        s += m.get(i, j).powi(2);
+                        s += m[i * n + j].powi(2);
                     }
                 }
             }
@@ -299,12 +387,12 @@ impl Matrix {
             }
             for p in 0..n {
                 for q in (p + 1)..n {
-                    let apq = a.get(p, q);
+                    let apq = a[p * n + q];
                     if apq.abs() < 1e-300 {
                         continue;
                     }
-                    let app = a.get(p, p);
-                    let aqq = a.get(q, q);
+                    let app = a[p * n + p];
+                    let aqq = a[q * n + q];
                     let theta = 0.5 * (aqq - app) / apq;
                     // Stable computation of tan of the rotation angle.
                     let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
@@ -312,23 +400,23 @@ impl Matrix {
                     let s = t * c;
                     // Apply the rotation A <- JᵀAJ.
                     for k in 0..n {
-                        let akp = a.get(k, p);
-                        let akq = a.get(k, q);
-                        a.set(k, p, c * akp - s * akq);
-                        a.set(k, q, s * akp + c * akq);
+                        let akp = a[k * n + p];
+                        let akq = a[k * n + q];
+                        a[k * n + p] = c * akp - s * akq;
+                        a[k * n + q] = s * akp + c * akq;
                     }
                     for k in 0..n {
-                        let apk = a.get(p, k);
-                        let aqk = a.get(q, k);
-                        a.set(p, k, c * apk - s * aqk);
-                        a.set(q, k, s * apk + c * aqk);
+                        let apk = a[p * n + k];
+                        let aqk = a[q * n + k];
+                        a[p * n + k] = c * apk - s * aqk;
+                        a[q * n + k] = s * apk + c * aqk;
                     }
                     // Accumulate eigenvectors V <- VJ.
                     for k in 0..n {
-                        let vkp = v.get(k, p);
-                        let vkq = v.get(k, q);
-                        v.set(k, p, c * vkp - s * vkq);
-                        v.set(k, q, s * vkp + c * vkq);
+                        let vkp = v[k * n + p];
+                        let vkq = v[k * n + q];
+                        v[k * n + p] = c * vkp - s * vkq;
+                        v[k * n + q] = s * vkp + c * vkq;
                     }
                 }
             }
@@ -338,12 +426,12 @@ impl Matrix {
         // `total_cmp` orders exactly as `partial_cmp` on the finite
         // eigenvalues Jacobi produces, and stays panic-free if a caller
         // slips a non-finite entry past the input checks.
-        order.sort_by(|&i, &j| a.get(j, j).total_cmp(&a.get(i, i)));
-        let eigenvalues: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
+        order.sort_by(|&i, &j| a[j * n + j].total_cmp(&a[i * n + i]));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| a[i * n + i]).collect();
         let mut vectors = Matrix::zeros(n, n);
         for (new_col, &old_col) in order.iter().enumerate() {
             for r in 0..n {
-                vectors.set(r, new_col, v.get(r, old_col));
+                vectors.data[r * n + new_col] = v[r * n + old_col];
             }
         }
         Ok((eigenvalues, vectors))
@@ -352,17 +440,28 @@ impl Matrix {
 
 /// Euclidean distance between two equal-length vectors.
 ///
+/// Exactly `euclidean_sq(a, b).sqrt()`; callers that only *rank*
+/// distances (KNN neighbour selection, k-means assignment) should use
+/// [`euclidean_sq`] and skip the `sqrt`.
+///
 /// # Panics
 ///
 /// Panics if the vectors have different lengths.
 #[must_use]
 pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "distance requires equal dimensions");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length vectors. Ranking
+/// by this value selects the same winners (including ties) as ranking by
+/// [`euclidean`], since `sqrt` is strictly monotone.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    kernels::euclidean_sq(a, b)
 }
 
 /// Dot product of two equal-length vectors.
@@ -372,8 +471,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the vectors have different lengths.
 #[must_use]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot requires equal dimensions");
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 /// Pearson correlation coefficient of two equal-length samples.
@@ -447,15 +545,79 @@ mod tests {
     }
 
     #[test]
+    fn matmul_matches_naive_oracle_bitwise() {
+        let a = Matrix::from_rows(
+            (0..17)
+                .map(|r| {
+                    (0..23)
+                        .map(|c| (((r * 23 + c) as f64) * 0.618_033_988_75).fract() - 0.5)
+                        .collect()
+                })
+                .collect(),
+        );
+        let b = Matrix::from_rows(
+            (0..23)
+                .map(|r| {
+                    (0..11)
+                        .map(|c| (((r * 11 + c + 5) as f64) * 0.618_033_988_75).fract() - 0.5)
+                        .collect()
+                })
+                .collect(),
+        );
+        let fast = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        for i in 0..17 {
+            for j in 0..11 {
+                assert_eq!(fast.get(i, j).to_bits(), naive.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_rhs() {
+        // Regression: the historical `a == 0.0` skip suppressed 0 × ∞ and
+        // 0 × NaN, silently returning finite results for non-finite input.
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0]]);
+        let b = Matrix::from_rows(vec![vec![f64::INFINITY], vec![2.0]]);
+        assert!(a.matmul(&b).unwrap().get(0, 0).is_nan());
+        assert!(a.matmul_naive(&b).unwrap().get(0, 0).is_nan());
+        let c = Matrix::from_rows(vec![vec![f64::NAN], vec![3.0]]);
+        assert!(a.matmul(&c).unwrap().get(0, 0).is_nan());
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
     }
 
     #[test]
+    fn matvec_sub_matches_manual_centering() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let v = [5.0, 7.0];
+        let sub = [1.0, 2.0];
+        let centered: Vec<f64> = v.iter().zip(sub.iter()).map(|(x, s)| x - s).collect();
+        assert_eq!(
+            a.matvec_sub(&v, &sub).unwrap(),
+            a.matvec(&centered).unwrap()
+        );
+        assert!(a.matvec_sub(&v, &[1.0]).is_err());
+    }
+
+    #[test]
     fn transpose_involution() {
         let m = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_in_place_matches_transpose() {
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let mut inplace = m.clone();
+        inplace.transpose_in_place().unwrap();
+        assert_eq!(inplace, m.transpose());
+        let mut rect = Matrix::zeros(2, 3);
+        assert!(rect.transpose_in_place().is_err());
     }
 
     #[test]
@@ -536,6 +698,17 @@ mod tests {
     fn euclidean_distance() {
         assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
         assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_is_sqrt_of_squared() {
+        let a = [0.3, -1.7, 2.9, 0.0];
+        let b = [1.1, 0.4, -0.2, 5.5];
+        assert_eq!(
+            euclidean(&a, &b).to_bits(),
+            euclidean_sq(&a, &b).sqrt().to_bits()
+        );
+        assert_eq!(euclidean_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
     }
 
     #[test]

@@ -107,7 +107,26 @@ impl Pca {
                 break;
             }
         }
-        Pca::fit(data, k)
+        // Truncate the full fit rather than refitting: a `Pca::fit(data, k)`
+        // would recompute the identical covariance and eigendecomposition
+        // and keep the first `k` axes — so slicing the full fit's fields is
+        // bitwise the same result at half the cost.
+        Ok(full.truncated(k))
+    }
+
+    /// Keeps only the first `k` principal axes of an already-fitted PCA.
+    /// Equivalent, bit for bit, to refitting with `components = k`.
+    fn truncated(self, k: usize) -> Self {
+        if k >= self.components() {
+            return self;
+        }
+        let axes = Matrix::from_rows((0..k).map(|pc| self.axes.row(pc).to_vec()).collect());
+        Pca {
+            means: self.means,
+            axes,
+            eigenvalues: self.eigenvalues.into_iter().take(k).collect(),
+            total_variance: self.total_variance,
+        }
     }
 
     /// Number of principal components kept.
@@ -170,12 +189,9 @@ impl Pca {
                 actual: x.len(),
             });
         }
-        let centered: Vec<f64> = x
-            .iter()
-            .zip(self.means.iter())
-            .map(|(v, m)| v - m)
-            .collect();
-        self.axes.matvec(&centered)
+        // Fused centering + projection: bitwise what materialising the
+        // centered temporary and calling `matvec` produced.
+        self.axes.matvec_sub(x, &self.means)
     }
 
     /// Projects a batch of samples.
@@ -271,6 +287,32 @@ mod tests {
             .collect();
         let z = pca.transform(&mean).unwrap();
         assert!(z.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn variance_fit_matches_direct_fit_bitwise() {
+        // fit_for_variance truncates the full-rank fit; the result must be
+        // bit-identical to refitting at the selected component count.
+        let data = sample_data();
+        let auto = Pca::fit_for_variance(&data, 0.95).unwrap();
+        let direct = Pca::fit(&data, auto.components()).unwrap();
+        assert_eq!(auto.components(), direct.components());
+        for (a, b) in auto.eigenvalues().iter().zip(direct.eigenvalues()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for pc in 0..auto.components() {
+            for d in 0..data[0].len() {
+                assert_eq!(
+                    auto.loading(pc, d).to_bits(),
+                    direct.loading(pc, d).to_bits()
+                );
+            }
+        }
+        let z_auto = auto.transform(&data[3]).unwrap();
+        let z_direct = direct.transform(&data[3]).unwrap();
+        for (a, b) in z_auto.iter().zip(z_direct.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

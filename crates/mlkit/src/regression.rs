@@ -199,20 +199,25 @@ pub fn fit_exponential(xs: &[f64], ys: &[f64]) -> Result<FittedCurve, MlError> {
         ));
     }
 
-    // Given b, m* = Σ y·g / Σ g² with g = 1 − e^(−b·x).
-    let sse_for = |b: f64| -> (f64, f64) {
+    // Given b, m* = Σ y·g / Σ g² with g = 1 − e^(−b·x). The g values are
+    // cached in a scratch buffer so the residual pass reuses them instead
+    // of recomputing the identical `exp` per point — same values, same
+    // order, half the transcendental calls of the line search.
+    let mut g_buf = vec![0.0; xs.len()];
+    let mut sse_for = |b: f64| -> (f64, f64) {
         let mut num = 0.0;
         let mut den = 0.0;
-        for (&x, &y) in xs.iter().zip(ys.iter()) {
+        for (i, (&x, &y)) in xs.iter().zip(ys.iter()).enumerate() {
             let g = 1.0 - (-b * x).exp();
+            g_buf[i] = g;
             num += y * g;
             den += g * g;
         }
         let m = if den > 0.0 { num / den } else { 0.0 };
-        let sse: f64 = xs
+        let sse: f64 = g_buf
             .iter()
             .zip(ys.iter())
-            .map(|(&x, &y)| (m * (1.0 - (-b * x).exp()) - y).powi(2))
+            .map(|(&g, &y)| (m * g - y).powi(2))
             .sum();
         (sse, m)
     };

@@ -50,15 +50,20 @@ pub fn truncated_svd(a: &Matrix, k: usize, iterations: usize) -> Result<Truncate
         }
 
         for _ in 0..iterations {
-            // w = Aᵀ (A v)
+            // w = Aᵀ (A v), accumulated row-wise over the flat backing
+            // store. The `avi == 0.0` skip is kept deliberately: dropping
+            // it would change this reduction's float sequence (and with it
+            // committed Quasar outputs) — unlike `matmul`, `Av` entries
+            // are finite here, so the skip has no NaN/∞ hazard.
             let av = a.matvec(&v)?;
             let mut w = vec![0.0; m];
             for (i, &avi) in av.iter().enumerate() {
                 if avi == 0.0 {
                     continue;
                 }
-                for (j, wj) in w.iter_mut().enumerate() {
-                    *wj += a.get(i, j) * avi;
+                let arow = a.row(i);
+                for (wj, &aij) in w.iter_mut().zip(arow.iter()) {
+                    *wj += aij * avi;
                 }
             }
             orthogonalize(&mut w, &vs);
