@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Panic-freedom gate for the crash-consistency-critical paths: the journal
 # layer, the campaign harness, checkpoint codecs, the bench emission
-# helpers, the hot-path cache modules (event queue slab, engine rate
-# cache, monitor window memoization), the mlkit compute kernels, and the
-# ML campaign drivers must not contain `unwrap()` / `expect(` outside
-# test code.
+# helpers, the hot-path cache modules (event queue slab + calendar
+# backend, sharded engine rate cache + tournament tree, monitor window
+# memoization), the mlkit compute kernels, the ML campaign drivers, and
+# the scale-sweep workload builders must not contain `unwrap()` /
+# `expect(` outside test code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -23,7 +24,9 @@ GATED_FILES=(
   crates/bench/src/lib.rs
   crates/simkit/src/event.rs
   crates/sparklite/src/engine.rs
+  crates/sparklite/src/tourney.rs
   crates/sparklite/src/monitor.rs
+  crates/bench/src/scalekit.rs
   crates/mlkit/src/kernels.rs
   crates/mlkit/src/linalg.rs
   crates/mlkit/src/knn.rs

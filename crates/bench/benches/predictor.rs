@@ -7,16 +7,25 @@ use colocate::profiling::{profile_app, ProfilingConfig};
 use colocate::training::{train_system, TrainingConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use simkit::SimRng;
+use sparklite::ClusterSpec;
 use std::hint::black_box;
 use workloads::Catalog;
 
 fn bench_prediction(c: &mut Criterion) {
     let catalog = Catalog::paper();
+    let testbed = ClusterSpec::paper_cluster();
     let mut rng = SimRng::seed_from(1);
     let system = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
     let moe = MoePolicy::new(system);
     let bench = catalog.by_name("SB.TriangleCount").unwrap();
-    let (profile, _) = profile_app(bench, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+    let (profile, _) = profile_app(
+        bench,
+        30.0,
+        testbed.nodes,
+        testbed.node.ram_gb,
+        &ProfilingConfig::default(),
+        &mut rng,
+    );
 
     c.bench_function("moe_select_and_calibrate", |b| {
         b.iter(|| {

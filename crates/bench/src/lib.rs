@@ -25,6 +25,7 @@
 //! | `fig17_accuracy` | Fig. 17 — predicted vs measured footprints |
 //! | `fig18_curves` | Fig. 18 — predicted vs measured curves, all training apps |
 //! | `fig19_chaos` | Fig. 19 (extension) — STP/ANTT vs fault intensity, self-healing MoE vs plain/Pairwise/Oracle |
+//! | `fig20_scale` | Fig. 20 (extension) — simulator-core throughput vs cluster size (40 → 40k nodes) |
 //! | `ablation_sweep` | design-choice ablations (KNN k, PCs, calibration sizes, margins, CPU guard, monitor window, cluster scaling) |
 //! | `paper_headlines` | the §6.1 highlights block, measured in one run |
 //! | `catalog_dump` | the 44-benchmark ground-truth catalog |
@@ -42,6 +43,7 @@ pub mod csv;
 pub mod fsutil;
 pub mod mlcamp;
 pub mod report;
+pub mod scalekit;
 
 use colocate::checkpoint::CheckpointConfig;
 use colocate::harness::RunConfig;

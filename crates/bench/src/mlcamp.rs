@@ -36,6 +36,7 @@ use mlkit::tree::{DecisionTree, TreeParams};
 use mlkit::Classifier;
 use simkit::par::par_map_indexed;
 use simkit::SimRng;
+use sparklite::ClusterSpec;
 use std::fmt::Write as _;
 use workloads::catalog::Catalog;
 use workloads::signatures;
@@ -73,6 +74,7 @@ fn hr(out: &mut String, width: usize) {
 pub fn fig17_report(catalog: &Catalog, workers: usize) -> Result<String, CampaignError> {
     const SEED: u64 = 0xF1617;
     const INPUT_GB: f64 = 280.0;
+    let testbed = ClusterSpec::paper_cluster();
     let config = TrainingConfig::default();
     let profiling = ProfilingConfig::default();
     let targets = catalog.training_set();
@@ -82,7 +84,14 @@ pub fn fig17_report(catalog: &Catalog, workers: usize) -> Result<String, Campaig
     let rows = par_map_indexed(&folds, workers, |i, (bench, system)| {
         let mut rng = SimRng::seed_from(fold_seed(SEED, i));
         let moe = MoePolicy::new(system.clone());
-        let (profile, _) = profile_app(bench, INPUT_GB, 40, 64.0, &profiling, &mut rng);
+        let (profile, _) = profile_app(
+            bench,
+            INPUT_GB,
+            testbed.nodes,
+            testbed.node.ram_gb,
+            &profiling,
+            &mut rng,
+        );
         let prediction = moe.predict(&profile)?;
         let slice = profile.expected_slice_gb;
         let predicted = prediction.model.footprint_gb(slice);
@@ -134,6 +143,7 @@ pub fn fig17_report(catalog: &Catalog, workers: usize) -> Result<String, Campaig
 pub fn fig18_report(catalog: &Catalog, workers: usize) -> Result<String, CampaignError> {
     const SEED: u64 = 0xF1618;
     let sweep = [0.003, 0.03, 0.3, 3.0, 10.0, 30.0, 64.0];
+    let testbed = ClusterSpec::paper_cluster();
     let config = TrainingConfig::default();
     let profiling = ProfilingConfig::default();
     let targets = catalog.training_set();
@@ -143,7 +153,14 @@ pub fn fig18_report(catalog: &Catalog, workers: usize) -> Result<String, Campaig
     let panels = par_map_indexed(&folds, workers, |i, (bench, system)| {
         let mut rng = SimRng::seed_from(fold_seed(SEED, i));
         let moe = MoePolicy::new(system.clone());
-        let (profile, _) = profile_app(bench, 280.0, 40, 64.0, &profiling, &mut rng);
+        let (profile, _) = profile_app(
+            bench,
+            280.0,
+            testbed.nodes,
+            testbed.node.ram_gb,
+            &profiling,
+            &mut rng,
+        );
         let prediction = moe.predict(&profile)?;
 
         let mut panel = String::new();

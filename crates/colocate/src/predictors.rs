@@ -631,7 +631,16 @@ mod tests {
 
     fn profile_of(catalog: &Catalog, name: &str, input: f64, rng: &mut SimRng) -> AppProfile {
         let bench = catalog.by_name(name).unwrap();
-        profile_app(bench, input, 40, 64.0, &ProfilingConfig::default(), rng).0
+        let spec = sparklite::ClusterSpec::paper_cluster();
+        profile_app(
+            bench,
+            input,
+            spec.nodes,
+            spec.node.ram_gb,
+            &ProfilingConfig::default(),
+            rng,
+        )
+        .0
     }
 
     #[test]

@@ -161,13 +161,28 @@ mod tests {
     use super::*;
     use workloads::Catalog;
 
+    /// `(nodes, ram_gb)` of the paper testbed — profiling in these tests
+    /// always runs against the paper cluster, via its spec rather than
+    /// bare literals.
+    fn testbed() -> (usize, f64) {
+        let spec = sparklite::ClusterSpec::paper_cluster();
+        (spec.nodes, spec.node.ram_gb)
+    }
+
     #[test]
     fn profiling_measures_plausible_values() {
         let catalog = Catalog::paper();
         let bench = catalog.by_name("HB.PageRank").unwrap();
         let mut rng = SimRng::seed_from(1);
-        let (profile, cost) =
-            profile_app(bench, 30.0, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+        let (nodes, ram) = testbed();
+        let (profile, cost) = profile_app(
+            bench,
+            30.0,
+            nodes,
+            ram,
+            &ProfilingConfig::default(),
+            &mut rng,
+        );
         assert_eq!(profile.input_gb, 30.0);
         assert!(profile.expected_slice_gb > 0.0);
         // Calibration points in increasing order, footprints near truth.
@@ -188,8 +203,9 @@ mod tests {
         let bench = catalog.by_name("HB.Sort").unwrap();
         let mut rng = SimRng::seed_from(2);
         let cfg = ProfilingConfig::default();
-        let (_, small) = profile_app(bench, 30.0, 40, 64.0, &cfg, &mut rng);
-        let (_, large) = profile_app(bench, 1000.0, 40, 64.0, &cfg, &mut rng);
+        let (nodes, ram) = testbed();
+        let (_, small) = profile_app(bench, 30.0, nodes, ram, &cfg, &mut rng);
+        let (_, large) = profile_app(bench, 1000.0, nodes, ram, &cfg, &mut rng);
         // A 33x larger input does not cost 33x more profiling: the slice
         // is bounded by the cluster spreading work across nodes.
         assert!(large.calibration_secs < small.calibration_secs * 33.0);
@@ -200,8 +216,15 @@ mod tests {
         let catalog = Catalog::paper();
         let bench = catalog.by_name("BDB.Grep").unwrap();
         let mut rng = SimRng::seed_from(3);
-        let (profile, cost) =
-            profile_app(bench, 0.3, 40, 64.0, &ProfilingConfig::default(), &mut rng);
+        let (nodes, ram) = testbed();
+        let (profile, cost) = profile_app(
+            bench,
+            0.3,
+            nodes,
+            ram,
+            &ProfilingConfig::default(),
+            &mut rng,
+        );
         assert!(cost.profiled_gb <= 0.3);
         assert!(profile.calibration[1].0 <= 0.3);
     }
@@ -211,8 +234,9 @@ mod tests {
         let catalog = Catalog::paper();
         let bench = catalog.by_name("SB.Hive").unwrap();
         let cfg = ProfilingConfig::default();
-        let (p1, _) = profile_app(bench, 30.0, 40, 64.0, &cfg, &mut SimRng::seed_from(9));
-        let (p2, _) = profile_app(bench, 30.0, 40, 64.0, &cfg, &mut SimRng::seed_from(9));
+        let (nodes, ram) = testbed();
+        let (p1, _) = profile_app(bench, 30.0, nodes, ram, &cfg, &mut SimRng::seed_from(9));
+        let (p2, _) = profile_app(bench, 30.0, nodes, ram, &cfg, &mut SimRng::seed_from(9));
         assert_eq!(p1.features, p2.features);
         assert_eq!(p1.calibration, p2.calibration);
     }

@@ -563,6 +563,10 @@ fn run_schedule_inner(
     let mut oom_kills = 0usize;
     let mut trace: Vec<(f64, Vec<f64>)> = Vec::new();
     let node_ids = engine.cluster().node_ids();
+    // OOM-candidate scratch: only nodes whose final footprints overflow
+    // RAM can ever report OutOfMemory (see ClusterEngine::hot_nodes_into),
+    // so the resolver scans this short list instead of the whole cluster.
+    let mut hot_nodes: Vec<NodeId> = Vec::new();
     let mut guard = 0usize;
     let guard_limit = 200_000usize;
 
@@ -637,7 +641,8 @@ fn run_schedule_inner(
             &resil,
             &node_ids,
         )?;
-        oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil, &node_ids)?;
+        engine.hot_nodes_into(&mut hot_nodes);
+        oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil, &hot_nodes)?;
 
         trace.push((
             t,
@@ -1345,11 +1350,13 @@ fn place_predictive(
     Ok(())
 }
 
-/// Kills executors until no node is out of memory; raises the owning
-/// application's margin so its re-run is conservative. With resilience
-/// enabled it additionally feeds the margin controller, schedules a
-/// backed-off retry for the owner, and quarantines nodes that keep OOMing
-/// within one monitor window.
+/// Kills executors until no candidate node is out of memory; raises the
+/// owning application's margin so its re-run is conservative. `nodes` is
+/// the OOM candidate set — the engine's hot nodes — which provably covers
+/// every node the full-cluster scan could act on (cool nodes always report
+/// `Fits`). With resilience enabled it additionally feeds the margin
+/// controller, schedules a backed-off retry for the owner, and quarantines
+/// nodes that keep OOMing within one monitor window.
 fn resolve_ooms(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],

@@ -1,6 +1,6 @@
 //! The simulation driver: a clock plus an event queue plus a handler loop.
 
-use crate::event::{EventId, EventQueue};
+use crate::event::{EventId, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event simulation engine over events of type `E`.
@@ -51,9 +51,24 @@ impl<E> Engine<E> {
     /// events, avoiding heap reallocation churn in event-dense simulations.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_backend(capacity, QueueBackend::Heap)
+    }
+
+    /// Creates an engine whose pending-event set uses the given
+    /// [`QueueBackend`] — pick [`QueueBackend::Calendar`] for simulations
+    /// with very large event populations (its pop order is pinned
+    /// bit-identical to the default heap).
+    #[must_use]
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Self::with_capacity_and_backend(0, backend)
+    }
+
+    /// Combines [`Engine::with_capacity`] and [`Engine::with_backend`].
+    #[must_use]
+    pub fn with_capacity_and_backend(capacity: usize, backend: QueueBackend) -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: EventQueue::with_capacity(capacity),
+            queue: EventQueue::with_capacity_and_backend(capacity, backend),
             processed: 0,
         }
     }
@@ -226,6 +241,27 @@ mod tests {
         e.run(|eng, _| {
             eng.schedule(SimTime::from_secs(1.0), Ev::Stop);
         });
+    }
+
+    #[test]
+    fn calendar_backend_drives_the_same_schedule() {
+        let mut logs = Vec::new();
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            let mut e = Engine::with_backend(backend);
+            e.schedule(SimTime::ZERO, Ev::Tick(0));
+            let mut log = Vec::new();
+            e.run(|eng, ev| {
+                if let Ev::Tick(n) = ev {
+                    log.push((eng.now().as_secs(), n));
+                    if n < 5 {
+                        eng.schedule_after(SimDuration::from_secs(0.5), Ev::Tick(n + 1));
+                    }
+                }
+            });
+            assert_eq!(e.now(), SimTime::from_secs(2.5));
+            logs.push(log);
+        }
+        assert_eq!(logs[0], logs[1], "backends replay the same schedule");
     }
 
     #[test]

@@ -5,12 +5,23 @@
 //! fire in the order they were inserted. That tie-break is what makes whole
 //! campaigns bit-for-bit replayable from a seed.
 //!
+//! Two interchangeable backends store the pending set, selected at
+//! construction via [`QueueBackend`]:
+//!
+//! * a **binary heap** — O(log n) push/pop, the reference structure;
+//! * a **calendar queue** (bucketed timing wheel, Brown 1988) — amortized
+//!   O(1) push/pop under the roughly uniform event populations long
+//!   simulations produce, with automatic bucket-count/width resizing and a
+//!   lazy *overflow day* holding far-future events until the wheel reaches
+//!   their day. Pop order is pinned bit-identical to the heap (the same
+//!   `(SimTime, sequence)` key) by a property-test oracle.
+//!
 //! Lifecycle bookkeeping (which sequence numbers are live, cancelled or
 //! already fired) lives in a slab: a `VecDeque` of one-byte states indexed
 //! by `sequence - base`, rather than a pair of hash sets. Every push, pop
-//! and cancel is hash-free, and fired prefixes compact away eagerly so the
-//! slab's size tracks the *span* of outstanding events, not the total ever
-//! scheduled.
+//! and cancel is hash-free, and retired prefixes — fired *and* cancelled
+//! slots — compact away eagerly so the slab's size tracks the *span* of
+//! live events, not the total ever scheduled.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -20,11 +31,25 @@ use std::collections::{BinaryHeap, VecDeque};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+/// Which data structure backs an [`EventQueue`]'s pending set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Binary heap: O(log n) push/pop. The default and the reference
+    /// implementation the calendar queue is pinned against.
+    #[default]
+    Heap,
+    /// Calendar queue: a bucketed timing wheel with automatic resizing and
+    /// a lazy overflow day. Amortized O(1) push/pop when event times are
+    /// spread roughly evenly, which is what large simulations produce.
+    Calendar,
+}
+
 /// Lifecycle of one scheduled sequence number.
 ///
-/// Invariant: an event's heap entry exists iff its slot is `Live` or
-/// `Cancelled`; the slot turns `Fired` exactly when the entry leaves the
-/// heap (popped live, or skipped as a tombstone).
+/// Invariant: an event's pending-set entry exists iff its slot is `Live`
+/// or `Cancelled` — or the slot was `Cancelled` and has already compacted
+/// below `base_seq`, in which case the buried tombstone is recognised by
+/// `slot()` returning `None` and skipped without bookkeeping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slot {
     Live,
@@ -60,11 +85,331 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+impl<E: std::fmt::Debug> std::fmt::Debug for Scheduled<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .field("payload", &self.payload)
+            .finish()
+    }
+}
+
+/// Inserts into a vec kept sorted **descending** by `(at, seq)`, so the
+/// earliest entry sits at the end for O(1) removal.
+fn insert_desc<E>(v: &mut Vec<Scheduled<E>>, ev: Scheduled<E>) {
+    let key = (ev.at, ev.seq);
+    let idx = v.partition_point(|e| (e.at, e.seq) > key);
+    v.insert(idx, ev);
+}
+
+/// Smallest bucket count the calendar queue shrinks to.
+const MIN_BUCKETS: usize = 16;
+
+/// A calendar queue (bucketed timing wheel).
+///
+/// Bucket `b` — an *absolute*, unwrapped index — covers times
+/// `[b·width, (b+1)·width)` and is stored at `b % nbuckets`. A *day* is one
+/// full wheel of `nbuckets` buckets. The cursor walks buckets in absolute
+/// order; events in days after the cursor's live in the lazily sorted
+/// `overflow` list and migrate into the wheel when the cursor reaches their
+/// day, so one distant timer never forces a sparse scan of the whole wheel.
+///
+/// Buckets may also hold events from *later laps* (same wrapped index,
+/// later day) after a cursor rewind; the pop path tolerates this by
+/// checking each candidate's absolute bucket against the cursor.
+#[derive(Debug)]
+struct CalendarQueue<E> {
+    /// Bucket width in seconds.
+    width: f64,
+    /// Each bucket sorted descending by `(at, seq)`: its earliest event is
+    /// at the end.
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Absolute bucket index the cursor is on: no pending event maps to an
+    /// earlier absolute bucket.
+    cur_abs: u64,
+    /// The overflow day: events in days after the cursor's. Kept
+    /// unsorted so overflow pushes stay O(1) — near a day boundary most
+    /// pushes land here, and a sorted insert would cost O(len) each —
+    /// and sorted descending by `(at, seq)` lazily, at most once per day
+    /// crossing (see [`CalendarQueue::sort_overflow`]).
+    overflow: Vec<Scheduled<E>>,
+    /// Whether `overflow` is currently sorted descending by `(at, seq)`.
+    overflow_sorted: bool,
+    len: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    fn new() -> Self {
+        CalendarQueue {
+            width: 1.0,
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            cur_abs: 0,
+            overflow: Vec::new(),
+            overflow_sorted: true,
+            len: 0,
+        }
+    }
+
+    fn nbuckets(&self) -> u64 {
+        self.buckets.len() as u64
+    }
+
+    /// Absolute bucket index of a timestamp. The `f64 → u64` cast
+    /// saturates, so far-future times clamp to the last representable
+    /// bucket and still order correctly within it by `(at, seq)`.
+    fn abs_bucket(&self, at: SimTime) -> u64 {
+        (at.as_secs() / self.width) as u64
+    }
+
+    fn push(&mut self, ev: Scheduled<E>) {
+        if self.len + 1 > 2 * self.buckets.len() {
+            self.resize(self.buckets.len() * 2);
+        }
+        let abs = self.abs_bucket(ev.at);
+        if abs < self.cur_abs {
+            // Behind the cursor: rewind. Placement is by absolute time, so
+            // existing entries stay put; the overflow-day invariant (days
+            // strictly after the cursor's) also survives a decrease.
+            self.cur_abs = abs;
+        }
+        let n = self.nbuckets();
+        if abs / n <= self.cur_abs / n {
+            insert_desc(&mut self.buckets[(abs % n) as usize], ev);
+        } else {
+            self.overflow.push(ev);
+            self.overflow_sorted = false;
+        }
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        let b = self.position_min()?;
+        let ev = self.buckets[b].pop();
+        self.len -= 1;
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(self.buckets.len() / 2);
+        }
+        ev
+    }
+
+    fn peek(&mut self) -> Option<&Scheduled<E>> {
+        let b = self.position_min()?;
+        self.buckets[b].last()
+    }
+
+    /// Advances the cursor to the bucket whose last entry is the earliest
+    /// pending event and returns that bucket's wrapped index.
+    fn position_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.nbuckets();
+        for _ in 0..n {
+            let b = (self.cur_abs % n) as usize;
+            if let Some(last) = self.buckets[b].last() {
+                if self.abs_bucket(last.at) == self.cur_abs {
+                    return Some(b);
+                }
+            }
+            self.cur_abs += 1;
+            if self.cur_abs.is_multiple_of(n) {
+                self.migrate_day();
+            }
+        }
+        // A whole lap without a hit: every pending event is at least a day
+        // out. Jump straight to the earliest one instead of spinning.
+        self.direct_seek();
+        Some((self.cur_abs % n) as usize)
+    }
+
+    /// Restores the overflow's descending `(at, seq)` order if pushes
+    /// have disturbed it. Sorting is deterministic (the key is unique) and
+    /// amortized: once sorted, the list stays sorted until the next
+    /// overflow push.
+    fn sort_overflow(&mut self) {
+        if !self.overflow_sorted {
+            self.overflow
+                .sort_unstable_by_key(|ev| std::cmp::Reverse((ev.at, ev.seq)));
+            self.overflow_sorted = true;
+        }
+    }
+
+    /// Pulls overflow events whose day the cursor has reached into their
+    /// buckets.
+    fn migrate_day(&mut self) {
+        self.sort_overflow();
+        let n = self.nbuckets();
+        let day = self.cur_abs / n;
+        while self
+            .overflow
+            .last()
+            .is_some_and(|ev| self.abs_bucket(ev.at) / n <= day)
+        {
+            let Some(ev) = self.overflow.pop() else {
+                break;
+            };
+            let idx = (self.abs_bucket(ev.at) % n) as usize;
+            insert_desc(&mut self.buckets[idx], ev);
+        }
+    }
+
+    /// Sets the cursor to the absolute bucket of the earliest pending
+    /// event (buckets and overflow considered), migrating the overflow day
+    /// forward if the jump crossed into it.
+    fn direct_seek(&mut self) {
+        let mut best: Option<(SimTime, u64)> = None;
+        for bucket in &self.buckets {
+            if let Some(ev) = bucket.last() {
+                let key = (ev.at, ev.seq);
+                if best.is_none_or(|k| key < k) {
+                    best = Some(key);
+                }
+            }
+        }
+        self.sort_overflow();
+        if let Some(ev) = self.overflow.last() {
+            let key = (ev.at, ev.seq);
+            if best.is_none_or(|k| key < k) {
+                best = Some(key);
+            }
+        }
+        if let Some((at, _)) = best {
+            self.cur_abs = self.abs_bucket(at);
+            self.migrate_day();
+        }
+    }
+
+    /// Redistributes every pending event across `new_len` buckets, with
+    /// the bucket width re-estimated from the population's average event
+    /// separation (≈3 separations per bucket, Brown's rule) so occupancy
+    /// stays O(1) per bucket as the queue grows and shrinks. Entirely
+    /// deterministic: the new layout is a function of the queue contents.
+    fn resize(&mut self, new_len: usize) {
+        let new_len = new_len.max(MIN_BUCKETS);
+        let mut all: Vec<Scheduled<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            all.append(bucket);
+        }
+        all.append(&mut self.overflow);
+        all.sort_unstable_by_key(|ev| (ev.at, ev.seq));
+        if all.len() >= 2 {
+            let span = all[all.len() - 1].at.as_secs() - all[0].at.as_secs();
+            let separation = span / (all.len() - 1) as f64;
+            if separation.is_finite() && separation > 0.0 {
+                self.width = separation * 3.0;
+            }
+        }
+        if self.buckets.len() != new_len {
+            self.buckets = (0..new_len).map(|_| Vec::new()).collect();
+        }
+        self.cur_abs = all.first().map_or(0, |ev| self.abs_bucket(ev.at));
+        let n = new_len as u64;
+        let day = self.cur_abs / n;
+        // Descending iteration keeps each destination sorted descending
+        // with plain pushes.
+        for ev in all.into_iter().rev() {
+            let abs = self.abs_bucket(ev.at);
+            if abs / n <= day {
+                self.buckets[(abs % n) as usize].push(ev);
+            } else {
+                self.overflow.push(ev);
+            }
+        }
+        // The descending rebuild leaves the overflow sorted.
+        self.overflow_sorted = true;
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.overflow.clear();
+        self.overflow_sorted = true;
+        self.cur_abs = 0;
+        self.len = 0;
+    }
+
+    fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
+    }
+
+    fn shrink_to_fit(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.shrink_to_fit();
+        }
+        self.overflow.shrink_to_fit();
+    }
+}
+
+/// The backend-dispatched pending set. Both variants store and return
+/// whole [`Scheduled`] entries in `(at, seq)` order; the lifecycle slab in
+/// [`EventQueue`] is backend-agnostic.
+#[derive(Debug)]
+enum Pending<E> {
+    Heap(BinaryHeap<Scheduled<E>>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Pending<E> {
+    fn push(&mut self, ev: Scheduled<E>) {
+        match self {
+            Pending::Heap(h) => h.push(ev),
+            Pending::Calendar(c) => c.push(ev),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        match self {
+            Pending::Heap(h) => h.pop(),
+            Pending::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// Key of the earliest entry. Takes `&mut self`: the calendar queue
+    /// repositions its cursor to answer.
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            Pending::Heap(h) => h.peek().map(|ev| (ev.at, ev.seq)),
+            Pending::Calendar(c) => c.peek().map(|ev| (ev.at, ev.seq)),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Pending::Heap(h) => h.clear(),
+            Pending::Calendar(c) => c.clear(),
+        }
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            Pending::Heap(h) => h.reserve(additional),
+            // Calendar buckets grow organically as events land in them.
+            Pending::Calendar(_) => {}
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            Pending::Heap(h) => h.capacity(),
+            Pending::Calendar(c) => c.capacity(),
+        }
+    }
+
+    fn shrink_to_fit(&mut self) {
+        match self {
+            Pending::Heap(h) => h.shrink_to_fit(),
+            Pending::Calendar(c) => c.shrink_to_fit(),
+        }
+    }
+}
+
 /// A deterministic future-event list.
 ///
 /// Events of type `E` are scheduled for a [`SimTime`] and popped in
 /// `(time, insertion order)` order. Cancellation is lazy: a cancelled event
-/// stays in the heap but is skipped when reached.
+/// stays in the pending set but is skipped when reached.
 ///
 /// # Examples
 ///
@@ -80,24 +425,14 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    pending: Pending<E>,
     next_seq: u64,
     /// Lifecycle slab: state of sequence number `base_seq + i` at index
-    /// `i`. Sequences below `base_seq` have fired and been compacted out.
+    /// `i`. Sequences below `base_seq` have retired and been compacted out.
     states: VecDeque<Slot>,
     base_seq: u64,
     /// Number of `Slot::Live` entries (= the queue's length).
     live_count: usize,
-}
-
-impl<E: std::fmt::Debug> std::fmt::Debug for Scheduled<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scheduled")
-            .field("at", &self.at)
-            .field("seq", &self.seq)
-            .field("payload", &self.payload)
-            .finish()
-    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -107,25 +442,37 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty heap-backed queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            states: VecDeque::new(),
-            base_seq: 0,
-            live_count: 0,
-        }
+        Self::with_capacity_and_backend(0, QueueBackend::Heap)
     }
 
-    /// Creates an empty queue with room for `capacity` pending events, so
-    /// a simulation with a known event population never reallocates the
-    /// heap mid-run.
+    /// Creates an empty queue on the given backend.
+    #[must_use]
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        Self::with_capacity_and_backend(0, backend)
+    }
+
+    /// Creates an empty heap-backed queue with room for `capacity` pending
+    /// events, so a simulation with a known event population never
+    /// reallocates the heap mid-run.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_backend(capacity, QueueBackend::Heap)
+    }
+
+    /// Creates an empty queue on the given backend with room for
+    /// `capacity` pending events (a hint the calendar backend ignores:
+    /// its buckets size themselves from the live population).
+    #[must_use]
+    pub fn with_capacity_and_backend(capacity: usize, backend: QueueBackend) -> Self {
+        let pending = match backend {
+            QueueBackend::Heap => Pending::Heap(BinaryHeap::with_capacity(capacity)),
+            QueueBackend::Calendar => Pending::Calendar(CalendarQueue::new()),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            pending,
             next_seq: 0,
             states: VecDeque::with_capacity(capacity),
             base_seq: 0,
@@ -133,17 +480,26 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// The backend this queue was constructed with.
+    #[must_use]
+    pub fn backend(&self) -> QueueBackend {
+        match self.pending {
+            Pending::Heap(_) => QueueBackend::Heap,
+            Pending::Calendar(_) => QueueBackend::Calendar,
+        }
+    }
+
     /// Reserves room for at least `additional` more pending events on top
     /// of the current length.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.pending.reserve(additional);
         self.states.reserve(additional);
     }
 
-    /// Number of events the heap can hold without reallocating.
+    /// Number of events the pending set can hold without reallocating.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.pending.capacity()
     }
 
     /// State slot of `seq`, if it is still tracked (not compacted away and
@@ -159,12 +515,13 @@ impl<E> EventQueue<E> {
         self.states[idx] = slot;
     }
 
-    /// Drops the fired prefix of the slab: once the oldest tracked
-    /// sequences have left the heap there is nothing to remember about
-    /// them, so long campaigns don't accumulate bookkeeping for every
-    /// event ever scheduled.
+    /// Drops the retired prefix of the slab: `Fired` slots have left the
+    /// pending set, and a leading `Cancelled` slot needs no bookkeeping
+    /// either — its tombstone is recognised later by its sequence falling
+    /// below `base_seq`. Compacting both keeps cancel-heavy workloads from
+    /// holding a needlessly long slab span.
     fn compact_front(&mut self) {
-        while self.states.front() == Some(&Slot::Fired) {
+        while matches!(self.states.front(), Some(Slot::Fired | Slot::Cancelled)) {
             self.states.pop_front();
             self.base_seq += 1;
         }
@@ -174,7 +531,7 @@ impl<E> EventQueue<E> {
     /// [`EventQueue::cancel`].
     pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
         let id = EventId(self.next_seq);
-        self.heap.push(Scheduled {
+        self.pending.push(Scheduled {
             at,
             seq: self.next_seq,
             payload,
@@ -191,6 +548,7 @@ impl<E> EventQueue<E> {
         if self.slot(id.0) == Some(Slot::Live) {
             self.set_slot(id.0, Slot::Cancelled);
             self.live_count -= 1;
+            self.compact_front();
             true
         } else {
             false
@@ -199,13 +557,22 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest live event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(ev) = self.heap.pop() {
-            let was_live = self.slot(ev.seq) == Some(Slot::Live);
-            self.set_slot(ev.seq, Slot::Fired);
-            self.compact_front();
-            if was_live {
-                self.live_count -= 1;
-                return Some((ev.at, ev.payload));
+        while let Some(ev) = self.pending.pop() {
+            match self.slot(ev.seq) {
+                Some(Slot::Live) => {
+                    self.set_slot(ev.seq, Slot::Fired);
+                    self.compact_front();
+                    self.live_count -= 1;
+                    return Some((ev.at, ev.payload));
+                }
+                Some(_) => {
+                    // A cancelled tombstone still tracked: retire its slot.
+                    self.set_slot(ev.seq, Slot::Fired);
+                    self.compact_front();
+                }
+                // Below base_seq: a cancelled tombstone whose slot already
+                // compacted away. Nothing left to record.
+                None => {}
             }
         }
         None
@@ -215,15 +582,17 @@ impl<E> EventQueue<E> {
     /// it. Cancelled tombstones reached at the head are discarded as a
     /// side effect (which is why this takes `&mut self`).
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(ev) = self.heap.peek() {
-            if self.slot(ev.seq) == Some(Slot::Live) {
-                return Some(ev.at);
+        while let Some((at, seq)) = self.pending.peek_key() {
+            if self.slot(seq) == Some(Slot::Live) {
+                return Some(at);
             }
-            // Tombstone: drop the heap entry and retire its slot.
-            let seq = ev.seq;
-            self.heap.pop();
-            self.set_slot(seq, Slot::Fired);
-            self.compact_front();
+            // Tombstone: drop the pending entry and retire its slot if it
+            // has not already compacted away.
+            let _ = self.pending.pop();
+            if self.slot(seq).is_some() {
+                self.set_slot(seq, Slot::Fired);
+                self.compact_front();
+            }
         }
         None
     }
@@ -244,17 +613,17 @@ impl<E> EventQueue<E> {
     /// [`EventQueue::shrink_to_fit`] afterwards to release it when the
     /// queue is reused across differently sized runs.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.pending.clear();
         self.states.clear();
         self.base_seq = self.next_seq;
         self.live_count = 0;
     }
 
-    /// Releases excess capacity held by the heap and the lifecycle slab —
-    /// the `clear`-then-shrink path keeps long campaigns from holding
-    /// peak-size allocations across mixes.
+    /// Releases excess capacity held by the pending set and the lifecycle
+    /// slab — the `clear`-then-shrink path keeps long campaigns from
+    /// holding peak-size allocations across mixes.
     pub fn shrink_to_fit(&mut self) {
-        self.heap.shrink_to_fit();
+        self.pending.shrink_to_fit();
         self.states.shrink_to_fit();
     }
 }
@@ -268,24 +637,34 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    /// Runs a closure against a queue on each backend in turn, so the
+    /// behavioral tests below pin both implementations.
+    fn on_both_backends(mut check: impl FnMut(EventQueue<i64>)) {
+        for backend in [QueueBackend::Heap, QueueBackend::Calendar] {
+            check(EventQueue::with_backend(backend));
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(t(3.0), 'c');
-        q.push(t(1.0), 'a');
-        q.push(t(2.0), 'b');
-        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec!['a', 'b', 'c']);
+        on_both_backends(|mut q| {
+            q.push(t(3.0), 3);
+            q.push(t(1.0), 1);
+            q.push(t(2.0), 2);
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3], "{:?}", q.backend());
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..10 {
-            q.push(t(5.0), i);
-        }
-        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        on_both_backends(|mut q| {
+            for i in 0..10 {
+                q.push(t(5.0), i);
+            }
+            let order: Vec<i64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>(), "{:?}", q.backend());
+        });
     }
 
     #[test]
@@ -319,11 +698,12 @@ mod tests {
 
     #[test]
     fn peek_time_skips_cancelled_head() {
-        let mut q = EventQueue::new();
-        let head = q.push(t(1.0), 1);
-        q.push(t(2.0), 2);
-        q.cancel(head);
-        assert_eq!(q.peek_time(), Some(t(2.0)));
+        on_both_backends(|mut q| {
+            let head = q.push(t(1.0), 1);
+            q.push(t(2.0), 2);
+            q.cancel(head);
+            assert_eq!(q.peek_time(), Some(t(2.0)), "{:?}", q.backend());
+        });
     }
 
     #[test]
@@ -332,18 +712,19 @@ mod tests {
         // row must all be skipped, the cancelled ids must stay dead (a
         // later cancel of them returns false), and the surviving head must
         // still pop normally after the peek.
-        let mut q = EventQueue::new();
-        let a = q.push(t(1.0), 'a');
-        let b = q.push(t(1.5), 'b');
-        q.push(t(2.0), 'c');
-        q.cancel(a);
-        q.cancel(b);
-        assert_eq!(q.peek_time(), Some(t(2.0)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.cancel(a), "tombstone discarded by peek stays dead");
-        assert!(!q.cancel(b));
-        assert_eq!(q.pop().map(|(_, e)| e), Some('c'));
-        assert_eq!(q.peek_time(), None);
+        on_both_backends(|mut q| {
+            let a = q.push(t(1.0), 1);
+            let b = q.push(t(1.5), 2);
+            q.push(t(2.0), 3);
+            q.cancel(a);
+            q.cancel(b);
+            assert_eq!(q.peek_time(), Some(t(2.0)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.cancel(a), "tombstone discarded by peek stays dead");
+            assert!(!q.cancel(b));
+            assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+            assert_eq!(q.peek_time(), None);
+        });
     }
 
     #[test]
@@ -375,15 +756,16 @@ mod tests {
 
     #[test]
     fn clear_empties_queue() {
-        let mut q = EventQueue::new();
-        let id = q.push(t(1.0), 1);
-        q.clear();
-        assert!(q.is_empty());
-        assert!(q.pop().is_none());
-        assert!(!q.cancel(id), "cleared events cannot be cancelled");
-        // The queue remains usable with fresh sequence numbers.
-        q.push(t(2.0), 2);
-        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        on_both_backends(|mut q| {
+            let id = q.push(t(1.0), 1);
+            q.clear();
+            assert!(q.is_empty());
+            assert!(q.pop().is_none());
+            assert!(!q.cancel(id), "cleared events cannot be cancelled");
+            // The queue remains usable with fresh sequence numbers.
+            q.push(t(2.0), 2);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        });
     }
 
     #[test]
@@ -402,6 +784,45 @@ mod tests {
         assert_eq!(popped, 50);
         assert_eq!(q.states.len(), 0, "all slots compacted after drain");
         assert_eq!(q.base_seq, 100);
+    }
+
+    #[test]
+    fn cancelled_prefix_compacts_eagerly() {
+        // A leading run of cancellations must not hold slab slots: only
+        // the live span remains tracked, and the buried tombstones drain
+        // invisibly when the pending set reaches them.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100).map(|i| q.push(t(i as f64), i)).collect();
+        for id in &ids[..60] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 40);
+        assert_eq!(q.states.len(), 40, "cancelled prefix compacted away");
+        assert_eq!(q.base_seq, 60);
+        // Cancelling a compacted id again stays false.
+        assert!(!q.cancel(ids[0]));
+        // The live events still pop in order through the buried tombstones.
+        assert_eq!(q.pop().map(|(_, e)| e), Some(60));
+        assert_eq!(q.base_seq, 61);
+        // Interleaved cancel/pop keeps the slab span equal to the live span.
+        q.cancel(ids[61]);
+        assert_eq!(q.base_seq, 62, "front cancel compacts immediately");
+        assert_eq!(q.pop().map(|(_, e)| e), Some(62));
+        assert_eq!(q.len(), 37);
+        assert_eq!(
+            q.states.len(),
+            37,
+            "slab span tracks live events under interleaved cancel/pop"
+        );
+        // peek_time across a buried tombstone: cancel the head, then peek.
+        q.cancel(ids[63]);
+        assert_eq!(q.peek_time(), Some(t(64.0)));
+        let mut drained = 0;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 36);
+        assert_eq!(q.states.len(), 0);
     }
 
     #[test]
@@ -437,5 +858,63 @@ mod tests {
         // …but draining the rest retires everything.
         while q.pop().is_some() {}
         assert_eq!(q.states.len(), 0);
+    }
+
+    #[test]
+    fn calendar_queue_survives_growth_and_shrink() {
+        // Push enough to force several doublings (and width re-estimates),
+        // drain most to force halvings, and check global order throughout.
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        let n = 1000i64;
+        for i in 0..n {
+            // A scrambled but deterministic time pattern with ties.
+            let at = ((i * 2_654_435_761) % 977) as f64 * 0.25;
+            q.push(t(at), i);
+        }
+        assert_eq!(q.len(), 1000);
+        let mut prev: Option<(SimTime, i64)> = None;
+        let mut popped = 0i64;
+        let mut repushed = 0i64;
+        while let Some((at, e)) = q.pop() {
+            if let Some((pat, pe)) = prev {
+                assert!(
+                    pat < at || (pat == at && pe < e),
+                    "order violation: ({pat}, {pe}) before ({at}, {e})"
+                );
+            }
+            prev = Some((at, e));
+            popped += 1;
+            // Interleave a bounded number of re-pushes early in the drain
+            // to stress cursor rewinds and same-time ties.
+            if popped % 7 == 0 && repushed < 50 {
+                q.push(at, n + repushed);
+                repushed += 1;
+                prev = None; // the re-pushed event shares the popped time
+            }
+        }
+        assert_eq!(popped, n + repushed);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_queue_handles_far_future_overflow_day() {
+        // Events spread across wildly different magnitudes exercise the
+        // overflow day and direct seek: a tight cluster now, one event a
+        // million seconds out, then a rewind behind the cursor.
+        let mut q = EventQueue::with_backend(QueueBackend::Calendar);
+        q.push(t(1e6), 99);
+        for i in 0..20 {
+            q.push(t(i as f64 * 0.01), i);
+        }
+        for i in 0..20 {
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+        }
+        // Everything near has drained; the far event is next.
+        assert_eq!(q.peek_time(), Some(t(1e6)));
+        // A late push behind the cursor must still pop first.
+        q.push(t(0.5), 7);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(7));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(99));
+        assert!(q.pop().is_none());
     }
 }

@@ -68,7 +68,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::Engine;
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueBackend};
 pub use faults::{FaultCursor, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use resource::{ResourceError, ResourcePool};
 pub use rng::SimRng;

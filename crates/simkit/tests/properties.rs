@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use simkit::stats::{Histogram, TimeWeighted, Welford};
-use simkit::{EventQueue, ResourcePool, SimRng, SimTime};
+use simkit::{EventQueue, QueueBackend, ResourcePool, SimRng, SimTime};
 
 proptest! {
     /// Events always pop in non-decreasing time order, regardless of the
@@ -93,6 +93,68 @@ proptest! {
             }
             prop_assert_eq!(q.len(), model.len());
             prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+    }
+
+    /// The calendar-queue backend is pinned **bit-identical** to the
+    /// binary heap: under arbitrary push/cancel/pop/peek/clear
+    /// interleavings the two backends agree on every pop (time *and*
+    /// payload — `(SimTime, seq)` order in both), every cancel verdict,
+    /// every peek and every length. Time generation deliberately mixes
+    /// three magnitudes so the calendar queue's overflow day (events far
+    /// beyond the cursor's day), cursor rewinds (pushes behind the
+    /// cursor) and bucket-resize boundaries (populations crossing the
+    /// 2·nbuckets / nbuckets/4 thresholds) all trigger, and a coarse
+    /// quantisation (rounding to 1/4s) produces frequent exact ties.
+    #[test]
+    fn calendar_queue_matches_heap_oracle(
+        ops in proptest::collection::vec(
+            (0u8..7, 0usize..64, 0.0f64..1e3, 0u8..3),
+            1..300,
+        ),
+    ) {
+        let mut heap = EventQueue::with_backend(QueueBackend::Heap);
+        let mut cal = EventQueue::with_backend(QueueBackend::Calendar);
+        let mut heap_ids = Vec::new();
+        let mut cal_ids = Vec::new();
+        for (i, &(op, pick, time, scale)) in ops.iter().enumerate() {
+            match op {
+                // Pushes are weighted 3:1 against pops so populations grow
+                // enough to cross resize boundaries.
+                0..=2 => {
+                    // Quantised times at three magnitudes: dense ties,
+                    // day-scale spread, far-future overflow.
+                    let secs = match scale {
+                        0 => (time * 4.0).round() / 4.0,
+                        1 => (time * 4.0).round() * 25.0,
+                        _ => (time * 4.0).round() * 1e4,
+                    };
+                    let at = SimTime::from_secs(secs);
+                    heap_ids.push(heap.push(at, i));
+                    cal_ids.push(cal.push(at, i));
+                }
+                3 => {
+                    if !heap_ids.is_empty() {
+                        let k = pick % heap_ids.len();
+                        prop_assert_eq!(heap.cancel(heap_ids[k]), cal.cancel(cal_ids[k]));
+                    }
+                }
+                4 => prop_assert_eq!(heap.pop(), cal.pop()),
+                5 => prop_assert_eq!(heap.peek_time(), cal.peek_time()),
+                _ => {
+                    heap.clear();
+                    cal.clear();
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        // Drain both: the full remaining streams must match exactly.
+        loop {
+            let (h, c) = (heap.pop(), cal.pop());
+            prop_assert_eq!(h, c);
+            if h.is_none() {
+                break;
+            }
         }
     }
 

@@ -67,8 +67,17 @@ impl ClusterSpec {
     /// A small cluster for fast tests.
     #[must_use]
     pub fn small(nodes: usize) -> Self {
+        Self::with_nodes(nodes)
+    }
+
+    /// A cluster of `n` paper-spec nodes: the scale sweep's axis. The
+    /// paper's testbed is [`ClusterSpec::paper_cluster`] (pinned at 40);
+    /// this constructor is how benches and experiments vary node count
+    /// without touching per-node hardware.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
         ClusterSpec {
-            nodes,
+            nodes: n,
             node: NodeSpec::paper_node(),
         }
     }
@@ -227,6 +236,15 @@ mod tests {
         assert_eq!(spec.node.hw_threads, 16);
         assert_eq!(spec.node.ram_gb, 64.0);
         assert_eq!(spec.node.swap_gb, 16.0);
+    }
+
+    #[test]
+    fn with_nodes_scales_count_but_not_hardware() {
+        let spec = ClusterSpec::with_nodes(4000);
+        assert_eq!(spec.nodes, 4000);
+        assert_eq!(spec.node, NodeSpec::paper_node());
+        // The paper testbed stays pinned regardless of sweep scales.
+        assert_eq!(ClusterSpec::paper_cluster().nodes, 40);
     }
 
     #[test]

@@ -13,46 +13,126 @@
 //! (spawn, completion, kill) is reflected in the very next query. This is
 //! the standard piecewise-constant-rate simulation of processor sharing.
 //!
-//! Internally the engine memoizes the rate vector between queries: every
-//! placement mutation (and every `advance`, since actual footprints ramp
-//! with progress) invalidates the cache, and the next query recomputes it
-//! with exactly the arithmetic [`ClusterEngine::current_rates`] performs —
-//! same per-node grouping, same executor-id order, same float operations —
-//! so caching never changes a single output bit (DESIGN.md §11).
+//! Internally the rate cache is **sharded per node** (DESIGN.md §13): a
+//! placement mutation dirties only the touched node's shard, and the next
+//! query recomputes just the dirty shards — with exactly the arithmetic
+//! [`ClusterEngine::current_rates`] performs per node (same member order,
+//! same float operations), so caching never changes a single output bit.
+//! Untouched *cool* nodes (final footprints within RAM) keep their rates
+//! verbatim across `advance` calls: their paging overflow is exactly
+//! `0.0` — footprints only ramp *toward* the final sum, and the
+//! floating-point sum is monotone — so `exp(-0.0) = 1.0` exactly and the
+//! multipliers depend only on CPU demands, which only mutations change.
+//! *Hot* nodes (final footprints above RAM) are re-dirtied on every
+//! `advance`, because their paging factor tracks the ramping occupancy.
+//!
+//! The global next completion is maintained by a tournament tree over
+//! per-node minimum completion keys ([`crate::tourney`]): O(log N) per
+//! dirtied node instead of an O(E) scan per query, with
+//! [`ClusterEngine::next_completion_naive`] retained as the from-scratch
+//! oracle the property tests pin the tree against.
 
 use crate::app::{AppId, AppSpec, AppState};
 use crate::cluster::{Cluster, ClusterSpec, NodeId};
 use crate::executor::{Executor, ExecutorId};
 use crate::perf::{ExecutorDemand, InterferenceModel, MemoryPressure};
+use crate::tourney::{ShardKey, TourneyTree};
 use crate::SparkliteError;
 use simkit::SimRng;
 use std::collections::BTreeMap;
 
-/// Incrementally maintained executor rates.
+/// How the engine's rate cache reacts to placement mutations.
 ///
-/// `rates` holds `(id, GB/s)` pairs parallel to `executors.values()`
-/// (both in executor-id order). It is refreshed lazily on the first query
-/// after an invalidation, re-running exactly the arithmetic
+/// The default sharded mode is a pure optimization: both modes produce
+/// bit-identical simulations. [`RateCacheMode::WholePlacement`] reproduces
+/// the pre-sharding cost model — every mutation invalidates every node —
+/// and exists so the scale bench can measure before/after throughput from
+/// one binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RateCacheMode {
+    /// Mutations dirty only the touched node's shard; queries recompute
+    /// O(dirty) shards.
+    #[default]
+    Sharded,
+    /// Mutations dirty every shard; queries recompute the whole placement,
+    /// like the pre-sharding engine did.
+    WholePlacement,
+}
+
+/// One node's slice of the rate cache.
+#[derive(Debug, Clone, Default)]
+struct NodeShard {
+    /// Ids of live executors on this node, ascending (= spawn order).
+    members: Vec<ExecutorId>,
+    /// Whether the members' *final* footprints overflow RAM. Hot shards
+    /// must refresh after every `advance` (their paging factor ramps);
+    /// cool shards provably keep their multipliers bit-for-bit. Only
+    /// membership or slice mutations change this, so it stays correct on
+    /// clean shards across any number of advances.
+    hot: bool,
+    /// The node's minimum completion key at its last refresh.
+    key: Option<ShardKey>,
+}
+
+/// Incrementally maintained executor rates, sharded per node.
+///
+/// `exec_rates` is parallel to the engine's dense executor storage. Each
+/// shard is refreshed lazily on the first query after a mutation dirties
+/// it, re-running exactly the per-node arithmetic
 /// [`ClusterEngine::current_rates`] performs so cached and from-scratch
-/// values are bit-identical. The remaining vectors are scratch buffers
-/// reused across refreshes, keeping the hot path allocation-free once
-/// they reach steady-state capacity.
-#[derive(Debug, Default)]
+/// values are bit-identical. The scratch vectors are reused across
+/// refreshes, keeping the hot path allocation-free at steady state.
+#[derive(Debug)]
 struct RateCache {
-    valid: bool,
-    rates: Vec<(ExecutorId, f64)>,
-    /// Scratch: per-executor node index, parallel to `rates`.
-    exec_nodes: Vec<usize>,
-    /// Scratch: per-executor demand, parallel to `rates`.
-    exec_demands: Vec<ExecutorDemand>,
-    /// Scratch: executor positions grouped by node (counting sort).
-    grouped: Vec<usize>,
-    /// Scratch: counting-sort offsets, one per node plus a leading slot.
-    cursors: Vec<usize>,
-    /// Scratch: one node's demands, in executor-id order.
+    mode: RateCacheMode,
+    /// Effective rate (GB/s) per executor, parallel to the dense storage.
+    exec_rates: Vec<f64>,
+    shards: Vec<NodeShard>,
+    /// Indices of dirty shards awaiting refresh (each at most once).
+    dirty_stack: Vec<usize>,
+    /// Dirty flag per shard, guarding `dirty_stack` against duplicates.
+    is_dirty: Vec<bool>,
+    /// Tournament tree over the shards' completion keys.
+    tree: TourneyTree,
+    /// Scratch: one node's demands, in member (id) order.
     node_demands: Vec<ExecutorDemand>,
     /// Scratch: one node's rate multipliers.
     multipliers: Vec<f64>,
+    /// Scratch: one node's member positions in the dense storage.
+    member_pos: Vec<usize>,
+    /// Scratch: id-ordered `(id, rate)` pairs for
+    /// [`ClusterEngine::cached_current_rates`].
+    pairs: Vec<(ExecutorId, f64)>,
+}
+
+impl RateCache {
+    fn new(nodes: usize) -> Self {
+        RateCache {
+            mode: RateCacheMode::default(),
+            exec_rates: Vec::new(),
+            shards: vec![NodeShard::default(); nodes],
+            dirty_stack: Vec::new(),
+            is_dirty: vec![false; nodes],
+            tree: TourneyTree::new(nodes),
+            node_demands: Vec::new(),
+            multipliers: Vec::new(),
+            member_pos: Vec::new(),
+            pairs: Vec::new(),
+        }
+    }
+
+    fn mark_dirty(&mut self, node: usize) {
+        if !self.is_dirty[node] {
+            self.is_dirty[node] = true;
+            self.dirty_stack.push(node);
+        }
+    }
+
+    fn mark_all_dirty(&mut self) {
+        for node in 0..self.is_dirty.len() {
+            self.mark_dirty(node);
+        }
+    }
 }
 
 /// The cluster simulation engine.
@@ -63,15 +143,23 @@ pub struct ClusterEngine {
     cluster: Cluster,
     model: InterferenceModel,
     apps: Vec<AppState>,
-    /// Live executors, ordered by id (spawn order) for deterministic
-    /// iteration.
-    executors: BTreeMap<ExecutorId, Executor>,
+    /// Live executors in dense, **unordered** storage: removal is an O(1)
+    /// swap instead of an O(E) shift. Everything that needs id (spawn)
+    /// order goes through `exec_index` or a shard's member list.
+    executors: Vec<Executor>,
+    /// Position of each live executor in `executors`, keyed (and iterated)
+    /// in id order.
+    exec_index: BTreeMap<ExecutorId, usize>,
     next_executor: usize,
     rng: SimRng,
     /// Fixed per-executor startup latency (JVM launch, container
     /// allocation, task scheduling), charged as dead work at the
     /// executor's nominal rate. Zero by default.
     startup_secs: f64,
+    /// Total simulated seconds this engine has advanced — pure
+    /// bookkeeping feeding the completion keys' absolute times; nothing
+    /// in the progress arithmetic reads it.
+    elapsed: f64,
     rate_cache: RateCache,
 }
 
@@ -85,16 +173,29 @@ impl ClusterEngine {
     /// Creates an engine with an explicit seed for footprint-noise draws.
     #[must_use]
     pub fn with_seed(spec: ClusterSpec, model: InterferenceModel, seed: u64) -> Self {
+        let cluster = Cluster::new(spec);
+        let nodes = cluster.len();
         ClusterEngine {
-            cluster: Cluster::new(spec),
+            cluster,
             model,
             apps: Vec::new(),
-            executors: BTreeMap::new(),
+            executors: Vec::new(),
+            exec_index: BTreeMap::new(),
             next_executor: 0,
             rng: SimRng::seed_from(seed),
             startup_secs: 0.0,
-            rate_cache: RateCache::default(),
+            elapsed: 0.0,
+            rate_cache: RateCache::new(nodes),
         }
+    }
+
+    /// Selects the rate-cache invalidation mode. Both modes simulate
+    /// bit-identically; [`RateCacheMode::WholePlacement`] merely recomputes
+    /// more (it reproduces the pre-sharding cost model for benchmarking).
+    pub fn set_rate_cache_mode(&mut self, mode: RateCacheMode) {
+        self.rate_cache.mode = mode;
+        // Re-derive everything under the new regime.
+        self.rate_cache.mark_all_dirty();
     }
 
     /// Sets the fixed startup latency charged to every newly spawned
@@ -112,6 +213,12 @@ impl ClusterEngine {
     #[must_use]
     pub fn executor_startup_secs(&self) -> f64 {
         self.startup_secs
+    }
+
+    /// Total simulated seconds accumulated by [`ClusterEngine::advance`].
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed
     }
 
     /// The cluster.
@@ -166,8 +273,9 @@ impl ClusterEngine {
     /// Returns [`SparkliteError::UnknownExecutor`] if it finished or never
     /// existed.
     pub fn executor(&self, id: ExecutorId) -> Result<&Executor, SparkliteError> {
-        self.executors
+        self.exec_index
             .get(&id)
+            .map(|&pos| &self.executors[pos])
             .ok_or(SparkliteError::UnknownExecutor(id.0))
     }
 
@@ -181,25 +289,28 @@ impl ClusterEngine {
     }
 
     /// Iterates ids of live executors on `node`, in spawn order, without
-    /// allocating.
+    /// allocating. O(members), served from the node's shard.
     pub fn node_executors_iter(&self, node: NodeId) -> impl Iterator<Item = ExecutorId> + '_ {
-        self.executors_on(node).map(Executor::id)
+        self.rate_cache.shards[node.index()].members.iter().copied()
     }
 
     /// Iterates live executors on `node`, in spawn order.
     pub fn executors_on(&self, node: NodeId) -> impl Iterator<Item = &Executor> {
-        self.executors.values().filter(move |e| e.node() == node)
+        self.rate_cache.shards[node.index()]
+            .members
+            .iter()
+            .filter_map(move |id| self.exec_index.get(id).map(|&pos| &self.executors[pos]))
     }
 
     /// Number of live executors on `node`.
     #[must_use]
     pub fn node_executor_count(&self, node: NodeId) -> usize {
-        self.executors_on(node).count()
+        self.rate_cache.shards[node.index()].members.len()
     }
 
     /// Iterates all live executors cluster-wide, in spawn (id) order.
     pub fn executors_iter(&self) -> impl Iterator<Item = &Executor> {
-        self.executors.values()
+        self.exec_index.values().map(|&pos| &self.executors[pos])
     }
 
     /// Number of live executors cluster-wide.
@@ -220,6 +331,14 @@ impl ClusterEngine {
     /// computing cycle is wasted on profiling").
     pub fn credit_profiled(&mut self, app: AppId, gb: f64) {
         self.apps[app.0].credit_profiled(gb);
+    }
+
+    /// Marks `node`'s shard dirty under the cache's invalidation mode.
+    fn invalidate(&mut self, node: NodeId) {
+        match self.rate_cache.mode {
+            RateCacheMode::Sharded => self.rate_cache.mark_dirty(node.index()),
+            RateCacheMode::WholePlacement => self.rate_cache.mark_all_dirty(),
+        }
     }
 
     /// Spawns an executor for `app` on `node`:
@@ -276,21 +395,46 @@ impl ClusterEngine {
         let cpu = spec.cpu_util;
         let id = ExecutorId(self.next_executor);
         self.next_executor += 1;
-        self.executors.insert(
+        let pos = self.executors.len();
+        self.executors.push(Executor::new(
             id,
-            Executor::new(
-                id,
-                app,
-                node,
-                taken,
-                reserve_gb,
-                actual,
-                cpu,
-                self.startup_secs * spec.rate_gb_per_s,
-            ),
-        );
-        self.rate_cache.valid = false;
+            app,
+            node,
+            taken,
+            reserve_gb,
+            actual,
+            cpu,
+            self.startup_secs * spec.rate_gb_per_s,
+        ));
+        self.exec_index.insert(id, pos);
+        // A placeholder until the dirtied shard refreshes.
+        self.rate_cache.exec_rates.push(0.0);
+        // Ids increase monotonically, so a push keeps members sorted.
+        self.rate_cache.shards[node.index()].members.push(id);
+        self.invalidate(node);
         Ok(Some(id))
+    }
+
+    /// Removes executor `id` from the dense storage, its shard's member
+    /// list and the position index, dirtying its node. O(log E) plus an
+    /// O(members) shift in the member list.
+    fn take_executor(&mut self, id: ExecutorId) -> Option<Executor> {
+        let pos = self.exec_index.remove(&id)?;
+        let exec = self.executors.swap_remove(pos);
+        self.rate_cache.exec_rates.swap_remove(pos);
+        if pos < self.executors.len() {
+            // The former tail moved into `pos`: re-point its index entry.
+            let moved = self.executors[pos].id();
+            if let Some(entry) = self.exec_index.get_mut(&moved) {
+                *entry = pos;
+            }
+        }
+        let shard = &mut self.rate_cache.shards[exec.node().index()];
+        if let Ok(m) = shard.members.binary_search(&id) {
+            shard.members.remove(m);
+        }
+        self.invalidate(exec.node());
+        Some(exec)
     }
 
     /// Extends a live executor's slice with more of its application's
@@ -311,11 +455,14 @@ impl ClusterEngine {
         extra_gb: f64,
         extra_reserve_gb: f64,
     ) -> Result<f64, SparkliteError> {
-        let exec = self
-            .executors
-            .get_mut(&id)
+        let pos = *self
+            .exec_index
+            .get(&id)
             .ok_or(SparkliteError::UnknownExecutor(id.0))?;
-        let (app, node) = (exec.app(), exec.node());
+        let (app, node) = {
+            let exec = &self.executors[pos];
+            (exec.app(), exec.node())
+        };
         if !self.cluster.node(node).is_online() {
             return Err(SparkliteError::NodeOffline(node.index()));
         }
@@ -327,10 +474,11 @@ impl ClusterEngine {
         }
         let spec = self.apps[app.0].spec();
         let noise = self.rng.relative_noise(spec.footprint_noise_sd);
+        let exec = &mut self.executors[pos];
         let new_slice = exec.slice_gb() + taken;
         let new_actual = spec.true_footprint_gb(new_slice) * noise;
         exec.extend(taken, extra_reserve_gb, new_actual);
-        self.rate_cache.valid = false;
+        self.invalidate(node);
         Ok(taken)
     }
 
@@ -340,13 +488,34 @@ impl ClusterEngine {
     #[must_use]
     pub fn memory_pressure(&self, node: NodeId) -> MemoryPressure {
         let total: f64 = self
-            .executors
-            .values()
-            .filter(|e| e.node() == node)
+            .executors_on(node)
             .map(Executor::current_actual_gb)
             .sum();
         let spec = self.cluster.node(node).spec();
         self.model.memory_pressure(total, spec.ram_gb, spec.swap_gb)
+    }
+
+    /// Nodes whose executors' **final** footprints overflow RAM, in index
+    /// order — the only nodes that can ever page or go out-of-memory.
+    ///
+    /// Current occupancy never exceeds the final footprint
+    /// ([`Executor::current_actual_gb`] ramps toward `actual_gb`) and the
+    /// floating-point sum is monotone per operand, so a node absent from
+    /// this list is guaranteed [`MemoryPressure::Fits`]: scanning only
+    /// these candidates for OOM resolution visits exactly the nodes the
+    /// full scan could ever act on. Takes `&mut self` to refresh dirty
+    /// shards first (the hot flags must reflect pending mutations).
+    pub fn hot_nodes_into(&mut self, out: &mut Vec<NodeId>) {
+        self.refresh_rates();
+        out.clear();
+        out.extend(
+            self.rate_cache
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.hot)
+                .map(|(i, _)| NodeId(i)),
+        );
     }
 
     /// The youngest executor on `node` — the conventional OOM-kill victim.
@@ -359,7 +528,8 @@ impl ClusterEngine {
     /// most recently started process.
     #[must_use]
     pub fn oom_victim(&self, node: NodeId) -> Option<ExecutorId> {
-        self.node_executors_iter(node).max()
+        // Members are sorted ascending, so the max is the last.
+        self.rate_cache.shards[node.index()].members.last().copied()
     }
 
     /// Kills a live executor: its **entire slice** returns to the app's
@@ -372,10 +542,8 @@ impl ClusterEngine {
     /// Returns [`SparkliteError::UnknownExecutor`] for dead ids.
     pub fn kill_executor(&mut self, id: ExecutorId) -> Result<f64, SparkliteError> {
         let exec = self
-            .executors
-            .remove(&id)
+            .take_executor(id)
             .ok_or(SparkliteError::UnknownExecutor(id.0))?;
-        self.rate_cache.valid = false;
         self.apps[exec.app().0].abort_slice(0.0, exec.slice_gb());
         self.cluster
             .node_mut(exec.node())
@@ -422,7 +590,7 @@ impl ClusterEngine {
             lost.push((owner, slice));
         }
         self.cluster.node_mut(node).set_online(false);
-        self.rate_cache.valid = false;
+        self.invalidate(node);
         Ok(lost)
     }
 
@@ -437,108 +605,120 @@ impl ClusterEngine {
             return Err(SparkliteError::UnknownNode(node.index()));
         }
         self.cluster.node_mut(node).set_online(true);
-        self.rate_cache.valid = false;
+        self.invalidate(node);
         Ok(())
     }
 
-    /// Recomputes the rate cache if a mutation invalidated it.
+    /// Refreshes every dirty shard of the rate cache.
     ///
-    /// Executors are grouped by node with a counting sort — one O(E + N)
-    /// pass instead of a per-node filter scan — and within each node the
-    /// grouped positions stay in executor-id order (stable placement over
-    /// an id-ordered iteration). Nodes are then visited in index order, so
-    /// every demand vector, multiplier call and `nominal * multiplier`
-    /// product happens with exactly the operands and order of
-    /// [`ClusterEngine::current_rates`]: the cache is bit-identical to a
-    /// from-scratch recomputation.
+    /// Per shard: demands are gathered in member (id) order — exactly the
+    /// order [`ClusterEngine::current_rates`] visits a node's executors —
+    /// the multipliers come from the same
+    /// [`InterferenceModel::rate_multipliers_into`] call, and each rate is
+    /// the same `nominal * multiplier` product, so a refreshed shard is
+    /// bit-identical to a from-scratch recomputation. The shard's `hot`
+    /// flag and minimum completion key are recomputed alongside and the
+    /// tournament tree is updated. Shards are independent, so refresh
+    /// order cannot affect any value.
     fn refresh_rates(&mut self) {
-        if self.rate_cache.valid {
+        if self.rate_cache.dirty_stack.is_empty() {
             return;
         }
         let apps = &self.apps;
         let executors = &self.executors;
+        let exec_index = &self.exec_index;
         let cluster = &self.cluster;
         let model = &self.model;
-        let cache = &mut self.rate_cache;
+        let elapsed = self.elapsed;
+        let RateCache {
+            exec_rates,
+            shards,
+            dirty_stack,
+            is_dirty,
+            tree,
+            node_demands,
+            multipliers,
+            member_pos,
+            ..
+        } = &mut self.rate_cache;
 
-        cache.rates.clear();
-        cache.exec_nodes.clear();
-        cache.exec_demands.clear();
-        for e in executors.values() {
-            cache
-                .rates
-                .push((e.id(), apps[e.app().0].spec().rate_gb_per_s));
-            cache.exec_nodes.push(e.node().index());
-            cache.exec_demands.push(ExecutorDemand {
-                cpu_util: e.cpu_util(),
-                actual_gb: e.current_actual_gb(),
-            });
-        }
+        while let Some(n) = dirty_stack.pop() {
+            is_dirty[n] = false;
+            let shard = &mut shards[n];
+            node_demands.clear();
+            member_pos.clear();
+            for id in &shard.members {
+                let Some(&pos) = exec_index.get(id) else {
+                    debug_assert!(false, "shard member {id} missing from the index");
+                    continue;
+                };
+                member_pos.push(pos);
+                let e = &executors[pos];
+                node_demands.push(ExecutorDemand {
+                    cpu_util: e.cpu_util(),
+                    actual_gb: e.current_actual_gb(),
+                });
+            }
+            let ram = cluster.node(NodeId(n)).spec().ram_gb;
+            model.rate_multipliers_into(node_demands, ram, multipliers);
 
-        let n = cluster.len();
-        cache.cursors.clear();
-        cache.cursors.resize(n + 1, 0);
-        for &node in &cache.exec_nodes {
-            cache.cursors[node + 1] += 1;
-        }
-        for i in 0..n {
-            cache.cursors[i + 1] += cache.cursors[i];
-        }
-        cache.grouped.clear();
-        cache.grouped.resize(cache.exec_nodes.len(), 0);
-        for (pos, &node) in cache.exec_nodes.iter().enumerate() {
-            cache.grouped[cache.cursors[node]] = pos;
-            cache.cursors[node] += 1;
-        }
-
-        // After placement, `cursors[i]` is the end of node i's range.
-        let mut start = 0;
-        for node_idx in 0..n {
-            let end = cache.cursors[node_idx];
-            if end > start {
-                cache.node_demands.clear();
-                cache.node_demands.extend(
-                    cache.grouped[start..end]
-                        .iter()
-                        .map(|&p| cache.exec_demands[p]),
-                );
-                let ram = cluster.node(NodeId(node_idx)).spec().ram_gb;
-                model.rate_multipliers_into(&cache.node_demands, ram, &mut cache.multipliers);
-                // `rates` holds the nominal rate; multiplying in place is
-                // the same `nominal * mult` product `current_rates` forms.
-                for (&pos, &mult) in cache.grouped[start..end].iter().zip(&cache.multipliers) {
-                    cache.rates[pos].1 *= mult;
+            let mut final_total = 0.0f64;
+            let mut best: Option<(f64, ExecutorId)> = None;
+            for (&pos, &mult) in member_pos.iter().zip(multipliers.iter()) {
+                let e = &executors[pos];
+                let nominal = apps[e.app().0].spec().rate_gb_per_s;
+                let rate = nominal * mult;
+                exec_rates[pos] = rate;
+                final_total += e.actual_gb();
+                let cand = (e.remaining_work_gb() / rate.max(1e-12), e.id());
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
                 }
             }
-            start = end;
+            shard.hot = final_total > ram;
+            shard.key = best.map(|(dt, id)| ShardKey {
+                t: elapsed + dt,
+                elapsed,
+                dt,
+                id,
+            });
+            tree.update(n, shard.key);
         }
-        cache.valid = true;
     }
 
     /// Effective rates under the current placement served from the
     /// engine's incremental cache, as `(executor id, GB/s)` pairs in id
-    /// order. Refreshes the cache if a mutation invalidated it;
+    /// order. Refreshes dirty shards if mutations invalidated them;
     /// bit-identical to [`ClusterEngine::current_rates`].
     pub fn cached_current_rates(&mut self) -> &[(ExecutorId, f64)] {
         self.refresh_rates();
-        &self.rate_cache.rates
+        let exec_rates = &self.rate_cache.exec_rates;
+        let executors = &self.executors;
+        self.rate_cache.pairs.clear();
+        self.rate_cache.pairs.extend(
+            self.exec_index
+                .iter()
+                .map(|(&id, &pos)| (id, exec_rates[pos])),
+        );
+        let _ = executors;
+        &self.rate_cache.pairs
     }
 
     /// Effective processing rate (GB/s) of each live executor under the
     /// current placement, keyed by executor id.
     ///
     /// Always recomputes from scratch and allocates the map; this is the
-    /// reference implementation the rate cache is checked against. Hot
-    /// paths use [`ClusterEngine::cached_current_rates`] instead.
+    /// reference implementation the sharded cache is checked against. It
+    /// deliberately bypasses the shard membership lists (it sorts the
+    /// dense storage itself), so it cross-checks those too. Hot paths use
+    /// [`ClusterEngine::cached_current_rates`] instead.
     #[must_use]
     pub fn current_rates(&self) -> BTreeMap<ExecutorId, f64> {
+        let mut by_id: Vec<&Executor> = self.executors.iter().collect();
+        by_id.sort_by_key(|e| e.id());
         let mut rates = BTreeMap::new();
         for node in self.cluster.node_ids() {
-            let execs: Vec<&Executor> = self
-                .executors
-                .values()
-                .filter(|e| e.node() == node)
-                .collect();
+            let execs: Vec<&&Executor> = by_id.iter().filter(|e| e.node() == node).collect();
             if execs.is_empty() {
                 continue;
             }
@@ -564,16 +744,35 @@ impl ClusterEngine {
     /// together with the finisher (earliest; ties broken by id). `None`
     /// when no executors are live.
     ///
-    /// Takes `&mut self` only to refresh the rate cache; the simulation
-    /// state is otherwise untouched.
+    /// Served by the tournament tree in O(log N) after refreshing dirty
+    /// shards; the returned delay is always recomputed fresh from the
+    /// winner's live state, so it carries exactly the bits
+    /// [`ClusterEngine::next_completion_naive`] would produce. Takes
+    /// `&mut self` only to refresh the rate cache; the simulation state is
+    /// otherwise untouched.
     pub fn next_completion(&mut self) -> Option<(f64, ExecutorId)> {
         self.refresh_rates();
-        self.executors
-            .values()
-            .zip(&self.rate_cache.rates)
-            .map(|(e, &(_, r))| {
+        let (key, _) = self.rate_cache.tree.winner()?;
+        let &pos = self.exec_index.get(&key.id)?;
+        let e = &self.executors[pos];
+        let rate = self.rate_cache.exec_rates[pos].max(1e-12);
+        Some((e.remaining_work_gb() / rate, e.id()))
+    }
+
+    /// From-scratch reference for [`ClusterEngine::next_completion`]: the
+    /// `(delay, id)`-lexicographic minimum over all live executors with
+    /// rates recomputed by [`ClusterEngine::current_rates`]. O(N·E) and
+    /// allocating — this is the oracle the property tests pin the
+    /// tournament tree against, not a production path.
+    #[must_use]
+    pub fn next_completion_naive(&self) -> Option<(f64, ExecutorId)> {
+        let rates = self.current_rates();
+        rates
+            .iter()
+            .map(|(&id, &r)| {
+                let pos = self.exec_index[&id];
                 let rate = r.max(1e-12);
-                (e.remaining_work_gb() / rate, e.id())
+                (self.executors[pos].remaining_work_gb() / rate, id)
             })
             // Times are finite (rates are clamped away from zero), so the
             // partial order is total here; `Equal` would only ever keep
@@ -582,6 +781,16 @@ impl ClusterEngine {
     }
 
     /// Advances every live executor by `dt` seconds at current rates.
+    ///
+    /// The progress integration is the same executor-local
+    /// `advance(rate · dt)` whatever the storage order (no cross-executor
+    /// arithmetic), so the dense unordered scan is bit-identical to an
+    /// id-ordered one. Afterwards, hot shards are re-dirtied (their paging
+    /// factors track the ramping occupancy) and so is any shard whose
+    /// executor just finished (its completion key must go fresh so
+    /// same-instant ties resolve in id order, as the oracle does); cool
+    /// shards keep rates and keys — their multipliers are provably
+    /// unchanged and their keys store absolute completion times.
     ///
     /// # Panics
     ///
@@ -592,13 +801,44 @@ impl ClusterEngine {
             return;
         }
         self.refresh_rates();
-        debug_assert_eq!(self.rate_cache.rates.len(), self.executors.len());
-        for (exec, &(_, rate)) in self.executors.values_mut().zip(&self.rate_cache.rates) {
+        let RateCache {
+            mode,
+            exec_rates,
+            shards,
+            dirty_stack,
+            is_dirty,
+            ..
+        } = &mut self.rate_cache;
+        debug_assert_eq!(exec_rates.len(), self.executors.len());
+        for (exec, &rate) in self.executors.iter_mut().zip(exec_rates.iter()) {
             exec.advance(rate * dt);
+            if exec.is_done() {
+                let n = exec.node().index();
+                if !is_dirty[n] {
+                    is_dirty[n] = true;
+                    dirty_stack.push(n);
+                }
+            }
         }
-        // Actual footprints ramp with progress, so the rates are stale
-        // the moment time passes.
-        self.rate_cache.valid = false;
+        self.elapsed += dt;
+        match mode {
+            RateCacheMode::Sharded => {
+                for (n, shard) in shards.iter().enumerate() {
+                    if shard.hot && !is_dirty[n] {
+                        is_dirty[n] = true;
+                        dirty_stack.push(n);
+                    }
+                }
+            }
+            RateCacheMode::WholePlacement => {
+                for (n, dirty) in is_dirty.iter_mut().enumerate().take(shards.len()) {
+                    if !*dirty {
+                        *dirty = true;
+                        dirty_stack.push(n);
+                    }
+                }
+            }
+        }
     }
 
     /// Completes an executor whose slice is done: releases its reservation
@@ -609,20 +849,16 @@ impl ClusterEngine {
     /// Returns [`SparkliteError::UnknownExecutor`] for dead ids and
     /// [`SparkliteError::InvalidState`] if the slice is not finished yet.
     pub fn complete_executor(&mut self, id: ExecutorId) -> Result<(), SparkliteError> {
-        let exec = self
-            .executors
-            .get(&id)
-            .ok_or(SparkliteError::UnknownExecutor(id.0))?;
+        let exec = self.executor(id)?;
         if !exec.is_done() {
             return Err(SparkliteError::InvalidState(format!(
                 "{id} still has {:.3} GB remaining",
                 exec.remaining_gb()
             )));
         }
-        let Some(exec) = self.executors.remove(&id) else {
+        let Some(exec) = self.take_executor(id) else {
             return Err(SparkliteError::UnknownExecutor(id.0));
         };
-        self.rate_cache.valid = false;
         self.apps[exec.app().0].finish_slice(exec.slice_gb());
         self.cluster
             .node_mut(exec.node())
@@ -632,15 +868,11 @@ impl ClusterEngine {
 
     /// Instantaneous CPU load of `node` as a fraction in `[0, 1]`: the sum
     /// of executor demands, capped at capacity. This is what the resource
-    /// monitor daemon reports (§4.2) and what Fig. 7 plots.
+    /// monitor daemon reports (§4.2) and what Fig. 7 plots. O(members),
+    /// served from the node's shard.
     #[must_use]
     pub fn node_cpu_load(&self, node: NodeId) -> f64 {
-        let total: f64 = self
-            .executors
-            .values()
-            .filter(|e| e.node() == node)
-            .map(Executor::cpu_util)
-            .sum();
+        let total: f64 = self.executors_on(node).map(Executor::cpu_util).sum();
         total.min(1.0)
     }
 
@@ -788,6 +1020,45 @@ mod tests {
         assert_eq!(eng.oom_victim(node), Some(first));
         eng.kill_executor(first).unwrap();
         assert_eq!(eng.oom_victim(node), None);
+    }
+
+    #[test]
+    fn hot_nodes_track_final_footprints() {
+        let mut eng = engine(2);
+        let nodes = eng.cluster().node_ids();
+        // A cool app (final 6 GB) on node 0, a hot pair (45 GB each,
+        // 90 GB total > 64 GB RAM) on node 1.
+        let cool = eng.submit(linear_app("cool", 10.0, 0.3));
+        let big = AppSpec {
+            memory_curve: FittedCurve {
+                family: CurveFamily::Linear,
+                m: 0.0,
+                b: 45.0,
+            },
+            ..linear_app("big", 100.0, 0.3)
+        };
+        let h = eng.submit(big);
+        eng.spawn_executor(cool, nodes[0], 10.0, 6.0)
+            .unwrap()
+            .unwrap();
+        let mut hot = Vec::new();
+        eng.hot_nodes_into(&mut hot);
+        assert!(hot.is_empty(), "a 6 GB footprint cannot page");
+        let v1 = eng
+            .spawn_executor(h, nodes[1], 50.0, 20.0)
+            .unwrap()
+            .unwrap();
+        let v2 = eng
+            .spawn_executor(h, nodes[1], 50.0, 20.0)
+            .unwrap()
+            .unwrap();
+        eng.hot_nodes_into(&mut hot);
+        assert_eq!(hot, vec![nodes[1]], "only the overloaded node is hot");
+        // Killing the pair cools the node again.
+        eng.kill_executor(v2).unwrap();
+        eng.kill_executor(v1).unwrap();
+        eng.hot_nodes_into(&mut hot);
+        assert!(hot.is_empty());
     }
 
     #[test]
@@ -999,5 +1270,103 @@ mod tests {
         eng.advance(1.0);
         eng.complete_executor(id).unwrap();
         assert!(eng.all_finished());
+    }
+
+    #[test]
+    fn whole_placement_mode_is_bit_identical() {
+        // The WholePlacement cost model must be invisible in every output:
+        // drive two engines through the same mixed workload and compare
+        // rates, completions and progress bit-for-bit at each step.
+        let mk = || {
+            let mut eng =
+                ClusterEngine::with_seed(ClusterSpec::small(3), InterferenceModel::default(), 7);
+            let mut specs = Vec::new();
+            for i in 0..3 {
+                let mut spec = linear_app(&format!("app{i}"), 40.0, 0.3 + 0.1 * i as f64);
+                spec.footprint_noise_sd = 0.04;
+                specs.push(eng.submit(spec));
+            }
+            (eng, specs)
+        };
+        let (mut a, apps_a) = mk();
+        let (mut b, apps_b) = mk();
+        b.set_rate_cache_mode(RateCacheMode::WholePlacement);
+        assert_eq!(apps_a, apps_b);
+        let nodes = a.cluster().node_ids();
+        for step in 0..30 {
+            let app = apps_a[step % 3];
+            let node = nodes[step % 3];
+            let ra = a.spawn_executor(app, node, 8.0, 7.0);
+            let rb = b.spawn_executor(app, node, 8.0, 7.0);
+            assert_eq!(ra, rb, "step {step}");
+            let ca = a.cached_current_rates().to_vec();
+            let cb = b.cached_current_rates().to_vec();
+            assert_eq!(ca.len(), cb.len());
+            for ((ia, ra), (ib, rb)) in ca.iter().zip(cb.iter()) {
+                assert_eq!(ia, ib);
+                assert_eq!(ra.to_bits(), rb.to_bits(), "step {step}");
+            }
+            let na = a.next_completion();
+            let nb = b.next_completion();
+            match (na, nb) {
+                (Some((da, ia)), Some((db, ib))) => {
+                    assert_eq!(da.to_bits(), db.to_bits(), "step {step}");
+                    assert_eq!(ia, ib, "step {step}");
+                    let dt = da * 0.5;
+                    a.advance(dt);
+                    b.advance(dt);
+                }
+                (x, y) => assert_eq!(x.map(|(_, i)| i), y.map(|(_, i)| i)),
+            }
+        }
+    }
+
+    #[test]
+    fn next_completion_matches_naive_oracle_through_a_workload() {
+        let mut eng =
+            ClusterEngine::with_seed(ClusterSpec::small(4), InterferenceModel::default(), 11);
+        let apps: Vec<AppId> = (0..4)
+            .map(|i| eng.submit(linear_app(&format!("a{i}"), 60.0, 0.25 + 0.05 * i as f64)))
+            .collect();
+        let nodes = eng.cluster().node_ids();
+        for (i, &app) in apps.iter().enumerate() {
+            eng.spawn_executor(app, nodes[i % 4], 12.0, 8.0)
+                .unwrap()
+                .unwrap();
+            eng.spawn_executor(app, nodes[(i + 1) % 4], 12.0, 8.0)
+                .unwrap()
+                .unwrap();
+        }
+        // Drive the scheduler's advance-to-completion loop, checking the
+        // tree against the oracle before every step.
+        for _ in 0..64 {
+            let fast = eng.next_completion();
+            let slow = eng.next_completion_naive();
+            match (fast, slow) {
+                (Some((df, wf)), Some((ds, ws))) => {
+                    assert_eq!(wf, ws, "winner identity");
+                    assert_eq!(df.to_bits(), ds.to_bits(), "winner delay");
+                    eng.advance(df);
+                    eng.complete_executor(wf).unwrap();
+                }
+                (f, s) => {
+                    assert_eq!(f.map(|(_, w)| w), s.map(|(_, w)| w));
+                    break;
+                }
+            }
+        }
+        assert_eq!(eng.live_executors(), 0);
+    }
+
+    #[test]
+    fn elapsed_accumulates_advances() {
+        let mut eng = engine(1);
+        assert_eq!(eng.elapsed_secs(), 0.0);
+        let app = eng.submit(linear_app("a", 10.0, 0.3));
+        let node = eng.cluster().node_ids()[0];
+        eng.spawn_executor(app, node, 10.0, 6.0).unwrap().unwrap();
+        eng.advance(2.5);
+        eng.advance(1.5);
+        assert_eq!(eng.elapsed_secs(), 4.0);
     }
 }

@@ -68,10 +68,11 @@ pub mod executor;
 pub mod monitor;
 pub mod perf;
 pub mod stages;
+mod tourney;
 
 pub use app::{AppId, AppSpec};
 pub use cluster::{ClusterSpec, NodeId, NodeSpec};
-pub use engine::ClusterEngine;
+pub use engine::{ClusterEngine, RateCacheMode};
 pub use executor::ExecutorId;
 
 use std::fmt;

@@ -137,9 +137,13 @@ proptest! {
             InterferenceModel::default(),
             seed,
         );
-        let apps: Vec<_> = (0..3)
+        let mut apps: Vec<_> = (0..3)
             .map(|i| eng.submit(app(500.0, 0.2 + 0.2 * i as f64, 0.3)))
             .collect();
+        // A memory hog whose executors overflow RAM, so the sequences
+        // exercise hot shards (paging factors that ramp under advance)
+        // and not just the cool fast path.
+        apps.push(eng.submit(app(500.0, 0.3, 2.5)));
         let nodes = eng.cluster().node_ids();
         for &(op, pick, amount) in &ops {
             match op {
@@ -179,6 +183,21 @@ proptest! {
                     rate.to_bits() == reference.to_bits(),
                     "cached rate for {:?} is {}, reference {}", id, rate, reference
                 );
+            }
+            // The tournament tree's next completion must match the
+            // from-scratch (dt, id)-lexicographic scan exactly — same
+            // winner, same delay bits.
+            let fast = eng.next_completion();
+            let slow = eng.next_completion_naive();
+            match (fast, slow) {
+                (Some((df, wf)), Some((ds, ws))) => {
+                    prop_assert_eq!(wf, ws, "tree winner vs naive winner");
+                    prop_assert!(
+                        df.to_bits() == ds.to_bits(),
+                        "tree delay {} vs naive delay {}", df, ds
+                    );
+                }
+                (f, s) => prop_assert_eq!(f.map(|x| x.1), s.map(|x| x.1)),
             }
         }
     }

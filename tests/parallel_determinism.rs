@@ -15,9 +15,13 @@ use sparklite::cluster::ClusterSpec;
 use workloads::{Catalog, MixScenario};
 
 fn config_with_workers(workers: usize) -> RunConfig {
+    config_with_cluster(workers, ClusterSpec::small(4))
+}
+
+fn config_with_cluster(workers: usize, cluster: ClusterSpec) -> RunConfig {
     RunConfig {
         scheduler: SchedulerConfig {
-            cluster: ClusterSpec::small(4),
+            cluster,
             ..Default::default()
         },
         workers: Some(workers),
@@ -110,6 +114,46 @@ fn converging_campaign_is_worker_count_invariant() {
         )
         .unwrap();
         assert_stats_identical(&serial, &parallel, &format!("{workers} workers"));
+    }
+}
+
+#[test]
+fn large_cluster_campaign_is_worker_count_invariant() {
+    // The 400-node configuration drives the scale machinery — per-node
+    // rate-cache shards, the tournament tree, hot-node OOM scans — through
+    // the full scheduling stack; its statistics must stay bit-for-bit
+    // identical across worker counts, exactly like the 4-node scenarios.
+    let catalog = Catalog::paper();
+    let scenario = MixScenario { label: 2, apps: 6 };
+    let policies = [PolicyKind::Pairwise, PolicyKind::Oracle];
+    let cluster = ClusterSpec::with_nodes(400);
+    let serial = evaluate_scenario_multi(
+        &policies,
+        scenario,
+        &catalog,
+        &config_with_cluster(1, cluster.clone()),
+        2,
+        123,
+    )
+    .unwrap();
+    for workers in [2, 4] {
+        let parallel = evaluate_scenario_multi(
+            &policies,
+            scenario,
+            &catalog,
+            &config_with_cluster(workers, cluster.clone()),
+            2,
+            123,
+        )
+        .unwrap();
+        for (pi, (s, p)) in serial
+            .per_policy
+            .iter()
+            .zip(parallel.per_policy.iter())
+            .enumerate()
+        {
+            assert_stats_identical(s, p, &format!("400 nodes, policy {pi}, {workers} workers"));
+        }
     }
 }
 
