@@ -3,9 +3,10 @@
 # layer, the campaign harness, checkpoint codecs, the bench emission
 # helpers, the hot-path cache modules (event queue slab + calendar
 # backend, sharded engine rate cache + tournament tree, monitor window
-# memoization), the mlkit compute kernels, the ML campaign drivers, and
-# the scale-sweep workload builders must not contain `unwrap()` /
-# `expect(` outside test code.
+# memoization), the mlkit compute kernels, the ML campaign drivers, the
+# scale-sweep workload builders, and the open-system layer (arrival plans
+# + admission service) must not contain `unwrap()` / `expect(` outside
+# test code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -33,6 +34,8 @@ GATED_FILES=(
   crates/colocate/src/predictors.rs
   crates/colocate/src/training.rs
   crates/bench/src/mlcamp.rs
+  crates/simkit/src/arrivals.rs
+  crates/colocate/src/service.rs
 )
 
 ALLOWLIST=ci/panic_allowlist.txt

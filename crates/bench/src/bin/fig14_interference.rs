@@ -5,8 +5,8 @@
 
 use colocate::harness::{trained_system_for, RunConfig};
 use colocate::interference::spark_pair_slowdown;
+use colocate::metrics::{percentile, percentiles};
 use colocate::scheduler::PolicyKind;
-use simkit::stats::summary::{median, percentile};
 
 fn main() {
     let catalog = bench_suite::catalog();
@@ -40,7 +40,10 @@ fn main() {
             .expect("pair run");
             slowdowns.push(s);
         }
-        let med = median(&slowdowns);
+        // One sort serves both quantiles (total_cmp: NaN-safe by
+        // construction, though pair slowdowns are always finite).
+        let quartiles = percentiles(&slowdowns, &[50.0, 75.0]);
+        let med = quartiles[0];
         medians.push(med);
         let max = slowdowns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = slowdowns.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -48,11 +51,11 @@ fn main() {
         println!(
             "{:<20} {med:>8.1} {:>8.1} {max:>8.1} {min:>8.1}",
             target.name(),
-            percentile(&slowdowns, 75.0)
+            quartiles[1]
         );
     }
     bench_suite::rule(56);
-    let overall_median = median(&medians);
+    let overall_median = percentile(&medians, 50.0);
     println!(
         "max slowdown {worst:.1} % (paper < 25 %), median of medians {overall_median:.1} % (paper < 10 %)"
     );

@@ -4,8 +4,8 @@
 
 use colocate::harness::{trained_system_for, RunConfig};
 use colocate::interference::parsec_slowdown;
+use colocate::metrics::percentiles;
 use colocate::scheduler::PolicyKind;
-use simkit::stats::summary::{median, percentile};
 use workloads::parsec::parsec_suite;
 
 fn main() {
@@ -38,11 +38,12 @@ fn main() {
         }
         let max = slowdowns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         worst = worst.max(max);
+        let quartiles = percentiles(&slowdowns, &[50.0, 75.0]);
         println!(
             "{:<16} {:>8.1} {:>8.1} {max:>8.1}",
             parsec.name(),
-            median(&slowdowns),
-            percentile(&slowdowns, 75.0)
+            quartiles[0],
+            quartiles[1]
         );
     }
     bench_suite::rule(44);

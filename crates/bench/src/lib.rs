@@ -26,6 +26,7 @@
 //! | `fig18_curves` | Fig. 18 — predicted vs measured curves, all training apps |
 //! | `fig19_chaos` | Fig. 19 (extension) — STP/ANTT vs fault intensity, self-healing MoE vs plain/Pairwise/Oracle |
 //! | `fig20_scale` | Fig. 20 (extension) — simulator-core throughput vs cluster size (40 → 40k nodes) |
+//! | `fig21_openloop` | Fig. 21 (extension) — open-system tail slowdown/OOMs under overload, admission-controlled vs uncontrolled |
 //! | `ablation_sweep` | design-choice ablations (KNN k, PCs, calibration sizes, margins, CPU guard, monitor window, cluster scaling) |
 //! | `paper_headlines` | the §6.1 highlights block, measured in one run |
 //! | `catalog_dump` | the 44-benchmark ground-truth catalog |

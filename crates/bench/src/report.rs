@@ -8,6 +8,7 @@
 //! which is a pure function of the `f64` bits.
 
 use colocate::harness::{ChaosStats, MultiPolicyStats, ScenarioStats};
+use colocate::service::OpenLoopStats;
 use std::fmt::Write as _;
 
 /// Shortest-round-trip JSON number for `v` (infinite/NaN become `null`).
@@ -132,6 +133,69 @@ pub fn chaos_stats_json(all: &[ChaosStats]) -> String {
                 f.retries,
                 f.quarantines,
                 f.isolated_fallbacks,
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders an open-loop sweep (one [`OpenLoopStats`] per load factor) as
+/// a JSON document — the `BENCH_openloop.json` record.
+#[must_use]
+pub fn openloop_stats_json(all: &[(f64, OpenLoopStats)]) -> String {
+    let mut out = String::from("{\"campaigns\":[");
+    for (i, (load, stats)) in all.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"load_factor\":{},\"replications\":{},\"per_entry\":[",
+            json_num(*load),
+            stats.replications,
+        );
+        for (j, e) in stats.per_entry.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let f = &e.faults;
+            let _ = write!(
+                out,
+                "{{\"label\":{},\"arrivals\":{},\"finished\":{},\"shed\":{},\
+                 \"slowdown_p50\":{},\"slowdown_p95\":{},\"slowdown_p99\":{},\
+                 \"slowdown_mean\":{},\"oom_kills\":{},\"deferrals\":{},\
+                 \"abstain_placements\":{},\"breaker_trips\":{},\
+                 \"max_queue_depth\":{},\"mean_queue_depth\":{},\
+                 \"faults\":{{\"node_crashes\":{},\"executor_crashes\":{},\
+                 \"monitor_dropouts\":{},\"prediction_noise\":{},\"slices_requeued_gb\":{},\
+                 \"retries\":{},\"quarantines\":{},\"isolated_fallbacks\":{},\
+                 \"spot_preemptions\":{},\"drains\":{}}}}}",
+                json_str(e.label),
+                e.arrivals,
+                e.finished,
+                e.shed,
+                json_num(e.slowdown_p50),
+                json_num(e.slowdown_p95),
+                json_num(e.slowdown_p99),
+                json_num(e.slowdown_mean),
+                e.oom_kills,
+                e.deferrals,
+                e.abstain_placements,
+                e.breaker_trips,
+                e.max_queue_depth,
+                json_num(e.mean_queue_depth),
+                f.node_crashes,
+                f.executor_crashes,
+                f.monitor_dropouts,
+                f.prediction_noise,
+                json_num(f.slices_requeued_gb),
+                f.retries,
+                f.quarantines,
+                f.isolated_fallbacks,
+                f.spot_preemptions,
+                f.drains,
             );
         }
         out.push_str("]}");

@@ -168,6 +168,8 @@ pub fn chaos_binding(
     wire::put_f64(&mut buf, chaos.mean_dropout_secs);
     wire::put_f64(&mut buf, chaos.noise_sd);
     wire::put_f64(&mut buf, chaos.horizon_frac);
+    wire::put_f64(&mut buf, chaos.spot_rate);
+    wire::put_f64(&mut buf, chaos.spot_warning_secs);
     buf
 }
 
@@ -224,6 +226,8 @@ pub fn encode_chaos_folds(folds: &[ChaosFold]) -> Vec<u8> {
         wire::put_u64(&mut buf, f.retries as u64);
         wire::put_u64(&mut buf, f.quarantines as u64);
         wire::put_u64(&mut buf, f.isolated_fallbacks as u64);
+        wire::put_u64(&mut buf, f.spot_preemptions as u64);
+        wire::put_u64(&mut buf, f.drains as u64);
     }
     buf
 }
@@ -249,6 +253,8 @@ pub fn decode_chaos_folds(payload: &[u8], expect: usize) -> Result<Vec<ChaosFold
             retries: r.u64()? as usize,
             quarantines: r.u64()? as usize,
             isolated_fallbacks: r.u64()? as usize,
+            spot_preemptions: r.u64()? as usize,
+            drains: r.u64()? as usize,
         };
         folds.push((stp, antt, ooms, faults));
     }
@@ -294,6 +300,8 @@ mod tests {
                 retries: 5,
                 quarantines: 6,
                 isolated_fallbacks: 7,
+                spot_preemptions: 8,
+                drains: 9,
             },
         );
         let back = decode_chaos_folds(&encode_chaos_folds(&[fold]), 1).unwrap();

@@ -637,6 +637,15 @@ pub struct ChaosSpec {
     pub noise_sd: f64,
     /// Fault horizon as a fraction of the mix's summed isolated time.
     pub horizon_frac: f64,
+    /// Spot-preemption rate per node at full intensity (0 = no spot
+    /// faults, the historical default — plans stay bit-identical).
+    pub spot_rate: f64,
+    /// Warning lead time before each spot revocation, seconds.
+    pub spot_warning_secs: f64,
+    /// Fraction of the fault horizon over which prediction-noise strikes
+    /// are drawn (see [`FaultPlanConfig::noise_window_frac`]). The closed
+    /// system keeps the historical `0.1`; open-loop campaigns widen it.
+    pub noise_window_frac: f64,
 }
 
 impl Default for ChaosSpec {
@@ -647,6 +656,9 @@ impl Default for ChaosSpec {
             mean_dropout_secs: 600.0,
             noise_sd: 0.35,
             horizon_frac: 0.5,
+            spot_rate: 0.0,
+            spot_warning_secs: 120.0,
+            noise_window_frac: 0.1,
         }
     }
 }
@@ -810,6 +822,8 @@ pub fn evaluate_chaos_checkpointed(
             agg.retries += f.retries;
             agg.quarantines += f.quarantines;
             agg.isolated_fallbacks += f.isolated_fallbacks;
+            agg.spot_preemptions += f.spot_preemptions;
+            agg.drains += f.drains;
         }
     }
     let mut acc = ChaosAccum {
@@ -861,6 +875,9 @@ pub fn evaluate_chaos_checkpointed(
                     mean_outage_secs: chaos.mean_outage_secs,
                     mean_dropout_secs: chaos.mean_dropout_secs,
                     noise_sd: chaos.noise_sd,
+                    spot_rate: chaos.spot_rate,
+                    spot_warning_secs: chaos.spot_warning_secs,
+                    noise_window_frac: chaos.noise_window_frac,
                 },
             );
             entries

@@ -18,8 +18,15 @@
 //! * [`scheduler`] — the job dispatcher (§4.3) and the comparative
 //!   policies: Isolated, Pairwise, Online-Search and the predictive
 //!   co-locator, all sharing one event loop;
-//! * [`metrics`] — STP and ANTT (Eyerman–Eeckhout definitions, §5.3) and
-//!   their normalisation against the isolated baseline;
+//! * [`metrics`] — STP and ANTT (Eyerman–Eeckhout definitions, §5.3),
+//!   their normalisation against the isolated baseline, and NaN-safe
+//!   percentile helpers for tail metrics;
+//! * [`service`] — the open-system streaming mode: jobs land over
+//!   simulated time from a pre-drawn [`simkit::arrivals::ArrivalPlan`],
+//!   pass a memory-footprint-gated admission queue with per-tenant
+//!   weighted fair queueing, and overload is met with load shedding,
+//!   backpressure and a circuit breaker that degrades to isolated
+//!   scheduling;
 //! * [`harness`] — campaign runners: replay a mix until the 95 % CI
 //!   half-width is below 5 % (§5.2), produce utilisation traces (Fig. 7),
 //!   overhead breakdowns (Figs. 11/12) and interference studies
@@ -48,6 +55,7 @@ pub mod metrics;
 pub mod predictors;
 pub mod profiling;
 pub mod scheduler;
+pub mod service;
 pub mod training;
 
 use std::fmt;

@@ -14,6 +14,46 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Linear-interpolated percentile over unsorted data, `p` clamped to
+/// `[0, 100]`.
+///
+/// The ordering is `total_cmp`, so the function never panics: NaN samples
+/// sort to the top end instead of aborting the comparison (a schedule that
+/// produced one corrupt slowdown should not take the whole campaign down),
+/// and an empty slice yields NaN rather than indexing out of bounds. Bench
+/// binaries reporting tail metrics (p50/p95/p99 job slowdown) share this
+/// instead of each re-sorting slowdown vectors ad hoc.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    percentiles(xs, &[p])[0]
+}
+
+/// Several percentiles of one sample, paying the sort once.
+///
+/// Same semantics as [`percentile`]; returns one value per requested
+/// percentile, in order. All-NaN when `xs` is empty.
+#[must_use]
+pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return vec![f64::NAN; ps.len()];
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    ps.iter()
+        .map(|&p| {
+            let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = rank - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+        })
+        .collect()
+}
+
 /// STP/ANTT of one schedule against per-task isolated times.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleMetrics {
@@ -158,6 +198,37 @@ mod tests {
         // Baseline turnarounds 100/200/300 → ratios 1.2, 0.6, 0.4 →
         // mean 0.7333 → 26.7 % reduction.
         assert!((n.antt_reduction_pct - (1.0 - 2.2 / 3.0) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates_and_matches_sorted_ranks() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.2, 2.6];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 9.2);
+        // Median of 6 samples interpolates between ranks 2 and 3.
+        assert!((percentile(&xs, 50.0) - (2.6 + 3.0) / 2.0).abs() < 1e-12);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile(&xs, 150.0), 9.2);
+        assert_eq!(percentile(&xs, -5.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_and_empty() {
+        // NaN sorts last under total_cmp; no panic.
+        let xs = [1.0, f64::NAN, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert!(percentile(&xs, 100.0).is_nan());
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(percentiles(&[], &[1.0, 99.0]).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn percentiles_match_single_calls() {
+        let xs = [5.0, 2.0, 8.0, 0.5, 3.3];
+        let many = percentiles(&xs, &[50.0, 95.0, 99.0]);
+        for (i, &p) in [50.0, 95.0, 99.0].iter().enumerate() {
+            assert_eq!(many[i].to_bits(), percentile(&xs, p).to_bits());
+        }
     }
 
     #[test]

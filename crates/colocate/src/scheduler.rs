@@ -256,6 +256,13 @@ pub struct FaultStats {
     /// Applications that exhausted their retry budget and degraded to an
     /// isolated full-node reservation.
     pub isolated_fallbacks: usize,
+    /// Spot-preemption warnings delivered (the node is revoked after its
+    /// warning lead time elapses).
+    pub spot_preemptions: usize,
+    /// Spot warnings the self-healing layer answered by draining: the node
+    /// stops taking new work immediately instead of crashing cold at
+    /// revocation.
+    pub drains: usize,
 }
 
 /// Outcome for one application in a schedule.
@@ -291,41 +298,41 @@ pub struct ScheduleOutcome {
     pub faults: FaultStats,
 }
 
-struct AppRt {
-    engine_id: AppId,
-    benchmark: usize,
-    ready_at: f64,
-    prediction: Option<Prediction>,
-    measured_cpu: f64,
-    margin: f64,
-    finished_at: Option<f64>,
-    profiling: ProfilingCost,
-    input_gb: f64,
+pub(crate) struct AppRt {
+    pub(crate) engine_id: AppId,
+    pub(crate) benchmark: usize,
+    pub(crate) ready_at: f64,
+    pub(crate) prediction: Option<Prediction>,
+    pub(crate) measured_cpu: f64,
+    pub(crate) margin: f64,
+    pub(crate) finished_at: Option<f64>,
+    pub(crate) profiling: ProfilingCost,
+    pub(crate) input_gb: f64,
     /// Multiplicative perturbation of the predicted footprint (injected
     /// prediction-noise faults land here; 1.0 = faithful predictions).
-    pred_scale: f64,
+    pub(crate) pred_scale: f64,
     /// EWMA of the observed/booked footprint ratio for the online
     /// safety-margin controller (resilience only).
-    err_ewma: f64,
+    pub(crate) err_ewma: f64,
     /// Executor losses (crashes and OOM kills) charged to this app.
-    failures: usize,
+    pub(crate) failures: usize,
     /// Earliest time the self-healing layer allows a re-placement.
-    retry_at: f64,
+    pub(crate) retry_at: f64,
     /// Retry budget exhausted: only isolated full-node placements remain.
-    isolated_fallback: bool,
+    pub(crate) isolated_fallback: bool,
 }
 
 /// Mutable runtime state of the self-healing layer for one schedule.
-struct ResilState {
+pub(crate) struct ResilState {
     /// Backoff-jitter RNG, forked only when resilience is enabled so the
     /// disabled path draws nothing extra from the main stream.
-    jitter: Option<SimRng>,
+    pub(crate) jitter: Option<SimRng>,
     /// Per-node quarantine deadlines (0 = not quarantined); inert zeros
     /// when resilience is disabled.
-    quarantined_until: Vec<f64>,
+    pub(crate) quarantined_until: Vec<f64>,
     /// Recent OOM-kill timestamps per node (pruned to the monitor window).
-    oom_times: Vec<VecDeque<f64>>,
-    stats: FaultStats,
+    pub(crate) oom_times: Vec<VecDeque<f64>>,
+    pub(crate) stats: FaultStats,
 }
 
 /// The margin the dispatcher books for `app`: its per-app margin (raised
@@ -333,7 +340,7 @@ struct ResilState {
 /// controller's clamped error estimate when resilience is enabled. With
 /// resilience disabled the controller multiplier is exactly 1.0 and the
 /// product is bit-identical to the historical `margin * reserve_margin`.
-fn effective_margin(app: &AppRt, config: &SchedulerConfig) -> f64 {
+pub(crate) fn effective_margin(app: &AppRt, config: &SchedulerConfig) -> f64 {
     let controller = if config.resilience.enabled {
         app.err_ewma.clamp(1.0, config.resilience.margin_cap)
     } else {
@@ -357,7 +364,7 @@ fn observe_footprint_error(app: &mut AppRt, actual_gb: f64, reserved_gb: f64, al
 /// isolated mode once the retry budget runs out. Environment failures
 /// keep retrying at the capped backoff forever: serialising an
 /// application because its *nodes* kept dying would punish the victim.
-fn schedule_retry(
+pub(crate) fn schedule_retry(
     app: &mut AppRt,
     t: f64,
     r: &ResilienceConfig,
@@ -575,6 +582,10 @@ fn run_schedule_inner(
     // the fault-free disabled path draws exactly what it always drew.
     let mut cursor = plan.map(FaultPlan::cursor);
     let mut restore_at = vec![0.0f64; node_ids.len()];
+    // Pending spot revocations: the warning sets a deadline here, and the
+    // node is failed when it elapses. All-zero (inert) without spot faults.
+    let mut revoke_at = vec![0.0f64; node_ids.len()];
+    let mut revoke_outage = vec![0.0f64; node_ids.len()];
     let mut resil = ResilState {
         jitter: config.resilience.enabled.then(|| rng.fork()),
         quarantined_until: vec![0.0; node_ids.len()],
@@ -609,10 +620,23 @@ fn run_schedule_inner(
                     config,
                     t,
                     &mut restore_at,
+                    &mut revoke_at,
+                    &mut revoke_outage,
                     &mut resil,
                 )?;
             }
         }
+        process_revocations(
+            &mut engine,
+            &mut apps,
+            config,
+            t,
+            &node_ids,
+            &mut revoke_at,
+            &mut revoke_outage,
+            &mut restore_at,
+            &mut resil,
+        )?;
         for (i, due) in restore_at.iter_mut().enumerate() {
             if *due > 0.0 && *due <= t {
                 engine.restore_node(node_ids[i])?;
@@ -640,6 +664,7 @@ fn run_schedule_inner(
             &monitor,
             &resil,
             &node_ids,
+            false,
         )?;
         engine.hot_nodes_into(&mut hot_nodes);
         oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil, &hot_nodes)?;
@@ -678,7 +703,15 @@ fn run_schedule_inner(
             .copied()
             .filter(|&r| r > t)
             .fold(f64::INFINITY, f64::min);
-        let next_event = next_ready.min(next_fault).min(next_restore);
+        let next_revoke = revoke_at
+            .iter()
+            .copied()
+            .filter(|&r| r > t)
+            .fold(f64::INFINITY, f64::min);
+        let next_event = next_ready
+            .min(next_fault)
+            .min(next_restore)
+            .min(next_revoke);
         let next_done = engine.next_completion();
 
         match (next_done, next_event.is_finite()) {
@@ -756,7 +789,7 @@ fn run_schedule_inner(
 /// life sentence, so a clean finish earns back co-location (with the
 /// raised margin and error EWMA carried along). No-op when resilience
 /// is disabled.
-fn note_completion(
+pub(crate) fn note_completion(
     engine: &ClusterEngine,
     apps: &mut [AppRt],
     config: &SchedulerConfig,
@@ -778,7 +811,7 @@ fn note_completion(
 
 /// Applies one fault event to the running schedule.
 #[allow(clippy::too_many_arguments)]
-fn apply_fault(
+pub(crate) fn apply_fault(
     event: &FaultEvent,
     engine: &mut ClusterEngine,
     monitor: &mut sparklite::monitor::ResourceMonitor,
@@ -786,6 +819,8 @@ fn apply_fault(
     config: &SchedulerConfig,
     t: f64,
     restore_at: &mut [f64],
+    revoke_at: &mut [f64],
+    revoke_outage: &mut [f64],
     resil: &mut ResilState,
 ) -> Result<(), ColocateError> {
     match event.kind {
@@ -848,11 +883,80 @@ fn apply_fault(
                 resil.stats.prediction_noise += 1;
             }
         }
+        FaultKind::SpotPreemption {
+            node,
+            warning_secs,
+            outage_secs,
+        } => {
+            if node >= revoke_at.len() {
+                return Ok(());
+            }
+            resil.stats.spot_preemptions += 1;
+            let revoke = t + warning_secs.max(0.0);
+            // Earliest pending revocation wins; overlapping notices extend
+            // the outage rather than stacking extra crashes.
+            if revoke_at[node] == 0.0 || revoke < revoke_at[node] {
+                revoke_at[node] = revoke;
+            }
+            revoke_outage[node] = revoke_outage[node].max(outage_secs);
+            if config.resilience.enabled {
+                // Drain: stop placing onto the doomed node for the whole
+                // warning window (the quarantine machinery already keeps
+                // placement away; the node's offline spell covers the rest).
+                resil.quarantined_until[node] = resil.quarantined_until[node].max(revoke);
+                resil.stats.drains += 1;
+            }
+        }
     }
     Ok(())
 }
 
-fn build_predictor(
+/// Fails every node whose spot-revocation deadline has elapsed: running
+/// executors are lost (work conservation credits their slices back to the
+/// owners), the node goes offline for the drawn outage, and — with
+/// resilience enabled — the victims get backed-off retries that never
+/// demote them (losing a node is the environment's fault, not theirs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_revocations(
+    engine: &mut ClusterEngine,
+    apps: &mut [AppRt],
+    config: &SchedulerConfig,
+    t: f64,
+    node_ids: &[NodeId],
+    revoke_at: &mut [f64],
+    revoke_outage: &mut [f64],
+    restore_at: &mut [f64],
+    resil: &mut ResilState,
+) -> Result<(), ColocateError> {
+    for i in 0..revoke_at.len() {
+        if revoke_at[i] <= 0.0 || revoke_at[i] > t {
+            continue;
+        }
+        if engine.node_online(node_ids[i]) {
+            let lost = engine.fail_node(node_ids[i])?;
+            let mut owners: Vec<AppId> = Vec::new();
+            for (owner, slice) in lost {
+                resil.stats.slices_requeued_gb += slice;
+                if !owners.contains(&owner) {
+                    owners.push(owner);
+                }
+            }
+            if config.resilience.enabled {
+                for owner in owners {
+                    if let Some(app) = apps.iter_mut().find(|a| a.engine_id == owner) {
+                        schedule_retry(app, t, &config.resilience, resil, false);
+                    }
+                }
+            }
+        }
+        restore_at[i] = restore_at[i].max(t + revoke_outage[i]);
+        revoke_at[i] = 0.0;
+        revoke_outage[i] = 0.0;
+    }
+    Ok(())
+}
+
+pub(crate) fn build_predictor(
     policy: PolicyKind,
     catalog: &Catalog,
     system: Option<&TrainedSystem>,
@@ -887,9 +991,11 @@ fn build_predictor(
     })
 }
 
-/// One placement round at time `t`.
+/// One placement round at time `t`. Returns the number of *abstain*
+/// placements made (isolated whole-node reservations forced by a tripped
+/// circuit breaker); always 0 unless `abstain` is set.
 #[allow(clippy::too_many_arguments)]
-fn place(
+pub(crate) fn place(
     policy: PolicyKind,
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
@@ -899,11 +1005,12 @@ fn place(
     monitor: &sparklite::monitor::ResourceMonitor,
     resil: &ResilState,
     nodes: &[NodeId],
-) -> Result<(), ColocateError> {
+    abstain: bool,
+) -> Result<usize, ColocateError> {
     match policy {
-        PolicyKind::Isolated => place_isolated(engine, apps, config, nodes),
-        PolicyKind::Pairwise => place_pairwise(engine, apps, config, catalog, nodes),
-        _ => place_predictive(engine, apps, config, t, monitor, resil, nodes),
+        PolicyKind::Isolated => place_isolated(engine, apps, config, nodes).map(|()| 0),
+        PolicyKind::Pairwise => place_pairwise(engine, apps, config, catalog, nodes).map(|()| 0),
+        _ => place_predictive(engine, apps, config, t, monitor, resil, nodes, abstain),
     }
 }
 
@@ -911,7 +1018,7 @@ fn place(
 /// the first ready, unfinished application one dynalloc-sized slice on the
 /// node with the most free memory, reserving whatever is free. Returns
 /// whether an executor was spawned.
-fn force_place(
+pub(crate) fn force_place(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
     config: &SchedulerConfig,
@@ -1108,7 +1215,7 @@ fn place_pairwise(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn place_predictive(
+pub(crate) fn place_predictive(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
     config: &SchedulerConfig,
@@ -1116,14 +1223,19 @@ fn place_predictive(
     monitor: &sparklite::monitor::ResourceMonitor,
     resil: &ResilState,
     nodes: &[NodeId],
-) -> Result<(), ColocateError> {
-    // Graceful degradation (resilience only): an application that burned
-    // through its retry budget gets a whole empty node to itself — the
-    // paper's §2.3 answer to repeated OOMs is to re-run in isolation —
-    // sidestepping the predictions that kept failing it.
-    if config.resilience.enabled {
+    abstain: bool,
+) -> Result<usize, ColocateError> {
+    let mut abstain_placements = 0usize;
+    // Graceful degradation: an application that burned through its retry
+    // budget gets a whole empty node to itself — the paper's §2.3 answer
+    // to repeated OOMs is to re-run in isolation — sidestepping the
+    // predictions that kept failing it. A tripped circuit breaker
+    // (`abstain`, service layer only) widens this to *every* ready
+    // application: co-location is suspended until the distress rate
+    // recovers, and each placement made that way is counted.
+    if config.resilience.enabled || abstain {
         for app in apps.iter() {
-            if !app.isolated_fallback
+            if !(app.isolated_fallback || abstain)
                 || app.finished_at.is_some()
                 || app.ready_at.max(app.retry_at) > t
             {
@@ -1147,9 +1259,17 @@ fn place_predictive(
                     continue;
                 }
                 engine.spawn_executor(id, node, wave, ram)?;
+                if abstain && !app.isolated_fallback {
+                    abstain_placements += 1;
+                }
                 break;
             }
         }
+    }
+    // While the breaker is open nothing co-locates: skip the water-filling
+    // and dynamic-adjustment phases wholesale.
+    if abstain {
+        return Ok(abstain_placements);
     }
 
     // Water-filling rounds: each ready application may claim at most one
@@ -1347,7 +1467,7 @@ fn place_predictive(
             }
         }
     }
-    Ok(())
+    Ok(abstain_placements)
 }
 
 /// Kills executors until no candidate node is out of memory; raises the
@@ -1357,7 +1477,7 @@ fn place_predictive(
 /// `Fits`). With resilience enabled it additionally feeds the margin
 /// controller, schedules a backed-off retry for the owner, and quarantines
 /// nodes that keep OOMing within one monitor window.
-fn resolve_ooms(
+pub(crate) fn resolve_ooms(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
     config: &SchedulerConfig,
@@ -1406,7 +1526,7 @@ fn resolve_ooms(
 }
 
 /// Helper: a forked seed for the engine.
-trait NextSeed {
+pub(crate) trait NextSeed {
     fn next_u64_seed(&mut self) -> u64;
 }
 

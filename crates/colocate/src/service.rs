@@ -1,0 +1,1352 @@
+//! The open-system streaming service (§6's evaluation, opened up): jobs
+//! arrive over simulated time from a pre-drawn
+//! [`ArrivalPlan`](simkit::arrivals::ArrivalPlan) instead of all sitting
+//! in the queue at `t = 0`, and the dispatcher is wrapped in an
+//! overload-robust admission layer:
+//!
+//! * **memory-aware admission** — a job is admitted only while the sum of
+//!   MoE-predicted footprints of everything already admitted leaves
+//!   headroom on the online cluster ([`AdmissionConfig::headroom_frac`]);
+//!   an empty cluster always admits (no deadlock on oversized jobs);
+//! * **weighted fair queueing** — queued jobs are ordered by per-tenant
+//!   virtual finish times, so a heavy tenant cannot starve light ones;
+//! * **load shedding** — above [`AdmissionConfig::shed_watermark`] the
+//!   largest-finish-tag jobs are dropped (seeded tie-breaks), bounding
+//!   queue growth under sustained overload;
+//! * **backpressure** — when headroom runs out admission simply defers:
+//!   arrivals keep landing but nothing new starts, counted as deferrals;
+//! * **circuit breaker** — when memory distress (executor crashes plus
+//!   OOM kills; infrastructure node crashes are the fault layer's
+//!   business) inside a sliding window exceeds a threshold, the breaker
+//!   opens and placement *abstains* from co-location (isolated whole-node
+//!   reservations only) until the distress rate recovers, with hysteresis
+//!   on the way back. Admission keeps flowing while open — the service
+//!   degrades to isolated throughput instead of stalling.
+//!
+//! Everything is opt-in: with [`AdmissionConfig::enabled`] `false` and a
+//! [`batch`](simkit::arrivals::ArrivalPlan::batch) plan, [`run_service`]
+//! reproduces the closed-system [`run_schedule_custom`] path bit for bit —
+//! the identity the open-loop invariant tests pin.
+
+use crate::harness::{BaselineCache, ChaosSpec, RunConfig};
+use crate::metrics::percentiles;
+use crate::scheduler::{
+    apply_fault, build_predictor, effective_margin, force_place, note_completion, place,
+    process_revocations, resolve_ooms, AppRt, FaultStats, NextSeed, PolicyKind, ResilState,
+    ResilienceConfig, SchedulerConfig,
+};
+use crate::training::TrainedSystem;
+use crate::ColocateError;
+use simkit::arrivals::{ArrivalPlan, ArrivalPlanConfig, ArrivalProcess};
+use simkit::faults::{FaultPlan, FaultPlanConfig};
+use simkit::stats::TimeWeighted;
+use simkit::{par, SimRng, SimTime};
+use sparklite::dynalloc;
+use sparklite::engine::ClusterEngine;
+use sparklite::NodeId;
+use std::collections::{HashMap, VecDeque};
+use workloads::catalog::Catalog;
+
+/// Circuit-breaker thresholds for the admission layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Sliding window the distress rate is measured over, seconds.
+    pub window_secs: f64,
+    /// Distress events (executor crashes + OOM kills) within one window
+    /// that trip the breaker open.
+    pub trip_threshold: usize,
+    /// The breaker closes again only once the window holds at most this
+    /// many events — strictly below the trip threshold, so the state
+    /// machine has hysteresis instead of flapping.
+    pub recover_threshold: usize,
+    /// Minimum time the breaker stays open before a recovery check, s.
+    pub cooldown_secs: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window_secs: 600.0,
+            trip_threshold: 6,
+            recover_threshold: 1,
+            cooldown_secs: 300.0,
+        }
+    }
+}
+
+/// Admission-control knobs for the open-system service. Disabled by
+/// default: every arrival is admitted the instant its profiling finishes,
+/// reproducing an uncontrolled open system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Master switch; `false` admits everything immediately and draws
+    /// nothing from the RNG, keeping uncontrolled runs bit-identical to a
+    /// service without this layer.
+    pub enabled: bool,
+    /// Hard bound on the admission queue; arrivals beyond it are shed on
+    /// the spot.
+    pub queue_capacity: usize,
+    /// Queue length above which the largest-finish-tag jobs are shed.
+    pub shed_watermark: usize,
+    /// Fraction of online-cluster RAM the committed (admitted but
+    /// unfinished) predicted footprints may occupy.
+    pub headroom_frac: f64,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: false,
+            queue_capacity: 64,
+            shed_watermark: 48,
+            headroom_frac: 0.9,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The overload-robust preset the open-loop evaluation races against
+    /// uncontrolled baselines.
+    ///
+    /// The shape errs toward protecting admitted work over accepting more:
+    /// a short queue (6) with an aggressive watermark (3) sheds the excess
+    /// of a sustained storm instead of letting every job's wait grow
+    /// without bound, and the headroom fraction of 1.25 books committed
+    /// footprints against RAM *plus* swap (the paper nodes carry 16 GB of
+    /// swap per 64 GB of RAM) — the engine can page, so refusing to book
+    /// past physical RAM would idle memory the cluster does have, while
+    /// the shed watermark and circuit breaker absorb the excursions
+    /// beyond it.
+    #[must_use]
+    pub fn controlled() -> Self {
+        AdmissionConfig {
+            enabled: true,
+            queue_capacity: 6,
+            shed_watermark: 3,
+            headroom_frac: 1.25,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Configuration of one open-system service run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Scheduler configuration (cluster, profiling, resilience, …).
+    pub scheduler: SchedulerConfig,
+    /// Admission-control configuration.
+    pub admission: AdmissionConfig,
+    /// Per-tenant WFQ weights; empty means every tenant weighs 1.0. When
+    /// non-empty it must cover every tenant index the plan references.
+    pub tenant_weights: Vec<f64>,
+    /// Job-class table: [`ArrivalEvent::job_class`](simkit::arrivals::ArrivalEvent)
+    /// indexes into this `(benchmark index, input GB)` list.
+    pub job_classes: Vec<(usize, f64)>,
+}
+
+/// One job's fate in an open-system run.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOutcome {
+    /// Catalog index of the benchmark.
+    pub benchmark: usize,
+    /// Input size, GB.
+    pub input_gb: f64,
+    /// Tenant the job belongs to.
+    pub tenant: usize,
+    /// When the job arrived, s.
+    pub arrived_at: f64,
+    /// When admission let it through (`None` if shed or never admitted).
+    pub admitted_at: Option<f64>,
+    /// When it finished (`None` if shed).
+    pub finished_at: Option<f64>,
+    /// Dropped by load shedding: the job never ran.
+    pub shed: bool,
+}
+
+/// Outcome of one open-system service run.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Per-job outcomes, in arrival order.
+    pub jobs: Vec<JobOutcome>,
+    /// Time the last surviving job finished, s.
+    pub makespan_secs: f64,
+    /// OOM kills across the run.
+    pub oom_kills: usize,
+    /// Jobs dropped by load shedding.
+    pub shed_jobs: usize,
+    /// Backpressure events: eligible queued jobs left waiting by an
+    /// admission pass because headroom ran out. A job deferred across many
+    /// scheduling instants counts once per instant, so this is a
+    /// time-integral of queue pressure, not a distinct-job count.
+    pub deferrals: usize,
+    /// Isolated placements forced by an open circuit breaker.
+    pub abstain_placements: usize,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: usize,
+    /// Largest admission-queue depth observed. With admission disabled
+    /// nothing is ever formally admitted, so this degenerates to the
+    /// arrived-but-unfinished backlog — the open system's work in flight.
+    pub max_queue_depth: usize,
+    /// Time-averaged admission-queue depth (same caveat as
+    /// [`max_queue_depth`](Self::max_queue_depth)).
+    pub mean_queue_depth: f64,
+    /// Delivered faults and the self-healing layer's responses.
+    pub faults: FaultStats,
+}
+
+/// Sidecar state the admission layer keeps per planned job.
+struct JobState {
+    tenant: usize,
+    arrived: bool,
+    admitted_at: Option<f64>,
+    shed: bool,
+    /// When the profiling pipeline (run at arrival) completes, s.
+    profile_ready: f64,
+    /// WFQ virtual finish tag, assigned at arrival.
+    vft: f64,
+    /// Predicted footprint booked against the headroom budget.
+    committed_gb: f64,
+    released: bool,
+}
+
+/// Circuit-breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Breaker {
+    Closed,
+    Open { until: f64 },
+}
+
+/// RAM of every online node, GB — the denominator of the headroom gate.
+fn online_ram_gb(engine: &ClusterEngine, node_ids: &[NodeId]) -> f64 {
+    node_ids
+        .iter()
+        .filter(|&&n| engine.node_online(n))
+        .map(|&n| engine.cluster().node(n).spec().ram_gb)
+        .sum()
+}
+
+/// The predicted whole-job footprint admission books: per-executor
+/// predicted need at the dynalloc slice, margins applied, times the
+/// executor target. Deliberately pessimistic — the gate protects the
+/// cluster, the placement loop still packs tighter than this.
+fn admission_need_gb(app: &AppRt, engine: &ClusterEngine, config: &SchedulerConfig) -> f64 {
+    let Some(prediction) = &app.prediction else {
+        return 0.0;
+    };
+    let spec = engine.app(app.engine_id).spec().clone();
+    let target = dynalloc::executors_for(
+        &spec,
+        config.cluster.nodes,
+        config.cluster.node.ram_gb,
+        config.dynalloc,
+    );
+    let slice = spec.input_gb / target as f64;
+    prediction.model.footprint_gb(slice)
+        * app.pred_scale
+        * effective_margin(app, config)
+        * target as f64
+}
+
+/// Runs one open-system campaign: every arrival in `plan` is mapped
+/// through [`ServiceConfig::job_classes`], profiled on arrival, passed
+/// through the admission layer (when enabled) and scheduled by `policy`'s
+/// dispatcher, with `faults` (when given) replayed against the cluster.
+///
+/// Determinism: the outcome is a pure function of the arguments. A
+/// [`batch`](ArrivalPlan::batch) plan with admission disabled and no
+/// faults reproduces [`run_schedule_custom`](crate::scheduler::run_schedule_custom)
+/// bit for bit.
+///
+/// # Errors
+///
+/// Rejects non-predictive policies (`Isolated`/`Pairwise` have no memory
+/// model for the admission gate), empty plans, and plans referencing
+/// tenants or job classes the config does not define; propagates
+/// substrate and predictor failures.
+#[allow(clippy::too_many_lines)]
+pub fn run_service(
+    policy: PolicyKind,
+    catalog: &Catalog,
+    plan: &ArrivalPlan,
+    system: Option<&TrainedSystem>,
+    config: &ServiceConfig,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+) -> Result<ServiceOutcome, ColocateError> {
+    if !policy.is_predictive() {
+        return Err(ColocateError::Config(format!(
+            "open-system service needs a predictive policy, got {policy:?}"
+        )));
+    }
+    if plan.is_empty() {
+        return Err(ColocateError::Config("empty arrival plan".into()));
+    }
+    for event in plan.events() {
+        if event.job_class >= config.job_classes.len() {
+            return Err(ColocateError::Config(format!(
+                "arrival references job class {} but only {} are defined",
+                event.job_class,
+                config.job_classes.len()
+            )));
+        }
+        if !config.tenant_weights.is_empty() && event.tenant >= config.tenant_weights.len() {
+            return Err(ColocateError::Config(format!(
+                "arrival references tenant {} but only {} weights are defined",
+                event.tenant,
+                config.tenant_weights.len()
+            )));
+        }
+    }
+    for &(bench, input) in &config.job_classes {
+        if bench >= catalog.all().len() {
+            return Err(ColocateError::Config(format!(
+                "job class references benchmark {bench} outside the catalog"
+            )));
+        }
+        if !input.is_finite() || input <= 0.0 {
+            return Err(ColocateError::Config(
+                "job classes need positive input sizes".into(),
+            ));
+        }
+    }
+    if !config.tenant_weights.iter().all(|&w| w > 0.0) {
+        return Err(ColocateError::Config(
+            "tenant weights must be positive".into(),
+        ));
+    }
+    let sched = &config.scheduler;
+    let admission = config.admission;
+
+    let mut rng = SimRng::seed_from(seed);
+    let predictor = build_predictor(policy, catalog, system, &mut rng)?;
+
+    let mut engine = ClusterEngine::with_seed(
+        sched.cluster.clone(),
+        sched.interference,
+        rng.fork().next_u64_seed(),
+    );
+    engine.set_executor_startup_secs(sched.executor_startup_secs);
+
+    // Submit every planned job up front (the engine is inert about apps
+    // without executors) and run each one's profiling pipeline starting at
+    // its arrival instant. Same draw order as the closed loop: plan order.
+    let mut apps: Vec<AppRt> = Vec::with_capacity(plan.len());
+    let mut jobs: Vec<JobState> = Vec::with_capacity(plan.len());
+    let mut profile_slots = [0.0f64; 6];
+    let mut search_queue_end = 0.0f64;
+    for event in plan.events() {
+        let (bench_idx, input) = config.job_classes[event.job_class];
+        let bench = &catalog.all()[bench_idx];
+        let rate_penalty = if policy == PolicyKind::OnlineSearch {
+            1.0 / (1.0 + sched.search_rate_penalty)
+        } else {
+            1.0
+        };
+        let mut spec = bench.app_spec(input, sched.profiling.footprint_noise_sd);
+        spec.rate_gb_per_s *= rate_penalty;
+        let engine_id = engine.submit(spec);
+
+        let p = predictor.as_ref().ok_or_else(|| {
+            ColocateError::Config("predictive policy produced no predictor".into())
+        })?;
+        let (profile, mut cost) = crate::profiling::profile_app(
+            bench,
+            input,
+            sched.cluster.nodes,
+            sched.cluster.node.ram_gb,
+            &sched.profiling,
+            &mut rng,
+        );
+        let prediction = p.predict(&profile)?;
+        let mut ready = if p.needs_profiling() {
+            engine.credit_profiled(engine_id, cost.profiled_gb);
+            let slot = profile_slots
+                .iter_mut()
+                .min_by(|a, b| a.total_cmp(b))
+                .ok_or_else(|| ColocateError::Config("profiling slot pool is empty".into()))?;
+            // Profiling starts no earlier than the arrival; at a batch
+            // plan's t = 0 this reduces to the closed loop's `*slot += cost`.
+            let start = slot.max(event.at_secs);
+            *slot = start + cost.total_secs();
+            *slot
+        } else {
+            cost = crate::profiling::ProfilingCost::default();
+            event.at_secs
+        };
+        if policy == PolicyKind::OnlineSearch {
+            let search = sched.search_serial_frac * input / bench.rate_gb_per_s();
+            search_queue_end = search_queue_end.max(event.at_secs) + search;
+            ready = ready.max(search_queue_end);
+        }
+        let cpu = prediction.cpu_estimate.unwrap_or(profile.measured_cpu);
+
+        apps.push(AppRt {
+            engine_id,
+            benchmark: bench_idx,
+            // With admission enabled a job is invisible to placement until
+            // an admission pass grants it a finite ready time.
+            ready_at: if admission.enabled {
+                f64::INFINITY
+            } else {
+                ready
+            },
+            prediction: Some(prediction),
+            measured_cpu: cpu,
+            margin: 1.0,
+            finished_at: None,
+            profiling: cost,
+            input_gb: input,
+            pred_scale: 1.0,
+            err_ewma: 1.0,
+            failures: 0,
+            retry_at: 0.0,
+            isolated_fallback: false,
+        });
+        jobs.push(JobState {
+            tenant: event.tenant,
+            arrived: false,
+            admitted_at: None,
+            shed: false,
+            profile_ready: ready,
+            vft: 0.0,
+            committed_gb: 0.0,
+            released: false,
+        });
+    }
+    for app in &mut apps {
+        if let Some(pred) = &app.prediction {
+            if pred.low_confidence {
+                app.margin = sched.conservative_margin;
+            }
+        }
+    }
+
+    // Event-loop state, mirroring the closed loop's setup order; the shed
+    // RNG is forked only when admission is enabled so uncontrolled runs
+    // draw exactly what the closed loop draws.
+    let mut monitor = sparklite::monitor::ResourceMonitor::new(sched.cluster.nodes, sched.monitor);
+    let mut t = 0.0f64;
+    let mut oom_kills = 0usize;
+    let node_ids = engine.cluster().node_ids();
+    let mut hot_nodes: Vec<NodeId> = Vec::new();
+    let mut guard = 0usize;
+    let guard_limit = 500_000usize;
+
+    let mut fault_cursor = faults.map(FaultPlan::cursor);
+    let mut restore_at = vec![0.0f64; node_ids.len()];
+    let mut revoke_at = vec![0.0f64; node_ids.len()];
+    let mut revoke_outage = vec![0.0f64; node_ids.len()];
+    let mut resil = ResilState {
+        jitter: sched.resilience.enabled.then(|| rng.fork()),
+        quarantined_until: vec![0.0; node_ids.len()],
+        oom_times: vec![VecDeque::new(); node_ids.len()],
+        stats: FaultStats::default(),
+    };
+    let mut shed_rng = admission.enabled.then(|| rng.fork());
+
+    let mut arrivals = plan.cursor();
+    let mut tenant_pass: HashMap<usize, f64> = HashMap::new();
+    let mut virtual_time = 0.0f64;
+    let mut breaker = Breaker::Closed;
+    let mut distress: VecDeque<f64> = VecDeque::new();
+    let mut deferrals = 0usize;
+    let mut shed_jobs = 0usize;
+    let mut abstain_placements = 0usize;
+    let mut breaker_trips = 0usize;
+    let mut depth_avg = TimeWeighted::new(SimTime::ZERO);
+    let mut max_queue_depth = 0usize;
+
+    loop {
+        guard += 1;
+        if guard > guard_limit {
+            return Err(ColocateError::Config(
+                "service event loop exceeded its iteration guard".into(),
+            ));
+        }
+
+        // 1. Deliver arrivals due now: assign WFQ finish tags in arrival
+        //    order, and shed on the spot once the hard queue cap is hit.
+        while let Some(event) = arrivals.pop_due(t) {
+            // The cursor walks the plan front to back, so this index is
+            // the event's position in plan order.
+            let idx = plan.len() - arrivals.remaining() - 1;
+            jobs[idx].arrived = true;
+            let weight = config
+                .tenant_weights
+                .get(event.tenant)
+                .copied()
+                .unwrap_or(1.0);
+            let pass = tenant_pass.entry(event.tenant).or_insert(0.0);
+            let vft = pass.max(virtual_time) + apps[idx].input_gb / weight;
+            *pass = vft;
+            jobs[idx].vft = vft;
+            if admission.enabled && queued_count(&apps, &jobs) > admission.queue_capacity {
+                jobs[idx].shed = true;
+                shed_jobs += 1;
+            }
+        }
+
+        // 2. Faults, spot revocations, node restores (closed-loop order).
+        let crashes_before = resil.stats.executor_crashes;
+        if let Some(cursor) = fault_cursor.as_mut() {
+            while let Some(event) = cursor.pop_due(t) {
+                apply_fault(
+                    event,
+                    &mut engine,
+                    &mut monitor,
+                    &mut apps,
+                    sched,
+                    t,
+                    &mut restore_at,
+                    &mut revoke_at,
+                    &mut revoke_outage,
+                    &mut resil,
+                )?;
+            }
+        }
+        process_revocations(
+            &mut engine,
+            &mut apps,
+            sched,
+            t,
+            &node_ids,
+            &mut revoke_at,
+            &mut revoke_outage,
+            &mut restore_at,
+            &mut resil,
+        )?;
+        for (i, due) in restore_at.iter_mut().enumerate() {
+            if *due > 0.0 && *due <= t {
+                engine.restore_node(node_ids[i])?;
+                *due = 0.0;
+            }
+        }
+        if admission.enabled {
+            // Only app-level distress feeds the breaker: infrastructure
+            // node crashes are handled by self-healing and must not trip
+            // the service into isolated mode on their own.
+            for _ in crashes_before..resil.stats.executor_crashes {
+                distress.push_back(t);
+            }
+        }
+
+        // 3. Mark finishes and release their committed headroom.
+        for app in &mut apps {
+            if app.finished_at.is_none() && engine.app(app.engine_id).is_finished() {
+                app.finished_at = Some(t.max(app.ready_at));
+            }
+        }
+        release_finished(&apps, &mut jobs);
+
+        // 4. Breaker recovery with hysteresis: after the cooldown the
+        //    breaker closes only if the window has drained below the
+        //    recover threshold; otherwise it stays open another cooldown.
+        while distress
+            .front()
+            .is_some_and(|&f| t - f > admission.breaker.window_secs)
+        {
+            distress.pop_front();
+        }
+        if let Breaker::Open { until } = breaker {
+            if t >= until {
+                if distress.len() <= admission.breaker.recover_threshold {
+                    breaker = Breaker::Closed;
+                } else {
+                    breaker = Breaker::Open {
+                        until: t + admission.breaker.cooldown_secs,
+                    };
+                }
+            }
+        }
+
+        // 5. Load shedding above the watermark, then admission in WFQ
+        //    order while headroom lasts. An open breaker does NOT block
+        //    admission — it only forces isolated placement below — so the
+        //    service degrades instead of stalling.
+        if admission.enabled {
+            while queued_count(&apps, &jobs) > admission.shed_watermark {
+                let Some(victim) = pick_shed_victim(&apps, &jobs, shed_rng.as_mut()) else {
+                    break;
+                };
+                jobs[victim].shed = true;
+                shed_jobs += 1;
+            }
+            loop {
+                let eligible: Vec<usize> = (0..jobs.len())
+                    .filter(|&i| {
+                        jobs[i].arrived
+                            && !jobs[i].shed
+                            && jobs[i].admitted_at.is_none()
+                            && apps[i].finished_at.is_none()
+                            && jobs[i].profile_ready <= t
+                    })
+                    .collect();
+                if eligible.is_empty() {
+                    break;
+                }
+                let head = eligible
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| jobs[a].vft.total_cmp(&jobs[b].vft).then(a.cmp(&b)))
+                    .unwrap_or(eligible[0]);
+                let need = admission_need_gb(&apps[head], &engine, sched);
+                let headroom = admission.headroom_frac * online_ram_gb(&engine, &node_ids);
+                // Recomputing the committed sum from the live bookings
+                // keeps it exactly zero once everything admitted has
+                // finished, so the empty-cluster always-admit escape can
+                // never be wedged shut by floating-point residue.
+                let committed = committed_gb(&jobs);
+                if committed > 0.0 && committed + need > headroom {
+                    deferrals += eligible.len();
+                    break;
+                }
+                jobs[head].committed_gb = need;
+                jobs[head].admitted_at = Some(t);
+                apps[head].ready_at = t.max(jobs[head].profile_ready);
+                virtual_time = virtual_time.max(jobs[head].vft);
+            }
+        }
+
+        // 6. Placement (abstaining while the breaker is open) and OOM
+        //    resolution, feeding the distress window.
+        monitor.observe(&engine, t);
+        let abstain = matches!(breaker, Breaker::Open { .. });
+        abstain_placements += place(
+            policy,
+            &mut engine,
+            &mut apps,
+            sched,
+            t,
+            catalog,
+            &monitor,
+            &resil,
+            &node_ids,
+            abstain,
+        )?;
+        engine.hot_nodes_into(&mut hot_nodes);
+        let kills = resolve_ooms(&mut engine, &mut apps, sched, t, &mut resil, &hot_nodes)?;
+        oom_kills += kills;
+        if admission.enabled {
+            for _ in 0..kills {
+                distress.push_back(t);
+            }
+            if matches!(breaker, Breaker::Closed)
+                && distress.len() >= admission.breaker.trip_threshold
+            {
+                breaker = Breaker::Open {
+                    until: t + admission.breaker.cooldown_secs,
+                };
+                breaker_trips += 1;
+            }
+        }
+
+        let depth = queued_count(&apps, &jobs);
+        max_queue_depth = max_queue_depth.max(depth);
+        depth_avg.set(SimTime::from_secs(t), depth as f64);
+
+        // 7. Mark finishes again (profiling credit alone can finish an
+        //    app) and terminate once the plan is drained and every
+        //    surviving job is done.
+        for app in &mut apps {
+            if app.finished_at.is_none() && engine.app(app.engine_id).is_finished() {
+                app.finished_at = Some(t.max(app.ready_at));
+            }
+        }
+        release_finished(&apps, &mut jobs);
+        if arrivals.remaining() == 0
+            && apps
+                .iter()
+                .zip(jobs.iter())
+                .all(|(a, j)| j.shed || a.finished_at.is_some())
+        {
+            break;
+        }
+
+        // 8. Next externally scheduled instant. Beyond the closed loop's
+        //    events this adds: the next arrival, profiling completions of
+        //    queued-but-unprofiled jobs (admission waits for the memory
+        //    estimate), and the breaker's recovery check.
+        let next_ready = apps
+            .iter()
+            .zip(jobs.iter())
+            .filter(|(a, j)| !j.shed && a.finished_at.is_none())
+            .map(|(a, _)| a.ready_at.max(a.retry_at))
+            .filter(|&r| r > t && r.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        let next_arrival = arrivals.next_at().unwrap_or(f64::INFINITY);
+        let next_profile = if admission.enabled {
+            jobs.iter()
+                .zip(apps.iter())
+                .filter(|(j, a)| {
+                    j.arrived && !j.shed && j.admitted_at.is_none() && a.finished_at.is_none()
+                })
+                .map(|(j, _)| j.profile_ready)
+                .filter(|&r| r > t)
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            f64::INFINITY
+        };
+        let next_breaker = match breaker {
+            Breaker::Open { until } if until > t => until,
+            _ => f64::INFINITY,
+        };
+        let next_fault = fault_cursor
+            .as_ref()
+            .and_then(simkit::faults::FaultCursor::next_at)
+            .unwrap_or(f64::INFINITY);
+        let next_restore = restore_at
+            .iter()
+            .copied()
+            .filter(|&r| r > t)
+            .fold(f64::INFINITY, f64::min);
+        let next_revoke = revoke_at
+            .iter()
+            .copied()
+            .filter(|&r| r > t)
+            .fold(f64::INFINITY, f64::min);
+        let next_event = next_ready
+            .min(next_arrival)
+            .min(next_profile)
+            .min(next_breaker)
+            .min(next_fault)
+            .min(next_restore)
+            .min(next_revoke);
+        let next_done = engine.next_completion();
+
+        match (next_done, next_event.is_finite()) {
+            (Some((dt, _)), true) if t + dt > next_event => {
+                engine.advance(next_event - t);
+                t = next_event;
+            }
+            (Some((dt, first)), _) => {
+                engine.advance(dt);
+                t += dt;
+                note_completion(&engine, &mut apps, sched, first);
+                engine.complete_executor(first)?;
+                while let Some((dt2, id2)) = engine.next_completion() {
+                    if dt2 > 1e-9 {
+                        break;
+                    }
+                    engine.advance(dt2);
+                    t += dt2;
+                    note_completion(&engine, &mut apps, sched, id2);
+                    engine.complete_executor(id2)?;
+                }
+            }
+            (None, true) => {
+                t = next_event;
+            }
+            (None, false) => {
+                if !force_place(&mut engine, &mut apps, sched, t)? {
+                    return Err(ColocateError::Config(format!(
+                        "service stuck at t={t:.1}s with unfinished jobs"
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut out_jobs = Vec::with_capacity(apps.len());
+    let mut makespan = 0.0f64;
+    for (app, (job, event)) in apps.iter().zip(jobs.iter().zip(plan.events())) {
+        let finished_at = if job.shed { None } else { app.finished_at };
+        if let Some(f) = finished_at {
+            makespan = makespan.max(f);
+        } else if !job.shed {
+            return Err(ColocateError::Config(
+                "service ended with an unfinished, unshed job".into(),
+            ));
+        }
+        out_jobs.push(JobOutcome {
+            benchmark: app.benchmark,
+            input_gb: app.input_gb,
+            tenant: job.tenant,
+            arrived_at: event.at_secs,
+            admitted_at: job.admitted_at,
+            finished_at,
+            shed: job.shed,
+        });
+    }
+    Ok(ServiceOutcome {
+        jobs: out_jobs,
+        makespan_secs: makespan,
+        oom_kills,
+        shed_jobs,
+        deferrals,
+        abstain_placements,
+        breaker_trips,
+        max_queue_depth,
+        mean_queue_depth: if makespan > 0.0 {
+            depth_avg.time_average(SimTime::from_secs(makespan))
+        } else {
+            0.0
+        },
+        faults: resil.stats,
+    })
+}
+
+/// Jobs sitting in the admission queue: arrived, not shed, not admitted,
+/// not finished (profiling credit alone can finish tiny jobs while they
+/// queue; with admission disabled this counts the arrived-but-unfinished
+/// backlog instead, since nothing is ever formally admitted).
+fn queued_count(apps: &[AppRt], jobs: &[JobState]) -> usize {
+    apps.iter()
+        .zip(jobs.iter())
+        .filter(|(a, j)| j.arrived && !j.shed && j.admitted_at.is_none() && a.finished_at.is_none())
+        .count()
+}
+
+/// The queued job with the largest WFQ finish tag; exact ties are broken
+/// by a seeded draw so overload behaviour stays reproducible rather than
+/// depending on scan order.
+fn pick_shed_victim(apps: &[AppRt], jobs: &[JobState], rng: Option<&mut SimRng>) -> Option<usize> {
+    let queued: Vec<usize> = (0..jobs.len())
+        .filter(|&i| {
+            jobs[i].arrived
+                && !jobs[i].shed
+                && jobs[i].admitted_at.is_none()
+                && apps[i].finished_at.is_none()
+        })
+        .collect();
+    let max_vft = queued
+        .iter()
+        .map(|&i| jobs[i].vft)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ties: Vec<usize> = queued
+        .into_iter()
+        .filter(|&i| jobs[i].vft == max_vft)
+        .collect();
+    match (ties.len(), rng) {
+        (0, _) => None,
+        (1, _) | (_, None) => ties.first().copied(),
+        (n, Some(rng)) => ties.get(rng.uniform_usize(0, n - 1)).copied(),
+    }
+}
+
+/// Releases the committed headroom of every newly finished admitted job.
+fn release_finished(apps: &[AppRt], jobs: &mut [JobState]) {
+    for (app, job) in apps.iter().zip(jobs.iter_mut()) {
+        if !job.released && job.admitted_at.is_some() && app.finished_at.is_some() {
+            job.released = true;
+        }
+    }
+}
+
+/// Predicted footprint currently booked against the headroom budget: the
+/// sum over admitted-but-unfinished jobs. Recomputed from scratch so it
+/// is exactly `0.0` whenever nothing is in flight.
+fn committed_gb(jobs: &[JobState]) -> f64 {
+    jobs.iter()
+        .filter(|j| j.admitted_at.is_some() && !j.released)
+        .map(|j| j.committed_gb)
+        .sum()
+}
+
+/// One contender in an open-loop campaign: a policy plus its admission
+/// and resilience configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopEntry {
+    /// Label used in figures and result files.
+    pub label: &'static str,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Admission-control configuration.
+    pub admission: AdmissionConfig,
+    /// Self-healing configuration.
+    pub resilience: ResilienceConfig,
+}
+
+/// Shape of an open-loop campaign: the arrival process, its horizon, the
+/// tenant/job-class universe, and the fault storm replayed alongside.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// Arrival process shared by every replication (each draws its own
+    /// plan from the replication seed).
+    pub process: ArrivalProcess,
+    /// Arrival horizon, seconds.
+    pub horizon_secs: f64,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Per-tenant WFQ weights (empty = uniform).
+    pub tenant_weights: Vec<f64>,
+    /// Job classes arrivals are drawn from.
+    pub job_classes: Vec<(usize, f64)>,
+    /// Hard cap on arrivals per replication (0 = unbounded).
+    pub max_jobs: usize,
+    /// Fault storm replayed against each replication (intensity 0 injects
+    /// nothing).
+    pub chaos: ChaosSpec,
+    /// Independent replications folded into the stats.
+    pub replications: usize,
+}
+
+/// Tail metrics of one open-loop entry, folded across replications.
+#[derive(Debug, Clone)]
+pub struct OpenLoopEntryStats {
+    /// The entry's label.
+    pub label: &'static str,
+    /// Total arrivals across replications.
+    pub arrivals: usize,
+    /// Jobs that finished.
+    pub finished: usize,
+    /// Jobs dropped by load shedding.
+    pub shed: usize,
+    /// Median job slowdown (turnaround / isolated time).
+    pub slowdown_p50: f64,
+    /// 95th-percentile job slowdown.
+    pub slowdown_p95: f64,
+    /// 99th-percentile job slowdown.
+    pub slowdown_p99: f64,
+    /// Mean job slowdown.
+    pub slowdown_mean: f64,
+    /// OOM kills across replications.
+    pub oom_kills: usize,
+    /// Backpressure deferral events across replications.
+    pub deferrals: usize,
+    /// Breaker-forced isolated placements across replications.
+    pub abstain_placements: usize,
+    /// Circuit-breaker trips across replications.
+    pub breaker_trips: usize,
+    /// Largest queue depth seen in any replication.
+    pub max_queue_depth: usize,
+    /// Mean over replications of the time-averaged queue depth.
+    pub mean_queue_depth: f64,
+    /// Fault/recovery counters summed over replications.
+    pub faults: FaultStats,
+}
+
+/// Results of one open-loop campaign.
+#[derive(Debug, Clone)]
+pub struct OpenLoopStats {
+    /// Replications folded in.
+    pub replications: usize,
+    /// Per-entry stats, parallel to the `entries` argument.
+    pub per_entry: Vec<OpenLoopEntryStats>,
+}
+
+/// Per-replication fold produced by one entry.
+type RepFold = (Vec<f64>, ServiceFold);
+
+/// Scalar counters of one replication.
+#[derive(Debug, Clone, Copy)]
+struct ServiceFold {
+    arrivals: usize,
+    finished: usize,
+    shed: usize,
+    oom_kills: usize,
+    deferrals: usize,
+    abstain_placements: usize,
+    breaker_trips: usize,
+    max_queue_depth: usize,
+    mean_queue_depth: f64,
+    faults: FaultStats,
+}
+
+/// Evaluates several `(policy, admission, resilience)` entries on the
+/// *same* arrival plans and fault storms — the apples-to-apples open-loop
+/// comparison behind Fig. 21.
+///
+/// Per replication `i`, the schedule seed is `base_seed + i`, the arrival
+/// plan is drawn from `(base_seed + i) ^ 0xA441_5EED` and the fault plan
+/// from `(base_seed + i) ^ 0xC4A0_5EED`, so arrivals and faults are
+/// independent of the schedule stream: changing an entry's admission or
+/// resilience config never changes what lands on it. Job slowdowns are
+/// turnaround (finish − arrival) over the job's fault-free isolated time
+/// (memoized in a [`BaselineCache`]). Replications fan out across
+/// [`RunConfig::effective_workers`] threads with results folded in index
+/// order, so the returned stats are bit-for-bit identical for every
+/// worker count.
+///
+/// # Errors
+///
+/// Propagates training and per-replication service failures.
+pub fn evaluate_openloop(
+    entries: &[OpenLoopEntry],
+    catalog: &Catalog,
+    config: &RunConfig,
+    spec: &OpenLoopSpec,
+    base_seed: u64,
+) -> Result<OpenLoopStats, ColocateError> {
+    let workers = config.effective_workers();
+
+    // Train once per distinct policy; entries share systems read-only.
+    let mut by_policy: HashMap<PolicyKind, Option<TrainedSystem>> = HashMap::new();
+    for e in entries {
+        if let std::collections::hash_map::Entry::Vacant(slot) = by_policy.entry(e.policy) {
+            slot.insert(crate::harness::trained_system_for(
+                e.policy, catalog, config, base_seed,
+            )?);
+        }
+    }
+    let cfgs: Vec<ServiceConfig> = entries
+        .iter()
+        .map(|e| ServiceConfig {
+            scheduler: SchedulerConfig {
+                resilience: e.resilience,
+                ..config.scheduler.clone()
+            },
+            admission: e.admission,
+            tenant_weights: spec.tenant_weights.clone(),
+            job_classes: spec.job_classes.clone(),
+        })
+        .collect();
+
+    let arrival_cfg = ArrivalPlanConfig {
+        process: spec.process,
+        horizon_secs: spec.horizon_secs,
+        tenants: spec.tenants,
+        job_classes: spec.job_classes.len(),
+        max_jobs: spec.max_jobs,
+    };
+    let baselines = BaselineCache::new();
+    let reps: Vec<usize> = (0..spec.replications).collect();
+    let per_rep = par::par_map_indexed(&reps, workers, |i, _| {
+        let seed = base_seed + i as u64;
+        let plan = ArrivalPlan::generate(seed ^ 0xA441_5EED, &arrival_cfg);
+        if plan.is_empty() {
+            // A quiet replication (possible at tiny rates) contributes
+            // empty folds instead of tripping run_service's empty check.
+            let empty = ServiceFold {
+                arrivals: 0,
+                finished: 0,
+                shed: 0,
+                oom_kills: 0,
+                deferrals: 0,
+                abstain_placements: 0,
+                breaker_trips: 0,
+                max_queue_depth: 0,
+                mean_queue_depth: 0.0,
+                faults: FaultStats::default(),
+            };
+            return Ok(vec![(Vec::new(), empty); entries.len()]);
+        }
+        let storm = FaultPlan::generate(
+            seed ^ 0xC4A0_5EED,
+            &FaultPlanConfig {
+                intensity: spec.chaos.intensity,
+                horizon_secs: spec.horizon_secs,
+                nodes: config.scheduler.cluster.nodes,
+                apps: plan.len(),
+                mean_outage_secs: spec.chaos.mean_outage_secs,
+                mean_dropout_secs: spec.chaos.mean_dropout_secs,
+                noise_sd: spec.chaos.noise_sd,
+                spot_rate: spec.chaos.spot_rate,
+                spot_warning_secs: spec.chaos.spot_warning_secs,
+                noise_window_frac: spec.chaos.noise_window_frac,
+            },
+        );
+        entries
+            .iter()
+            .enumerate()
+            .map(|(ei, entry)| {
+                let outcome = run_service(
+                    entry.policy,
+                    catalog,
+                    &plan,
+                    by_policy[&entry.policy].as_ref(),
+                    &cfgs[ei],
+                    seed,
+                    Some(&storm),
+                )?;
+                let mut slowdowns = Vec::new();
+                let mut finished = 0usize;
+                for job in &outcome.jobs {
+                    let Some(done) = job.finished_at else {
+                        continue;
+                    };
+                    finished += 1;
+                    let iso = baselines.isolated_secs(
+                        catalog,
+                        (job.benchmark, job.input_gb),
+                        &config.scheduler,
+                        seed,
+                    )?;
+                    if iso > 0.0 {
+                        slowdowns.push((done - job.arrived_at) / iso);
+                    }
+                }
+                Ok((
+                    slowdowns,
+                    ServiceFold {
+                        arrivals: outcome.jobs.len(),
+                        finished,
+                        shed: outcome.shed_jobs,
+                        oom_kills: outcome.oom_kills,
+                        deferrals: outcome.deferrals,
+                        abstain_placements: outcome.abstain_placements,
+                        breaker_trips: outcome.breaker_trips,
+                        max_queue_depth: outcome.max_queue_depth,
+                        mean_queue_depth: outcome.mean_queue_depth,
+                        faults: outcome.faults,
+                    },
+                ))
+            })
+            .collect::<Result<Vec<RepFold>, ColocateError>>()
+    });
+
+    // Fold strictly in replication order for worker-count independence.
+    let mut slowdowns: Vec<Vec<f64>> = vec![Vec::new(); entries.len()];
+    let mut folds: Vec<Vec<ServiceFold>> = vec![Vec::new(); entries.len()];
+    for result in per_rep {
+        for (ei, (s, f)) in result?.into_iter().enumerate() {
+            slowdowns[ei].extend(s);
+            folds[ei].push(f);
+        }
+    }
+
+    let per_entry = entries
+        .iter()
+        .enumerate()
+        .map(|(ei, e)| {
+            let ps = percentiles(&slowdowns[ei], &[50.0, 95.0, 99.0]);
+            let n = slowdowns[ei].len();
+            let mean = if n > 0 {
+                slowdowns[ei].iter().sum::<f64>() / n as f64
+            } else {
+                f64::NAN
+            };
+            let mut agg = ServiceFold {
+                arrivals: 0,
+                finished: 0,
+                shed: 0,
+                oom_kills: 0,
+                deferrals: 0,
+                abstain_placements: 0,
+                breaker_trips: 0,
+                max_queue_depth: 0,
+                mean_queue_depth: 0.0,
+                faults: FaultStats::default(),
+            };
+            let reps = folds[ei].len().max(1);
+            for f in &folds[ei] {
+                agg.arrivals += f.arrivals;
+                agg.finished += f.finished;
+                agg.shed += f.shed;
+                agg.oom_kills += f.oom_kills;
+                agg.deferrals += f.deferrals;
+                agg.abstain_placements += f.abstain_placements;
+                agg.breaker_trips += f.breaker_trips;
+                agg.max_queue_depth = agg.max_queue_depth.max(f.max_queue_depth);
+                agg.mean_queue_depth += f.mean_queue_depth;
+                agg.faults.node_crashes += f.faults.node_crashes;
+                agg.faults.executor_crashes += f.faults.executor_crashes;
+                agg.faults.monitor_dropouts += f.faults.monitor_dropouts;
+                agg.faults.prediction_noise += f.faults.prediction_noise;
+                agg.faults.slices_requeued_gb += f.faults.slices_requeued_gb;
+                agg.faults.retries += f.faults.retries;
+                agg.faults.quarantines += f.faults.quarantines;
+                agg.faults.isolated_fallbacks += f.faults.isolated_fallbacks;
+                agg.faults.spot_preemptions += f.faults.spot_preemptions;
+                agg.faults.drains += f.faults.drains;
+            }
+            OpenLoopEntryStats {
+                label: e.label,
+                arrivals: agg.arrivals,
+                finished: agg.finished,
+                shed: agg.shed,
+                slowdown_p50: ps[0],
+                slowdown_p95: ps[1],
+                slowdown_p99: ps[2],
+                slowdown_mean: mean,
+                oom_kills: agg.oom_kills,
+                deferrals: agg.deferrals,
+                abstain_placements: agg.abstain_placements,
+                breaker_trips: agg.breaker_trips,
+                max_queue_depth: agg.max_queue_depth,
+                mean_queue_depth: agg.mean_queue_depth / reps as f64,
+                faults: agg.faults,
+            }
+        })
+        .collect();
+
+    Ok(OpenLoopStats {
+        replications: spec.replications,
+        per_entry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::run_schedule_custom;
+    use sparklite::cluster::ClusterSpec;
+
+    fn small_sched() -> SchedulerConfig {
+        SchedulerConfig {
+            cluster: ClusterSpec::small(4),
+            ..Default::default()
+        }
+    }
+
+    fn jobs_of(catalog: &Catalog, names: &[&str]) -> Vec<(usize, f64)> {
+        names
+            .iter()
+            .map(|n| {
+                let b = catalog.by_name(n).unwrap();
+                (b.index(), workloads::mixes::InputSize::Medium.gb())
+            })
+            .collect()
+    }
+
+    fn service_config(sched: SchedulerConfig, job_classes: Vec<(usize, f64)>) -> ServiceConfig {
+        ServiceConfig {
+            scheduler: sched,
+            admission: AdmissionConfig::default(),
+            tenant_weights: Vec::new(),
+            job_classes,
+        }
+    }
+
+    #[test]
+    fn batch_plan_reproduces_the_closed_loop_bitwise() {
+        let catalog = Catalog::paper();
+        let jobs = jobs_of(&catalog, &["HB.Sort", "HB.PageRank", "BDB.Grep"]);
+        let sched = small_sched();
+        let closed =
+            run_schedule_custom(PolicyKind::Oracle, &catalog, &jobs, None, &sched, 7).unwrap();
+
+        let classes: Vec<(usize, usize)> = (0..jobs.len()).map(|i| (0, i)).collect();
+        let plan = ArrivalPlan::batch(&classes);
+        let config = service_config(sched, jobs);
+        let open =
+            run_service(PolicyKind::Oracle, &catalog, &plan, None, &config, 7, None).unwrap();
+
+        assert_eq!(open.makespan_secs.to_bits(), closed.makespan_secs.to_bits());
+        assert_eq!(open.oom_kills, closed.oom_kills);
+        for (j, a) in open.jobs.iter().zip(closed.per_app.iter()) {
+            assert_eq!(j.finished_at.unwrap().to_bits(), a.finished_at.to_bits());
+        }
+        assert_eq!(open.shed_jobs, 0);
+        assert_eq!(open.deferrals, 0);
+        assert_eq!(open.breaker_trips, 0);
+    }
+
+    #[test]
+    fn non_predictive_policies_and_empty_plans_are_rejected() {
+        let catalog = Catalog::paper();
+        let jobs = jobs_of(&catalog, &["HB.Sort"]);
+        let config = service_config(small_sched(), jobs);
+        let plan = ArrivalPlan::batch(&[(0, 0)]);
+        let err = run_service(
+            PolicyKind::Isolated,
+            &catalog,
+            &plan,
+            None,
+            &config,
+            1,
+            None,
+        );
+        assert!(matches!(err, Err(ColocateError::Config(_))));
+        let err = run_service(
+            PolicyKind::Oracle,
+            &catalog,
+            &ArrivalPlan::none(),
+            None,
+            &config,
+            1,
+            None,
+        );
+        assert!(matches!(err, Err(ColocateError::Config(_))));
+    }
+
+    #[test]
+    fn out_of_range_job_classes_are_rejected() {
+        let catalog = Catalog::paper();
+        let jobs = jobs_of(&catalog, &["HB.Sort"]);
+        let config = service_config(small_sched(), jobs);
+        let plan = ArrivalPlan::batch(&[(0, 5)]);
+        let err = run_service(PolicyKind::Oracle, &catalog, &plan, None, &config, 1, None);
+        assert!(matches!(err, Err(ColocateError::Config(_))));
+    }
+
+    #[test]
+    fn service_runs_are_deterministic_per_seed() {
+        let catalog = Catalog::paper();
+        let jobs = jobs_of(&catalog, &["HB.Sort", "BDB.Grep"]);
+        let cfg = ArrivalPlanConfig {
+            process: ArrivalProcess::Poisson {
+                rate_per_sec: 0.002,
+            },
+            horizon_secs: 3_000.0,
+            tenants: 2,
+            job_classes: jobs.len(),
+            max_jobs: 5,
+        };
+        let plan = ArrivalPlan::generate(3, &cfg);
+        let config = ServiceConfig {
+            admission: AdmissionConfig::controlled(),
+            ..service_config(small_sched(), jobs)
+        };
+        let a = run_service(PolicyKind::Oracle, &catalog, &plan, None, &config, 11, None).unwrap();
+        let b = run_service(PolicyKind::Oracle, &catalog, &plan, None, &config, 11, None).unwrap();
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        assert_eq!(a.shed_jobs, b.shed_jobs);
+        assert_eq!(a.deferrals, b.deferrals);
+        for (x, y) in a.jobs.iter().zip(b.jobs.iter()) {
+            assert_eq!(
+                x.finished_at.map(f64::to_bits),
+                y.finished_at.map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn shedding_bounds_the_queue_and_conserves_the_rest() {
+        let catalog = Catalog::paper();
+        let jobs = jobs_of(&catalog, &["HB.Sort"]);
+        // A burst of same-instant arrivals against a tiny queue: everything
+        // above the watermark is shed, everything kept still finishes.
+        let classes: Vec<(usize, usize)> = (0..8).map(|_| (0, 0)).collect();
+        let plan = ArrivalPlan::batch(&classes);
+        let config = ServiceConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                queue_capacity: 4,
+                shed_watermark: 2,
+                ..AdmissionConfig::default()
+            },
+            ..service_config(small_sched(), jobs)
+        };
+        let out = run_service(PolicyKind::Oracle, &catalog, &plan, None, &config, 5, None).unwrap();
+        assert!(out.shed_jobs > 0, "expected shedding under the burst");
+        let finished = out.jobs.iter().filter(|j| j.finished_at.is_some()).count();
+        assert_eq!(finished + out.shed_jobs, out.jobs.len());
+        for j in &out.jobs {
+            if j.shed {
+                assert!(j.finished_at.is_none() && j.admitted_at.is_none());
+            } else {
+                assert!(j.finished_at.is_some());
+            }
+        }
+        assert!(out.max_queue_depth <= config.admission.queue_capacity + 1);
+    }
+
+    #[test]
+    fn admission_control_defers_under_pressure_but_drains() {
+        let catalog = Catalog::paper();
+        let jobs = jobs_of(&catalog, &["HB.Sort", "HB.PageRank"]);
+        let classes: Vec<(usize, usize)> = (0..4).map(|i| (i % 2, i % 2)).collect();
+        let plan = ArrivalPlan::batch(&classes);
+        let config = ServiceConfig {
+            admission: AdmissionConfig {
+                enabled: true,
+                headroom_frac: 0.01,
+                ..AdmissionConfig::default()
+            },
+            ..service_config(small_sched(), jobs)
+        };
+        let out = run_service(PolicyKind::Oracle, &catalog, &plan, None, &config, 9, None).unwrap();
+        // The tight headroom forces serialisation, but everything drains.
+        assert!(out.jobs.iter().all(|j| j.finished_at.is_some()));
+        assert!(out.deferrals > 0, "expected backpressure deferrals");
+        assert_eq!(out.shed_jobs, 0);
+        // Admission order respects arrival: each job admitted no earlier
+        // than it arrived and profiled.
+        for j in &out.jobs {
+            assert!(j.admitted_at.unwrap() >= j.arrived_at);
+        }
+    }
+}

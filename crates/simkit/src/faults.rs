@@ -21,7 +21,14 @@
 //! * **prediction noise** — a multiplicative perturbation of the memory
 //!   footprint a predictor reports for one application, modelling the
 //!   mispredicted apps of §6 (factors below 1 under-predict and invite
-//!   paging/OOM; factors above 1 over-reserve and waste capacity).
+//!   paging/OOM; factors above 1 over-reserve and waste capacity);
+//! * **spot preemptions** — a cloud provider revokes a node from the
+//!   spot pool after a short warning lead time (the "two-minute notice").
+//!   Unlike a crash, the warning arrives *before* the revocation, so a
+//!   draining scheduler can stop placing onto the node and quarantine it
+//!   instead of losing work cold. Spot preemptions are opt-in
+//!   (`spot_rate` defaults to 0, and spot draws happen after every other
+//!   kind), so existing plans stay bit-identical.
 //!
 //! Intensity 0 produces an empty plan, so a zero-intensity chaos run is
 //! definitionally identical to a fault-free one.
@@ -62,6 +69,18 @@ pub enum FaultKind {
         /// Multiplicative perturbation applied to reported footprints.
         factor: f64,
     },
+    /// The cloud provider announces at the injection time that `node`
+    /// will be revoked from the spot pool `warning_secs` later; the node
+    /// then stays gone for `outage_secs` before rejoining.
+    SpotPreemption {
+        /// Index of the preempted node.
+        node: usize,
+        /// Lead time between the warning and the actual revocation,
+        /// seconds (the classic cloud "two-minute notice").
+        warning_secs: f64,
+        /// How long the node stays revoked, seconds.
+        outage_secs: f64,
+    },
 }
 
 /// A typed fault with its deterministic injection time.
@@ -93,6 +112,22 @@ pub struct FaultPlanConfig {
     /// Log-scale standard deviation of the prediction-noise factor
     /// (`factor = exp(N(0, sd))`).
     pub noise_sd: f64,
+    /// Spot-preemption count per node at full intensity (`scaled(spot_rate,
+    /// nodes)` events). Defaults to 0 — spot faults are opt-in, and their
+    /// draws happen after every other kind so enabling them never perturbs
+    /// the events existing configs draw.
+    pub spot_rate: f64,
+    /// Warning lead time between a spot revocation notice and the
+    /// revocation itself, seconds.
+    pub spot_warning_secs: f64,
+    /// Fraction of the horizon over which prediction-noise strike times
+    /// are drawn. The historical default of `0.1` models a mis-calibrated
+    /// model that is wrong from the start — right for closed systems where
+    /// every job is present at `t = 0`. Open systems, where the cluster
+    /// fills up over time, should widen this toward `1.0` so mispredictions
+    /// can land mid-storm. The default keeps existing plans bit-identical:
+    /// the same uniform draw is consumed, only its scale changes.
+    pub noise_window_frac: f64,
 }
 
 impl Default for FaultPlanConfig {
@@ -105,6 +140,9 @@ impl Default for FaultPlanConfig {
             mean_outage_secs: 300.0,
             mean_dropout_secs: 600.0,
             noise_sd: 0.35,
+            spot_rate: 0.0,
+            spot_warning_secs: 120.0,
+            noise_window_frac: 0.1,
         }
     }
 }
@@ -192,13 +230,18 @@ impl FaultPlan {
                 },
             });
         }
+        assert!(
+            (0.0..=1.0).contains(&config.noise_window_frac),
+            "noise window fraction must lie in [0, 1]"
+        );
         if config.apps > 0 {
             for _ in 0..noises {
                 events.push(FaultEvent {
-                    // Prediction noise strikes early (first tenth of the
-                    // horizon): a mis-calibrated model is wrong from the
-                    // start, not halfway through the campaign.
-                    at_secs: rng.uniform(0.0, config.horizon_secs * 0.1),
+                    // Closed systems keep the historical window (first tenth
+                    // of the horizon: a mis-calibrated model is wrong from
+                    // the start); open systems widen it so mispredictions
+                    // strike a loaded cluster, not an empty one.
+                    at_secs: rng.uniform(0.0, config.horizon_secs * config.noise_window_frac),
                     kind: FaultKind::PredictionNoise {
                         app: rng.uniform_usize(0, config.apps - 1),
                         factor: rng.log_normal(0.0, config.noise_sd).clamp(0.2, 5.0),
@@ -206,8 +249,37 @@ impl FaultPlan {
                 });
             }
         }
+        // Spot draws come LAST so that enabling them (spot_rate > 0) never
+        // changes which values the draws above consume from the RNG stream:
+        // a plan with spot_rate = 0 is bit-identical to one generated
+        // before this fault kind existed.
+        assert!(
+            config.spot_rate >= 0.0 && config.spot_rate.is_finite(),
+            "spot rate must be a finite non-negative number"
+        );
+        let spots = scaled(config.spot_rate, config.nodes);
+        for _ in 0..spots {
+            events.push(FaultEvent {
+                // The *warning* lands inside the horizon; the revocation
+                // follows warning_secs later.
+                at_secs: rng.uniform(0.0, config.horizon_secs),
+                kind: FaultKind::SpotPreemption {
+                    node: rng.uniform_usize(0, config.nodes - 1),
+                    warning_secs: config.spot_warning_secs.max(0.0),
+                    outage_secs: rng.exponential(1.0 / config.mean_outage_secs.max(1e-9)),
+                },
+            });
+        }
         // Stable sort: ties keep generation order, preserving determinism.
         events.sort_by(|a, b| a.at_secs.partial_cmp(&b.at_secs).expect("finite times"));
+        FaultPlan { events }
+    }
+
+    /// A plan built from explicit events (stably sorted by time), for
+    /// trace-driven chaos and targeted tests.
+    #[must_use]
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
         FaultPlan { events }
     }
 
@@ -338,8 +410,82 @@ mod tests {
                     assert!(app < 6);
                     assert!((0.2..=5.0).contains(&factor));
                 }
+                FaultKind::SpotPreemption { .. } => {
+                    unreachable!("spot_rate defaults to 0; no spot events expected")
+                }
             }
         }
+    }
+
+    #[test]
+    fn spot_rate_zero_plans_are_unchanged_by_the_new_kind() {
+        // The canonical backward-compatibility pin: a default (spot-free)
+        // config draws exactly the same events it always did.
+        let plan = FaultPlan::generate(9, &cfg(0.7));
+        assert!(!plan
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::SpotPreemption { .. })));
+    }
+
+    #[test]
+    fn spot_rate_appends_without_perturbing_existing_draws() {
+        let base = FaultPlan::generate(9, &cfg(0.7));
+        let spot = FaultPlan::generate(
+            9,
+            &FaultPlanConfig {
+                spot_rate: 0.5,
+                ..cfg(0.7)
+            },
+        );
+        assert!(spot.len() > base.len());
+        // Every non-spot event survives bitwise: spot draws come last.
+        let non_spot: Vec<_> = spot
+            .events()
+            .iter()
+            .filter(|e| !matches!(e.kind, FaultKind::SpotPreemption { .. }))
+            .copied()
+            .collect();
+        assert_eq!(non_spot, base.events());
+        for e in spot.events() {
+            if let FaultKind::SpotPreemption {
+                node,
+                warning_secs,
+                outage_secs,
+            } = e.kind
+            {
+                assert!(node < 10);
+                assert_eq!(warning_secs, 120.0);
+                assert!(outage_secs > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn from_events_sorts_stably() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at_secs: 10.0,
+                kind: FaultKind::ExecutorCrash { node: 1 },
+            },
+            FaultEvent {
+                at_secs: 2.0,
+                kind: FaultKind::ExecutorCrash { node: 2 },
+            },
+            FaultEvent {
+                at_secs: 10.0,
+                kind: FaultKind::ExecutorCrash { node: 3 },
+            },
+        ]);
+        let nodes: Vec<_> = plan
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::ExecutorCrash { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, [2, 1, 3], "ties keep insertion order");
     }
 
     #[test]

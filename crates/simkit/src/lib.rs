@@ -12,8 +12,13 @@
 //!   CPU shares,
 //! * a deterministic fault-injection layer ([`faults::FaultPlan`]): seeded,
 //!   replayable chaos schedules (node crashes, executor crashes, monitor
-//!   dropouts, prediction noise) drawn entirely up front so chaos campaigns
-//!   stay bit-for-bit identical across worker counts,
+//!   dropouts, prediction noise, spot-instance preemptions) drawn entirely
+//!   up front so chaos campaigns stay bit-for-bit identical across worker
+//!   counts,
+//! * a deterministic open-system arrival layer ([`arrivals::ArrivalPlan`]):
+//!   seeded, pre-drawn job-arrival schedules (Poisson, bursty/diurnal,
+//!   trace-driven) in the same pre-drawn style, so streaming campaigns are
+//!   schedule- and worker-count-independent,
 //! * a crash-safe persistence layer ([`journal`]): append-only, checksummed
 //!   record logs with atomic header creation, torn-tail recovery and
 //!   deterministic kill-point injection, used by the campaign harness to
@@ -57,6 +62,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrivals;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -67,6 +73,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arrivals::{ArrivalCursor, ArrivalEvent, ArrivalPlan, ArrivalPlanConfig, ArrivalProcess};
 pub use engine::Engine;
 pub use event::{EventQueue, QueueBackend};
 pub use faults::{FaultCursor, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
