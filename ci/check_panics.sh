@@ -4,9 +4,10 @@
 # helpers, the hot-path cache modules (event queue slab + calendar
 # backend, sharded engine rate cache + tournament tree, monitor window
 # memoization), the mlkit compute kernels, the ML campaign drivers, the
-# scale-sweep workload builders, and the open-system layer (arrival plans
-# + admission service) must not contain `unwrap()` / `expect(` outside
-# test code.
+# scale-sweep workload builders, the open-system layer (arrival plans +
+# admission service), and the chaos-search harness (episode generation +
+# shrinking, invariant battery, fig22 driver) must not contain
+# `unwrap()` / `expect(` outside test code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -36,6 +37,9 @@ GATED_FILES=(
   crates/bench/src/mlcamp.rs
   crates/simkit/src/arrivals.rs
   crates/colocate/src/service.rs
+  crates/simkit/src/chaoskit.rs
+  crates/colocate/src/invariants.rs
+  crates/bench/src/bin/fig22_chaos_search.rs
 )
 
 ALLOWLIST=ci/panic_allowlist.txt

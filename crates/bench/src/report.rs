@@ -8,6 +8,7 @@
 //! which is a pure function of the `f64` bits.
 
 use colocate::harness::{ChaosStats, MultiPolicyStats, ScenarioStats};
+use colocate::invariants::{preset_label, SearchReport};
 use colocate::service::OpenLoopStats;
 use std::fmt::Write as _;
 
@@ -204,6 +205,55 @@ pub fn openloop_stats_json(all: &[(f64, OpenLoopStats)]) -> String {
     out
 }
 
+/// Renders a chaos-search campaign as a JSON document — the
+/// `BENCH_chaossearch.json` record.
+///
+/// `episodes_per_sec` is `None` unless wall-clock timing was explicitly
+/// requested (`SPARK_MOE_CHAOS_TIMING=1`): the default record must stay a
+/// pure function of the search inputs so worker-count bit-identity holds
+/// on the artifact itself. Every violation entry embeds its delta-debugged
+/// minimal reproducer verbatim ([`Episode::to_json`](simkit::chaoskit::Episode::to_json)),
+/// so a record is also a replay kit.
+#[must_use]
+pub fn chaossearch_json(report: &SearchReport, episodes_per_sec: Option<f64>) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"episodes\":{},\"base_seed\":{},\"violations_found\":{},\"episodes_per_sec\":{},\
+         \"violations\":[",
+        report.episodes,
+        report.base_seed,
+        report.violations.len(),
+        episodes_per_sec.map_or_else(|| "null".to_string(), json_num),
+    );
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"episode_index\":{},\"seed\":{},\"preset\":{},\"invariant\":{},\"detail\":{},\
+             \"original_faults\":{},\"original_arrivals\":{},\"shrunk_faults\":{},\
+             \"shrunk_arrivals\":{},\"shrink_checks\":{},\"shrink_exhausted\":{},\
+             \"reproducer\":{}}}",
+            v.index,
+            v.original.seed,
+            json_str(preset_label(v.original.preset)),
+            json_str(&v.violation.invariant),
+            json_str(&v.violation.detail),
+            v.original.faults.len(),
+            v.original.arrivals.len(),
+            v.shrink.episode.faults.len(),
+            v.shrink.episode.arrivals.len(),
+            v.shrink.checks,
+            v.shrink.exhausted,
+            v.shrink.episode.to_json(),
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +270,22 @@ mod tests {
     fn strings_escape_control_characters() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json_str("tab\tdone"), "\"tab\\tdone\"");
+    }
+
+    #[test]
+    fn chaossearch_record_is_stable_and_omits_timing_by_default() {
+        let report = SearchReport {
+            episodes: 8,
+            base_seed: 42,
+            violations: Vec::new(),
+        };
+        let json = chaossearch_json(&report, None);
+        assert_eq!(
+            json,
+            "{\"episodes\":8,\"base_seed\":42,\"violations_found\":0,\
+             \"episodes_per_sec\":null,\"violations\":[]}\n"
+        );
+        let timed = chaossearch_json(&report, Some(12.5));
+        assert!(timed.contains("\"episodes_per_sec\":12.5"));
     }
 }

@@ -30,7 +30,12 @@
 //! * [`harness`] — campaign runners: replay a mix until the 95 % CI
 //!   half-width is below 5 % (§5.2), produce utilisation traces (Fig. 7),
 //!   overhead breakdowns (Figs. 11/12) and interference studies
-//!   (Figs. 14/15).
+//!   (Figs. 14/15);
+//! * [`invariants`] — the chaos-search battery: runs a
+//!   [`simkit::chaoskit`] episode through the scheduler or the service
+//!   and checks the contracts every run must honour (job conservation,
+//!   committed-GB accounting, WFQ ordering, breaker liveness, quarantine
+//!   finiteness), shrinking any violation to a minimal reproducer.
 //!
 //! ```no_run
 //! use colocate::harness::{run_policy, RunConfig};
@@ -51,6 +56,7 @@
 pub mod checkpoint;
 pub mod harness;
 pub mod interference;
+pub mod invariants;
 pub mod metrics;
 pub mod predictors;
 pub mod profiling;

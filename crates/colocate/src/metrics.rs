@@ -23,35 +23,62 @@ use serde::{Deserialize, Serialize};
 /// and an empty slice yields NaN rather than indexing out of bounds. Bench
 /// binaries reporting tail metrics (p50/p95/p99 job slowdown) share this
 /// instead of each re-sorting slowdown vectors ad hoc.
+///
+/// Callers that need to *distinguish* "no samples" from a genuinely-NaN
+/// tail should use [`try_percentile`], which types the empty case as
+/// `None` instead of folding it into NaN.
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    percentiles(xs, &[p])[0]
+    try_percentile(xs, p).unwrap_or(f64::NAN)
 }
 
 /// Several percentiles of one sample, paying the sort once.
 ///
 /// Same semantics as [`percentile`]; returns one value per requested
-/// percentile, in order. All-NaN when `xs` is empty.
+/// percentile, in order. All-NaN when `xs` is empty — use
+/// [`try_percentiles`] when the empty case must stay typed.
 #[must_use]
 pub fn percentiles(xs: &[f64], ps: &[f64]) -> Vec<f64> {
+    try_percentiles(xs, ps).unwrap_or_else(|| vec![f64::NAN; ps.len()])
+}
+
+/// [`percentile`] with the empty-input case made explicit: `None` when
+/// `xs` has no samples, `Some(value)` otherwise. A single sample is its
+/// own percentile at every `p` (no interpolation partner exists).
+#[must_use]
+pub fn try_percentile(xs: &[f64], p: f64) -> Option<f64> {
+    try_percentiles(xs, std::slice::from_ref(&p)).map(|v| v[0])
+}
+
+/// [`percentiles`] with the empty-input case made explicit: `None` when
+/// `xs` has no samples, otherwise one value per requested percentile, in
+/// order.
+///
+/// This is the hardened core the NaN-folding wrappers delegate to; the
+/// chaos-search invariant battery uses it directly so an empty fold reads
+/// as "nothing to measure" rather than as a corrupt tail.
+#[must_use]
+pub fn try_percentiles(xs: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
     if xs.is_empty() {
-        return vec![f64::NAN; ps.len()];
+        return None;
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
-    ps.iter()
-        .map(|&p| {
-            let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
-            let lo = rank.floor() as usize;
-            let hi = rank.ceil() as usize;
-            if lo == hi {
-                sorted[lo]
-            } else {
-                let frac = rank - lo as f64;
-                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-            }
-        })
-        .collect()
+    Some(
+        ps.iter()
+            .map(|&p| {
+                let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                if lo == hi {
+                    sorted[lo]
+                } else {
+                    let frac = rank - lo as f64;
+                    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+                }
+            })
+            .collect(),
+    )
 }
 
 /// STP/ANTT of one schedule against per-task isolated times.
@@ -220,6 +247,28 @@ mod tests {
         assert!(percentile(&xs, 100.0).is_nan());
         assert!(percentile(&[], 50.0).is_nan());
         assert!(percentiles(&[], &[1.0, 99.0]).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn try_percentile_types_the_empty_case() {
+        assert_eq!(try_percentile(&[], 50.0), None);
+        assert_eq!(try_percentiles(&[], &[50.0, 99.0]), None);
+        // Non-empty inputs agree with the NaN-folding wrappers bit for bit.
+        let xs = [3.0, 1.0, 4.0];
+        assert_eq!(
+            try_percentile(&xs, 95.0).unwrap().to_bits(),
+            percentile(&xs, 95.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let xs = [7.25];
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(try_percentile(&xs, p), Some(7.25));
+            assert_eq!(percentile(&xs, p), 7.25);
+        }
+        assert_eq!(try_percentiles(&xs, &[1.0, 99.0]), Some(vec![7.25, 7.25]));
     }
 
     #[test]

@@ -195,6 +195,43 @@ pub struct ServiceOutcome {
     pub mean_queue_depth: f64,
     /// Delivered faults and the self-healing layer's responses.
     pub faults: FaultStats,
+    /// Internal-consistency counters the chaos-search invariant battery
+    /// audits after the run.
+    pub audit: AdmissionAudit,
+}
+
+/// Internal-consistency counters recorded alongside a service run — the
+/// hooks the chaos-search invariant battery reads. On a healthy run every
+/// violation counter is zero: they pin the admission layer's contracts
+/// (committed-GB accounting, WFQ ordering, breaker liveness, quarantine
+/// finiteness) against refactors, and a chaos episode that drives any of
+/// them non-zero is a reportable invariant violation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdmissionAudit {
+    /// Largest committed-footprint sum observed right after an admission,
+    /// GB (informational, not a violation counter).
+    pub peak_committed_gb: f64,
+    /// Admissions that left the committed sum above the headroom budget
+    /// while more than one booking was in flight. The single-booking
+    /// escape — an otherwise-empty cluster always admits one oversized
+    /// job — is legitimate and not counted.
+    pub overbook_events: usize,
+    /// Times the committed sum went negative (impossible by construction;
+    /// recomputed from live bookings each admission).
+    pub negative_commit_events: usize,
+    /// Admissions whose head was not a minimum-vft eligible job — the WFQ
+    /// no-starvation ordering contract.
+    pub wfq_order_violations: usize,
+    /// Breaker reopens with no in-window distress to justify them (see
+    /// [`CircuitBreaker::quiet_reopens`]) — the trip-lock invariant: under
+    /// a fault-free tail the window drains and the breaker must close.
+    pub quiet_breaker_reopens: usize,
+    /// Quarantine deadlines left non-finite at the end of the run: a
+    /// quarantined node must carry a finite release deadline, never limbo.
+    pub nonfinite_quarantines: usize,
+    /// Whether the breaker was still open when the service drained
+    /// (informational: legitimate when distress lands near the end).
+    pub final_breaker_open: bool,
 }
 
 /// Sidecar state the admission layer keeps per planned job.
@@ -217,6 +254,144 @@ struct JobState {
 enum Breaker {
     Closed,
     Open { until: f64 },
+}
+
+/// The admission layer's memory-distress circuit breaker, extracted as a
+/// standalone state machine so its hysteresis edges can be unit- and
+/// property-tested (and chaos-searched) without driving a full service
+/// run.
+///
+/// Distress events (executor crashes plus OOM kills) land in a sliding
+/// window of [`BreakerConfig::window_secs`]. When a closed breaker's
+/// window reaches [`BreakerConfig::trip_threshold`] it opens for at least
+/// [`BreakerConfig::cooldown_secs`]; at each recovery check it closes only
+/// once the window has drained to [`BreakerConfig::recover_threshold`] —
+/// otherwise it stays open another cooldown. The two thresholds differ
+/// (hysteresis), so the machine cannot flap on a borderline distress rate.
+///
+/// `run_service` drives this in a fixed order each scheduling instant:
+/// [`note_distress`](Self::note_distress) for crashes, then
+/// [`prune`](Self::prune) + [`recover`](Self::recover), then
+/// [`note_distress`](Self::note_distress) for kills and
+/// [`maybe_trip`](Self::maybe_trip).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Breaker,
+    distress: VecDeque<f64>,
+    trips: usize,
+    quiet_reopens: usize,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds and an empty window.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Breaker::Closed,
+            distress: VecDeque::new(),
+            trips: 0,
+            quiet_reopens: 0,
+        }
+    }
+
+    /// Records one distress event (an executor crash or an OOM kill) at
+    /// time `t`.
+    pub fn note_distress(&mut self, t: f64) {
+        self.distress.push_back(t);
+    }
+
+    /// Drops window entries older than `t − window_secs`.
+    pub fn prune(&mut self, t: f64) {
+        while self
+            .distress
+            .front()
+            .is_some_and(|&f| t - f > self.config.window_secs)
+        {
+            self.distress.pop_front();
+        }
+    }
+
+    /// Runs the recovery check: an open breaker at or past its deadline
+    /// closes if the window has drained to the recover threshold,
+    /// otherwise it stays open another cooldown. Call after
+    /// [`prune`](Self::prune) so the window reflects time `t`.
+    pub fn recover(&mut self, t: f64) {
+        if let Breaker::Open { until } = self.state {
+            if t >= until {
+                if self.distress.len() <= self.config.recover_threshold {
+                    self.state = Breaker::Closed;
+                } else {
+                    // A reopen must be justified by recent distress; a
+                    // stale window here means the prune/recover contract
+                    // broke. Counted, not asserted — the chaos-search
+                    // battery pins it at zero as the trip-lock invariant.
+                    let stale = match self.distress.back() {
+                        None => true,
+                        Some(&f) => t - f > self.config.window_secs,
+                    };
+                    if stale {
+                        self.quiet_reopens += 1;
+                    }
+                    self.state = Breaker::Open {
+                        until: t + self.config.cooldown_secs,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Trips a closed breaker whose window has reached the trip
+    /// threshold; returns whether a trip happened.
+    pub fn maybe_trip(&mut self, t: f64) -> bool {
+        if matches!(self.state, Breaker::Closed)
+            && self.distress.len() >= self.config.trip_threshold
+        {
+            self.state = Breaker::Open {
+                until: t + self.config.cooldown_secs,
+            };
+            self.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the breaker is currently open (placement must abstain from
+    /// co-location).
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, Breaker::Open { .. })
+    }
+
+    /// The next scheduled recovery check strictly after `t`, if any.
+    #[must_use]
+    pub fn next_check_after(&self, t: f64) -> Option<f64> {
+        match self.state {
+            Breaker::Open { until } if until > t => Some(until),
+            _ => None,
+        }
+    }
+
+    /// Times the breaker has tripped open.
+    #[must_use]
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Reopens that happened with no in-window distress to justify them —
+    /// zero unless the prune/recover contract is broken.
+    #[must_use]
+    pub fn quiet_reopens(&self) -> usize {
+        self.quiet_reopens
+    }
+
+    /// Distress events currently inside the sliding window.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.distress.len()
+    }
 }
 
 /// RAM of every online node, GB — the denominator of the headroom gate.
@@ -450,12 +625,11 @@ pub fn run_service(
     let mut arrivals = plan.cursor();
     let mut tenant_pass: HashMap<usize, f64> = HashMap::new();
     let mut virtual_time = 0.0f64;
-    let mut breaker = Breaker::Closed;
-    let mut distress: VecDeque<f64> = VecDeque::new();
+    let mut breaker = CircuitBreaker::new(admission.breaker);
+    let mut audit = AdmissionAudit::default();
     let mut deferrals = 0usize;
     let mut shed_jobs = 0usize;
     let mut abstain_placements = 0usize;
-    let mut breaker_trips = 0usize;
     let mut depth_avg = TimeWeighted::new(SimTime::ZERO);
     let mut max_queue_depth = 0usize;
 
@@ -529,7 +703,7 @@ pub fn run_service(
             // node crashes are handled by self-healing and must not trip
             // the service into isolated mode on their own.
             for _ in crashes_before..resil.stats.executor_crashes {
-                distress.push_back(t);
+                breaker.note_distress(t);
             }
         }
 
@@ -544,23 +718,8 @@ pub fn run_service(
         // 4. Breaker recovery with hysteresis: after the cooldown the
         //    breaker closes only if the window has drained below the
         //    recover threshold; otherwise it stays open another cooldown.
-        while distress
-            .front()
-            .is_some_and(|&f| t - f > admission.breaker.window_secs)
-        {
-            distress.pop_front();
-        }
-        if let Breaker::Open { until } = breaker {
-            if t >= until {
-                if distress.len() <= admission.breaker.recover_threshold {
-                    breaker = Breaker::Closed;
-                } else {
-                    breaker = Breaker::Open {
-                        until: t + admission.breaker.cooldown_secs,
-                    };
-                }
-            }
-        }
+        breaker.prune(t);
+        breaker.recover(t);
 
         // 5. Load shedding above the watermark, then admission in WFQ
         //    order while headroom lasts. An open breaker does NOT block
@@ -592,6 +751,9 @@ pub fn run_service(
                     .copied()
                     .min_by(|&a, &b| jobs[a].vft.total_cmp(&jobs[b].vft).then(a.cmp(&b)))
                     .unwrap_or(eligible[0]);
+                if eligible.iter().any(|&i| jobs[i].vft < jobs[head].vft) {
+                    audit.wfq_order_violations += 1;
+                }
                 let need = admission_need_gb(&apps[head], &engine, sched);
                 let headroom = admission.headroom_frac * online_ram_gb(&engine, &node_ids);
                 // Recomputing the committed sum from the live bookings
@@ -607,13 +769,29 @@ pub fn run_service(
                 jobs[head].admitted_at = Some(t);
                 apps[head].ready_at = t.max(jobs[head].profile_ready);
                 virtual_time = virtual_time.max(jobs[head].vft);
+
+                // Audit the booking just written: the committed sum must
+                // stay non-negative, and may exceed headroom only through
+                // the single-booking empty-cluster escape.
+                let now_committed = committed_gb(&jobs);
+                audit.peak_committed_gb = audit.peak_committed_gb.max(now_committed);
+                if now_committed < 0.0 {
+                    audit.negative_commit_events += 1;
+                }
+                let in_flight = jobs
+                    .iter()
+                    .filter(|j| j.admitted_at.is_some() && !j.released)
+                    .count();
+                if in_flight > 1 && now_committed > headroom {
+                    audit.overbook_events += 1;
+                }
             }
         }
 
         // 6. Placement (abstaining while the breaker is open) and OOM
         //    resolution, feeding the distress window.
         monitor.observe(&engine, t);
-        let abstain = matches!(breaker, Breaker::Open { .. });
+        let abstain = breaker.is_open();
         abstain_placements += place(
             policy,
             &mut engine,
@@ -631,16 +809,9 @@ pub fn run_service(
         oom_kills += kills;
         if admission.enabled {
             for _ in 0..kills {
-                distress.push_back(t);
+                breaker.note_distress(t);
             }
-            if matches!(breaker, Breaker::Closed)
-                && distress.len() >= admission.breaker.trip_threshold
-            {
-                breaker = Breaker::Open {
-                    until: t + admission.breaker.cooldown_secs,
-                };
-                breaker_trips += 1;
-            }
+            breaker.maybe_trip(t);
         }
 
         let depth = queued_count(&apps, &jobs);
@@ -689,10 +860,7 @@ pub fn run_service(
         } else {
             f64::INFINITY
         };
-        let next_breaker = match breaker {
-            Breaker::Open { until } if until > t => until,
-            _ => f64::INFINITY,
-        };
+        let next_breaker = breaker.next_check_after(t).unwrap_or(f64::INFINITY);
         let next_fault = fault_cursor
             .as_ref()
             .and_then(simkit::faults::FaultCursor::next_at)
@@ -770,6 +938,13 @@ pub fn run_service(
             shed: job.shed,
         });
     }
+    audit.quiet_breaker_reopens = breaker.quiet_reopens();
+    audit.nonfinite_quarantines = resil
+        .quarantined_until
+        .iter()
+        .filter(|u| !u.is_finite())
+        .count();
+    audit.final_breaker_open = breaker.is_open();
     Ok(ServiceOutcome {
         jobs: out_jobs,
         makespan_secs: makespan,
@@ -777,7 +952,7 @@ pub fn run_service(
         shed_jobs,
         deferrals,
         abstain_placements,
-        breaker_trips,
+        breaker_trips: breaker.trips(),
         max_queue_depth,
         mean_queue_depth: if makespan > 0.0 {
             depth_avg.time_average(SimTime::from_secs(makespan))
@@ -785,6 +960,7 @@ pub fn run_service(
             0.0
         },
         faults: resil.stats,
+        audit,
     })
 }
 

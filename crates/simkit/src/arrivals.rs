@@ -29,6 +29,57 @@
 use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
+/// Why a trace was rejected by [`ArrivalPlan::try_from_trace`].
+///
+/// A broken trace — a NaN timestamp, a negative arrival time, or events
+/// out of order — would otherwise flow silently into an [`ArrivalPlan`]
+/// and surface much later as a wedged or nonsensical campaign; the typed
+/// error pins the bad input at the boundary instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalError {
+    /// An event's timestamp is NaN (event index given).
+    NanTimestamp(usize),
+    /// An event's timestamp is negative or non-finite (event index and
+    /// offending value given).
+    NegativeTimestamp(usize, f64),
+    /// An event lands before its predecessor (index of the later event,
+    /// its timestamp, and the predecessor's timestamp).
+    NonMonotonic(usize, f64, f64),
+    /// The horizon is NaN, non-finite, or negative.
+    BadHorizon(f64),
+    /// An event lands at or beyond the stated horizon (event index and
+    /// timestamp given).
+    BeyondHorizon(usize, f64),
+}
+
+impl std::fmt::Display for ArrivalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ArrivalError::NanTimestamp(i) => {
+                write!(f, "trace event {i} has a NaN timestamp")
+            }
+            ArrivalError::NegativeTimestamp(i, t) => {
+                write!(
+                    f,
+                    "trace event {i} has a negative or non-finite timestamp {t}"
+                )
+            }
+            ArrivalError::NonMonotonic(i, t, prev) => write!(
+                f,
+                "trace event {i} at t={t} lands before its predecessor at t={prev}"
+            ),
+            ArrivalError::BadHorizon(h) => {
+                write!(f, "trace horizon {h} is not a finite non-negative number")
+            }
+            ArrivalError::BeyondHorizon(i, t) => {
+                write!(f, "trace event {i} at t={t} lands at or beyond the horizon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrivalError {}
+
 /// The stochastic process arrivals are drawn from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
@@ -223,6 +274,11 @@ impl ArrivalPlan {
 
     /// A trace-driven plan: the given events replayed verbatim (stably
     /// sorted by time, so same-instant arrivals keep trace order).
+    ///
+    /// Accepts the trace as-is; use [`ArrivalPlan::try_from_trace`] when
+    /// the trace comes from outside (a file, a fuzzer, a shrunk episode)
+    /// and malformed timestamps must be rejected rather than sorted into
+    /// something that merely *looks* valid.
     #[must_use]
     pub fn from_trace(mut events: Vec<ArrivalEvent>, horizon_secs: f64) -> Self {
         events.sort_by(|a, b| a.at_secs.total_cmp(&b.at_secs));
@@ -230,6 +286,46 @@ impl ArrivalPlan {
             events,
             horizon_secs,
         }
+    }
+
+    /// A validated trace-driven plan: rejects NaN, negative, non-finite,
+    /// out-of-order, or beyond-horizon timestamps with a typed
+    /// [`ArrivalError`] instead of silently producing a broken plan.
+    ///
+    /// Unlike [`ArrivalPlan::from_trace`] this does *not* sort: a
+    /// non-monotonic trace is evidence of a corrupted input, and sorting
+    /// would paper over it. A `horizon_secs` of `0.0` is accepted only
+    /// when every event lands at `t = 0` (a batch-style trace); any other
+    /// event at or beyond the horizon is rejected via
+    /// [`ArrivalError::BeyondHorizon`].
+    pub fn try_from_trace(
+        events: Vec<ArrivalEvent>,
+        horizon_secs: f64,
+    ) -> Result<Self, ArrivalError> {
+        if !horizon_secs.is_finite() || horizon_secs < 0.0 {
+            return Err(ArrivalError::BadHorizon(horizon_secs));
+        }
+        let mut prev = 0.0f64;
+        for (i, e) in events.iter().enumerate() {
+            if e.at_secs.is_nan() {
+                return Err(ArrivalError::NanTimestamp(i));
+            }
+            if e.at_secs < 0.0 || !e.at_secs.is_finite() {
+                return Err(ArrivalError::NegativeTimestamp(i, e.at_secs));
+            }
+            if e.at_secs < prev {
+                return Err(ArrivalError::NonMonotonic(i, e.at_secs, prev));
+            }
+            // A zero horizon means "batch at t=0": only t=0 events fit.
+            if e.at_secs >= horizon_secs && !(horizon_secs == 0.0 && e.at_secs == 0.0) {
+                return Err(ArrivalError::BeyondHorizon(i, e.at_secs));
+            }
+            prev = e.at_secs;
+        }
+        Ok(ArrivalPlan {
+            events,
+            horizon_secs,
+        })
     }
 
     /// A degenerate "batch" plan: every job lands at `t = 0`, in order.
@@ -486,5 +582,69 @@ mod tests {
     #[should_panic(expected = "rate")]
     fn negative_rate_panics() {
         let _ = ArrivalPlan::generate(1, &poisson_cfg(-0.5));
+    }
+
+    fn ev(at_secs: f64) -> ArrivalEvent {
+        ArrivalEvent {
+            at_secs,
+            tenant: 0,
+            job_class: 0,
+        }
+    }
+
+    #[test]
+    fn try_from_trace_accepts_a_clean_trace() {
+        let plan = ArrivalPlan::try_from_trace(vec![ev(0.0), ev(1.0), ev(1.0), ev(2.5)], 10.0)
+            .expect("clean trace");
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.horizon_secs(), 10.0);
+        // A valid trace round-trips through the unchecked constructor.
+        assert_eq!(plan, ArrivalPlan::from_trace(plan.events().to_vec(), 10.0));
+    }
+
+    #[test]
+    fn try_from_trace_rejects_nan_timestamps() {
+        let err = ArrivalPlan::try_from_trace(vec![ev(0.0), ev(f64::NAN)], 10.0).unwrap_err();
+        assert_eq!(err, ArrivalError::NanTimestamp(1));
+        assert!(err.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn try_from_trace_rejects_negative_and_infinite_timestamps() {
+        let err = ArrivalPlan::try_from_trace(vec![ev(-1.0)], 10.0).unwrap_err();
+        assert_eq!(err, ArrivalError::NegativeTimestamp(0, -1.0));
+        let err = ArrivalPlan::try_from_trace(vec![ev(0.0), ev(f64::INFINITY)], 10.0).unwrap_err();
+        assert_eq!(err, ArrivalError::NegativeTimestamp(1, f64::INFINITY));
+    }
+
+    #[test]
+    fn try_from_trace_rejects_non_monotonic_timestamps() {
+        let err = ArrivalPlan::try_from_trace(vec![ev(2.0), ev(1.0)], 10.0).unwrap_err();
+        assert_eq!(err, ArrivalError::NonMonotonic(1, 1.0, 2.0));
+        assert!(err.to_string().contains("before its predecessor"));
+    }
+
+    #[test]
+    fn try_from_trace_rejects_bad_horizons() {
+        let err = ArrivalPlan::try_from_trace(vec![ev(0.0)], f64::NAN).unwrap_err();
+        assert!(matches!(err, ArrivalError::BadHorizon(h) if h.is_nan()));
+        let err = ArrivalPlan::try_from_trace(vec![ev(0.0)], -5.0).unwrap_err();
+        assert_eq!(err, ArrivalError::BadHorizon(-5.0));
+    }
+
+    #[test]
+    fn try_from_trace_rejects_events_beyond_the_horizon() {
+        let err = ArrivalPlan::try_from_trace(vec![ev(0.0), ev(10.0)], 10.0).unwrap_err();
+        assert_eq!(err, ArrivalError::BeyondHorizon(1, 10.0));
+        // Zero horizon admits a batch-at-zero trace but nothing later.
+        assert!(ArrivalPlan::try_from_trace(vec![ev(0.0), ev(0.0)], 0.0).is_ok());
+        let err = ArrivalPlan::try_from_trace(vec![ev(0.5)], 0.0).unwrap_err();
+        assert_eq!(err, ArrivalError::BeyondHorizon(0, 0.5));
+    }
+
+    #[test]
+    fn try_from_trace_accepts_empty_traces() {
+        let plan = ArrivalPlan::try_from_trace(Vec::new(), 100.0).expect("empty trace");
+        assert!(plan.is_empty());
     }
 }

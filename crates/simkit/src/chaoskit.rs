@@ -1,0 +1,751 @@
+//! Seeded chaos search: randomized-but-deterministic episodes, an
+//! invariant-violation vocabulary, and delta-debugging shrinking.
+//!
+//! A chaos-search campaign hunts the fault × arrival × configuration
+//! space for states where a scheduler breaks one of its invariants (loses
+//! a job, double-books memory, starves a tenant, wedges a breaker). The
+//! pieces here are deliberately consumer-agnostic — this module knows
+//! nothing about any particular scheduler:
+//!
+//! * an [`Episode`] is one fully materialised trial: a cluster size, an
+//!   opaque configuration-preset index, explicit fault events and explicit
+//!   arrival events, all drawn deterministically from a `(seed,
+//!   [`EpisodeSpace`])` pair by [`Episode::draw`]. Because the events are
+//!   stored verbatim (not as generator parameters), an episode survives
+//!   mutation: shrinking can drop events or halve durations and the result
+//!   is still a replayable episode;
+//! * a [`Violation`] names the broken invariant and carries a
+//!   human-readable detail line;
+//! * [`shrink`] reduces a violating episode to a (greedily) minimal
+//!   reproducer by delta debugging: drop chunks of fault events, drop
+//!   chunks of arrivals, halve fault durations — keeping every mutation
+//!   that still reproduces the *same* invariant violation, under a hard
+//!   budget of invocations of the (expensive) checker.
+//!
+//! Determinism is the contract everywhere: `Episode::draw(seed, space)`
+//! is a pure function, the checker the consumer supplies must be one too,
+//! and therefore a whole search — including every shrink — replays bit
+//! for bit from a single base seed. The serialised form
+//! ([`Episode::to_json`]) is byte-stable for the same reason the
+//! `BENCH_*.json` emitters are: floats are formatted with Rust's
+//! shortest-round-trip `{:?}`, a pure function of the bits.
+
+use crate::arrivals::{ArrivalEvent, ArrivalPlan, ArrivalPlanConfig, ArrivalProcess};
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// The region of fault × arrival × configuration space episodes are drawn
+/// from. The consumer fixes the universe (tenant count, job-class count,
+/// preset count, horizon); the generator randomises everything inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeSpace {
+    /// Smallest cluster an episode may use, nodes.
+    pub min_nodes: usize,
+    /// Largest cluster an episode may use, nodes.
+    pub max_nodes: usize,
+    /// Number of tenants arrivals are attributed to.
+    pub tenants: usize,
+    /// Number of job classes arrivals are drawn from (the consumer maps a
+    /// class index to a concrete workload).
+    pub job_classes: usize,
+    /// Number of opaque configuration presets the consumer defines (e.g.
+    /// closed-loop / uncontrolled / admission-controlled); each episode
+    /// draws one index in `[0, presets)`.
+    pub presets: usize,
+    /// Horizon arrivals and faults are drawn over, seconds.
+    pub horizon_secs: f64,
+    /// Upper bound on the drawn fault intensity (see
+    /// [`FaultPlanConfig::intensity`]).
+    pub max_intensity: f64,
+    /// Upper bound on the drawn spot-preemption rate.
+    pub max_spot_rate: f64,
+    /// Upper bound on the drawn prediction-noise log-sd.
+    pub max_noise_sd: f64,
+    /// Lower bound on the drawn mean arrival rate, per second.
+    pub min_rate_per_sec: f64,
+    /// Upper bound on the drawn mean arrival rate, per second.
+    pub max_rate_per_sec: f64,
+    /// Hard cap on arrivals per episode (keeps a single trial bounded).
+    pub max_jobs: usize,
+}
+
+impl Default for EpisodeSpace {
+    fn default() -> Self {
+        EpisodeSpace {
+            min_nodes: 2,
+            max_nodes: 4,
+            tenants: 3,
+            job_classes: 1,
+            presets: 1,
+            horizon_secs: 4_000.0,
+            max_intensity: 1.0,
+            max_spot_rate: 0.5,
+            max_noise_sd: 1.5,
+            min_rate_per_sec: 0.000_5,
+            max_rate_per_sec: 0.01,
+            max_jobs: 12,
+        }
+    }
+}
+
+/// One fully materialised chaos trial: the drawn configuration plus the
+/// explicit fault and arrival events. Mutable by construction — shrinking
+/// edits the event lists directly — yet always replayable: the consumer
+/// rebuilds plans with [`Episode::fault_plan`] / [`Episode::arrival_plan`]
+/// and reruns its checker with [`Episode::seed`] as the schedule seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Episode {
+    /// The seed the episode was drawn from; also the schedule seed the
+    /// consumer should replay with.
+    pub seed: u64,
+    /// Cluster size, nodes.
+    pub nodes: usize,
+    /// Opaque configuration-preset index in `[0, space.presets)`.
+    pub preset: usize,
+    /// Number of tenants arrival events reference.
+    pub tenants: usize,
+    /// Number of job classes arrival events reference.
+    pub job_classes: usize,
+    /// Horizon the events were drawn over, seconds.
+    pub horizon_secs: f64,
+    /// Fault events, time-sorted.
+    pub faults: Vec<FaultEvent>,
+    /// Arrival events, time-sorted.
+    pub arrivals: Vec<ArrivalEvent>,
+}
+
+impl Episode {
+    /// Draws one episode deterministically from `seed` and `space`.
+    ///
+    /// The configuration knobs (cluster size, preset, fault intensity,
+    /// arrival process) come from a dedicated RNG stream; the fault and
+    /// arrival events themselves are drawn through the existing
+    /// [`FaultPlan::generate`] / [`ArrivalPlan::generate`] machinery with
+    /// the repo's conventional seed offsets, so an episode's event streams
+    /// are exactly what a hand-written campaign with the same parameters
+    /// would replay. An episode always has at least one arrival (a
+    /// zero-arrival trial is vacuous for every invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` is degenerate (zero tenants/classes/presets, an
+    /// inverted node or rate range, or a non-positive horizon).
+    #[must_use]
+    pub fn draw(seed: u64, space: &EpisodeSpace) -> Episode {
+        assert!(space.min_nodes >= 1, "need at least one node");
+        assert!(space.max_nodes >= space.min_nodes, "inverted node range");
+        assert!(space.tenants >= 1, "need at least one tenant");
+        assert!(space.job_classes >= 1, "need at least one job class");
+        assert!(space.presets >= 1, "need at least one preset");
+        assert!(space.horizon_secs > 0.0, "horizon must be positive");
+        assert!(
+            space.max_rate_per_sec >= space.min_rate_per_sec && space.min_rate_per_sec >= 0.0,
+            "inverted arrival-rate range"
+        );
+        let mut rng = SimRng::seed_from(seed ^ 0x00C4_A05E_A4C4_0000);
+        let nodes = rng.uniform_usize(space.min_nodes, space.max_nodes);
+        let preset = rng.uniform_usize(0, space.presets - 1);
+        let intensity = rng.uniform(0.0, space.max_intensity.max(0.0));
+        let spot_rate = rng.uniform(0.0, space.max_spot_rate.max(0.0));
+        let noise_sd = rng.uniform(0.1, space.max_noise_sd.max(0.1));
+        let rate = rng.uniform(space.min_rate_per_sec, space.max_rate_per_sec);
+        let process = if rng.chance(0.5) {
+            ArrivalProcess::Bursty {
+                base_rate_per_sec: rate,
+                peak_rate_per_sec: rate * rng.uniform(1.0, 4.0),
+                period_secs: space.horizon_secs / rng.uniform(1.0, 4.0),
+            }
+        } else {
+            ArrivalProcess::Poisson { rate_per_sec: rate }
+        };
+        let mean_outage_secs = rng.uniform(30.0, 400.0);
+        let mean_dropout_secs = rng.uniform(60.0, 600.0);
+        let spot_warning_secs = rng.uniform(10.0, 120.0);
+
+        let arrival_cfg = ArrivalPlanConfig {
+            process,
+            horizon_secs: space.horizon_secs,
+            tenants: space.tenants,
+            job_classes: space.job_classes,
+            max_jobs: space.max_jobs,
+        };
+        let mut arrivals = ArrivalPlan::generate(seed ^ 0xA441_5EED, &arrival_cfg)
+            .events()
+            .to_vec();
+        if arrivals.is_empty() {
+            arrivals.push(ArrivalEvent {
+                at_secs: 0.0,
+                tenant: 0,
+                job_class: 0,
+            });
+        }
+        let fault_cfg = FaultPlanConfig {
+            intensity,
+            horizon_secs: space.horizon_secs,
+            nodes,
+            apps: arrivals.len(),
+            mean_outage_secs,
+            mean_dropout_secs,
+            noise_sd,
+            spot_rate,
+            spot_warning_secs,
+            // Arrivals fill the cluster over time, so mispredictions may
+            // strike anywhere in the horizon (the open-system convention).
+            noise_window_frac: 1.0,
+        };
+        let faults = FaultPlan::generate(seed ^ 0xC4A0_5EED, &fault_cfg)
+            .events()
+            .to_vec();
+        Episode {
+            seed,
+            nodes,
+            preset,
+            tenants: space.tenants,
+            job_classes: space.job_classes,
+            horizon_secs: space.horizon_secs,
+            faults,
+            arrivals,
+        }
+    }
+
+    /// The episode's fault events as a replayable [`FaultPlan`].
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::from_events(self.faults.clone())
+    }
+
+    /// The episode's arrival events as a replayable [`ArrivalPlan`].
+    #[must_use]
+    pub fn arrival_plan(&self) -> ArrivalPlan {
+        ArrivalPlan::from_trace(self.arrivals.clone(), self.horizon_secs)
+    }
+
+    /// Byte-stable JSON rendering of the episode — the reproducer format
+    /// the chaos-search record embeds. Same bits in, same bytes out.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"nodes\":{},\"preset\":{},\"tenants\":{},\"job_classes\":{},\
+             \"horizon_secs\":{},\"faults\":[",
+            self.seed,
+            self.nodes,
+            self.preset,
+            self.tenants,
+            self.job_classes,
+            fmt_num(self.horizon_secs),
+        );
+        for (i, event) in self.faults.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_fault_json(&mut out, event);
+        }
+        out.push_str("],\"arrivals\":[");
+        for (i, event) in self.arrivals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"at_secs\":{},\"tenant\":{},\"job_class\":{}}}",
+                fmt_num(event.at_secs),
+                event.tenant,
+                event.job_class,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Shortest-round-trip JSON number (non-finite values become `null`).
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_fault_json(out: &mut String, event: &FaultEvent) {
+    let at = fmt_num(event.at_secs);
+    let _ = match event.kind {
+        FaultKind::NodeCrash { node, outage_secs } => write!(
+            out,
+            "{{\"at_secs\":{at},\"kind\":\"node_crash\",\"node\":{node},\"outage_secs\":{}}}",
+            fmt_num(outage_secs)
+        ),
+        FaultKind::ExecutorCrash { node } => write!(
+            out,
+            "{{\"at_secs\":{at},\"kind\":\"executor_crash\",\"node\":{node}}}"
+        ),
+        FaultKind::MonitorDropout {
+            node,
+            duration_secs,
+        } => write!(
+            out,
+            "{{\"at_secs\":{at},\"kind\":\"monitor_dropout\",\"node\":{node},\
+             \"duration_secs\":{}}}",
+            fmt_num(duration_secs)
+        ),
+        FaultKind::PredictionNoise { app, factor } => write!(
+            out,
+            "{{\"at_secs\":{at},\"kind\":\"prediction_noise\",\"app\":{app},\"factor\":{}}}",
+            fmt_num(factor)
+        ),
+        FaultKind::SpotPreemption {
+            node,
+            warning_secs,
+            outage_secs,
+        } => write!(
+            out,
+            "{{\"at_secs\":{at},\"kind\":\"spot_preemption\",\"node\":{node},\
+             \"warning_secs\":{},\"outage_secs\":{}}}",
+            fmt_num(warning_secs),
+            fmt_num(outage_secs)
+        ),
+    };
+}
+
+/// One broken invariant: which one, and what the checker saw.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Stable name of the broken invariant (e.g. `"job-conservation"`).
+    /// Shrinking only accepts mutations that reproduce the *same* name.
+    pub invariant: String,
+    /// Human-readable description of what was observed.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation from an invariant name and a detail line.
+    #[must_use]
+    pub fn new(invariant: impl Into<String>, detail: impl Into<String>) -> Self {
+        Violation {
+            invariant: invariant.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Outcome of one [`shrink`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShrinkResult {
+    /// The minimal episode found (greedy 1-minimal under chunk removal
+    /// unless the budget ran out first).
+    pub episode: Episode,
+    /// The violation the minimal episode reproduces.
+    pub violation: Violation,
+    /// Checker invocations consumed.
+    pub checks: usize,
+    /// Whether the budget ran out before reaching a fixpoint.
+    pub exhausted: bool,
+}
+
+struct Shrinker<F> {
+    check: F,
+    budget: usize,
+    checks: usize,
+    exhausted: bool,
+}
+
+impl<F: FnMut(&Episode) -> Option<Violation>> Shrinker<F> {
+    /// Runs the checker on a candidate, accepting it only if it reproduces
+    /// the invariant being shrunk. A spent budget rejects everything.
+    fn reproduces(&mut self, candidate: &Episode, invariant: &str) -> Option<Violation> {
+        if self.checks >= self.budget {
+            self.exhausted = true;
+            return None;
+        }
+        self.checks += 1;
+        (self.check)(candidate).filter(|v| v.invariant == invariant)
+    }
+
+    /// ddmin-style chunk removal over the fault list: try dropping blocks
+    /// of halving size, keeping every drop that still reproduces.
+    fn drop_fault_chunks(
+        &mut self,
+        invariant: &str,
+        best: &mut Episode,
+        kept: &mut Violation,
+    ) -> bool {
+        let mut progress = false;
+        let mut chunk = best.faults.len().div_ceil(2).max(1);
+        while !best.faults.is_empty() {
+            let mut reduced = false;
+            let mut start = 0;
+            while start < best.faults.len() {
+                let end = (start + chunk).min(best.faults.len());
+                let mut candidate = best.clone();
+                candidate.faults.drain(start..end);
+                if let Some(v) = self.reproduces(&candidate, invariant) {
+                    *best = candidate;
+                    *kept = v;
+                    reduced = true;
+                    progress = true;
+                } else {
+                    start = end;
+                }
+                if self.exhausted {
+                    return progress;
+                }
+            }
+            if chunk == 1 {
+                if !reduced {
+                    break;
+                }
+            } else {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+        progress
+    }
+
+    /// Same chunk removal over the arrival list.
+    fn drop_arrival_chunks(
+        &mut self,
+        invariant: &str,
+        best: &mut Episode,
+        kept: &mut Violation,
+    ) -> bool {
+        let mut progress = false;
+        let mut chunk = best.arrivals.len().div_ceil(2).max(1);
+        while !best.arrivals.is_empty() {
+            let mut reduced = false;
+            let mut start = 0;
+            while start < best.arrivals.len() {
+                let end = (start + chunk).min(best.arrivals.len());
+                let mut candidate = best.clone();
+                candidate.arrivals.drain(start..end);
+                if let Some(v) = self.reproduces(&candidate, invariant) {
+                    *best = candidate;
+                    *kept = v;
+                    reduced = true;
+                    progress = true;
+                } else {
+                    start = end;
+                }
+                if self.exhausted {
+                    return progress;
+                }
+            }
+            if chunk == 1 {
+                if !reduced {
+                    break;
+                }
+            } else {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+        progress
+    }
+
+    /// Halves each fault duration (and pulls prediction-noise factors
+    /// halfway toward 1) while the violation persists.
+    fn halve_durations(
+        &mut self,
+        invariant: &str,
+        best: &mut Episode,
+        kept: &mut Violation,
+    ) -> bool {
+        let mut progress = false;
+        loop {
+            let mut any = false;
+            for i in 0..best.faults.len() {
+                while let Some(kind) = halved_kind(&best.faults[i].kind) {
+                    let mut candidate = best.clone();
+                    candidate.faults[i].kind = kind;
+                    if let Some(v) = self.reproduces(&candidate, invariant) {
+                        *best = candidate;
+                        *kept = v;
+                        any = true;
+                        progress = true;
+                    } else {
+                        break;
+                    }
+                    if self.exhausted {
+                        return progress;
+                    }
+                }
+            }
+            if !any || self.exhausted {
+                break;
+            }
+        }
+        progress
+    }
+}
+
+/// A halved version of a fault's duration fields, or `None` once every
+/// field is at its floor (1 s for durations, ±5 % around 1 for factors).
+fn halved_kind(kind: &FaultKind) -> Option<FaultKind> {
+    match *kind {
+        FaultKind::NodeCrash { node, outage_secs } if outage_secs > 1.0 => {
+            Some(FaultKind::NodeCrash {
+                node,
+                outage_secs: outage_secs / 2.0,
+            })
+        }
+        FaultKind::MonitorDropout {
+            node,
+            duration_secs,
+        } if duration_secs > 1.0 => Some(FaultKind::MonitorDropout {
+            node,
+            duration_secs: duration_secs / 2.0,
+        }),
+        FaultKind::PredictionNoise { app, factor } if (factor - 1.0).abs() > 0.05 => {
+            Some(FaultKind::PredictionNoise {
+                app,
+                factor: 1.0 + (factor - 1.0) / 2.0,
+            })
+        }
+        FaultKind::SpotPreemption {
+            node,
+            warning_secs,
+            outage_secs,
+        } if outage_secs > 1.0 || warning_secs > 1.0 => Some(FaultKind::SpotPreemption {
+            node,
+            warning_secs: if warning_secs > 1.0 {
+                warning_secs / 2.0
+            } else {
+                warning_secs
+            },
+            outage_secs: if outage_secs > 1.0 {
+                outage_secs / 2.0
+            } else {
+                outage_secs
+            },
+        }),
+        _ => None,
+    }
+}
+
+/// Delta-debugs `original` down to a minimal episode that still
+/// reproduces `violation.invariant`, invoking `check` at most `budget`
+/// times.
+///
+/// The passes alternate until a fixpoint: drop fault chunks, drop arrival
+/// chunks, halve fault durations. Every accepted mutation must reproduce
+/// the *same* invariant name — a mutation that surfaces a different
+/// violation is rejected, so the reproducer stays tied to the bug being
+/// shrunk. With a deterministic checker the whole run is deterministic.
+#[must_use]
+pub fn shrink<F>(original: &Episode, violation: Violation, budget: usize, check: F) -> ShrinkResult
+where
+    F: FnMut(&Episode) -> Option<Violation>,
+{
+    let invariant = violation.invariant.clone();
+    let mut shrinker = Shrinker {
+        check,
+        budget,
+        checks: 0,
+        exhausted: false,
+    };
+    let mut best = original.clone();
+    let mut kept = violation;
+    loop {
+        let mut progress = false;
+        progress |= shrinker.drop_fault_chunks(&invariant, &mut best, &mut kept);
+        progress |= shrinker.drop_arrival_chunks(&invariant, &mut best, &mut kept);
+        progress |= shrinker.halve_durations(&invariant, &mut best, &mut kept);
+        if !progress || shrinker.exhausted {
+            break;
+        }
+    }
+    ShrinkResult {
+        episode: best,
+        violation: kept,
+        checks: shrinker.checks,
+        exhausted: shrinker.exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> EpisodeSpace {
+        EpisodeSpace {
+            presets: 3,
+            job_classes: 4,
+            max_rate_per_sec: 0.02,
+            ..EpisodeSpace::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_episode_bitwise() {
+        let a = Episode::draw(7, &space());
+        let b = Episode::draw(7, &space());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Episode::draw(1, &space());
+        let b = Episode::draw(2, &space());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn episodes_stay_inside_their_space() {
+        let s = space();
+        for seed in 0..32 {
+            let e = Episode::draw(seed, &s);
+            assert!((s.min_nodes..=s.max_nodes).contains(&e.nodes));
+            assert!(e.preset < s.presets);
+            assert!(!e.arrivals.is_empty(), "episodes are never vacuous");
+            assert!(e.arrivals.len() <= s.max_jobs);
+            for a in &e.arrivals {
+                assert!(a.tenant < s.tenants);
+                assert!(a.job_class < s.job_classes);
+                assert!(a.at_secs >= 0.0 && a.at_secs < s.horizon_secs);
+            }
+            for f in &e.faults {
+                assert!(f.at_secs >= 0.0 && f.at_secs < s.horizon_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn plans_round_trip_the_events() {
+        let e = Episode::draw(11, &space());
+        assert_eq!(e.fault_plan().events(), &e.faults[..]);
+        assert_eq!(e.arrival_plan().events(), &e.arrivals[..]);
+        assert_eq!(e.arrival_plan().horizon_secs(), e.horizon_secs);
+    }
+
+    /// A synthetic checker: the "bug" fires iff the episode still contains
+    /// a node-crash on node 0 AND at least two arrivals. The shrinker must
+    /// find a 1-fault, 2-arrival reproducer.
+    fn synthetic_check(e: &Episode) -> Option<Violation> {
+        let crash = e
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::NodeCrash { node: 0, .. }));
+        if crash && e.arrivals.len() >= 2 {
+            Some(Violation::new("synthetic", "crash on node 0 with 2 jobs"))
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_the_minimal_reproducer() {
+        let mut episode = Episode::draw(5, &space());
+        // Make sure the bug is present regardless of the draw.
+        episode.faults.push(FaultEvent {
+            at_secs: 1.0,
+            kind: FaultKind::NodeCrash {
+                node: 0,
+                outage_secs: 640.0,
+            },
+        });
+        while episode.arrivals.len() < 3 {
+            episode.arrivals.push(ArrivalEvent {
+                at_secs: 0.0,
+                tenant: 0,
+                job_class: 0,
+            });
+        }
+        let violation = synthetic_check(&episode).expect("bug must be present");
+        let result = shrink(&episode, violation, 10_000, synthetic_check);
+        assert!(!result.exhausted);
+        assert_eq!(result.episode.faults.len(), 1, "one fault suffices");
+        assert_eq!(result.episode.arrivals.len(), 2, "two arrivals suffice");
+        assert!(matches!(
+            result.episode.faults[0].kind,
+            FaultKind::NodeCrash { node: 0, outage_secs } if outage_secs <= 1.0
+        ));
+        // The reproducer still reproduces.
+        assert!(synthetic_check(&result.episode).is_some());
+        assert!(result.checks > 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let mut episode = Episode::draw(9, &space());
+        episode.faults.push(FaultEvent {
+            at_secs: 2.0,
+            kind: FaultKind::NodeCrash {
+                node: 0,
+                outage_secs: 100.0,
+            },
+        });
+        let violation = synthetic_check(&episode);
+        if let Some(v) = violation {
+            let a = shrink(&episode, v.clone(), 10_000, synthetic_check);
+            let b = shrink(&episode, v, 10_000, synthetic_check);
+            assert_eq!(a.episode, b.episode);
+            assert_eq!(a.checks, b.checks);
+        }
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        let mut episode = Episode::draw(5, &space());
+        episode.faults.push(FaultEvent {
+            at_secs: 1.0,
+            kind: FaultKind::NodeCrash {
+                node: 0,
+                outage_secs: 640.0,
+            },
+        });
+        while episode.arrivals.len() < 3 {
+            episode.arrivals.push(ArrivalEvent {
+                at_secs: 0.0,
+                tenant: 0,
+                job_class: 0,
+            });
+        }
+        let violation = synthetic_check(&episode).expect("bug must be present");
+        let result = shrink(&episode, violation, 3, synthetic_check);
+        assert!(result.checks <= 3);
+        assert!(result.exhausted);
+        // Whatever came out still reproduces the violation.
+        assert!(synthetic_check(&result.episode).is_some());
+    }
+
+    #[test]
+    fn mutations_that_change_the_invariant_are_rejected() {
+        // Checker that reports a *different* invariant once faults drop
+        // below 2: shrinking must not follow it below that line.
+        let check = |e: &Episode| -> Option<Violation> {
+            if e.faults.len() >= 2 {
+                Some(Violation::new("primary", "two faults"))
+            } else {
+                Some(Violation::new("secondary", "one fault"))
+            }
+        };
+        let mut episode = Episode::draw(3, &space());
+        while episode.faults.len() < 4 {
+            episode.faults.push(FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::ExecutorCrash { node: 0 },
+            });
+        }
+        let result = shrink(
+            &episode,
+            Violation::new("primary", "two faults"),
+            10_000,
+            check,
+        );
+        assert_eq!(result.episode.faults.len(), 2);
+        assert_eq!(result.violation.invariant, "primary");
+    }
+
+    #[test]
+    fn episode_json_is_stable_and_complete() {
+        let e = Episode::draw(13, &space());
+        let json = e.to_json();
+        assert!(json.starts_with("{\"seed\":13,"));
+        assert!(json.contains("\"faults\":["));
+        assert!(json.contains("\"arrivals\":["));
+        assert_eq!(json, e.to_json());
+    }
+}

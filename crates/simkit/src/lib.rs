@@ -19,6 +19,11 @@
 //!   seeded, pre-drawn job-arrival schedules (Poisson, bursty/diurnal,
 //!   trace-driven) in the same pre-drawn style, so streaming campaigns are
 //!   schedule- and worker-count-independent,
+//! * a chaos-search layer ([`chaoskit`]): randomized-but-deterministic
+//!   [`chaoskit::Episode`]s drawn from an [`chaoskit::EpisodeSpace`], plus
+//!   delta-debugging [`chaoskit::shrink`]ing that reduces an
+//!   invariant-violating episode to a minimal reproducer replayable from a
+//!   single `(seed, episode)` pair,
 //! * a crash-safe persistence layer ([`journal`]): append-only, checksummed
 //!   record logs with atomic header creation, torn-tail recovery and
 //!   deterministic kill-point injection, used by the campaign harness to
@@ -63,6 +68,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod arrivals;
+pub mod chaoskit;
 pub mod engine;
 pub mod event;
 pub mod faults;
@@ -73,7 +79,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use arrivals::{ArrivalCursor, ArrivalEvent, ArrivalPlan, ArrivalPlanConfig, ArrivalProcess};
+pub use arrivals::{
+    ArrivalCursor, ArrivalError, ArrivalEvent, ArrivalPlan, ArrivalPlanConfig, ArrivalProcess,
+};
+pub use chaoskit::{Episode, EpisodeSpace, ShrinkResult, Violation};
 pub use engine::Engine;
 pub use event::{EventQueue, QueueBackend};
 pub use faults::{FaultCursor, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};

@@ -1,0 +1,143 @@
+//! Seeded property tests for the admission circuit breaker's hysteresis
+//! edges ([`colocate::service::CircuitBreaker`]): the breaker trips at
+//! *exactly* `trip_threshold` distress events (one fewer never opens it),
+//! recovers only after the cool window has both elapsed and drained, holds
+//! open through a busy recovery deadline instead of flapping, and re-trips
+//! cleanly from a recovered state. A randomized-schedule property pins the
+//! trip-lock tripwire: under the service's prune-before-recover call
+//! order, `quiet_reopens` stays zero and a drained breaker always closes.
+//!
+//! Cases are seeded via the vendored proptest stub (`PROPTEST_CASES`
+//! honoured), so failures replay deterministically.
+
+use colocate::service::{BreakerConfig, CircuitBreaker};
+use proptest::prelude::*;
+
+fn breaker(trip: usize, recover: usize, window: f64, cooldown: f64) -> CircuitBreaker {
+    CircuitBreaker::new(BreakerConfig {
+        window_secs: window,
+        trip_threshold: trip,
+        recover_threshold: recover,
+        cooldown_secs: cooldown,
+    })
+}
+
+proptest! {
+    /// The trip edge is exact: `trip_threshold - 1` in-window distress
+    /// events never open the breaker; the next one always does, and the
+    /// recovery check is scheduled exactly one cooldown out.
+    #[test]
+    fn trips_exactly_at_the_threshold(
+        trip in 1usize..12,
+        window in 60.0f64..900.0,
+        cooldown in 10.0f64..600.0,
+    ) {
+        let mut b = breaker(trip, 0, window, cooldown);
+        // Spread the events over half a window so pruning removes none.
+        let spacing = window / (2.0 * trip as f64);
+        for i in 0..trip - 1 {
+            let t = i as f64 * spacing;
+            b.prune(t);
+            b.note_distress(t);
+            prop_assert!(!b.maybe_trip(t), "tripped at {} events, threshold {}", i + 1, trip);
+            prop_assert!(!b.is_open());
+        }
+        let t = (trip - 1) as f64 * spacing;
+        b.prune(t);
+        b.note_distress(t);
+        prop_assert_eq!(b.window_len(), trip);
+        prop_assert!(b.maybe_trip(t), "must trip at exactly {} events", trip);
+        prop_assert!(b.is_open());
+        prop_assert_eq!(b.trips(), 1);
+        prop_assert_eq!(b.next_check_after(t), Some(t + cooldown));
+    }
+
+    /// Hysteresis end to end: an open breaker stays open at a recovery
+    /// deadline whose window is still busy (no flapping), closes once the
+    /// distress has aged out, and a recovered breaker re-trips cleanly on
+    /// a fresh burst.
+    #[test]
+    fn recovers_after_the_cool_window_and_retrips_cleanly(
+        trip in 2usize..10,
+        window in 200.0f64..600.0,
+        cooldown in 30.0f64..100.0,
+    ) {
+        // cooldown < window/2, so the first deadline lands while the
+        // original burst is still in the window.
+        let mut b = breaker(trip, 0, window, cooldown);
+        for _ in 0..trip {
+            b.note_distress(0.0);
+        }
+        prop_assert!(b.maybe_trip(0.0));
+
+        // Before the deadline: recover() is a no-op, breaker stays open.
+        let early = cooldown * 0.5;
+        b.prune(early);
+        b.recover(early);
+        prop_assert!(b.is_open());
+
+        // At the deadline the window is still busy: the breaker holds
+        // open (re-arms one more cooldown) rather than flapping closed —
+        // and the window was fresh, so this is not a quiet reopen.
+        b.prune(cooldown);
+        b.recover(cooldown);
+        prop_assert!(b.is_open(), "busy deadline must hold the breaker open");
+        prop_assert_eq!(b.quiet_reopens(), 0);
+        prop_assert_eq!(b.next_check_after(cooldown), Some(2.0 * cooldown));
+
+        // Once the burst has aged out of the window and the re-armed
+        // deadline has passed, the breaker closes.
+        let calm = window + cooldown + 1.0;
+        b.prune(calm);
+        b.recover(calm);
+        prop_assert!(!b.is_open(), "drained breaker must close after the cool window");
+        prop_assert_eq!(b.window_len(), 0);
+        prop_assert_eq!(b.trips(), 1);
+
+        // A fresh burst re-trips cleanly from the recovered state.
+        for _ in 0..trip {
+            b.note_distress(calm);
+        }
+        prop_assert!(b.maybe_trip(calm), "recovered breaker must re-trip on a fresh burst");
+        prop_assert!(b.is_open());
+        prop_assert_eq!(b.trips(), 2);
+    }
+
+    /// Trip-lock tripwire: under the service's per-instant call order
+    /// (prune, recover, note, maybe_trip) over an arbitrary distress
+    /// schedule, a recovery deadline never observes a stale window
+    /// (`quiet_reopens == 0`), trips only fire with a full window, and a
+    /// breaker left alone past one window-plus-cooldown always closes.
+    #[test]
+    fn random_schedules_never_trip_lock(
+        deltas in proptest::collection::vec(0.5f64..400.0, 1..80),
+        trip in 2usize..8,
+        recover_raw in 0usize..4,
+        window in 100.0f64..600.0,
+        cooldown in 20.0f64..300.0,
+    ) {
+        let recover = recover_raw.min(trip - 1);
+        let mut b = breaker(trip, recover, window, cooldown);
+        let mut t = 0.0;
+        for d in deltas {
+            t += d;
+            b.prune(t);
+            b.recover(t);
+            b.note_distress(t);
+            if b.maybe_trip(t) {
+                prop_assert!(b.is_open());
+                prop_assert!(b.window_len() >= trip, "trip with a short window");
+            }
+        }
+        // Quiet tail: everything ages out, every deadline passes.
+        let end = t + window + cooldown + 1.0;
+        b.prune(end);
+        b.recover(end);
+        prop_assert!(!b.is_open(), "a drained, quiet breaker must close");
+        prop_assert_eq!(b.window_len(), 0);
+        prop_assert_eq!(
+            b.quiet_reopens(), 0,
+            "prune-before-recover must never reach a deadline with a stale window"
+        );
+    }
+}
