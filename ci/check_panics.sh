@@ -5,9 +5,11 @@
 # backend, sharded engine rate cache + tournament tree, monitor window
 # memoization), the mlkit compute kernels, the ML campaign drivers, the
 # scale-sweep workload builders, the open-system layer (arrival plans +
-# admission service), and the chaos-search harness (episode generation +
-# shrinking, invariant battery, fig22 driver) must not contain
-# `unwrap()` / `expect(` outside test code.
+# admission service), the chaos-search harness (episode generation +
+# shrinking, invariant battery, fig22 driver), and the prediction
+# serving path (model artifacts, micro-batching, the firehose and its
+# fig23 driver) must not contain `unwrap()` / `expect(` outside test
+# code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -40,6 +42,9 @@ GATED_FILES=(
   crates/simkit/src/chaoskit.rs
   crates/colocate/src/invariants.rs
   crates/bench/src/bin/fig22_chaos_search.rs
+  crates/colocate/src/serving.rs
+  crates/bench/src/serving.rs
+  crates/bench/src/bin/fig23_serving.rs
 )
 
 ALLOWLIST=ci/panic_allowlist.txt

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the prediction serving path: the scalar
+//! per-request `select` loop vs the whole-matrix `select_batch` path at
+//! the fig23 batch sizes, plus artifact encode/decode.
+
+use bench_suite::serving::Firehose;
+use colocate::serving::ModelArtifact;
+use colocate::training::{train_system, TrainingConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::SimRng;
+use std::hint::black_box;
+use workloads::Catalog;
+
+fn bench_serving(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let mut rng = SimRng::seed_from(42);
+    let system = train_system(&catalog, &TrainingConfig::default(), &mut rng).unwrap();
+    let predictor = &system.predictor;
+
+    let mut stream = Firehose::new(&catalog, 42, 4096);
+    let features = stream.next_chunk(4096);
+
+    c.bench_function("serving_scalar_4096", |b| {
+        b.iter(|| {
+            for f in &features {
+                black_box(predictor.select(black_box(f)).unwrap());
+            }
+        })
+    });
+
+    for batch in [16usize, 256, 4096] {
+        c.bench_function(&format!("serving_batched_{batch}"), |b| {
+            b.iter(|| {
+                for chunk in features.chunks(batch) {
+                    black_box(predictor.select_batch(black_box(chunk)).unwrap());
+                }
+            })
+        });
+    }
+
+    let artifact = ModelArtifact::from_predictor(predictor, &system.fitted_curves).unwrap();
+    let encoded = artifact.encode();
+    c.bench_function("artifact_encode", |b| {
+        b.iter(|| black_box(artifact.encode()))
+    });
+    c.bench_function("artifact_decode", |b| {
+        b.iter(|| black_box(ModelArtifact::decode(black_box(&encoded)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -3,11 +3,16 @@
 //! cross-validation. The paper reports errors under 5 % for most
 //! benchmarks, with HB.PageRank, BDB.PageRank and BDB.Sort over-provisioned
 //! by 8–12 %.
+//!
+//! The selection-cache footer goes to stderr so the pinned stdout report
+//! stays byte identical across runs and worker counts.
 
 use bench_suite::mlcamp;
 
 fn main() -> Result<(), mlcamp::CampaignError> {
-    let report = mlcamp::fig17_report(bench_suite::catalog(), simkit::par::available_workers())?;
+    let (report, hits, misses) =
+        mlcamp::fig17_report_with_cache(bench_suite::catalog(), simkit::par::available_workers())?;
     print!("{report}");
+    eprintln!("selection cache: {misses} misses, {hits} hits across 16 LOOCV folds");
     Ok(())
 }

@@ -46,6 +46,7 @@ pub mod fsutil;
 pub mod mlcamp;
 pub mod report;
 pub mod scalekit;
+pub mod serving;
 
 use colocate::checkpoint::CheckpointConfig;
 use colocate::harness::RunConfig;

@@ -21,7 +21,9 @@
 
 use colocate::predictors::{MemoryPredictor, MoePolicy};
 use colocate::profiling::{profile_app, ProfilingConfig};
-use colocate::training::{family_expert_id, loocv_exclusions, train_loocv_all, TrainingConfig};
+use colocate::training::{
+    family_expert_id, loocv_exclusions, train_loocv_all, train_system, TrainingConfig,
+};
 use mlkit::forest::{ForestParams, RandomForest};
 use mlkit::kmeans::{cluster_label_agreement, KMeans, KMeansParams};
 use mlkit::knn::KnnClassifier;
@@ -72,6 +74,22 @@ fn hr(out: &mut String, width: usize) {
 ///
 /// Propagates training and prediction failures.
 pub fn fig17_report(catalog: &Catalog, workers: usize) -> Result<String, CampaignError> {
+    fig17_report_with_cache(catalog, workers).map(|(report, _, _)| report)
+}
+
+/// [`fig17_report`] plus the campaign's selection-cache counters: returns
+/// `(report, cache_hits, cache_misses)` summed over every fold's
+/// [`PredictionTable`](colocate::predictors::PredictionTable). The report
+/// string is exactly [`fig17_report`]'s, so callers can surface
+/// memoization effectiveness without disturbing the pinned stdout.
+///
+/// # Errors
+///
+/// Propagates training and prediction failures.
+pub fn fig17_report_with_cache(
+    catalog: &Catalog,
+    workers: usize,
+) -> Result<(String, u64, u64), CampaignError> {
     const SEED: u64 = 0xF1617;
     const INPUT_GB: f64 = 280.0;
     let testbed = ClusterSpec::paper_cluster();
@@ -127,7 +145,12 @@ pub fn fig17_report(catalog: &Catalog, workers: usize) -> Result<String, Campaig
         out,
         "mean |error| {mean:.1} % — {under5}/16 under 5 % (paper: ~5 % average, most under 5 %)"
     );
-    Ok(out)
+    let hits = folds.iter().map(|(_, s)| s.selections.hits()).sum::<u64>();
+    let misses = folds
+        .iter()
+        .map(|(_, s)| s.selections.misses())
+        .sum::<u64>();
+    Ok((out, hits, misses))
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +374,30 @@ pub fn tab05_report(catalog: &Catalog, workers: usize) -> Result<String, Campaig
     }
     hr(&mut out, 44);
     let _ = writeln!(out, "({} held-out predictions per classifier)", total);
+
+    // Memoization footer: route one observation per training benchmark
+    // through a deployed system's PredictionTable twice. Everything here is
+    // serial and seeded, so the line is identical at every worker count.
+    let mut cache_rng = SimRng::seed_from(fold_seed(SEED, training.len()));
+    let system = train_system(catalog, &TrainingConfig::default(), &mut cache_rng)?;
+    let obs: Vec<_> = training
+        .iter()
+        .map(|bench| signatures::observe_default(bench, &mut cache_rng))
+        .collect();
+    let refs: Vec<_> = obs.iter().collect();
+    system
+        .selections
+        .select_cached_batch(&system.predictor, &refs)?;
+    system
+        .selections
+        .select_cached_batch(&system.predictor, &refs)?;
+    let _ = writeln!(
+        out,
+        "selection cache: {} misses then {} hits on replay ({} entries)",
+        system.selections.misses(),
+        system.selections.hits(),
+        system.selections.len()
+    );
     Ok(out)
 }
 

@@ -1,0 +1,298 @@
+//! Serving firehose: shared machinery for the `fig23_serving` driver and
+//! the `serving` Criterion bench.
+//!
+//! The firehose streams seeded synthetic feature observations (the same
+//! `workloads::signatures` generator the campaigns profile with) through
+//! a predictor in two shapes — the scalar per-request `select` loop and
+//! the whole-matrix `select_batch` path — and measures predictions/sec
+//! plus per-request latency percentiles for each.
+//!
+//! Determinism: the request stream is a pure function of `(catalog,
+//! seed, n)`, and the batched selections are compared bit-for-bit against
+//! the scalar oracle on every run. Wall-clock numbers are collected only
+//! when the caller asks (`SPARK_MOE_SERVING_TIMING=1` in the driver), so
+//! the default stdout and JSON record stay byte-stable across hosts and
+//! thread counts.
+
+use colocate::metrics::try_percentile;
+use moe_core::features::FeatureVector;
+use moe_core::{MoeError, MoePredictor, Selection};
+use simkit::SimRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::catalog::Catalog;
+use workloads::signatures;
+
+/// Batch sizes the firehose sweeps (1 isolates the batching overhead).
+pub const BATCH_SIZES: [usize; 4] = [1, 16, 256, 4096];
+
+/// Generation chunk: large enough to amortize, small enough to keep the
+/// resident feature matrix tiny even for multi-million-request runs.
+const GEN_CHUNK: usize = 8192;
+
+/// A seeded stream of synthetic profiling observations over a catalog.
+#[derive(Debug)]
+pub struct Firehose<'a> {
+    catalog: &'a Catalog,
+    rng: SimRng,
+    remaining: usize,
+}
+
+impl<'a> Firehose<'a> {
+    /// A stream of `n` observations, a pure function of `seed`.
+    #[must_use]
+    pub fn new(catalog: &'a Catalog, seed: u64, n: usize) -> Self {
+        Firehose {
+            catalog,
+            rng: SimRng::seed_from(seed),
+            remaining: n,
+        }
+    }
+
+    /// Draws up to `max` next observations (fewer at end of stream;
+    /// empty when exhausted).
+    pub fn next_chunk(&mut self, max: usize) -> Vec<FeatureVector> {
+        let take = self.remaining.min(max);
+        self.remaining -= take;
+        let benches = self.catalog.all();
+        (0..take)
+            .map(|_| {
+                let b = self.rng.uniform_usize(0, benches.len() - 1);
+                signatures::observe_default(&benches[b], &mut self.rng)
+            })
+            .collect()
+    }
+}
+
+/// Throughput and latency of one firehose pass (timing fields are `None`
+/// when the pass ran without wall-clock measurement).
+#[derive(Debug, Clone)]
+pub struct ModeStats {
+    /// `"scalar"` or `"batched"`.
+    pub mode: &'static str,
+    /// Requests per dispatch (1 for the scalar loop).
+    pub batch: usize,
+    /// Predictions per second over the timed inference sections.
+    pub preds_per_sec: Option<f64>,
+    /// Median per-request latency, microseconds.
+    pub p50_us: Option<f64>,
+    /// 95th-percentile per-request latency, microseconds.
+    pub p95_us: Option<f64>,
+    /// 99th-percentile per-request latency, microseconds.
+    pub p99_us: Option<f64>,
+}
+
+fn stats_from(
+    mode: &'static str,
+    batch: usize,
+    n: usize,
+    timed_secs: f64,
+    latencies_us: &[f64],
+) -> ModeStats {
+    let timed = !latencies_us.is_empty() && timed_secs > 0.0;
+    ModeStats {
+        mode,
+        batch,
+        preds_per_sec: timed.then(|| n as f64 / timed_secs),
+        p50_us: try_percentile(latencies_us, 50.0),
+        p95_us: try_percentile(latencies_us, 95.0),
+        p99_us: try_percentile(latencies_us, 99.0),
+    }
+}
+
+/// Runs the scalar per-request loop over the firehose, returning its
+/// selections (the bitwise oracle for the batched passes) and its stats.
+///
+/// # Errors
+///
+/// Propagates selection failures.
+pub fn run_scalar(
+    predictor: &MoePredictor,
+    catalog: &Catalog,
+    seed: u64,
+    n: usize,
+    timing: bool,
+) -> Result<(Vec<Selection>, ModeStats), MoeError> {
+    let mut stream = Firehose::new(catalog, seed, n);
+    let mut selections = Vec::with_capacity(n);
+    let mut latencies_us = if timing {
+        Vec::with_capacity(n)
+    } else {
+        Vec::new()
+    };
+    let mut timed_secs = 0.0f64;
+    loop {
+        let chunk = stream.next_chunk(GEN_CHUNK);
+        if chunk.is_empty() {
+            break;
+        }
+        if timing {
+            for f in &chunk {
+                let t0 = Instant::now();
+                let sel = predictor.select(f)?;
+                let dt = t0.elapsed().as_secs_f64();
+                timed_secs += dt;
+                latencies_us.push(dt * 1e6);
+                selections.push(sel);
+            }
+        } else {
+            for f in &chunk {
+                selections.push(predictor.select(f)?);
+            }
+        }
+    }
+    let stats = stats_from("scalar", 1, n, timed_secs, &latencies_us);
+    Ok((selections, stats))
+}
+
+/// Runs the batched path at one batch size, checking every selection
+/// bit-for-bit against the scalar oracle. Per-request latency is the
+/// whole dispatch's wall time (a request waits for its batch).
+///
+/// Returns the stats and whether every selection matched the oracle.
+///
+/// # Errors
+///
+/// Propagates selection failures.
+pub fn run_batched(
+    predictor: &MoePredictor,
+    catalog: &Catalog,
+    seed: u64,
+    n: usize,
+    batch: usize,
+    timing: bool,
+    oracle: &[Selection],
+) -> Result<(ModeStats, bool), MoeError> {
+    let mut stream = Firehose::new(catalog, seed, n);
+    let mut latencies_us = if timing {
+        Vec::with_capacity(n)
+    } else {
+        Vec::new()
+    };
+    let mut timed_secs = 0.0f64;
+    let mut identical = true;
+    let mut done = 0usize;
+    // Generate in the same `GEN_CHUNK` blocks the scalar loop uses and
+    // carve dispatches out of each block, so stream generation has an
+    // identical allocation and cache footprint at every batch size — the
+    // only variable across modes is the dispatch width under test.
+    loop {
+        let chunk = stream.next_chunk(GEN_CHUNK);
+        if chunk.is_empty() {
+            break;
+        }
+        for dispatch in chunk.chunks(batch.max(1)) {
+            let selections = if timing {
+                let t0 = Instant::now();
+                let selections = predictor.select_batch(dispatch)?;
+                let dt = t0.elapsed().as_secs_f64();
+                timed_secs += dt;
+                for _ in 0..dispatch.len() {
+                    latencies_us.push(dt * 1e6);
+                }
+                selections
+            } else {
+                predictor.select_batch(dispatch)?
+            };
+            for (i, sel) in selections.iter().enumerate() {
+                let Some(reference) = oracle.get(done + i) else {
+                    identical = false;
+                    continue;
+                };
+                if sel.expert != reference.expert
+                    || sel.distance.to_bits() != reference.distance.to_bits()
+                    || sel.low_confidence != reference.low_confidence
+                {
+                    identical = false;
+                }
+            }
+            done += selections.len();
+        }
+    }
+    if done != oracle.len() {
+        identical = false;
+    }
+    let stats = stats_from("batched", batch, n, timed_secs, &latencies_us);
+    Ok((stats, identical))
+}
+
+fn push_mode(out: &mut String, s: &ModeStats) {
+    let num = |v: Option<f64>| crate::report::json_num(v.unwrap_or(f64::NAN));
+    let _ = write!(
+        out,
+        "{{\"mode\":{},\"batch\":{},\"preds_per_sec\":{},\"p50_us\":{},\"p95_us\":{},\
+         \"p99_us\":{}}}",
+        crate::report::json_str(s.mode),
+        s.batch,
+        num(s.preds_per_sec),
+        num(s.p50_us),
+        num(s.p95_us),
+        num(s.p99_us),
+    );
+}
+
+/// Renders the `BENCH_serving.json` record: request count, the bitwise
+/// equivalence verdict, artifact size, and one row per mode.
+#[must_use]
+pub fn serving_json(
+    requests: usize,
+    seed: u64,
+    artifact_bytes: usize,
+    identical: bool,
+    modes: &[ModeStats],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"requests\":{requests},\"seed\":{seed},\"artifact_bytes\":{artifact_bytes},\
+         \"batched_equals_scalar\":{identical},\"modes\":["
+    );
+    for (i, s) in modes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_mode(&mut out, s);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firehose_is_deterministic_and_sized() {
+        let catalog = crate::catalog();
+        let mut a = Firehose::new(catalog, 9, 10);
+        let mut b = Firehose::new(catalog, 9, 10);
+        let (ca, cb) = (a.next_chunk(7), b.next_chunk(7));
+        assert_eq!(ca.len(), 7);
+        for (x, y) in ca.iter().zip(&cb) {
+            for (u, v) in x.as_slice().iter().zip(y.as_slice()) {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        assert_eq!(a.next_chunk(7).len(), 3);
+        assert!(a.next_chunk(7).is_empty());
+    }
+
+    #[test]
+    fn serving_json_is_stable_without_timing() {
+        let modes = [ModeStats {
+            mode: "scalar",
+            batch: 1,
+            preds_per_sec: None,
+            p50_us: None,
+            p95_us: None,
+            p99_us: None,
+        }];
+        let json = serving_json(4, 7, 100, true, &modes);
+        assert_eq!(
+            json,
+            "{\"requests\":4,\"seed\":7,\"artifact_bytes\":100,\
+             \"batched_equals_scalar\":true,\"modes\":[{\"mode\":\"scalar\",\"batch\":1,\
+             \"preds_per_sec\":null,\"p50_us\":null,\"p95_us\":null,\"p99_us\":null}]}\n"
+        );
+    }
+}

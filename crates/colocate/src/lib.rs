@@ -62,6 +62,7 @@ pub mod predictors;
 pub mod profiling;
 pub mod scheduler;
 pub mod service;
+pub mod serving;
 pub mod training;
 
 use std::fmt;

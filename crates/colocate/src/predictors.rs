@@ -86,6 +86,21 @@ pub trait MemoryPredictor: fmt::Debug {
     /// expected to fall back to robust fits on degenerate calibration
     /// points rather than fail.
     fn predict(&self, profile: &AppProfile) -> Result<Prediction, ColocateError>;
+
+    /// Produces models for a whole batch of profiled applications, in
+    /// order — `colocate::service::run_service` hands every job arriving
+    /// in the same event-loop pass here. The default implementation is
+    /// the per-profile scalar loop, so every predictor behaves exactly as
+    /// before; the MoE overrides it with the whole-matrix serving path,
+    /// which is bitwise identical to the scalar loop (see
+    /// [`PredictionTable::select_cached_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MemoryPredictor::predict`].
+    fn predict_batch(&self, profiles: &[&AppProfile]) -> Result<Vec<Prediction>, ColocateError> {
+        profiles.iter().map(|p| self.predict(p)).collect()
+    }
 }
 
 /// Calibrates `expert` on two points, falling back to a least-squares fit
@@ -171,6 +186,80 @@ impl PredictionTable {
         Ok(selection)
     }
 
+    /// The batched form of [`PredictionTable::select_cached`]: resolves a
+    /// whole slice of feature vectors, answering what it can from the
+    /// cache and running **one** [`MoePredictor::select_batch`] call over
+    /// the distinct uncached vectors.
+    ///
+    /// Results and the hit/miss counters are exactly what the equivalent
+    /// sequence of scalar `select_cached` calls produces: an in-batch
+    /// duplicate of a pending miss counts as a hit (the sequential caller
+    /// would have found the first occurrence already inserted), and each
+    /// distinct uncached vector counts as one miss. Selections are bitwise
+    /// identical because the batched selector pipeline is (see
+    /// [`ExpertSelector::select_batch`](moe_core::selector::ExpertSelector::select_batch)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MoePredictor::select_batch`] failures; nothing is
+    /// cached or counted as a miss on failure.
+    pub fn select_cached_batch(
+        &self,
+        predictor: &MoePredictor,
+        features: &[&FeatureVector],
+    ) -> Result<Vec<Selection>, MoeError> {
+        let keys: Vec<Vec<u64>> = features
+            .iter()
+            .map(|f| f.as_slice().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        // Per slot: Ok(cached selection) or Err(index into the pending
+        // miss list). Built under one lock so the hit accounting matches
+        // the sequential scalar calls exactly.
+        let mut slots: Vec<Result<Selection, usize>> = Vec::with_capacity(features.len());
+        let mut unique: Vec<usize> = Vec::new();
+        let mut pending: HashMap<&[u64], usize> = HashMap::new();
+        {
+            let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(&hit) = entries.get(key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slots.push(Ok(hit));
+                } else if let Some(&u) = pending.get(key.as_slice()) {
+                    // A sequential caller would have inserted the first
+                    // occurrence before looking this one up: a hit.
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slots.push(Err(u));
+                } else {
+                    pending.insert(key.as_slice(), unique.len());
+                    slots.push(Err(unique.len()));
+                    unique.push(i);
+                }
+            }
+        }
+        let miss_features: Vec<FeatureVector> =
+            unique.iter().map(|&i| features[i].clone()).collect();
+        let fresh = predictor.select_batch(&miss_features)?;
+        if fresh.len() != unique.len() {
+            return Err(MoeError::InvalidTraining(
+                "select_batch returned a mismatched result count".into(),
+            ));
+        }
+        {
+            let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            for (&i, sel) in unique.iter().zip(fresh.iter()) {
+                entries.insert(keys[i].clone(), *sel);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(sel) => sel,
+                Err(u) => fresh[u],
+            })
+            .collect())
+    }
+
     /// Number of distinct feature vectors cached so far.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -240,6 +329,32 @@ impl MemoryPredictor for MoePolicy {
             low_confidence: selection.low_confidence,
             cpu_estimate: None,
         })
+    }
+
+    fn predict_batch(&self, profiles: &[&AppProfile]) -> Result<Vec<Prediction>, ColocateError> {
+        // The serving path: one cached-batch selection over every profile
+        // (whole-matrix scaling + PCA + KNN for the uncached ones), then
+        // the same per-job calibration as the scalar path. Bitwise
+        // identical to calling `predict` once per profile, in order.
+        let features: Vec<&FeatureVector> = profiles.iter().map(|p| &p.features).collect();
+        let selections = self
+            .system
+            .selections
+            .select_cached_batch(&self.system.predictor, &features)?;
+        profiles
+            .iter()
+            .zip(selections)
+            .map(|(profile, selection)| {
+                let expert = self.system.predictor.registry().get(selection.expert)?;
+                let model =
+                    robust_calibrate(expert, profile.calibration[0], profile.calibration[1])?;
+                Ok(Prediction {
+                    model: Box::new(model),
+                    low_confidence: selection.low_confidence,
+                    cpu_estimate: None,
+                })
+            })
+            .collect()
     }
 }
 
@@ -691,6 +806,71 @@ mod tests {
         assert_eq!(cached.distance.to_bits(), direct.distance.to_bits());
         assert_eq!(cached.low_confidence, direct.low_confidence);
         assert_eq!(system.selections.hits(), 2);
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_predict_bitwise() {
+        let (catalog, system_a, mut rng_a) = setup();
+        let (_, system_b, mut rng_b) = setup();
+        let names = [
+            "SB.TriangleCount",
+            "SP.glm-regression",
+            "SB.Hive",
+            "HB.PageRank",
+        ];
+        let mut profiles_a: Vec<AppProfile> = names
+            .iter()
+            .map(|n| profile_of(&catalog, n, 30.0, &mut rng_a))
+            .collect();
+        let mut profiles_b: Vec<AppProfile> = names
+            .iter()
+            .map(|n| profile_of(&catalog, n, 30.0, &mut rng_b))
+            .collect();
+        // An exact in-batch duplicate of a pending miss: same feature bits.
+        profiles_a.push(profiles_a[0].clone());
+        profiles_b.push(profiles_b[0].clone());
+
+        // Reference: scalar predictions, one at a time, on system A.
+        let moe_a = MoePolicy::new(system_a.clone());
+        let scalar: Vec<Prediction> = profiles_a
+            .iter()
+            .map(|p| moe_a.predict(p).unwrap())
+            .collect();
+
+        // Batched path on an independently trained (identical) system B.
+        let moe_b = MoePolicy::new(system_b.clone());
+        let refs: Vec<&AppProfile> = profiles_b.iter().collect();
+        let batched = moe_b.predict_batch(&refs).unwrap();
+
+        assert_eq!(batched.len(), scalar.len());
+        for (i, (s, b)) in scalar.iter().zip(batched.iter()).enumerate() {
+            assert_eq!(s.low_confidence, b.low_confidence, "row {i}");
+            for x in [0.5, 5.0, 30.0, 240.0] {
+                assert_eq!(
+                    s.model.footprint_gb(x).to_bits(),
+                    b.model.footprint_gb(x).to_bits(),
+                    "row {i} at x={x}"
+                );
+            }
+        }
+        // Counter accounting matches the sequential calls: the duplicate
+        // TriangleCount profile is a hit in both worlds.
+        assert_eq!(
+            (system_a.selections.misses(), system_a.selections.hits()),
+            (system_b.selections.misses(), system_b.selections.hits()),
+        );
+        assert_eq!(system_b.selections.hits(), 1);
+        assert_eq!(system_b.selections.misses(), 4);
+
+        // A second batched pass is all hits and still bitwise stable.
+        let again = moe_b.predict_batch(&refs).unwrap();
+        assert_eq!(system_b.selections.hits(), 1 + refs.len() as u64);
+        for (s, b) in scalar.iter().zip(again.iter()) {
+            assert_eq!(
+                s.model.footprint_gb(30.0).to_bits(),
+                b.model.footprint_gb(30.0).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -510,6 +510,7 @@ pub fn run_service(
     // its arrival instant. Same draw order as the closed loop: plan order.
     let mut apps: Vec<AppRt> = Vec::with_capacity(plan.len());
     let mut jobs: Vec<JobState> = Vec::with_capacity(plan.len());
+    let mut profiles: Vec<crate::profiling::AppProfile> = Vec::with_capacity(plan.len());
     let mut profile_slots = [0.0f64; 6];
     let mut search_queue_end = 0.0f64;
     for event in plan.events() {
@@ -535,7 +536,6 @@ pub fn run_service(
             &sched.profiling,
             &mut rng,
         );
-        let prediction = p.predict(&profile)?;
         let mut ready = if p.needs_profiling() {
             engine.credit_profiled(engine_id, cost.profiled_gb);
             let slot = profile_slots
@@ -556,8 +556,6 @@ pub fn run_service(
             search_queue_end = search_queue_end.max(event.at_secs) + search;
             ready = ready.max(search_queue_end);
         }
-        let cpu = prediction.cpu_estimate.unwrap_or(profile.measured_cpu);
-
         apps.push(AppRt {
             engine_id,
             benchmark: bench_idx,
@@ -568,8 +566,8 @@ pub fn run_service(
             } else {
                 ready
             },
-            prediction: Some(prediction),
-            measured_cpu: cpu,
+            prediction: None,
+            measured_cpu: profile.measured_cpu,
             margin: 1.0,
             finished_at: None,
             profiling: cost,
@@ -590,6 +588,26 @@ pub fn run_service(
             committed_gb: 0.0,
             released: false,
         });
+        profiles.push(profile);
+    }
+    // One batched prediction over every job arriving in this planning
+    // pass: the MoE serves it through the whole-matrix selector path,
+    // bitwise identical to the former per-job predict calls (and the
+    // profiling RNG draws above are untouched — predict consumes none).
+    {
+        let p = predictor.as_ref().ok_or_else(|| {
+            ColocateError::Config("predictive policy produced no predictor".into())
+        })?;
+        let refs: Vec<&crate::profiling::AppProfile> = profiles.iter().collect();
+        let predictions = p.predict_batch(&refs)?;
+        for ((app, prediction), profile) in apps.iter_mut().zip(predictions).zip(&profiles) {
+            if let Some(cpu) = prediction.cpu_estimate {
+                app.measured_cpu = cpu;
+            } else {
+                app.measured_cpu = profile.measured_cpu;
+            }
+            app.prediction = Some(prediction);
+        }
     }
     for app in &mut apps {
         if let Some(pred) = &app.prediction {

@@ -121,6 +121,44 @@ impl MoePredictor {
         self.selector.select(features)
     }
 
+    /// Batched step 1: choose experts for many applications with
+    /// whole-matrix scaling/projection/KNN passes — bitwise identical to
+    /// calling [`MoePredictor::select`] once per vector, in order (see
+    /// [`ExpertSelector::select_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector errors.
+    pub fn select_batch(&self, features: &[FeatureVector]) -> Result<Vec<Selection>, MoeError> {
+        self.selector.select_batch(features)
+    }
+
+    /// Reassembles a predictor from an already-trained selector and
+    /// registry (the model artifact load path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::InvalidTraining`] when any KNN label references
+    /// an expert missing from `registry`.
+    pub fn from_parts(
+        registry: ExpertRegistry,
+        selector: ExpertSelector,
+        config: PredictorConfig,
+    ) -> Result<Self, MoeError> {
+        for &label in selector.knn().labels() {
+            registry.get(ExpertId::from_usize(label)).map_err(|_| {
+                MoeError::InvalidTraining(format!(
+                    "selector references expert {label} which is not registered"
+                ))
+            })?;
+        }
+        Ok(MoePredictor {
+            registry,
+            selector,
+            config,
+        })
+    }
+
     /// Step 2 at runtime: instantiate the chosen expert's coefficients from
     /// the two calibration measurements `(input_units, footprint_gb)`.
     ///

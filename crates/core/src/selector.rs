@@ -164,6 +164,99 @@ impl ExpertSelector {
         })
     }
 
+    /// Selects experts for a whole batch of applications in three
+    /// whole-matrix passes: unclamped scaling
+    /// ([`MinMaxScaler::transform_unclamped_matrix`]), PCA projection
+    /// ([`Pca::transform_matrix`]) and batched KNN
+    /// ([`KnnClassifier::predict_batch`]).
+    ///
+    /// **Bitwise identical to calling [`ExpertSelector::select`] once per
+    /// feature vector, in order** — each stage performs the same
+    /// floating-point operations on the same values as its scalar
+    /// counterpart (see the determinism notes on the three batched entry
+    /// points). Pinned by property tests in `colocate`'s serving suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn select_batch(&self, features: &[FeatureVector]) -> Result<Vec<Selection>, MoeError> {
+        let n = features.len();
+        let dims = self.scaler.dims();
+        // Scale each sample row straight into the batch matrix: the
+        // feature vectors are not contiguous, so gathering and scaling in
+        // one pass saves materialising a raw copy first. Row-at-a-time
+        // scaling is elementwise — bitwise identical to the whole-matrix
+        // call.
+        let mut scaled = vec![0.0; n * dims];
+        for (srow, f) in scaled.chunks_exact_mut(dims.max(1)).zip(features) {
+            self.scaler.transform_unclamped_into(f.as_slice(), srow)?;
+        }
+        let projected = self.pca.transform_matrix(n, &scaled)?;
+        let preds = self.knn.predict_batch(n, &projected)?;
+        Ok(preds
+            .into_iter()
+            .map(|pred| Selection {
+                expert: ExpertId::from_usize(pred.label),
+                distance: pred.nearest_distance,
+                low_confidence: pred.nearest_distance > self.config.confidence_threshold,
+            })
+            .collect())
+    }
+
+    /// The fitted scaling stage (the model artifact save path).
+    #[must_use]
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    /// The fitted PCA stage (the model artifact save path).
+    #[must_use]
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// The fitted KNN stage (the model artifact save path).
+    #[must_use]
+    pub fn knn(&self) -> &KnnClassifier {
+        &self.knn
+    }
+
+    /// Reassembles a selector from already-fitted stages (the model
+    /// artifact load path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MoeError::InvalidTraining`] when the stages do not chain:
+    /// the scaler and PCA must agree on the raw dimensionality and the
+    /// KNN store must live in the PCA's output space.
+    pub fn from_parts(
+        scaler: MinMaxScaler,
+        pca: Pca,
+        knn: KnnClassifier,
+        config: SelectorConfig,
+    ) -> Result<Self, MoeError> {
+        if scaler.dims() != pca.input_dims() {
+            return Err(MoeError::InvalidTraining(format!(
+                "scaler dims {} != PCA input dims {}",
+                scaler.dims(),
+                pca.input_dims()
+            )));
+        }
+        if mlkit::Classifier::dims(&knn) != pca.components() {
+            return Err(MoeError::InvalidTraining(format!(
+                "KNN dims {} != PCA components {}",
+                mlkit::Classifier::dims(&knn),
+                pca.components()
+            )));
+        }
+        Ok(ExpertSelector {
+            scaler,
+            pca,
+            knn,
+            config,
+        })
+    }
+
     /// Adds a new exemplar **without retraining** the scaler or PCA — the
     /// incremental-extension property the paper attributes to KNN
     /// (Table 5 discussion).
@@ -289,6 +382,58 @@ mod tests {
                 assert_eq!(sel.select(f).unwrap().expert, *id);
             }
         }
+    }
+
+    #[test]
+    fn select_batch_matches_scalar_bitwise() {
+        let ex = clustered_exemplars();
+        let sel = ExpertSelector::train(&ex, SelectorConfig::default()).unwrap();
+        for n in [1usize, 7, 256] {
+            let probes: Vec<FeatureVector> = (0..n)
+                .map(|j| {
+                    FeatureVector::from_fn(|i| {
+                        0.05 + ((i * 7 + j * 13) % 23) as f64 / 23.0 * (1.0 + (j % 9) as f64 * 0.3)
+                    })
+                })
+                .collect();
+            let batched = sel.select_batch(&probes).unwrap();
+            assert_eq!(batched.len(), probes.len());
+            for (got, f) in batched.iter().zip(probes.iter()) {
+                let want = sel.select(f).unwrap();
+                assert_eq!(got.expert, want.expert);
+                assert_eq!(got.low_confidence, want.low_confidence);
+                assert_eq!(got.distance.to_bits(), want.distance.to_bits());
+            }
+        }
+        assert!(sel.select_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates_chain() {
+        let ex = clustered_exemplars();
+        let sel = ExpertSelector::train(&ex, SelectorConfig::default()).unwrap();
+        let rebuilt = ExpertSelector::from_parts(
+            sel.scaler().clone(),
+            sel.pca().clone(),
+            sel.knn().clone(),
+            sel.config(),
+        )
+        .unwrap();
+        let probe = FeatureVector::from_fn(|i| 0.2 + i as f64 * 0.01);
+        let a = sel.select(&probe).unwrap();
+        let b = rebuilt.select(&probe).unwrap();
+        assert_eq!(a.expert, b.expert);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+
+        // A KNN fitted in the wrong space must be rejected.
+        let bad_knn = mlkit::knn::KnnClassifier::fit(&[vec![0.0; 21]], &[0], 1).unwrap();
+        assert!(ExpertSelector::from_parts(
+            sel.scaler().clone(),
+            sel.pca().clone(),
+            bad_knn,
+            sel.config(),
+        )
+        .is_err());
     }
 
     #[test]

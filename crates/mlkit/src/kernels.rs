@@ -68,11 +68,74 @@ pub fn matmul_dense(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mu
     assert_eq!(out.len(), m * n, "output shape mismatch");
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx") {
+        if n <= 16 {
+            // SAFETY: the `avx` feature was just verified at runtime.
+            unsafe {
+                match n / 4 {
+                    0 => x86::matmul_dense_avx_smalln::<0, false>(m, k, n, a, &[], b, out),
+                    1 => x86::matmul_dense_avx_smalln::<1, false>(m, k, n, a, &[], b, out),
+                    2 => x86::matmul_dense_avx_smalln::<2, false>(m, k, n, a, &[], b, out),
+                    3 => x86::matmul_dense_avx_smalln::<3, false>(m, k, n, a, &[], b, out),
+                    _ => x86::matmul_dense_avx_smalln::<4, false>(m, k, n, a, &[], b, out),
+                }
+            }
+            return;
+        }
         // SAFETY: the `avx` feature was just verified at runtime.
         unsafe { x86::matmul_dense_avx(m, k, n, a, b, out) };
         return;
     }
     matmul_dense_scalar(m, k, n, a, b, out);
+}
+
+/// Centered dense matrix product `out = (a − 1·subᵀ) × b`: every LHS
+/// element is centered by its column's `sub` entry on the fly, so the
+/// caller never materialises the centered matrix (`a` is `m × k`, `sub`
+/// has length `k`, `b` is `k × n` row-major).
+///
+/// Bitwise identical to centering into a temporary and then calling
+/// [`matmul_dense`]: the fused path computes the same exactly-rounded
+/// `a[i][kk] − sub[kk]` difference and feeds it into the same
+/// `kk`-ascending multiply-add chain per output element (pinned by the
+/// tests). Narrow outputs (`n ≤ 16`, the PCA projection shape) take the
+/// register-resident AVX body; anything else falls back to the staged
+/// two-pass form.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated shape.
+pub fn matmul_dense_sub(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    sub: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "lhs shape mismatch");
+    assert_eq!(sub.len(), k, "centering shape mismatch");
+    assert_eq!(b.len(), k * n, "rhs shape mismatch");
+    assert_eq!(out.len(), m * n, "output shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if n <= 16 && std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the `avx` feature was just verified at runtime.
+        unsafe {
+            match n / 4 {
+                0 => x86::matmul_dense_avx_smalln::<0, true>(m, k, n, a, sub, b, out),
+                1 => x86::matmul_dense_avx_smalln::<1, true>(m, k, n, a, sub, b, out),
+                2 => x86::matmul_dense_avx_smalln::<2, true>(m, k, n, a, sub, b, out),
+                3 => x86::matmul_dense_avx_smalln::<3, true>(m, k, n, a, sub, b, out),
+                _ => x86::matmul_dense_avx_smalln::<4, true>(m, k, n, a, sub, b, out),
+            }
+        }
+        return;
+    }
+    let centered: Vec<f64> = a
+        .chunks_exact(k.max(1))
+        .flat_map(|row| row.iter().zip(sub.iter()).map(|(&v, &s)| v - s))
+        .collect();
+    matmul_dense(m, k, n, &centered, b, out);
 }
 
 /// Portable body of [`matmul_dense`]: the fallback on targets without AVX
@@ -136,8 +199,372 @@ fn matmul_dense_scalar(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: 
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use std::arch::x86_64::{
-        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+        __m256d, __m256i, _mm256_add_epi64, _mm256_add_pd, _mm256_blendv_epi8, _mm256_blendv_pd,
+        _mm256_castpd_si256, _mm256_cmp_pd, _mm256_cmpgt_epi64, _mm256_div_pd, _mm256_loadu_pd,
+        _mm256_maskload_pd, _mm256_maskstore_pd, _mm256_mul_pd, _mm256_set1_epi64x, _mm256_set1_pd,
+        _mm256_set_epi64x, _mm256_setr_epi64x, _mm256_setzero_pd, _mm256_setzero_si256,
+        _mm256_srli_epi64, _mm256_storeu_pd, _mm256_storeu_si256, _mm256_sub_pd, _mm256_xor_si256,
+        _CMP_EQ_OQ,
     };
+
+    /// Lane mask with the low `rem` 64-bit lanes active (for
+    /// `vmaskmovpd`, which suppresses both faults and stores on inactive
+    /// lanes).
+    #[inline]
+    fn tail_mask(rem: usize) -> __m256i {
+        let lane = |l: usize| if l < rem { -1i64 } else { 0 };
+        // SAFETY: plain integer vector construction, no CPU feature needed
+        // beyond AVX which every caller has verified.
+        unsafe { _mm256_set_epi64x(lane(3), lane(2), lane(1), lane(0)) }
+    }
+
+    /// AVX2 body of [`super::screened_argmin`]: four lanes per iteration,
+    /// scalar tail. Each lane computes the scalar screening expression
+    /// with one exactly-rounded op per scalar op, maps it to its
+    /// total-order integer key (`vpcmpgtq` against zero recovers the sign
+    /// mask, `vpsrlq`+`vpxor` apply the same sign-propagating XOR
+    /// `f64::total_cmp` uses), and a strict signed compare-and-blend
+    /// keeps the per-lane running minimum — strictness preserves the
+    /// earliest index on key ties, and lane index streams ascend, so the
+    /// final cross-lane fold (with an explicit index tie-break) returns
+    /// exactly the serial scan's winner.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the `avx2` target feature is available; slice
+    /// lengths are asserted equal and non-empty by the dispatcher.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn screened_argmin_avx2(nsq: &[f64], g: &[f64], qs: f64) -> usize {
+        let len = nsq.len();
+        let qsv = _mm256_set1_pd(qs);
+        let two = _mm256_set1_pd(2.0);
+        // (i64::MAX, lane-0 index) sentinels: nothing compares above MAX,
+        // and on an all-MAX tie the fold below still picks index 0.
+        let mut bestk = _mm256_set1_epi64x(i64::MAX);
+        let mut besti = _mm256_setzero_si256();
+        let mut idx = _mm256_setr_epi64x(0, 1, 2, 3);
+        let four = _mm256_set1_epi64x(4);
+        let zero = _mm256_setzero_si256();
+        let mut i = 0;
+        // SAFETY: `i + 4 <= len` bounds every 4-lane load.
+        while i + 4 <= len {
+            let n = _mm256_loadu_pd(nsq.as_ptr().add(i));
+            let gv = _mm256_loadu_pd(g.as_ptr().add(i));
+            let v = _mm256_add_pd(_mm256_sub_pd(n, _mm256_mul_pd(two, gv)), qsv);
+            let b = _mm256_castpd_si256(v);
+            let sign = _mm256_cmpgt_epi64(zero, b);
+            let key = _mm256_xor_si256(b, _mm256_srli_epi64::<1>(sign));
+            let lt = _mm256_cmpgt_epi64(bestk, key);
+            bestk = _mm256_blendv_epi8(bestk, key, lt);
+            besti = _mm256_blendv_epi8(besti, idx, lt);
+            idx = _mm256_add_epi64(idx, four);
+            i += 4;
+        }
+        let mut keys = [0i64; 4];
+        let mut idxs = [0i64; 4];
+        _mm256_storeu_si256(keys.as_mut_ptr().cast::<__m256i>(), bestk);
+        _mm256_storeu_si256(idxs.as_mut_ptr().cast::<__m256i>(), besti);
+        let mut best = (i64::MAX, usize::MAX);
+        for l in 0..4 {
+            best = best.min((keys[l], idxs[l] as usize));
+        }
+        for j in i..len {
+            best = best.min(super::screen_key(nsq[j], g[j], qs, j));
+        }
+        best.1
+    }
+
+    /// Key-mapped argmin over one query's Gram accumulators, still in
+    /// registers: `acc[g]` holds lanes `4g..4g+4` of the Gram row, `tail`
+    /// its masked remainder. Runs exactly the [`screened_argmin_avx2`]
+    /// reduction with the `g` loads replaced by the register values —
+    /// same screening expression per lane, same strict compare-and-blend,
+    /// same cross-lane fold and scalar tail, so the returned index is
+    /// identical.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the `avx2` target feature is available and
+    /// `nsq.len() == FULL * 4 + rem` with `rem < 4`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn screen_reduce_regs<const FULL: usize>(
+        acc: &[__m256d; FULL],
+        tail: __m256d,
+        nsq: &[f64],
+        qs: f64,
+        rem: usize,
+    ) -> usize {
+        let qsv = _mm256_set1_pd(qs);
+        let two = _mm256_set1_pd(2.0);
+        let zero = _mm256_setzero_si256();
+        let mut bestk = _mm256_set1_epi64x(i64::MAX);
+        let mut besti = _mm256_setzero_si256();
+        let mut idx = _mm256_setr_epi64x(0, 1, 2, 3);
+        let four = _mm256_set1_epi64x(4);
+        for (g, accg) in acc.iter().enumerate() {
+            // SAFETY: `4 * g + 4 <= nsq.len()` by the FULL contract.
+            let n = _mm256_loadu_pd(nsq.as_ptr().add(4 * g));
+            let v = _mm256_add_pd(_mm256_sub_pd(n, _mm256_mul_pd(two, *accg)), qsv);
+            let b = _mm256_castpd_si256(v);
+            let sign = _mm256_cmpgt_epi64(zero, b);
+            let key = _mm256_xor_si256(b, _mm256_srli_epi64::<1>(sign));
+            let lt = _mm256_cmpgt_epi64(bestk, key);
+            bestk = _mm256_blendv_epi8(bestk, key, lt);
+            besti = _mm256_blendv_epi8(besti, idx, lt);
+            idx = _mm256_add_epi64(idx, four);
+        }
+        let mut keys = [0i64; 4];
+        let mut idxs = [0i64; 4];
+        _mm256_storeu_si256(keys.as_mut_ptr().cast::<__m256i>(), bestk);
+        _mm256_storeu_si256(idxs.as_mut_ptr().cast::<__m256i>(), besti);
+        let mut best = (i64::MAX, usize::MAX);
+        for l in 0..4 {
+            best = best.min((keys[l], idxs[l] as usize));
+        }
+        if rem > 0 {
+            // Active tail lanes hold the exact masked-accumulated dots;
+            // inactive lanes are never read.
+            let mut tg = [0.0f64; 4];
+            _mm256_storeu_pd(tg.as_mut_ptr(), tail);
+            for (j, &dot) in tg.iter().enumerate().take(rem) {
+                let i = FULL * 4 + j;
+                best = best.min(super::screen_key(nsq[i], dot, qs, i));
+            }
+        }
+        best.1
+    }
+
+    /// AVX2 body of [`super::nearest1_rows`]: the two-row register
+    /// matmul of [`matmul_dense_avx_smalln`] (same `k`-ascending
+    /// multiply-add chains, `vmulpd` + `vaddpd` only) feeding
+    /// [`screen_reduce_regs`] before the accumulators ever leave
+    /// registers — the Gram row is never stored.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the `avx2` target feature is available and
+    /// `FULL == len / 4` with `len <= 16`. Shapes are asserted by the
+    /// dispatcher.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn nearest1_rows_avx2<const FULL: usize>(
+        rows: usize,
+        dims: usize,
+        len: usize,
+        q: &[f64],
+        bt: &[f64],
+        nsq: &[f64],
+        qs: &[f64],
+        out: &mut [usize],
+    ) {
+        debug_assert_eq!(FULL, len / 4);
+        let rem = len - FULL * 4;
+        let mask = tail_mask(rem);
+        let mut r = 0;
+        // SAFETY throughout: every pointer offset stays inside the
+        // asserted `rows*dims` / `dims*len` slice bounds; tail lanes use
+        // masked loads which suppress faults on inactive lanes.
+        while r + 2 <= rows {
+            let a0 = &q[r * dims..][..dims];
+            let a1 = &q[(r + 1) * dims..][..dims];
+            let mut acc0 = [_mm256_setzero_pd(); FULL];
+            let mut acc1 = [_mm256_setzero_pd(); FULL];
+            let mut t0 = _mm256_setzero_pd();
+            let mut t1 = _mm256_setzero_pd();
+            for kk in 0..dims {
+                let bk = bt.as_ptr().add(kk * len);
+                let av0 = _mm256_set1_pd(a0[kk]);
+                let av1 = _mm256_set1_pd(a1[kk]);
+                for (g, (acc0g, acc1g)) in acc0.iter_mut().zip(acc1.iter_mut()).enumerate() {
+                    let bv = _mm256_loadu_pd(bk.add(4 * g));
+                    *acc0g = _mm256_add_pd(*acc0g, _mm256_mul_pd(av0, bv));
+                    *acc1g = _mm256_add_pd(*acc1g, _mm256_mul_pd(av1, bv));
+                }
+                if rem > 0 {
+                    let bv = _mm256_maskload_pd(bk.add(4 * FULL), mask);
+                    t0 = _mm256_add_pd(t0, _mm256_mul_pd(av0, bv));
+                    t1 = _mm256_add_pd(t1, _mm256_mul_pd(av1, bv));
+                }
+            }
+            out[r] = screen_reduce_regs::<FULL>(&acc0, t0, nsq, qs[r], rem);
+            out[r + 1] = screen_reduce_regs::<FULL>(&acc1, t1, nsq, qs[r + 1], rem);
+            r += 2;
+        }
+        if r < rows {
+            let a0 = &q[r * dims..][..dims];
+            let mut acc0 = [_mm256_setzero_pd(); FULL];
+            let mut t0 = _mm256_setzero_pd();
+            for (kk, &a0v) in a0.iter().enumerate() {
+                let bk = bt.as_ptr().add(kk * len);
+                let av0 = _mm256_set1_pd(a0v);
+                for (g, acc0g) in acc0.iter_mut().enumerate() {
+                    let bv = _mm256_loadu_pd(bk.add(4 * g));
+                    *acc0g = _mm256_add_pd(*acc0g, _mm256_mul_pd(av0, bv));
+                }
+                if rem > 0 {
+                    let bv = _mm256_maskload_pd(bk.add(4 * FULL), mask);
+                    t0 = _mm256_add_pd(t0, _mm256_mul_pd(av0, bv));
+                }
+            }
+            out[r] = screen_reduce_regs::<FULL>(&acc0, t0, nsq, qs[r], rem);
+        }
+    }
+
+    /// AVX body of [`super::scale_minmax`]: four columns per iteration,
+    /// masked tail. Each lane performs exactly the scalar
+    /// `(v − lo) / (hi − lo)` (one `vsubpd` pair, one `vdivpd` — both
+    /// exactly rounded), and constant features are routed to `0.5` by an
+    /// `EQ_OQ` compare feeding `vblendvpd`, which matches the scalar
+    /// `hi == lo` branch for every input including `±0.0` bounds. Masked
+    /// tail lanes compute garbage (`0/0` on the zeroed loads) that the
+    /// masked store never writes.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the `avx` target feature is available; slice
+    /// bounds are asserted by [`super::scale_minmax`] before dispatch.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn scale_minmax_avx(
+        rows: usize,
+        dims: usize,
+        a: &[f64],
+        lo: &[f64],
+        hi: &[f64],
+        out: &mut [f64],
+    ) {
+        let full = dims / 4 * 4;
+        let rem = dims - full;
+        let mask = tail_mask(rem);
+        let half = _mm256_set1_pd(0.5);
+        // SAFETY throughout: offsets stay inside the asserted `rows*dims`
+        // and `dims` slice bounds; the tail uses masked load/store.
+        for r in 0..rows {
+            let arow = a.as_ptr().add(r * dims);
+            let orow = out.as_mut_ptr().add(r * dims);
+            let mut j = 0;
+            while j < full {
+                let v = _mm256_loadu_pd(arow.add(j));
+                let l = _mm256_loadu_pd(lo.as_ptr().add(j));
+                let h = _mm256_loadu_pd(hi.as_ptr().add(j));
+                let eq = _mm256_cmp_pd::<_CMP_EQ_OQ>(h, l);
+                let s = _mm256_div_pd(_mm256_sub_pd(v, l), _mm256_sub_pd(h, l));
+                _mm256_storeu_pd(orow.add(j), _mm256_blendv_pd(s, half, eq));
+                j += 4;
+            }
+            if rem > 0 {
+                let v = _mm256_maskload_pd(arow.add(full), mask);
+                let l = _mm256_maskload_pd(lo.as_ptr().add(full), mask);
+                let h = _mm256_maskload_pd(hi.as_ptr().add(full), mask);
+                let eq = _mm256_cmp_pd::<_CMP_EQ_OQ>(h, l);
+                let s = _mm256_div_pd(_mm256_sub_pd(v, l), _mm256_sub_pd(h, l));
+                _mm256_maskstore_pd(orow.add(full), mask, _mm256_blendv_pd(s, half, eq));
+            }
+        }
+    }
+
+    /// Register-resident AVX specialisation of [`super::matmul_dense`]
+    /// for narrow outputs (`n <= 16`, `FULL = n / 4` whole 256-bit lanes
+    /// plus a masked tail).
+    ///
+    /// Unlike [`matmul_dense_avx`], which streams the output row through
+    /// memory once per `k`-block, this body keeps every accumulator in a
+    /// ymm register across the entire `k` loop and processes two LHS rows
+    /// at once so their independent add chains pipeline. Per output
+    /// element the operation sequence is unchanged — one `k`-ascending
+    /// `o += a[k] * b[k][j]` chain from `0.0`, `vmulpd` + `vaddpd` only,
+    /// never FMA — so results are bitwise identical to
+    /// [`super::matmul_dense_scalar`] (pinned by the property tests).
+    /// Masked tail lanes compute garbage that is never stored.
+    ///
+    /// With `CENTER` set, each broadcast LHS element is first centered by
+    /// its column's `sub` entry (`a[i][kk] − sub[kk]`), serving
+    /// [`super::matmul_dense_sub`] without a materialised centered
+    /// matrix. The scalar subtraction happens once before the broadcast,
+    /// so it rounds exactly like the staged centering pass and the
+    /// multiply-add chain is untouched.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the `avx` target feature is available and that
+    /// `FULL == n / 4` with `n <= 16` (plus `sub.len() == k` when
+    /// `CENTER`). Slice bounds are asserted by the dispatching wrapper.
+    #[target_feature(enable = "avx")]
+    pub(super) unsafe fn matmul_dense_avx_smalln<const FULL: usize, const CENTER: bool>(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f64],
+        sub: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(FULL, n / 4);
+        let rem = n - FULL * 4;
+        let mask = tail_mask(rem);
+        let center = |kk: usize, v: f64| if CENTER { v - sub[kk] } else { v };
+        let mut i = 0;
+        // SAFETY throughout: every pointer offset below stays inside the
+        // asserted `m*k` / `k*n` / `m*n` slice bounds; tail lanes use
+        // masked load/store which neither read nor write beyond `n`.
+        while i + 2 <= m {
+            let a0 = &a[i * k..][..k];
+            let a1 = &a[(i + 1) * k..][..k];
+            let mut acc0 = [_mm256_setzero_pd(); FULL];
+            let mut acc1 = [_mm256_setzero_pd(); FULL];
+            let mut t0 = _mm256_setzero_pd();
+            let mut t1 = _mm256_setzero_pd();
+            for kk in 0..k {
+                let bk = b.as_ptr().add(kk * n);
+                let av0 = _mm256_set1_pd(center(kk, a0[kk]));
+                let av1 = _mm256_set1_pd(center(kk, a1[kk]));
+                for (g, (acc0g, acc1g)) in acc0.iter_mut().zip(acc1.iter_mut()).enumerate() {
+                    let bv = _mm256_loadu_pd(bk.add(4 * g));
+                    *acc0g = _mm256_add_pd(*acc0g, _mm256_mul_pd(av0, bv));
+                    *acc1g = _mm256_add_pd(*acc1g, _mm256_mul_pd(av1, bv));
+                }
+                if rem > 0 {
+                    let bv = _mm256_maskload_pd(bk.add(4 * FULL), mask);
+                    t0 = _mm256_add_pd(t0, _mm256_mul_pd(av0, bv));
+                    t1 = _mm256_add_pd(t1, _mm256_mul_pd(av1, bv));
+                }
+            }
+            let o0 = out.as_mut_ptr().add(i * n);
+            let o1 = out.as_mut_ptr().add((i + 1) * n);
+            for (g, (acc0g, acc1g)) in acc0.iter().zip(acc1.iter()).enumerate() {
+                _mm256_storeu_pd(o0.add(4 * g), *acc0g);
+                _mm256_storeu_pd(o1.add(4 * g), *acc1g);
+            }
+            if rem > 0 {
+                _mm256_maskstore_pd(o0.add(4 * FULL), mask, t0);
+                _mm256_maskstore_pd(o1.add(4 * FULL), mask, t1);
+            }
+            i += 2;
+        }
+        if i < m {
+            let a0 = &a[i * k..][..k];
+            let mut acc0 = [_mm256_setzero_pd(); FULL];
+            let mut t0 = _mm256_setzero_pd();
+            for (kk, &a0v) in a0.iter().enumerate() {
+                let bk = b.as_ptr().add(kk * n);
+                let av0 = _mm256_set1_pd(center(kk, a0v));
+                for (g, acc0g) in acc0.iter_mut().enumerate() {
+                    let bv = _mm256_loadu_pd(bk.add(4 * g));
+                    *acc0g = _mm256_add_pd(*acc0g, _mm256_mul_pd(av0, bv));
+                }
+                if rem > 0 {
+                    let bv = _mm256_maskload_pd(bk.add(4 * FULL), mask);
+                    t0 = _mm256_add_pd(t0, _mm256_mul_pd(av0, bv));
+                }
+            }
+            let o0 = out.as_mut_ptr().add(i * n);
+            for (g, acc0g) in acc0.iter().enumerate() {
+                _mm256_storeu_pd(o0.add(4 * g), *acc0g);
+            }
+            if rem > 0 {
+                _mm256_maskstore_pd(o0.add(4 * FULL), mask, t0);
+            }
+        }
+    }
 
     /// # Safety
     ///
@@ -229,15 +656,42 @@ pub fn matmul_pretransposed(m: usize, k: usize, n: usize, a: &[f64], bt: &[f64],
     for jb in (0..n).step_by(MATMUL_BLOCK_J) {
         let jend = (jb + MATMUL_BLOCK_J).min(n);
         for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
+            let arow = &a[i * k..][..k];
             let orow = &mut out[i * n..(i + 1) * n];
-            for j in jb..jend {
-                let brow = &bt[j * k..(j + 1) * k];
+            // Four output columns per pass: each accumulator is still its
+            // own `k`-ascending chain from `0.0` (bitwise the one-column
+            // loop), but the four chains are independent, so the CPU can
+            // pipeline them instead of stalling on one serial FP add
+            // chain. The `[..k]` re-slices let the compiler prove every
+            // `[kk]` below is in bounds.
+            let mut j = jb;
+            while j + 4 <= jend {
+                let b0 = &bt[j * k..][..k];
+                let b1 = &bt[(j + 1) * k..][..k];
+                let b2 = &bt[(j + 2) * k..][..k];
+                let b3 = &bt[(j + 3) * k..][..k];
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                for kk in 0..k {
+                    let av = arow[kk];
+                    a0 += av * b0[kk];
+                    a1 += av * b1[kk];
+                    a2 += av * b2[kk];
+                    a3 += av * b3[kk];
+                }
+                orow[j] = a0;
+                orow[j + 1] = a1;
+                orow[j + 2] = a2;
+                orow[j + 3] = a3;
+                j += 4;
+            }
+            while j < jend {
+                let brow = &bt[j * k..][..k];
                 let mut acc = 0.0;
                 for kk in 0..k {
                     acc += arow[kk] * brow[kk];
                 }
                 orow[j] = acc;
+                j += 1;
             }
         }
     }
@@ -435,6 +889,175 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
 }
 
+/// Index of the minimum screening value `nsq[i] − 2·g[i] + qs` under the
+/// lexicographic `(f64::total_cmp, index)` order — the k = 1 KNN ranking
+/// over one query's Gram row.
+///
+/// Dispatches to an AVX2 body when the CPU supports it. Each vector lane
+/// evaluates exactly the scalar expression (`vmulpd`, `vsubpd`, `vaddpd`
+/// — one exactly-rounded op per scalar op), the values are mapped to
+/// their IEEE-754 total-order integer keys (a pure bit map, the same one
+/// `f64::total_cmp` compares by), and the minimum of a total order is
+/// reduction-order independent — so the returned index is identical to a
+/// serial scan's, ties and signed zeros included (pinned by the tests).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn screened_argmin(nsq: &[f64], g: &[f64], qs: f64) -> usize {
+    assert_eq!(nsq.len(), g.len(), "norm/gram length mismatch");
+    assert!(!nsq.is_empty(), "argmin of an empty set");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the `avx2` feature was just verified at runtime.
+        return unsafe { x86::screened_argmin_avx2(nsq, g, qs) };
+    }
+    screened_argmin_scalar(nsq, g, qs)
+}
+
+/// The `(total-order key, index)` pair for one screening value: an `i64`
+/// whose signed order equals `f64::total_cmp` on the value (the same
+/// sign-propagating XOR the standard library uses).
+#[inline]
+fn screen_key(nsq: f64, g: f64, qs: f64, i: usize) -> (i64, usize) {
+    let b = (nsq - 2.0 * g + qs).to_bits() as i64;
+    (b ^ (((b >> 63) as u64) >> 1) as i64, i)
+}
+
+/// Portable body (and bitwise oracle) of [`screened_argmin`]: four
+/// interleaved compare chains over the integer keys (the chains partition
+/// the index set, and a total-order minimum is partition-independent).
+fn screened_argmin_scalar(nsq: &[f64], g: &[f64], qs: f64) -> usize {
+    let len = nsq.len();
+    let at = |i: usize| screen_key(nsq[i], g[i], qs, i);
+    let mut best = at(0);
+    let mut tail = 1;
+    if len >= 8 {
+        let (mut b0, mut b1, mut b2, mut b3) = (at(0), at(1), at(2), at(3));
+        let mut i = 4;
+        while i + 4 <= len {
+            b0 = b0.min(at(i));
+            b1 = b1.min(at(i + 1));
+            b2 = b2.min(at(i + 2));
+            b3 = b3.min(at(i + 3));
+            i += 4;
+        }
+        best = b0.min(b1).min(b2).min(b3);
+        tail = i;
+    }
+    for i in tail..len {
+        best = best.min(at(i));
+    }
+    best.1
+}
+
+/// Fused 1-nearest-neighbour screen: for each of `rows` query rows of
+/// `queries` (row-major, `dims` wide) computes the Gram row against the
+/// pre-transposed exemplar matrix `bt` (`dims × len`) and returns in
+/// `out[r]` the index minimising the screening value
+/// `nsq[i] − 2·gram[r][i] + qs[r]` under the lexicographic
+/// `(f64::total_cmp, index)` order — i.e. exactly
+/// `screened_argmin(nsq, &gram_row, qs[r])` over the row that
+/// [`matmul_dense`] would produce, without ever materialising the Gram
+/// matrix (pinned bitwise by the tests).
+///
+/// For narrow exemplar sets (`len ≤ 16`, the deployed KNN store) the AVX2
+/// body keeps the dot-product accumulators in registers straight through
+/// the key-mapped argmin reduction; otherwise the staged
+/// matmul-then-argmin composition runs.
+///
+/// # Panics
+///
+/// Panics if `len` is zero or any slice length disagrees with the stated
+/// shape.
+#[allow(clippy::too_many_arguments)]
+pub fn nearest1_rows(
+    rows: usize,
+    dims: usize,
+    len: usize,
+    queries: &[f64],
+    bt: &[f64],
+    nsq: &[f64],
+    qs: &[f64],
+    out: &mut [usize],
+) {
+    assert!(len > 0, "argmin of an empty set");
+    assert_eq!(queries.len(), rows * dims, "query shape mismatch");
+    assert_eq!(bt.len(), dims * len, "exemplar shape mismatch");
+    assert_eq!(nsq.len(), len, "norm shape mismatch");
+    assert_eq!(qs.len(), rows, "query norm shape mismatch");
+    assert_eq!(out.len(), rows, "output shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if len <= 16 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the `avx2` feature was just verified at runtime.
+        unsafe {
+            match len / 4 {
+                0 => x86::nearest1_rows_avx2::<0>(rows, dims, len, queries, bt, nsq, qs, out),
+                1 => x86::nearest1_rows_avx2::<1>(rows, dims, len, queries, bt, nsq, qs, out),
+                2 => x86::nearest1_rows_avx2::<2>(rows, dims, len, queries, bt, nsq, qs, out),
+                3 => x86::nearest1_rows_avx2::<3>(rows, dims, len, queries, bt, nsq, qs, out),
+                _ => x86::nearest1_rows_avx2::<4>(rows, dims, len, queries, bt, nsq, qs, out),
+            }
+        }
+        return;
+    }
+    let mut gram = vec![0.0; rows * len];
+    matmul_dense(rows, dims, len, queries, bt, &mut gram);
+    for (o, (grow, &q)) in out.iter_mut().zip(gram.chunks_exact(len).zip(qs.iter())) {
+        *o = screened_argmin(nsq, grow, q);
+    }
+}
+
+/// Min-max scales a `rows × dims` row-major matrix **without clamping**:
+/// `out[r][d] = (a[r][d] − lo[d]) / (hi[d] − lo[d])`, with constant
+/// features (`hi == lo`) mapping to `0.5`.
+///
+/// Dispatches to an AVX body when the CPU supports it. Subtraction and
+/// division are each exactly rounded, so every vector lane produces bit
+/// for bit the scalar result; the constant-feature lanes are selected by
+/// an IEEE EQ compare-and-blend, which agrees with the scalar `hi == lo`
+/// branch including `±0.0` (equal under IEEE comparison in both forms).
+/// The division must stay a division — `(v − lo) × (1/(hi − lo))` rounds
+/// differently. Pinned against the scalar body by the tests.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the stated shape.
+pub fn scale_minmax(rows: usize, dims: usize, a: &[f64], lo: &[f64], hi: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * dims, "input shape mismatch");
+    assert_eq!(out.len(), rows * dims, "output shape mismatch");
+    assert_eq!(lo.len(), dims, "lo bound shape mismatch");
+    assert_eq!(hi.len(), dims, "hi bound shape mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: the `avx` feature was just verified at runtime.
+        unsafe { x86::scale_minmax_avx(rows, dims, a, lo, hi, out) };
+        return;
+    }
+    scale_minmax_scalar(rows, dims, a, lo, hi, out);
+}
+
+/// Portable body (and bitwise oracle) of [`scale_minmax`].
+fn scale_minmax_scalar(
+    rows: usize,
+    dims: usize,
+    a: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    out: &mut [f64],
+) {
+    let _ = rows;
+    for (orow, row) in out
+        .chunks_exact_mut(dims.max(1))
+        .zip(a.chunks_exact(dims.max(1)))
+    {
+        for ((o, &v), (&l, &h)) in orow.iter_mut().zip(row).zip(lo.iter().zip(hi.iter())) {
+            *o = if h == l { 0.5 } else { (v - l) / (h - l) };
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +1099,140 @@ mod tests {
             let mut fast = vec![0.0; m * n];
             matmul_pretransposed(m, k, n, &a, &bt, &mut fast);
             assert_eq!(bits(&naive), bits(&fast), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_sub_matches_center_then_naive_bitwise() {
+        // Shapes cover the PCA projection (n = 9), every FULL bucket of
+        // the small-n kernel, the masked-tail widths, odd m (single-row
+        // trailer), and a wide n that takes the staged fallback.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 4, 5),
+            (7, 22, 9),
+            (17, 23, 9),
+            (8, 10, 12),
+            (5, 6, 16),
+            (33, 40, 65),
+        ] {
+            let a = fixture(m * k, 1, 7);
+            let b = fixture(k * n, 2, 5);
+            let sub = fixture(k, 3, 11);
+            // Oracle: materialise the centered matrix, then the naive
+            // triple loop — the rounding sequence the fused kernel must
+            // reproduce exactly.
+            let centered: Vec<f64> = a
+                .chunks_exact(k)
+                .flat_map(|row| row.iter().zip(sub.iter()).map(|(&v, &s)| v - s))
+                .collect();
+            let mut naive = vec![0.0; m * n];
+            matmul_naive(m, k, n, &centered, &b, &mut naive);
+            let mut fused = vec![0.0; m * n];
+            matmul_dense_sub(m, k, n, &a, &sub, &b, &mut fused);
+            assert_eq!(bits(&naive), bits(&fused), "fused shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn screened_argmin_matches_serial_oracle() {
+        // Oracle: serial min over (total_cmp, index) — the ranking the
+        // KNN partial select uses.
+        let oracle = |nsq: &[f64], g: &[f64], qs: f64| {
+            (0..nsq.len())
+                .map(|i| (nsq[i] - 2.0 * g[i] + qs, i))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+                .unwrap()
+                .1
+        };
+        for &len in &[1usize, 3, 4, 5, 8, 16, 17, 57] {
+            let nsq = fixture(len, 21, 9);
+            let g = fixture(len, 22, 4);
+            for qs in [0.0, 0.37, -1.5] {
+                assert_eq!(
+                    screened_argmin(&nsq, &g, qs),
+                    oracle(&nsq, &g, qs),
+                    "len {len} qs {qs}"
+                );
+                assert_eq!(
+                    screened_argmin_scalar(&nsq, &g, qs),
+                    oracle(&nsq, &g, qs),
+                    "scalar len {len} qs {qs}"
+                );
+            }
+        }
+        // Exact ties resolve to the earliest index, in every lane position.
+        for len in [4usize, 9, 16] {
+            for t in 0..len {
+                let mut nsq = vec![5.0; len];
+                let g = vec![1.0; len];
+                nsq[t] = 1.0;
+                if t + 2 < len {
+                    nsq[t + 2] = 1.0; // duplicate minimum later on
+                }
+                assert_eq!(screened_argmin(&nsq, &g, 0.0), t, "tie len {len} t {t}");
+            }
+        }
+        // Signed zeros: total order ranks -0.0 below +0.0.
+        let nsq = [0.0, -0.0, 0.0, 0.0, 0.0];
+        let g = [0.0; 5];
+        assert_eq!(screened_argmin(&nsq, &g, -0.0), 1);
+        assert_eq!(screened_argmin_scalar(&nsq, &g, -0.0), 1);
+    }
+
+    #[test]
+    fn nearest1_rows_matches_matmul_then_argmin() {
+        // Shapes cover every FULL bucket, masked tails, odd rows (the
+        // single-row trailer), the deployed KNN store (dims 9, len 16),
+        // and a wide exemplar set that takes the staged fallback.
+        for &(rows, dims, len) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (7, 9, 16),
+            (5, 9, 13),
+            (4, 22, 16),
+            (6, 9, 33),
+        ] {
+            let q = fixture(rows * dims, 41, 9);
+            let bt = fixture(dims * len, 42, 4);
+            let nsq = fixture(len, 43, 6);
+            let qs = fixture(rows, 44, 2);
+            // Oracle: materialise the Gram matrix, then the per-row
+            // screened argmin — the staged composition the fused kernel
+            // must reproduce exactly.
+            let mut gram = vec![0.0; rows * len];
+            matmul_dense(rows, dims, len, &q, &bt, &mut gram);
+            let mut got = vec![0usize; rows];
+            nearest1_rows(rows, dims, len, &q, &bt, &nsq, &qs, &mut got);
+            for r in 0..rows {
+                assert_eq!(
+                    got[r],
+                    screened_argmin(&nsq, &gram[r * len..(r + 1) * len], qs[r]),
+                    "rows {rows} dims {dims} len {len} r {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_minmax_matches_scalar_bitwise() {
+        for &(rows, dims) in &[(1usize, 1usize), (3, 3), (5, 4), (7, 5), (33, 22)] {
+            let a = fixture(rows * dims, 9, 6);
+            let mut lo = fixture(dims, 10, 0);
+            let mut hi: Vec<f64> = lo.iter().map(|v| v + 0.7).collect();
+            // Exercise the constant-feature blend, including signed zeros
+            // (IEEE equality must still route the lane to 0.5).
+            if dims > 1 {
+                lo[1] = 0.25;
+                hi[1] = 0.25;
+            }
+            lo[0] = -0.0;
+            hi[0] = 0.0;
+            let mut scalar = vec![0.0; rows * dims];
+            scale_minmax_scalar(rows, dims, &a, &lo, &hi, &mut scalar);
+            let mut fast = vec![0.0; rows * dims];
+            scale_minmax(rows, dims, &a, &lo, &hi, &mut fast);
+            assert_eq!(bits(&scalar), bits(&fast), "shape {rows}x{dims}");
         }
     }
 

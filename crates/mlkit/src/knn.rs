@@ -40,12 +40,27 @@ pub struct KnnClassifier {
     /// Exemplars stored flat, row-major (`len × dims`), so the distance
     /// pass walks contiguous memory.
     exemplars: Vec<f64>,
+    /// The exemplar store transposed (`dims × len`), maintained alongside
+    /// `exemplars` so [`KnnClassifier::predict_batch`] can feed the
+    /// vectorized [`kernels::matmul_dense`] without a per-call transpose.
+    /// Pure data movement — no arithmetic, so nothing to drift.
+    exemplars_t: Vec<f64>,
     /// Precomputed squared norm `‖e‖²` per exemplar, maintained by
     /// [`KnnClassifier::fit`] and [`KnnClassifier::insert`].
     norms_sq: Vec<f64>,
     labels: Vec<usize>,
     k: usize,
     dims: usize,
+}
+
+/// Reusable buffers for the rank-and-vote tail: `screened` holds the
+/// per-exemplar `(screening value, index)` pairs, `votes` the per-label
+/// `(label, count, cumulative distance)` tallies. The batched path keeps
+/// one scratch across rows so serving a row allocates nothing.
+#[derive(Debug, Default)]
+struct RankScratch {
+    screened: Vec<(f64, usize)>,
+    votes: Vec<(usize, usize, f64)>,
 }
 
 impl KnnClassifier {
@@ -78,8 +93,11 @@ impl KnnClassifier {
         }
         let flat: Vec<f64> = xs.iter().flat_map(|r| r.iter().copied()).collect();
         let norms_sq = kernels::sq_norms(xs.len(), dims, &flat);
+        let mut exemplars_t = vec![0.0; flat.len()];
+        kernels::transpose(xs.len(), dims, &flat, &mut exemplars_t);
         Ok(KnnClassifier {
             exemplars: flat,
+            exemplars_t,
             norms_sq,
             labels: ys.to_vec(),
             k: k.min(ys.len()),
@@ -108,6 +126,16 @@ impl KnnClassifier {
         self.norms_sq.push(kernels::dot(&x, &x));
         self.exemplars.extend_from_slice(&x);
         self.labels.push(y);
+        // Appending a row to the row-major store appends a *column* to the
+        // transpose, which shifts every row of it — rebuild. Insertion is
+        // a rare training-time event; prediction stays allocation-free.
+        self.exemplars_t.resize(self.exemplars.len(), 0.0);
+        kernels::transpose(
+            self.labels.len(),
+            self.dims,
+            &self.exemplars,
+            &mut self.exemplars_t,
+        );
         Ok(())
     }
 
@@ -132,6 +160,88 @@ impl KnnClassifier {
     #[must_use]
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// The exemplar store, flat row-major (`len × dims`).
+    #[must_use]
+    pub fn exemplars_flat(&self) -> &[f64] {
+        &self.exemplars
+    }
+
+    /// Precomputed squared norm `‖e‖²` per exemplar.
+    #[must_use]
+    pub fn norms_sq(&self) -> &[f64] {
+        &self.norms_sq
+    }
+
+    /// The class label of each exemplar.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Reassembles a classifier from its serialized fields (the model
+    /// artifact load path).
+    ///
+    /// The stored squared norms are verified bit-for-bit against a
+    /// recomputation from the exemplar store: both [`KnnClassifier::fit`]
+    /// and [`KnnClassifier::insert`] derive them with the same
+    /// `c`-ascending `x·x` reduction, so any disagreement means the fields
+    /// were not produced together.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] on inconsistent shapes,
+    /// non-finite exemplars, an out-of-range `k`, or norms that do not
+    /// reproduce from the exemplars.
+    pub fn from_parts(
+        exemplars: Vec<f64>,
+        norms_sq: Vec<f64>,
+        labels: Vec<usize>,
+        k: usize,
+        dims: usize,
+    ) -> Result<Self, MlError> {
+        if labels.is_empty() || dims == 0 {
+            return Err(MlError::InvalidTrainingData(
+                "empty exemplar set or zero dims".into(),
+            ));
+        }
+        if exemplars.len() != labels.len() * dims || norms_sq.len() != labels.len() {
+            return Err(MlError::InvalidTrainingData(
+                "exemplar/norm/label shapes disagree".into(),
+            ));
+        }
+        if k == 0 || k > labels.len() {
+            return Err(MlError::InvalidTrainingData(format!(
+                "k must be in 1..={}, got {k}",
+                labels.len()
+            )));
+        }
+        if exemplars.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidTrainingData(
+                "non-finite feature value in exemplar store".into(),
+            ));
+        }
+        let recomputed = kernels::sq_norms(labels.len(), dims, &exemplars);
+        if recomputed
+            .iter()
+            .zip(norms_sq.iter())
+            .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err(MlError::InvalidTrainingData(
+                "stored squared norms disagree with the exemplar store".into(),
+            ));
+        }
+        let mut exemplars_t = vec![0.0; exemplars.len()];
+        kernels::transpose(labels.len(), dims, &exemplars, &mut exemplars_t);
+        Ok(KnnClassifier {
+            exemplars,
+            exemplars_t,
+            norms_sq,
+            labels,
+            k,
+            dims,
+        })
     }
 
     /// Predicts with full evidence: majority vote over the `k` nearest
@@ -170,43 +280,227 @@ impl KnnClassifier {
         // Exemplars and the query are validated finite, so every distance
         // is finite and `total_cmp` orders exactly as `partial_cmp` would.
         let q_sq = kernels::dot(x, x);
-        let mut screened: Vec<(f64, usize)> = (0..self.len())
-            .map(|i| {
-                let approx = self.norms_sq[i] - 2.0 * kernels::dot(self.exemplar(i), x) + q_sq;
-                (approx, i)
-            })
-            .collect();
+        if self.k == 1 {
+            // Fused fast path for the paper's deployed configuration: the
+            // single nearest neighbour is the minimum screening value, so
+            // the screened buffer never needs to exist.
+            let best_i = Self::nearest1_by(self.len(), |i| {
+                self.norms_sq[i] - 2.0 * kernels::dot(self.exemplar(i), x) + q_sq
+            });
+            return Ok(self.evidence_for(best_i, x));
+        }
+        let mut scratch = RankScratch::default();
+        scratch.screened.extend((0..self.len()).map(|i| {
+            let approx = self.norms_sq[i] - 2.0 * kernels::dot(self.exemplar(i), x) + q_sq;
+            (approx, i)
+        }));
+        self.rank_and_vote(&mut scratch, x)
+    }
+
+    /// Index of the exemplar minimising `val(i)` under the same
+    /// `(value, index)` total order [`KnnClassifier::rank_and_vote`] ranks
+    /// by — the k = 1 winner — computed without materialising the screened
+    /// buffer. Four interleaved compare chains keep the FP compare latency
+    /// off the critical path; the minimum of a total order is
+    /// reduction-order independent (the chains partition the index set),
+    /// so the winner is exactly the candidate the general partial-select
+    /// path would retain.
+    fn nearest1_by(len: usize, val: impl Fn(usize) -> f64) -> usize {
+        // Pack each (value, index) pair into one u128 whose *unsigned*
+        // order equals the lexicographic (total_cmp, index) order: the
+        // high 64 bits hold the value under the IEEE-754 total-order
+        // mapping `f64::total_cmp` itself uses (sign-propagating XOR of
+        // the payload bits), shifted into unsigned range by flipping the
+        // top bit; the low 64 bits hold the index. The minimum is then a
+        // single branchless integer `min` per element.
+        let key = |i: usize| {
+            let b = val(i).to_bits() as i64;
+            let m = (b ^ (((b >> 63) as u64) >> 1) as i64) as u64 ^ (1u64 << 63);
+            ((m as u128) << 64) | i as u128
+        };
+        let mut best = key(0);
+        let mut tail = 1;
+        if len >= 8 {
+            let (mut b0, mut b1, mut b2, mut b3) = (key(0), key(1), key(2), key(3));
+            let mut i = 4;
+            while i + 4 <= len {
+                b0 = b0.min(key(i));
+                b1 = b1.min(key(i + 1));
+                b2 = b2.min(key(i + 2));
+                b3 = b3.min(key(i + 3));
+                i += 4;
+            }
+            best = b0.min(b1).min(b2).min(b3);
+            tail = i;
+        }
+        for i in tail..len {
+            best = best.min(key(i));
+        }
+        best as u64 as usize
+    }
+
+    /// Exact re-score and evidence assembly for a k = 1 winner: the same
+    /// `euclidean_sq` + `sqrt` the general path applies to the top-ranked
+    /// candidate, so the fused and general paths report bitwise-equal
+    /// distances.
+    fn evidence_for(&self, best_i: usize, x: &[f64]) -> KnnPrediction {
+        let d_sq = kernels::euclidean_sq(self.exemplar(best_i), x);
+        KnnPrediction {
+            label: self.labels[best_i],
+            nearest_distance: d_sq.sqrt(),
+            nearest_index: best_i,
+        }
+    }
+
+    /// The shared tail of [`KnnClassifier::predict_with_evidence`] and
+    /// [`KnnClassifier::predict_batch`]: partial-select the `k` smallest
+    /// screening values from `scratch.screened`, re-score exactly, vote.
+    /// One code path, so the scalar and batched entry points cannot
+    /// drift; the scratch buffers let the batched path serve every row
+    /// without per-row allocations.
+    ///
+    /// The vote accumulates per label in first-neighbour order. A tie
+    /// (two labels with equal counts *and* bitwise-equal cumulative
+    /// distances) resolves to the later entry; ranking is by count then
+    /// distance, so ties can only involve distinct labels with identical
+    /// evidence, which the distance sums make unreachable in practice.
+    fn rank_and_vote(
+        &self,
+        scratch: &mut RankScratch,
+        x: &[f64],
+    ) -> Result<KnnPrediction, MlError> {
         let cmp = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        let screened = &mut scratch.screened;
         if self.k < screened.len() {
             screened.select_nth_unstable_by(self.k - 1, cmp);
             screened.truncate(self.k);
         }
         // Re-score the k candidates exactly and restore the historical
         // neighbour order (sqrt is monotone: ranking by d² == by d).
-        let mut neighbours: Vec<(f64, usize)> = screened
-            .into_iter()
-            .map(|(_, i)| (kernels::euclidean_sq(self.exemplar(i), x), i))
-            .collect();
-        neighbours.sort_by(cmp);
+        for entry in screened.iter_mut() {
+            entry.0 = kernels::euclidean_sq(self.exemplar(entry.1), x);
+        }
+        screened.sort_by(cmp);
 
         // Majority vote, ties resolved by smallest cumulative distance.
-        let mut votes: std::collections::HashMap<usize, (usize, f64)> =
-            std::collections::HashMap::new();
-        for &(d_sq, idx) in &neighbours {
-            let entry = votes.entry(self.labels[idx]).or_insert((0, 0.0));
-            entry.0 += 1;
-            entry.1 += d_sq.sqrt();
+        // Each label's sum starts from its first `d.sqrt()` (never `-0.0`),
+        // which is bitwise the old `0.0 + d` fold.
+        let votes = &mut scratch.votes;
+        votes.clear();
+        for &(d_sq, idx) in screened.iter() {
+            let label = self.labels[idx];
+            match votes.iter_mut().find(|v| v.0 == label) {
+                Some(v) => {
+                    v.1 += 1;
+                    v.2 += d_sq.sqrt();
+                }
+                None => votes.push((label, 1, d_sq.sqrt())),
+            }
         }
-        let (&label, _) = votes
+        let &(label, _, _) = votes
             .iter()
-            .max_by(|(_, (ca, da)), (_, (cb, db))| ca.cmp(cb).then_with(|| db.total_cmp(da)))
+            .max_by(|(_, ca, da), (_, cb, db)| ca.cmp(cb).then_with(|| db.total_cmp(da)))
+            .ok_or_else(|| MlError::InvalidTrainingData("no neighbours to vote".into()))?;
+        let &(nearest_sq, nearest_index) = screened
+            .first()
             .ok_or_else(|| MlError::InvalidTrainingData("no neighbours to vote".into()))?;
 
         Ok(KnnPrediction {
             label,
-            nearest_distance: neighbours[0].0.sqrt(),
-            nearest_index: neighbours[0].1,
+            nearest_distance: nearest_sq.sqrt(),
+            nearest_index,
         })
+    }
+
+    /// Classifies `n` queries supplied flat row-major (`n × dims`) in one
+    /// pass: per-query squared norms via [`kernels::sq_norms`] and the
+    /// whole `n × len` query-exemplar inner-product matrix via the
+    /// vectorized [`kernels::matmul_dense`] over the precomputed
+    /// transposed exemplar store, then one partial-select + exact
+    /// re-score + vote per row through the same code path as
+    /// [`KnnClassifier::predict_with_evidence`].
+    ///
+    /// **Bitwise identical to `n` scalar calls.** `sq_norms` reduces each
+    /// query row with the same `c`-ascending `x·x` chain as `dot(x, x)`,
+    /// and each Gram element is the same `c`-ascending multiply-add chain
+    /// as `dot(exemplar, query)`. The kernel's accumulator starts at
+    /// `+0.0` where `f64::sum` folds from `-0.0`, which can only differ
+    /// when *every* product in a chain is `-0.0` — and even then the
+    /// screening expression `‖e‖² − 2·g + ‖q‖²` absorbs the zero-sign
+    /// difference (`x − (±0.0)` is `x` for nonzero `x` and `+0.0` for
+    /// zero `x`, and `‖·‖²` is never `-0.0`), so the screened values, the
+    /// selected candidates, and the exact re-scored result are identical
+    /// in all cases. The property tests in `tests/properties.rs` pin this
+    /// against the scalar oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `queries.len()` is not
+    /// `n × dims` and [`MlError::Numerical`] if any query value is
+    /// non-finite.
+    pub fn predict_batch(&self, n: usize, queries: &[f64]) -> Result<Vec<KnnPrediction>, MlError> {
+        if queries.len() != n * self.dims {
+            return Err(MlError::DimensionMismatch {
+                expected: n * self.dims,
+                actual: queries.len(),
+            });
+        }
+        // Branch-free conjunction instead of a short-circuit scan: valid
+        // inputs never exit early anyway, and this form vectorizes.
+        if !queries.iter().fold(true, |ok, v| ok & v.is_finite()) {
+            return Err(MlError::Numerical(
+                "non-finite value in KNN query matrix".into(),
+            ));
+        }
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let q_sq = kernels::sq_norms(n, self.dims, queries);
+        let len = self.len();
+        if self.k == 1 {
+            // Fused fast path mirroring the scalar one: one
+            // [`kernels::nearest1_rows`] call computes every query's
+            // screening argmin with the Gram row still in registers — no
+            // Gram matrix, no screened buffer.
+            let mut best = vec![0usize; n];
+            kernels::nearest1_rows(
+                n,
+                self.dims,
+                len,
+                queries,
+                &self.exemplars_t,
+                &self.norms_sq,
+                &q_sq,
+                &mut best,
+            );
+            return Ok(best
+                .iter()
+                .enumerate()
+                .map(|(r, &best_i)| {
+                    self.evidence_for(best_i, &queries[r * self.dims..(r + 1) * self.dims])
+                })
+                .collect());
+        }
+        let mut gram = vec![0.0; n * len];
+        kernels::matmul_dense(n, self.dims, len, queries, &self.exemplars_t, &mut gram);
+        // One scratch for the whole batch: after the warm-up row, serving
+        // a row performs no allocations at all.
+        let mut scratch = RankScratch::default();
+        (0..n)
+            .map(|r| {
+                let grow = &gram[r * self.len()..(r + 1) * self.len()];
+                let qs = q_sq[r];
+                scratch.screened.clear();
+                scratch.screened.extend(
+                    self.norms_sq
+                        .iter()
+                        .zip(grow)
+                        .enumerate()
+                        .map(|(i, (&nsq, &g))| (nsq - 2.0 * g + qs, i)),
+                );
+                self.rank_and_vote(&mut scratch, &queries[r * self.dims..(r + 1) * self.dims])
+            })
+            .collect()
     }
 }
 
@@ -370,6 +664,83 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn predict_batch_matches_scalar_bitwise() {
+        let dims = 22;
+        let n_ex = 57;
+        let xs: Vec<Vec<f64>> = (0..n_ex)
+            .map(|i| {
+                (0..dims)
+                    .map(|d| {
+                        let jitter = (((i * 13 + d * 5) % 89) as f64 / 89.0 - 0.5) * 0.7;
+                        (i % 3) as f64 * 1.5 + (d % 7) as f64 * 0.2 + jitter
+                    })
+                    .collect()
+            })
+            .collect();
+        let ys: Vec<usize> = (0..n_ex).map(|i| i % 3).collect();
+        for k in [1, 3] {
+            let knn = KnnClassifier::fit(&xs, &ys, k).unwrap();
+            for n in [1usize, 7, 256] {
+                let queries: Vec<f64> = (0..n * dims)
+                    .map(|j| ((j * 29 + 11) % 101) as f64 / 101.0 * 4.0 - 1.0)
+                    .collect();
+                let batched = knn.predict_batch(n, &queries).unwrap();
+                assert_eq!(batched.len(), n);
+                for (r, got) in batched.iter().enumerate() {
+                    let want = knn
+                        .predict_with_evidence(&queries[r * dims..(r + 1) * dims])
+                        .unwrap();
+                    assert_eq!(got.label, want.label, "label n={n} k={k} r={r}");
+                    assert_eq!(
+                        got.nearest_index, want.nearest_index,
+                        "index n={n} k={k} r={r}"
+                    );
+                    assert_eq!(
+                        got.nearest_distance.to_bits(),
+                        want.nearest_distance.to_bits(),
+                        "distance bits n={n} k={k} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_tampering() {
+        let (xs, ys) = two_blobs();
+        let knn = KnnClassifier::fit(&xs, &ys, 3).unwrap();
+        let rebuilt = KnnClassifier::from_parts(
+            knn.exemplars_flat().to_vec(),
+            knn.norms_sq().to_vec(),
+            knn.labels().to_vec(),
+            knn.k(),
+            knn.dims(),
+        )
+        .unwrap();
+        let got = rebuilt.predict_with_evidence(&[0.05, 0.02]).unwrap();
+        let want = knn.predict_with_evidence(&[0.05, 0.02]).unwrap();
+        assert_eq!(got, want);
+
+        // Norms that did not come from the exemplar store are rejected.
+        let mut bad_norms = knn.norms_sq().to_vec();
+        bad_norms[0] += 1.0;
+        assert!(KnnClassifier::from_parts(
+            knn.exemplars_flat().to_vec(),
+            bad_norms,
+            knn.labels().to_vec(),
+            knn.k(),
+            knn.dims(),
+        )
+        .is_err());
+        // Shape and range violations are rejected.
+        assert!(
+            KnnClassifier::from_parts(vec![1.0], vec![1.0], vec![0], 1, 2).is_err(),
+            "flat store shorter than labels × dims"
+        );
+        assert!(KnnClassifier::from_parts(vec![1.0], vec![1.0], vec![0], 2, 1).is_err());
     }
 
     #[test]

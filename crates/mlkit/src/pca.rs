@@ -5,6 +5,7 @@
 //! setting — Fig. 4a). The fitted transformation matrix is stored and used
 //! to project features of unseen applications at runtime.
 
+use crate::kernels;
 use crate::linalg::Matrix;
 use crate::MlError;
 use serde::{Deserialize, Serialize};
@@ -32,8 +33,26 @@ pub struct Pca {
     means: Vec<f64>,
     /// Row `i` is the i-th principal axis (unit vector in feature space).
     axes: Matrix,
+    /// `axes` transposed (`input_dims × components`), precomputed at
+    /// construction so [`Pca::transform_matrix`] can feed the vectorized
+    /// [`kernels::matmul_dense`] without a per-call transpose. Pure data
+    /// movement from `axes` — no arithmetic, so nothing to drift.
+    axes_t: Matrix,
     eigenvalues: Vec<f64>,
     total_variance: f64,
+}
+
+/// Builds the final struct, deriving the transposed projection from
+/// `axes`: the one place the `axes`/`axes_t` pair is assembled.
+fn assemble(means: Vec<f64>, axes: Matrix, eigenvalues: Vec<f64>, total_variance: f64) -> Pca {
+    let axes_t = axes.transpose();
+    Pca {
+        means,
+        axes,
+        axes_t,
+        eigenvalues,
+        total_variance,
+    }
 }
 
 impl Pca {
@@ -70,12 +89,12 @@ impl Pca {
                 axes.set(pc, d, vectors.get(d, pc));
             }
         }
-        Ok(Pca {
+        Ok(assemble(
             means,
             axes,
-            eigenvalues: eigenvalues.into_iter().take(components).collect(),
+            eigenvalues.into_iter().take(components).collect(),
             total_variance,
-        })
+        ))
     }
 
     /// Fits a PCA keeping the smallest number of components whose
@@ -121,12 +140,12 @@ impl Pca {
             return self;
         }
         let axes = Matrix::from_rows((0..k).map(|pc| self.axes.row(pc).to_vec()).collect());
-        Pca {
-            means: self.means,
+        assemble(
+            self.means,
             axes,
-            eigenvalues: self.eigenvalues.into_iter().take(k).collect(),
-            total_variance: self.total_variance,
-        }
+            self.eigenvalues.into_iter().take(k).collect(),
+            self.total_variance,
+        )
     }
 
     /// Number of principal components kept.
@@ -135,10 +154,65 @@ impl Pca {
         self.axes.rows()
     }
 
+    /// Per-feature training means subtracted before projection.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Total variance of the training data (sum of all non-negative
+    /// eigenvalues, kept and discarded alike).
+    #[must_use]
+    pub fn total_variance(&self) -> f64 {
+        self.total_variance
+    }
+
+    /// Reassembles a fitted PCA from its serialized fields (the model
+    /// artifact load path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] on inconsistent shapes or
+    /// non-finite values.
+    pub fn from_parts(
+        means: Vec<f64>,
+        axes: Matrix,
+        eigenvalues: Vec<f64>,
+        total_variance: f64,
+    ) -> Result<Self, MlError> {
+        if axes.rows() == 0 || axes.cols() == 0 {
+            return Err(MlError::InvalidTrainingData(
+                "projection matrix must be non-empty".into(),
+            ));
+        }
+        if means.len() != axes.cols() || eigenvalues.len() != axes.rows() {
+            return Err(MlError::InvalidTrainingData(
+                "means/axes/eigenvalue shapes disagree".into(),
+            ));
+        }
+        if means.iter().any(|v| !v.is_finite())
+            || axes.data().iter().any(|v| !v.is_finite())
+            || eigenvalues.iter().any(|v| !v.is_finite())
+            || !total_variance.is_finite()
+        {
+            return Err(MlError::InvalidTrainingData(
+                "non-finite value in PCA fields".into(),
+            ));
+        }
+        Ok(assemble(means, axes, eigenvalues, total_variance))
+    }
+
     /// Dimensionality of the original feature space.
     #[must_use]
     pub fn input_dims(&self) -> usize {
         self.axes.cols()
+    }
+
+    /// The projection matrix entries, components × input dims, row-major
+    /// (the model artifact save path).
+    #[must_use]
+    pub fn axes_data(&self) -> &[f64] {
+        self.axes.data()
     }
 
     /// Eigenvalues (variances) of the kept components, descending.
@@ -201,6 +275,52 @@ impl Pca {
     /// Returns the first per-row error encountered.
     pub fn transform_batch(&self, data: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, MlError> {
         data.iter().map(|row| self.transform(row)).collect()
+    }
+
+    /// Projects `rows` samples supplied flat row-major
+    /// (`rows × input_dims`) in one whole-matrix call, returning the
+    /// `rows × components` projections flat row-major.
+    ///
+    /// The samples are centered (`v − mean`, the same subtraction
+    /// [`kernels::matvec_sub`] fuses) and multiplied against the
+    /// precomputed transposed loading matrix in one fused call to the
+    /// vectorized [`kernels::matmul_dense_sub`]. Each output element is the same
+    /// `c`-ascending multiply-add chain as the scalar [`Pca::transform`]
+    /// (matmul_dense and matmul_pretransposed are pinned bitwise equal by
+    /// the kernel property tests); the kernel accumulates from `+0.0`
+    /// where `f64::sum` folds from `-0.0`, so a projected value can
+    /// differ from the scalar path only in the sign of an exact zero, and
+    /// only when every product in its chain is `-0.0`. Downstream
+    /// consumers that square or subtract the projection (the KNN selector
+    /// does both) are bitwise unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `data.len()` is not
+    /// `rows × input_dims`.
+    pub fn transform_matrix(&self, rows: usize, data: &[f64]) -> Result<Vec<f64>, MlError> {
+        let dims = self.input_dims();
+        if data.len() != rows * dims {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * dims,
+                actual: data.len(),
+            });
+        }
+        let comps = self.components();
+        let mut out = vec![0.0; rows * comps];
+        // The fused kernel centers each sample by `means` on the fly, so
+        // no `rows × dims` centered intermediate is ever written — one
+        // less allocation plus a full write+read pass saved per call.
+        kernels::matmul_dense_sub(
+            rows,
+            dims,
+            comps,
+            data,
+            &self.means,
+            self.axes_t.data(),
+            &mut out,
+        );
+        Ok(out)
     }
 
     /// Maps a PC-space vector back into (approximate) feature space.
@@ -313,6 +433,53 @@ mod tests {
         for (a, b) in z_auto.iter().zip(z_direct.iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn transform_matrix_matches_scalar_bitwise() {
+        let data = sample_data();
+        let pca = Pca::fit(&data, 2).unwrap();
+        for rows in [1usize, 7, 40] {
+            let flat: Vec<f64> = data.iter().take(rows).flatten().copied().collect();
+            let got = pca.transform_matrix(rows, &flat).unwrap();
+            for (r, row) in data.iter().take(rows).enumerate() {
+                let want = pca.transform(row).unwrap();
+                for (c, w) in want.iter().enumerate() {
+                    assert_eq!(
+                        got[r * pca.components() + c].to_bits(),
+                        w.to_bits(),
+                        "rows={rows} r={r} c={c}"
+                    );
+                }
+            }
+        }
+        assert!(pca.transform_matrix(2, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_bitwise() {
+        let data = sample_data();
+        let pca = Pca::fit(&data, 2).unwrap();
+        let rebuilt = Pca::from_parts(
+            pca.means().to_vec(),
+            pca.loadings().clone(),
+            pca.eigenvalues().to_vec(),
+            pca.total_variance(),
+        )
+        .unwrap();
+        let a = pca.transform(&data[5]).unwrap();
+        let b = rebuilt.transform(&data[5]).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(Pca::from_parts(vec![0.0], pca.loadings().clone(), vec![1.0, 1.0], 2.0).is_err());
+        assert!(Pca::from_parts(
+            pca.means().to_vec(),
+            pca.loadings().clone(),
+            vec![f64::NAN, 1.0],
+            2.0
+        )
+        .is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! features of unseen applications at deployment time. Values outside the
 //! training range are clamped.
 
+use crate::kernels;
 use crate::MlError;
 use serde::{Deserialize, Serialize};
 
@@ -146,6 +147,84 @@ impl MinMaxScaler {
             .collect())
     }
 
+    /// Scales `rows` samples supplied flat row-major (`rows × dims`)
+    /// **without clamping**, returning the scaled matrix flat row-major.
+    /// Delegates to the vectorized [`kernels::scale_minmax`], whose
+    /// per-element arithmetic is exactly
+    /// [`MinMaxScaler::transform_unclamped`] — results are bitwise
+    /// identical to the scalar path (pinned by the kernel tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `data.len()` is not
+    /// `rows × dims`.
+    pub fn transform_unclamped_matrix(
+        &self,
+        rows: usize,
+        data: &[f64],
+    ) -> Result<Vec<f64>, MlError> {
+        let dims = self.dims();
+        if data.len() != rows * dims {
+            return Err(MlError::DimensionMismatch {
+                expected: rows * dims,
+                actual: data.len(),
+            });
+        }
+        let mut out = vec![0.0; data.len()];
+        kernels::scale_minmax(rows, dims, data, &self.mins, &self.maxs, &mut out);
+        Ok(out)
+    }
+
+    /// Scales one sample **without clamping** into a caller-provided
+    /// output slice — [`MinMaxScaler::transform_unclamped`] without the
+    /// per-call allocation, via the same vectorized
+    /// [`kernels::scale_minmax`] the matrix path uses (bitwise identical
+    /// by the kernel tests). Lets a batch caller gather non-contiguous
+    /// sample rows straight into a scaled matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `x` or `out` has the
+    /// wrong length.
+    pub fn transform_unclamped_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), MlError> {
+        if x.len() != self.dims() || out.len() != self.dims() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.dims(),
+                actual: if x.len() != self.dims() {
+                    x.len()
+                } else {
+                    out.len()
+                },
+            });
+        }
+        kernels::scale_minmax(1, self.dims(), x, &self.mins, &self.maxs, out);
+        Ok(())
+    }
+
+    /// Reassembles a fitted scaler from its serialized bounds (the model
+    /// artifact load path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidTrainingData`] on mismatched or empty
+    /// bounds, non-finite values, or any `max < min`.
+    pub fn from_parts(mins: Vec<f64>, maxs: Vec<f64>) -> Result<Self, MlError> {
+        if mins.is_empty() || mins.len() != maxs.len() {
+            return Err(MlError::InvalidTrainingData(
+                "scaler bounds empty or mismatched".into(),
+            ));
+        }
+        if mins.iter().chain(maxs.iter()).any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidTrainingData(
+                "non-finite scaler bound".into(),
+            ));
+        }
+        if mins.iter().zip(maxs.iter()).any(|(lo, hi)| hi < lo) {
+            return Err(MlError::InvalidTrainingData("scaler max below min".into()));
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
+
     /// The per-feature minima observed at fit time.
     #[must_use]
     pub fn mins(&self) -> &[f64] {
@@ -231,5 +310,59 @@ mod tests {
         let s = MinMaxScaler::fit(&data).unwrap();
         let batch = s.transform_batch(&data).unwrap();
         assert_eq!(batch, vec![vec![0.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn unclamped_matrix_matches_scalar_bitwise() {
+        let data = vec![
+            vec![2.0, -1.0, 7.0],
+            vec![4.0, 3.0, 7.0],
+            vec![3.0, 1.0, 7.0],
+        ];
+        let s = MinMaxScaler::fit(&data).unwrap();
+        let rows = [
+            vec![2.5, 9.0, 7.0],
+            vec![-3.0, 0.0, 1.0],
+            vec![4.0, -1.0, 7.0],
+        ];
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let got = s.transform_unclamped_matrix(rows.len(), &flat).unwrap();
+        for (r, row) in rows.iter().enumerate() {
+            let want = s.transform_unclamped(row).unwrap();
+            for (d, w) in want.iter().enumerate() {
+                assert_eq!(got[r * 3 + d].to_bits(), w.to_bits(), "r={r} d={d}");
+            }
+        }
+        assert!(s.transform_unclamped_matrix(2, &flat).is_err());
+    }
+
+    #[test]
+    fn unclamped_into_matches_allocating_path_bitwise() {
+        let data = vec![
+            vec![2.0, -1.0, 7.0],
+            vec![4.0, 3.0, 7.0],
+            vec![3.0, 1.0, 7.0],
+        ];
+        let s = MinMaxScaler::fit(&data).unwrap();
+        let probe = [2.5, 9.0, 7.0];
+        let want = s.transform_unclamped(&probe).unwrap();
+        let mut got = [0.0; 3];
+        s.transform_unclamped_into(&probe, &mut got).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        assert!(s.transform_unclamped_into(&probe[..2], &mut got).is_err());
+        assert!(s.transform_unclamped_into(&probe, &mut got[..2]).is_err());
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let s = MinMaxScaler::fit(&[vec![0.0, 5.0], vec![10.0, 5.0]]).unwrap();
+        let rebuilt = MinMaxScaler::from_parts(s.mins().to_vec(), s.maxs().to_vec()).unwrap();
+        assert_eq!(rebuilt, s);
+        assert!(MinMaxScaler::from_parts(vec![], vec![]).is_err());
+        assert!(MinMaxScaler::from_parts(vec![0.0], vec![1.0, 2.0]).is_err());
+        assert!(MinMaxScaler::from_parts(vec![1.0], vec![0.0]).is_err());
+        assert!(MinMaxScaler::from_parts(vec![f64::NAN], vec![1.0]).is_err());
     }
 }
