@@ -6,10 +6,11 @@
 # memoization), the mlkit compute kernels, the ML campaign drivers, the
 # scale-sweep workload builders, the open-system layer (arrival plans +
 # admission service), the chaos-search harness (episode generation +
-# shrinking, invariant battery, fig22 driver), and the prediction
+# shrinking, invariant battery, fig22 driver), the prediction
 # serving path (model artifacts, micro-batching, the firehose and its
-# fig23 driver) must not contain `unwrap()` / `expect(` outside test
-# code.
+# fig23 driver), and the intra-simulation parallelism layer (the
+# simkit::par primitives and the fig20 threads-axis driver) must not
+# contain `unwrap()` / `expect(` outside test code.
 #
 # Intentional exceptions live in ci/panic_allowlist.txt as
 # `<path>:<needle>` lines; a gated line is tolerated iff it contains the
@@ -45,6 +46,8 @@ GATED_FILES=(
   crates/colocate/src/serving.rs
   crates/bench/src/serving.rs
   crates/bench/src/bin/fig23_serving.rs
+  crates/simkit/src/par.rs
+  crates/bench/src/bin/fig20_scale.rs
 )
 
 ALLOWLIST=ci/panic_allowlist.txt

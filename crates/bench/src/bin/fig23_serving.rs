@@ -140,6 +140,25 @@ fn main() {
             }
         }
     }
+    // Per-request latency footer — only under explicit timing, so the
+    // default stdout stays a pure function of (seed, request count).
+    if timing {
+        for (label, pick) in [
+            ("scalar", modes.iter().find(|s| s.mode == "scalar")),
+            (
+                "batch 256",
+                modes.iter().find(|s| s.mode == "batched" && s.batch == 256),
+            ),
+        ] {
+            if let Some(s) = pick {
+                println!(
+                    "latency {label}: p50 {} / p99 {} per request",
+                    fmt_opt(s.p50_us, "us"),
+                    fmt_opt(s.p99_us, "us")
+                );
+            }
+        }
+    }
 
     if let Some(dir) = csv_dir() {
         let mut table = CsvTable::new([

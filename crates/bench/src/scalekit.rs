@@ -25,6 +25,7 @@ use sparklite::app::AppSpec;
 use sparklite::cluster::ClusterSpec;
 use sparklite::engine::{ClusterEngine, RateCacheMode};
 use sparklite::perf::InterferenceModel;
+use sparklite::{AppId, ExecutorId};
 
 /// Executors per node in the scale engines (two co-located slices, the
 /// paper's common case).
@@ -58,20 +59,97 @@ fn scale_app(name: &str, cpu: f64) -> AppSpec {
 /// given rate-cache mode.
 #[must_use]
 pub fn scale_engine(nodes: usize, mode: RateCacheMode) -> ClusterEngine {
+    scale_engine_tracked(nodes, mode).0
+}
+
+/// [`scale_engine`] plus, per node, the `(app, executor)` pair of the
+/// node's first slice — the handle [`storm_mutate`] kills and respawns to
+/// dirty that node's shard.
+#[must_use]
+pub fn scale_engine_tracked(
+    nodes: usize,
+    mode: RateCacheMode,
+) -> (ClusterEngine, Vec<(AppId, ExecutorId)>) {
     let mut eng = ClusterEngine::new(ClusterSpec::with_nodes(nodes), InterferenceModel::default());
     eng.set_rate_cache_mode(mode);
     let node_ids = eng.cluster().node_ids();
+    let mut slots = Vec::with_capacity(node_ids.len());
     let mut k = 0usize;
     for (i, &node) in node_ids.iter().enumerate() {
         for j in 0..EXECUTORS_PER_NODE {
             let app = eng.submit(scale_app(&format!("app{i}_{j}"), 0.3 + 0.05 * j as f64));
-            eng.spawn_executor(app, node, slice_gb(k), 14.0)
+            let exec = eng
+                .spawn_executor(app, node, slice_gb(k), 14.0)
                 .expect("spawn fits")
                 .expect("input available");
+            if j == 0 {
+                slots.push((app, exec));
+            }
             k += 1;
         }
     }
-    eng
+    (eng, slots)
+}
+
+/// One placement storm: kill and respawn every node's tracked executor,
+/// dirtying every shard in the cluster at once — the wave shape a
+/// scheduler pass leaves behind, and the input the parallel rate-refresh
+/// path is built for. The next rate query (`next_completion`,
+/// `cached_current_rates`) then pays a single batched refresh over the
+/// whole dirty set. `k` staggers the respawned slices; the tracked
+/// executor ids in `slots` are updated in place.
+pub fn storm_mutate(eng: &mut ClusterEngine, slots: &mut [(AppId, ExecutorId)], k: usize) {
+    let node_ids = eng.cluster().node_ids();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if eng.executor(slot.1).is_err() {
+            // Interleaved completion churn may have retired the tracked
+            // executor; adopt the node's current first slice instead
+            // (shard membership order is deterministic, so every worker
+            // count adopts the same one).
+            if let Some(adopted) = eng.node_executors_iter(node_ids[i]).next() {
+                slot.0 = eng.executor(adopted).expect("member is live").app();
+                slot.1 = adopted;
+            }
+        }
+        if eng.executor(slot.1).is_ok() {
+            eng.kill_executor(slot.1).expect("storm victim is live");
+        }
+        slot.1 = eng
+            .spawn_executor(slot.0, node_ids[i], slice_gb(k + i), 14.0)
+            .expect("respawn fits")
+            .expect("input available");
+    }
+}
+
+/// Order-pinned digest of the engine's observable simulation state:
+/// elapsed clock, live population, every cached executor rate (the
+/// pairs iterate a `BTreeMap`, so the order is pinned by id) and the next
+/// completion — all folded bit-exactly (FNV-1a), so two engines agree iff
+/// their states are bitwise identical. This is what the
+/// `SPARK_MOE_SCALE_CHECK` mode prints instead of wall-clock numbers: a
+/// pure function of the sweep configuration, identical at any
+/// `SPARK_MOE_THREADS`.
+#[must_use]
+pub fn engine_digest(eng: &mut ClusterEngine) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn fold(h: u64, v: u64) -> u64 {
+        (h ^ v).wrapping_mul(PRIME)
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fold(h, eng.elapsed_secs().to_bits());
+    h = fold(h, eng.live_executors() as u64);
+    match eng.next_completion() {
+        Some((dt, who)) => {
+            h = fold(h, dt.to_bits());
+            h = fold(h, who.index() as u64);
+        }
+        None => h = fold(h, u64::MAX),
+    }
+    for &(id, rate) in eng.cached_current_rates() {
+        h = fold(h, id.index() as u64);
+        h = fold(h, rate.to_bits());
+    }
+    h
 }
 
 /// One completion event, exactly as the scheduler's event loop performs
@@ -171,6 +249,30 @@ mod tests {
         let k = completion_churn(&mut eng, 10, 3 * EXECUTORS_PER_NODE);
         assert_eq!(k, 3 * EXECUTORS_PER_NODE + 10);
         assert_eq!(eng.live_executors(), 3 * EXECUTORS_PER_NODE);
+    }
+
+    #[test]
+    fn storm_keeps_population_and_digest_is_thread_invariant() {
+        let (mut eng, mut slots) = scale_engine_tracked(80, RateCacheMode::Sharded);
+        let (mut oracle, mut oracle_slots) = scale_engine_tracked(80, RateCacheMode::Sharded);
+        eng.set_refresh_workers(4);
+        oracle.set_refresh_workers(1);
+        let mut digests = Vec::new();
+        for round in 0..3 {
+            let k = 80 * EXECUTORS_PER_NODE + round * 80;
+            storm_mutate(&mut eng, &mut slots, k);
+            storm_mutate(&mut oracle, &mut oracle_slots, k);
+            assert_eq!(eng.live_executors(), 80 * EXECUTORS_PER_NODE);
+            let d = engine_digest(&mut eng);
+            assert_eq!(
+                d,
+                engine_digest(&mut oracle),
+                "digest differs from the serial oracle after storm {round}"
+            );
+            digests.push(d);
+        }
+        digests.dedup();
+        assert_eq!(digests.len(), 3, "storms must actually change the state");
     }
 
     #[test]

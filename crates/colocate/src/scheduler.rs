@@ -574,6 +574,8 @@ fn run_schedule_inner(
     // RAM can ever report OutOfMemory (see ClusterEngine::hot_nodes_into),
     // so the resolver scans this short list instead of the whole cluster.
     let mut hot_nodes: Vec<NodeId> = Vec::new();
+    // Placement scratch, hoisted out of the per-event placement calls.
+    let mut place_scratch = PlaceScratch::new();
     let mut guard = 0usize;
     let guard_limit = 200_000usize;
 
@@ -665,6 +667,7 @@ fn run_schedule_inner(
             &resil,
             &node_ids,
             false,
+            &mut place_scratch,
         )?;
         engine.hot_nodes_into(&mut hot_nodes);
         oom_kills += resolve_ooms(&mut engine, &mut apps, config, t, &mut resil, &hot_nodes)?;
@@ -991,6 +994,42 @@ pub(crate) fn build_predictor(
     })
 }
 
+/// Reusable buffers for [`place_predictive`], owned by the event loop so
+/// per-event placement passes allocate nothing at steady state — the PR 4
+/// ranked/candidate pattern hoisted one level further, out of the call
+/// itself. Also carries the worker budget and fan-out slots for the
+/// storm-sized candidate-ranking pass (DESIGN.md §17).
+#[derive(Debug)]
+pub(crate) struct PlaceScratch {
+    /// Worker budget for the parallel ranking pass.
+    workers: usize,
+    /// Nodes ranked by free memory, rebuilt per water-filling round.
+    ranked: Vec<(NodeId, f64)>,
+    /// Dynamic-adjustment candidates: `(executor, node, free memory)`.
+    candidates: Vec<(sparklite::ExecutorId, NodeId, f64)>,
+    /// Fan-out slots for the parallel ranking pass.
+    rank_out: Vec<Option<Option<(NodeId, f64)>>>,
+    /// Per-worker (stateless) arenas for the ranking fan-out.
+    rank_arenas: Vec<()>,
+}
+
+impl PlaceScratch {
+    pub(crate) fn new() -> Self {
+        PlaceScratch {
+            workers: simkit::par::available_workers(),
+            ranked: Vec::new(),
+            candidates: Vec::new(),
+            rank_out: Vec::new(),
+            rank_arenas: Vec::new(),
+        }
+    }
+}
+
+/// Minimum cluster size before the per-round ranking filter fans across
+/// workers; below this the filter is a few microseconds of pointer
+/// chasing and thread spawn would dominate.
+const PAR_RANK_MIN_NODES: usize = 4096;
+
 /// One placement round at time `t`. Returns the number of *abstain*
 /// placements made (isolated whole-node reservations forced by a tripped
 /// circuit breaker); always 0 unless `abstain` is set.
@@ -1006,11 +1045,14 @@ pub(crate) fn place(
     resil: &ResilState,
     nodes: &[NodeId],
     abstain: bool,
+    scratch: &mut PlaceScratch,
 ) -> Result<usize, ColocateError> {
     match policy {
         PolicyKind::Isolated => place_isolated(engine, apps, config, nodes).map(|()| 0),
         PolicyKind::Pairwise => place_pairwise(engine, apps, config, catalog, nodes).map(|()| 0),
-        _ => place_predictive(engine, apps, config, t, monitor, resil, nodes, abstain),
+        _ => place_predictive(
+            engine, apps, config, t, monitor, resil, nodes, abstain, scratch,
+        ),
     }
 }
 
@@ -1224,7 +1266,15 @@ pub(crate) fn place_predictive(
     resil: &ResilState,
     nodes: &[NodeId],
     abstain: bool,
+    scratch: &mut PlaceScratch,
 ) -> Result<usize, ColocateError> {
+    let PlaceScratch {
+        workers,
+        ranked,
+        candidates,
+        rank_out,
+        rank_arenas,
+    } = scratch;
     let mut abstain_placements = 0usize;
     // Graceful degradation: an application that burned through its retry
     // budget gets a whole empty node to itself — the paper's §2.3 answer
@@ -1277,7 +1327,6 @@ pub(crate) fn place_predictive(
     // first. This models §4.3's "starts executing waiting applications as
     // soon as possible" + even thread distribution: late arrivals are not
     // starved behind large jobs the way strict per-slot FCFS would.
-    let mut ranked: Vec<(NodeId, f64)> = Vec::with_capacity(nodes.len());
     loop {
         let mut progress = false;
         for app in apps.iter() {
@@ -1316,15 +1365,37 @@ pub(crate) fn place_predictive(
             // relative pre-order) visits eligible nodes in exactly the
             // sequence the unfiltered scan did.
             ranked.clear();
-            ranked.extend(
-                nodes
-                    .iter()
-                    .copied()
-                    .filter(|&n| engine.node_online(n) && resil.quarantined_until[n.index()] <= t)
-                    .map(|n| (n, engine.node_free_memory(n))),
-            );
+            if *workers > 1 && nodes.len() >= PAR_RANK_MIN_NODES {
+                // Storm-sized cluster: fan the per-node filter and
+                // free-memory read across workers. Survivors are taken in
+                // index order, so the stable sort below sees exactly the
+                // sequence the serial scan feeds it (DESIGN.md §17).
+                let engine_ref: &ClusterEngine = engine;
+                simkit::par::par_for_shards(
+                    nodes,
+                    *workers,
+                    rank_arenas,
+                    || (),
+                    rank_out,
+                    |_, &n, ()| {
+                        (engine_ref.node_online(n) && resil.quarantined_until[n.index()] <= t)
+                            .then(|| (n, engine_ref.node_free_memory(n)))
+                    },
+                );
+                ranked.extend(rank_out.iter_mut().filter_map(|slot| slot.take().flatten()));
+            } else {
+                ranked.extend(
+                    nodes
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            engine.node_online(n) && resil.quarantined_until[n.index()] <= t
+                        })
+                        .map(|n| (n, engine.node_free_memory(n))),
+                );
+            }
             ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-            for &(node, _) in &ranked {
+            for &(node, _) in ranked.iter() {
                 if engine.node_executor_count(node) >= config.max_execs_per_node {
                     continue;
                 }
@@ -1386,8 +1457,8 @@ pub(crate) fn place_predictive(
     // not obtain another executor top up a running one where the node has
     // spare memory, avoiding a fresh executor's startup cost.
     if config.dynamic_adjustment {
-        // Reused across apps; (executor, its node, free memory there).
-        let mut candidates: Vec<(sparklite::ExecutorId, NodeId, f64)> = Vec::new();
+        // `candidates` is reused across apps AND calls (scratch-owned):
+        // (executor, its node, free memory there).
         for app in apps.iter() {
             if app.finished_at.is_some()
                 || app.ready_at.max(app.retry_at) > t
@@ -1431,7 +1502,7 @@ pub(crate) fn place_predictive(
                     .then_with(|| a.1.cmp(&b.1))
                     .then_with(|| a.0.cmp(&b.0))
             });
-            for &(exec_id, _, _) in &candidates {
+            for &(exec_id, _, _) in candidates.iter() {
                 let remaining = engine.app(id).unassigned_gb();
                 if remaining <= config.min_slice_gb {
                     break;
@@ -1470,6 +1541,10 @@ pub(crate) fn place_predictive(
     Ok(abstain_placements)
 }
 
+/// Minimum hot-node count before [`resolve_ooms`] fans its pressure scan
+/// across workers — storm-sized candidate sets only (DESIGN.md §17).
+const PAR_OOM_MIN_NODES: usize = 1024;
+
 /// Kills executors until no candidate node is out of memory; raises the
 /// owning application's margin so its re-run is conservative. `nodes` is
 /// the OOM candidate set — the engine's hot nodes — which provably covers
@@ -1477,6 +1552,13 @@ pub(crate) fn place_predictive(
 /// `Fits`). With resilience enabled it additionally feeds the margin
 /// controller, schedules a backed-off retry for the owner, and quarantines
 /// nodes that keep OOMing within one monitor window.
+///
+/// On storm-sized candidate sets the read-only pressure scan fans across
+/// workers first, and the serial kill loop then visits only flagged nodes
+/// in index order. Bit-identical to the plain loop: kills on a node only
+/// *reduce* that node's occupancy and touch no other node, so a node not
+/// OOM at scan time cannot have become OOM by the time the serial loop
+/// would have reached it — the skipped iterations are provably no-ops.
 pub(crate) fn resolve_ooms(
     engine: &mut ClusterEngine,
     apps: &mut [AppRt],
@@ -1485,9 +1567,41 @@ pub(crate) fn resolve_ooms(
     resil: &mut ResilState,
     nodes: &[NodeId],
 ) -> Result<usize, ColocateError> {
+    let mut kills = 0;
+    if nodes.len() >= PAR_OOM_MIN_NODES {
+        let workers = simkit::par::available_workers();
+        if workers > 1 {
+            let engine_ref: &ClusterEngine = engine;
+            let flags = simkit::par::par_map_indexed(nodes, workers, |_, &n| {
+                matches!(engine_ref.memory_pressure(n), MemoryPressure::OutOfMemory)
+            });
+            for (&node, flagged) in nodes.iter().zip(flags) {
+                if flagged {
+                    kills += resolve_node_ooms(engine, apps, config, t, resil, node)?;
+                }
+            }
+            return Ok(kills);
+        }
+    }
+    for &node in nodes {
+        kills += resolve_node_ooms(engine, apps, config, t, resil, node)?;
+    }
+    Ok(kills)
+}
+
+/// One node's share of [`resolve_ooms`]: kill youngest-first until the
+/// node's pressure drops below out-of-memory.
+fn resolve_node_ooms(
+    engine: &mut ClusterEngine,
+    apps: &mut [AppRt],
+    config: &SchedulerConfig,
+    t: f64,
+    resil: &mut ResilState,
+    node: NodeId,
+) -> Result<usize, ColocateError> {
     let resilience = config.resilience;
     let mut kills = 0;
-    for &node in nodes {
+    {
         while matches!(engine.memory_pressure(node), MemoryPressure::OutOfMemory) {
             let Some(victim) = engine.oom_victim(node) else {
                 break;
